@@ -1,0 +1,128 @@
+// Command fademl-analyze runs the paper's Section III analysis
+// methodology (Fig. 3): for each attack × scenario it generates a
+// filter-blind adversarial example, infers under Threat Model I and under
+// Threat Model II/III through the deployed filter, and reports the
+// predictions, the Eq. 2 cost, and whether the filter neutralized the
+// attack.
+//
+// Usage:
+//
+//	fademl-analyze [-profile default] [-filter LAP:32] [-attacks lbfgs,fgsm,bim] [-tm 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	fademl "repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
+	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
+	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32 or LAR:3")
+	attackList := flag.String("attacks", "lbfgs,fgsm,bim", "comma-separated attack names")
+	tmFlag := flag.Int("tm", 3, "threat model for filtered delivery: 2 or 3")
+	flag.Parse()
+
+	p, err := profileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := fademl.NewEnv(p, *cacheDir, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filter, err := parseFilter(*filterSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tm fademl.ThreatModel
+	var acq *fademl.Acquisition
+	switch *tmFlag {
+	case 2:
+		tm = fademl.TM2
+		acq = fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	case 3:
+		tm = fademl.TM3
+	default:
+		log.Fatalf("threat model %d: want 2 or 3", *tmFlag)
+	}
+	pipe := fademl.NewPipeline(env.Net, filter, acq)
+
+	fmt.Printf("\nSection III analysis — filter %s, %v, profile %s\n\n",
+		filter.Name(), tm, p.Name)
+	var comparisons []analysis.Comparison
+	for _, name := range strings.Split(*attackList, ",") {
+		name = strings.TrimSpace(name)
+		atk, err := fademl.NewAttack(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sc := range fademl.PaperScenarios {
+			out, err := fademl.Execute(fademl.Run{
+				Pipeline: pipe, Attack: atk, FilterAware: false, TM: tm,
+			}, sc.CleanImage(env.Profile.Size), sc.Source, sc.Target)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comparisons = append(comparisons, out.Comparison)
+			fmt.Println(out.Comparison.String())
+		}
+	}
+	neutralized, applicable := 0, 0
+	for _, c := range comparisons {
+		if c.TM1Pred == c.Target {
+			applicable++
+			if c.Neutralized {
+				neutralized++
+			}
+		}
+	}
+	fmt.Printf("\nTM-I-successful attacks neutralized by %s: %d/%d\n",
+		filter.Name(), neutralized, applicable)
+}
+
+func profileByName(name string) (fademl.Profile, error) {
+	switch name {
+	case "tiny":
+		return fademl.ProfileTiny(), nil
+	case "default":
+		return fademl.ProfileDefault(), nil
+	case "paper":
+		return fademl.ProfilePaper(), nil
+	default:
+		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
+	}
+}
+
+func parseFilter(spec string) (fademl.Filter, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("filter spec %q: want KIND:PARAM, e.g. LAP:32", spec)
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("filter spec %q: %v", spec, err)
+	}
+	switch strings.ToUpper(parts[0]) {
+	case "LAP":
+		return fademl.NewLAP(v), nil
+	case "LAR":
+		return fademl.NewLAR(v), nil
+	case "MEDIAN":
+		return fademl.NewMedian(v), nil
+	case "GAUSS":
+		return fademl.NewGaussian(float64(v)), nil
+	default:
+		return nil, fmt.Errorf("unknown filter kind %q (LAP|LAR|MEDIAN|GAUSS)", parts[0])
+	}
+}

@@ -1,0 +1,154 @@
+// Command fademl-attack crafts one adversarial example for a paper
+// scenario, optionally filter-aware (FAdeML), measures it against the
+// deployed pipeline under Threat Models I and II/III, and writes PNGs of
+// the clean image, adversarial image, amplified noise and the DNN's
+// filtered view.
+//
+// Usage:
+//
+//	fademl-attack [-profile default] [-scenario 1..5] [-attack bim]
+//	              [-filter LAP:32|LAR:3|none] [-aware] [-tm 2|3] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	fademl "repro"
+	"repro/internal/imageio"
+)
+
+func parseFilter(spec string) (fademl.Filter, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("filter spec %q: want KIND:PARAM, e.g. LAP:32", spec)
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("filter spec %q: %v", spec, err)
+	}
+	switch strings.ToUpper(parts[0]) {
+	case "LAP":
+		return fademl.NewLAP(v), nil
+	case "LAR":
+		return fademl.NewLAR(v), nil
+	case "MEDIAN":
+		return fademl.NewMedian(v), nil
+	case "GAUSS":
+		return fademl.NewGaussian(float64(v)), nil
+	default:
+		return nil, fmt.Errorf("unknown filter kind %q (LAP|LAR|MEDIAN|GAUSS)", parts[0])
+	}
+}
+
+func main() {
+	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
+	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
+	scenarioID := flag.Int("scenario", 1, "paper scenario 1..5")
+	attackName := flag.String("attack", "bim", "attack name (see -list)")
+	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32, LAR:3, none")
+	aware := flag.Bool("aware", true, "run the attack filter-aware (FAdeML)")
+	tmFlag := flag.Int("tm", 3, "threat model for filtered delivery: 2 or 3")
+	outDir := flag.String("out", "attack-out", "output directory for PNGs (empty to skip)")
+	list := flag.Bool("list", false, "list available attacks and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("attacks:", strings.Join(fademl.AttackNames(), ", "))
+		return
+	}
+	if *scenarioID < 1 || *scenarioID > len(fademl.PaperScenarios) {
+		log.Fatalf("scenario %d outside 1..%d", *scenarioID, len(fademl.PaperScenarios))
+	}
+	sc := fademl.PaperScenarios[*scenarioID-1]
+
+	var tm fademl.ThreatModel
+	switch *tmFlag {
+	case 2:
+		tm = fademl.TM2
+	case 3:
+		tm = fademl.TM3
+	default:
+		log.Fatalf("threat model %d: want 2 or 3", *tmFlag)
+	}
+
+	p, err := profileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := fademl.NewEnv(p, *cacheDir, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filter, err := parseFilter(*filterSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var acq *fademl.Acquisition
+	if tm == fademl.TM2 {
+		acq = fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	}
+	pipe := fademl.NewPipeline(env.Net, filter, acq)
+
+	atk, err := fademl.NewAttack(*attackName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *aware && *attackName == "bim" {
+		// The filter-aware attacker compensates for smoothing attenuation.
+		atk = fademl.NewBIM(0.25, 0.02, 60)
+	}
+
+	clean := sc.CleanImage(env.Profile.Size)
+	out, err := fademl.Execute(fademl.Run{
+		Pipeline: pipe, Attack: atk, FilterAware: *aware, TM: tm,
+	}, clean, sc.Source, sc.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", sc)
+	fmt.Println(out.Comparison.String())
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		noiseViz := out.AttackerResult.Noise.Clone()
+		noiseViz.ScaleInPlace(8)
+		noiseViz.AddScalar(0.5)
+		noiseViz.Clamp01()
+		for name, img := range map[string]*fademl.Tensor{
+			"clean.png":    clean,
+			"adv.png":      out.AttackerResult.Adversarial,
+			"noise8x.png":  noiseViz,
+			"filtered.png": pipe.Deliver(out.AttackerResult.Adversarial, tm),
+		} {
+			path := filepath.Join(*outDir, name)
+			if err := imageio.SavePNG(img, path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func profileByName(name string) (fademl.Profile, error) {
+	switch name {
+	case "tiny":
+		return fademl.ProfileTiny(), nil
+	case "default":
+		return fademl.ProfileDefault(), nil
+	case "paper":
+		return fademl.ProfilePaper(), nil
+	default:
+		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
+	}
+}

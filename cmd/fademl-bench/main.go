@@ -1,0 +1,140 @@
+// Command fademl-bench regenerates the paper's evaluation figures as text
+// tables: Fig. 5 (attacks under TM-I), Fig. 6 (top-5 accuracy under
+// attack), Fig. 7 (classical attacks neutralized by LAP/LAR) and Fig. 9
+// (FAdeML attacks surviving the same filters). EXPERIMENTS.md is produced
+// from this tool's output.
+//
+// Usage:
+//
+//	fademl-bench [-profile default] [-fig all|5|6|7|9|abl] [-curves]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	fademl "repro"
+	"repro/internal/experiments"
+	"repro/internal/filters"
+)
+
+func main() {
+	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
+	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
+	fig := flag.String("fig", "all", "which figure to regenerate: all, 5, 6, 7 or 9")
+	curves := flag.Bool("curves", true, "include the accuracy-vs-filter curves in Figs. 7/9")
+	flag.Parse()
+
+	p, err := profileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	env, err := fademl.NewEnv(p, *cacheDir, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("environment ready in %.0fs — clean top-1 %.1f%%, top-5 %.1f%%\n\n",
+		time.Since(start).Seconds(), 100*env.CleanTop1, 100*env.CleanTop5)
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("5") {
+		run := time.Now()
+		res, err := fademl.RunFig5(env, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("payload success rate: %.0f%%  (%.0fs)\n\n", 100*res.SuccessRate(), time.Since(run).Seconds())
+	}
+	if want("6") {
+		run := time.Now()
+		res, err := fademl.RunFig6(env, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("max top-5 drop under attack: %.1f points  (%.0fs)\n\n", 100*res.MaxDrop(), time.Since(run).Seconds())
+	}
+	if want("7") {
+		run := time.Now()
+		res, err := fademl.RunFig7(env, fademl.SweepOptions{
+			IncludeCurves:  *curves,
+			CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("neutralization rate: %.0f%%, survival rate: %.0f%%  (%.0fs)\n\n",
+			100*res.NeutralizationRate(), 100*res.SurvivalRate(), time.Since(run).Seconds())
+	}
+	if want("9") {
+		run := time.Now()
+		res, err := fademl.RunFig9(env, fademl.SweepOptions{
+			IncludeCurves:  *curves,
+			CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("survival rate: %.0f%%  (%.0fs)\n\n", 100*res.SurvivalRate(), time.Since(run).Seconds())
+	}
+	if want("abl") {
+		run := time.Now()
+		if err := runAblations(env); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ablations done  (%.0fs)\n\n", time.Since(run).Seconds())
+	}
+	fmt.Printf("total wall time: %.0fs\n", time.Since(start).Seconds())
+}
+
+// runAblations prints the design-choice sweeps of DESIGN.md.
+func runAblations(env *fademl.Env) error {
+	fmt.Println("Ablation — clean accuracy vs filter strength (inverted-U):")
+	for _, p := range experiments.RunFilterStrengthAblation(env) {
+		fmt.Printf("  %-9s taps=%-3d top1=%5.1f%% top5=%5.1f%%\n",
+			p.FilterName, p.Taps, 100*p.Top1, 100*p.Top5)
+	}
+	fmt.Println("\nAblation — FAdeML η noise scaling through LAP(8):")
+	etaPts, err := experiments.RunEtaAblation(env, filters.NewLAP(8), nil)
+	if err != nil {
+		return err
+	}
+	for _, p := range etaPts {
+		fmt.Printf("  η=%.2f survived=%-5v conf=%.2f |noise|inf=%.3f\n",
+			p.Eta, p.Survived, p.Confidence, p.NoiseLInf)
+	}
+	fmt.Println("\nAblation — BIM ε budget vs scenario-1 payload:")
+	budPts, err := experiments.RunBudgetAblation(env, nil)
+	if err != nil {
+		return err
+	}
+	for _, p := range budPts {
+		fmt.Printf("  ε=%.2f success=%-5v conf=%.2f\n", p.Epsilon, p.Success, p.Confidence)
+	}
+	fmt.Println("\nAblation — LAR disk vs square box footprint (clean top-5):")
+	for _, p := range experiments.RunFootprintAblation(env, nil) {
+		fmt.Printf("  r=%d disk=%5.1f%% box=%5.1f%%\n", p.Radius, 100*p.DiskTop5, 100*p.BoxTop5)
+	}
+	return nil
+}
+
+func profileByName(name string) (fademl.Profile, error) {
+	switch name {
+	case "tiny":
+		return fademl.ProfileTiny(), nil
+	case "default":
+		return fademl.ProfileDefault(), nil
+	case "paper":
+		return fademl.ProfilePaper(), nil
+	default:
+		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
+	}
+}

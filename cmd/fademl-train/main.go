@@ -1,0 +1,54 @@
+// Command fademl-train generates the synthetic GTSRB dataset, trains the
+// profile's VGGNet, reports clean accuracy and writes the weights to the
+// cache (and optionally to an explicit path).
+//
+// Usage:
+//
+//	fademl-train [-profile tiny|default|paper] [-cache DIR] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	fademl "repro"
+)
+
+func profileByName(name string) (fademl.Profile, error) {
+	switch name {
+	case "tiny":
+		return fademl.ProfileTiny(), nil
+	case "default":
+		return fademl.ProfileDefault(), nil
+	case "paper":
+		return fademl.ProfilePaper(), nil
+	default:
+		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
+	}
+}
+
+func main() {
+	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
+	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory (empty to disable)")
+	out := flag.String("out", "", "optional explicit weights output path")
+	flag.Parse()
+
+	p, err := profileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := fademl.NewEnv(p, *cacheDir, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile %s: %d train / %d test images, clean top-1 %.2f%%, top-5 %.2f%%\n",
+		p.Name, env.TrainSet.Len(), env.TestSet.Len(), 100*env.CleanTop1, 100*env.CleanTop5)
+	if *out != "" {
+		if err := env.Net.SaveWeightsFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("weights written to %s\n", *out)
+	}
+}

@@ -1,0 +1,49 @@
+package fademl_test
+
+import (
+	"fmt"
+
+	fademl "repro"
+)
+
+// Applying the paper's LAP filter to a rendered sign.
+func ExampleNewLAP() {
+	img := fademl.CanonicalSign(14, 32) // Stop sign
+	filtered := fademl.NewLAP(32).Apply(img)
+	fmt.Println(filtered.SameShape(img))
+	// Output: true
+}
+
+// The paper's five targeted misclassification payloads.
+func ExamplePaperScenarios() {
+	for _, sc := range fademl.PaperScenarios {
+		fmt.Printf("%d: %s -> %s\n", sc.ID, fademl.ClassName(sc.Source), fademl.ClassName(sc.Target))
+	}
+	// Output:
+	// 1: Stop -> Speed limit (60km/h)
+	// 2: Speed limit (30km/h) -> Speed limit (80km/h)
+	// 3: Turn left ahead -> Turn right ahead
+	// 4: Turn right ahead -> Turn left ahead
+	// 5: No entry -> Speed limit (60km/h)
+}
+
+// Composing the pre-processing stack of the paper's Section I-C.
+func ExampleFilterChain() {
+	chain := fademl.FilterChain(
+		fademl.NewGrayscale(),
+		fademl.NewNormalize(0.5, 0.25),
+		fademl.NewLAR(3),
+	)
+	fmt.Println(chain.Name())
+	// Output: Grayscale→Normalize(0.5,0.25)→LAR(3)
+}
+
+// Building attacks from the library registry.
+func ExampleNewAttack() {
+	atk, err := fademl.NewAttack("bim")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(atk.Name())
+	// Output: BIM(0.0314,16)
+}

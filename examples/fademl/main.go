@@ -1,0 +1,75 @@
+// Fademl demonstrates the paper's Section IV methodology in detail: the
+// explicit Eq. 3 iterative optimization with the Eq. 2 cost trace, and the
+// head-to-head between a filter-blind and a filter-aware attacker across
+// every LAP/LAR configuration of the paper's sweep.
+//
+// Run with: go run ./examples/fademl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fademl "repro"
+	"repro/internal/attacks"
+	"repro/internal/filters"
+)
+
+func main() {
+	env, err := fademl.NewEnv(fademl.ProfileDefault(), "testdata/cache", os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := fademl.PaperScenarios[0]
+	clean := sc.CleanImage(env.Profile.Size)
+	cls := fademl.WrapNetwork(env.Net)
+	goal := fademl.Goal{Source: sc.Source, Target: sc.Target}
+
+	// Part 1: the Eq. 3 loop with its Eq. 2 cost trace. The cost measures
+	// how differently the unfiltered (TM-I) and filtered (TM-II/III)
+	// pipelines see the evolving adversarial example.
+	filter := filters.NewLAP(32)
+	fa := attacks.NewFAdeML(attacks.NewBIM(), filter)
+	res, trace, err := fa.GenerateWithTrace(cls, clean, goal, 16, 0.008, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEq. 2 cost trace f(cost) = Σ top-5 P_TM-I − P_TM-III per iteration:")
+	for i, v := range trace.Steps {
+		fmt.Printf("  iter %2d: %+.4f\n", i+1, v)
+	}
+	fmt.Printf("final (filtered) prediction: %s @ %.1f%% — success=%v\n",
+		fademl.ClassName(res.PredClass), 100*res.Confidence, res.Success)
+
+	// Part 2: blind vs aware across the paper's full filter sweep.
+	fmt.Println("\nblind vs FAdeML across the LAP/LAR sweep (filtered prediction):")
+	fmt.Printf("  %-9s  %-28s  %-28s\n", "filter", "filter-blind BIM", "FAdeML-BIM")
+	grid := []fademl.Filter{}
+	for _, np := range filters.PaperLAPSizes {
+		grid = append(grid, filters.NewLAP(np))
+	}
+	for _, r := range filters.PaperLARRadii {
+		grid = append(grid, filters.NewLAR(r))
+	}
+	blindRes, err := attacks.NewBIM().Generate(cls, clean, goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range grid {
+		pipe := fademl.NewPipeline(env.Net, f, nil)
+		bPred, bConf := pipe.Predict(blindRes.Adversarial, fademl.TM3)
+
+		aw := attacks.NewFAdeML(&attacks.BIM{Epsilon: 0.25, Alpha: 0.02, Steps: 60, EarlyStop: true}, f)
+		awRes, err := aw.Generate(cls, clean, goal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aPred, aConf := pipe.Predict(awRes.Adversarial, fademl.TM3)
+		fmt.Printf("  %-9s  %-28s  %-28s\n", f.Name(),
+			fmt.Sprintf("%s @ %.0f%%", fademl.ClassName(bPred), 100*bConf),
+			fmt.Sprintf("%s @ %.0f%%", fademl.ClassName(aPred), 100*aConf))
+	}
+	fmt.Println("\nexpected shape: blind column reverts to the source class under")
+	fmt.Println("strong smoothing; the FAdeML column keeps hitting the target.")
+}

@@ -1,0 +1,240 @@
+// Package fademl is the public facade of the FAdeML reproduction: a
+// from-scratch Go implementation of "FAdeML: Understanding the Impact of
+// Pre-Processing Noise Filtering on Adversarial Machine Learning"
+// (Khalid et al., DATE 2019).
+//
+// The library provides, all on the standard library alone:
+//
+//   - a float64 tensor/neural-network substrate with the paper's VGGNet
+//     topology (internal/tensor, internal/nn, internal/train);
+//   - a procedural 43-class GTSRB substitute (internal/gtsrb);
+//   - the paper's pre-processing noise filters LAP and LAR with exact
+//     adjoints for differentiation, plus Gaussian and median extensions
+//     (internal/filters);
+//   - an adversarial attack library — L-BFGS, FGSM, BIM, PGD, DeepFool,
+//     C&W, JSMA, one-pixel — and the FAdeML filter-aware wrapper
+//     (internal/attacks);
+//   - the threat-model pipeline of the paper's Fig. 2 and the Section III
+//     analysis methodology (internal/pipeline, internal/analysis);
+//   - experiment runners regenerating Figs. 5/6/7/9 (internal/experiments).
+//
+// This package re-exports the surface a downstream user needs so examples
+// and tools read naturally:
+//
+//	env, _ := fademl.NewEnv(fademl.ProfileTiny(), "", nil)
+//	p := fademl.NewPipeline(env.Net, fademl.NewLAP(32), nil)
+//	atk, _ := fademl.NewAttack("bim")
+//	out, _ := fademl.Execute(fademl.Run{Pipeline: p, Attack: atk,
+//	    FilterAware: true, TM: fademl.TM3}, img, src, dst)
+package fademl
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Core value types re-exported from the internal packages.
+type (
+	// Tensor is a dense float64 N-d array (images are CHW in [0, 1]).
+	Tensor = tensor.Tensor
+	// Network is a trained sequential classifier.
+	Network = nn.Network
+	// Filter is one pre-processing stage (Apply + VJP).
+	Filter = filters.Filter
+	// Attack generates adversarial examples.
+	Attack = attacks.Attack
+	// Goal selects the attack payload (source and target classes).
+	Goal = attacks.Goal
+	// Result is an attack outcome.
+	Result = attacks.Result
+	// Classifier is the attacker's differentiable model interface.
+	Classifier = attacks.Classifier
+	// Pipeline is the deployed inference system of the paper's Fig. 2.
+	Pipeline = pipeline.Pipeline
+	// Acquisition simulates the data-capture stage of Threat Model II.
+	Acquisition = pipeline.Acquisition
+	// ThreatModel selects where the adversary enters the pipeline.
+	ThreatModel = pipeline.ThreatModel
+	// Comparison is a Section III methodology measurement.
+	Comparison = analysis.Comparison
+	// Run couples a pipeline, an attack and a threat model for Execute.
+	Run = core.Run
+	// Outcome is Execute's result: attacker view plus deployed view.
+	Outcome = core.Outcome
+	// Scenario is one of the paper's five targeted payloads.
+	Scenario = experiments.Scenario
+	// Profile sizes an experimental run.
+	Profile = experiments.Profile
+	// Env is a generated dataset plus trained model.
+	Env = experiments.Env
+	// SweepOptions narrows the Fig. 7 / Fig. 9 grids.
+	SweepOptions = experiments.SweepOptions
+)
+
+// Threat models of the paper's Fig. 2.
+const (
+	// TM1: attacker writes directly into the post-filter input buffer.
+	TM1 = pipeline.TM1
+	// TM2: attacker perturbs the scene before data acquisition.
+	TM2 = pipeline.TM2
+	// TM3: attacker perturbs acquired data before the filter.
+	TM3 = pipeline.TM3
+)
+
+// Untargeted is the Goal.Target sentinel for untargeted evasion.
+const Untargeted = attacks.Untargeted
+
+// NumClasses is the GTSRB class count (43).
+const NumClasses = gtsrb.NumClasses
+
+// PaperScenarios are the paper's five payloads (stop→60, 30→80,
+// left→right, right→left, no-entry→60).
+var PaperScenarios = experiments.PaperScenarios
+
+// PaperAttacks are the attack names the paper evaluates (lbfgs, fgsm, bim).
+var PaperAttacks = attacks.PaperAttacks
+
+// Filters.
+
+// NewLAP builds the paper's local-average filter over the np nearest
+// neighbour pixels (np ∈ {4, 8, 16, 32, 64} in the paper's sweeps).
+func NewLAP(np int) Filter { return filters.NewLAP(np) }
+
+// NewLAR builds the paper's local-average filter over the disk of radius
+// r (r ∈ {1..5} in the paper's sweeps).
+func NewLAR(r int) Filter { return filters.NewLAR(r) }
+
+// NewGaussian builds a Gaussian blur filter (library extension).
+func NewGaussian(sigma float64) Filter { return filters.NewGaussian(sigma) }
+
+// NewMedian builds a median filter with BPDA backward pass (extension).
+func NewMedian(radius int) Filter { return filters.NewMedian(radius) }
+
+// NewBox builds a square box-average filter (extension, for footprint
+// ablations against LAR's disk).
+func NewBox(radius int) Filter { return filters.NewBox(radius) }
+
+// NewBilateral builds an edge-preserving bilateral filter (extension).
+func NewBilateral(radius int, sigmaSpace, sigmaColor float64) Filter {
+	return filters.NewBilateral(radius, sigmaSpace, sigmaColor)
+}
+
+// NewGrayscale builds the gray-scaling pre-processing stage the paper's
+// Section I-C lists (luminance replicated over three channels).
+func NewGrayscale() Filter { return filters.Grayscale{} }
+
+// NewNormalize builds the per-image standardization stage.
+func NewNormalize(mean, std float64) Filter { return filters.NewNormalize(mean, std) }
+
+// NewHistEq builds the histogram-equalization stage (BPDA backward pass).
+func NewHistEq(bins int) Filter { return filters.NewHistEq(bins) }
+
+// FilterChain composes filters left to right.
+func FilterChain(fs ...Filter) Filter { return filters.Chain(fs) }
+
+// Attacks.
+
+// NewAttack builds a default-configured attack from the library by name:
+// lbfgs, fgsm, bim, pgd, cw, deepfool, jsma, onepixel.
+func NewAttack(name string) (Attack, error) { return attacks.New(name) }
+
+// NewFGSM builds a fast-gradient-sign attack with an explicit L∞ budget.
+func NewFGSM(epsilon float64) Attack { return &attacks.FGSM{Epsilon: epsilon} }
+
+// NewBIM builds a basic-iterative-method attack with an explicit budget:
+// total L∞ epsilon, per-step alpha and iteration count.
+func NewBIM(epsilon, alpha float64, steps int) Attack {
+	return &attacks.BIM{Epsilon: epsilon, Alpha: alpha, Steps: steps, EarlyStop: true}
+}
+
+// NewLBFGSAttack builds the box-constrained L-BFGS attack with an explicit
+// iteration budget per penalty value.
+func NewLBFGSAttack(maxIter int) Attack {
+	return &attacks.LBFGS{InitialC: 10, CSteps: 6, MaxIter: maxIter}
+}
+
+// NewCW builds the Carlini & Wagner L2 attack with confidence margin kappa.
+func NewCW(kappa float64) Attack {
+	return &attacks.CW{Kappa: kappa, Steps: 150, LR: 0.05, InitialC: 5, BinarySearch: 3}
+}
+
+// AttackNames lists the registered attack names.
+func AttackNames() []string { return attacks.Names() }
+
+// NewFAdeML wraps a base attack so its optimization models the given
+// pre-processing filter — the paper's core contribution.
+func NewFAdeML(base Attack, filter Filter) Attack { return attacks.NewFAdeML(base, filter) }
+
+// WrapNetwork adapts a trained network to the attacker-facing Classifier.
+func WrapNetwork(net *Network) Classifier { return attacks.NetClassifier{Net: net} }
+
+// Pipeline construction and execution.
+
+// NewPipeline builds a deployed inference pipeline; filter may be nil
+// (no pre-processing) and acq may be nil (no capture modeling).
+func NewPipeline(net *Network, filter Filter, acq *Acquisition) *Pipeline {
+	return pipeline.New(net, filter, acq)
+}
+
+// NewAcquisition models the capture stage (gain, sensor noise, 8-bit
+// quantization) for Threat Model II.
+func NewAcquisition(gain, noiseStd float64, quantize bool, seed uint64) *Acquisition {
+	return pipeline.NewAcquisition(gain, noiseStd, quantize, seed)
+}
+
+// Execute crafts an adversarial example for the scenario source→target and
+// measures it against the deployed pipeline under the run's threat model.
+func Execute(run Run, clean *Tensor, source, target int) (*Outcome, error) {
+	return core.Execute(run, clean, source, target)
+}
+
+// Dataset and environment helpers.
+
+// CanonicalSign renders the canonical (unjittered) image of a GTSRB class.
+func CanonicalSign(class, size int) *Tensor { return gtsrb.Canonical(class, size) }
+
+// ClassName returns the GTSRB class name for an id.
+func ClassName(id int) string { return gtsrb.ClassName(id) }
+
+// Profiles for NewEnv.
+func ProfileTiny() Profile    { return experiments.ProfileTiny() }
+func ProfileDefault() Profile { return experiments.ProfileDefault() }
+func ProfilePaper() Profile   { return experiments.ProfilePaper() }
+
+// NewEnv generates the synthetic GTSRB splits and loads or trains the
+// profile's VGGNet (cacheDir may be empty to disable the weight cache;
+// log may be nil or e.g. os.Stdout).
+func NewEnv(p Profile, cacheDir string, log io.Writer) (*Env, error) {
+	return experiments.NewEnv(p, cacheDir, log)
+}
+
+// Figure runners (see EXPERIMENTS.md for the paper mapping).
+
+// RunFig5 regenerates Fig. 5 (attacks under Threat Model I).
+func RunFig5(env *Env, attackNames []string) (*experiments.Fig5Result, error) {
+	return experiments.RunFig5(env, attackNames)
+}
+
+// RunFig6 regenerates Fig. 6 (top-5 accuracy under attack, no filter).
+func RunFig6(env *Env, attackNames []string) (*experiments.Fig6Result, error) {
+	return experiments.RunFig6(env, attackNames)
+}
+
+// RunFig7 regenerates Fig. 7 (filter-blind attacks neutralized by LAP/LAR).
+func RunFig7(env *Env, opt SweepOptions) (*experiments.Fig7Result, error) {
+	return experiments.RunFig7(env, opt)
+}
+
+// RunFig9 regenerates Fig. 9 (FAdeML attacks surviving LAP/LAR).
+func RunFig9(env *Env, opt SweepOptions) (*experiments.Fig7Result, error) {
+	return experiments.RunFig9(env, opt)
+}

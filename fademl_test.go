@@ -1,0 +1,93 @@
+package fademl
+
+// Facade-level tests: the public API surface the examples and tools use.
+// Heavy end-to-end paths are covered by the internal packages and the
+// figure benchmarks; these tests pin the re-exported surface itself.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeFilters(t *testing.T) {
+	img := CanonicalSign(14, 32) // Stop
+	for _, f := range []Filter{NewLAP(8), NewLAR(2), NewGaussian(1), NewMedian(1)} {
+		out := f.Apply(img)
+		if !out.SameShape(img) {
+			t.Errorf("%s changed shape", f.Name())
+		}
+		if out.Min() < 0 || out.Max() > 1 {
+			t.Errorf("%s escaped [0,1]", f.Name())
+		}
+	}
+	chain := FilterChain(NewLAP(4), NewLAR(1))
+	if !strings.Contains(chain.Name(), "LAP(4)") || !strings.Contains(chain.Name(), "LAR(1)") {
+		t.Errorf("chain name = %q", chain.Name())
+	}
+}
+
+func TestFacadeAttackRegistry(t *testing.T) {
+	names := AttackNames()
+	if len(names) < 8 {
+		t.Fatalf("attack library too small: %v", names)
+	}
+	for _, name := range PaperAttacks {
+		if _, err := NewAttack(name); err != nil {
+			t.Errorf("paper attack %q: %v", name, err)
+		}
+	}
+	if _, err := NewAttack("definitely-not-an-attack"); err == nil {
+		t.Error("unknown attack accepted")
+	}
+}
+
+func TestFacadeAttackConstructors(t *testing.T) {
+	for _, a := range []Attack{NewFGSM(0.05), NewBIM(0.1, 0.01, 10), NewLBFGSAttack(20), NewCW(0)} {
+		if a.Name() == "" {
+			t.Error("constructor produced nameless attack")
+		}
+	}
+}
+
+func TestFacadeScenarios(t *testing.T) {
+	if len(PaperScenarios) != 5 {
+		t.Fatalf("scenario count = %d", len(PaperScenarios))
+	}
+	sc := PaperScenarios[0]
+	if ClassName(sc.Source) != "Stop" {
+		t.Errorf("scenario 1 source = %q", ClassName(sc.Source))
+	}
+	img := sc.CleanImage(32)
+	if img.Dim(0) != 3 || img.Dim(1) != 32 {
+		t.Errorf("clean image shape = %v", img.Shape())
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if NumClasses != 43 {
+		t.Errorf("NumClasses = %d", NumClasses)
+	}
+	if TM1.String() != "TM-I" || TM2.String() != "TM-II" || TM3.String() != "TM-III" {
+		t.Error("threat model labels wrong through facade")
+	}
+	if Untargeted != -1 {
+		t.Errorf("Untargeted = %d", Untargeted)
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	for _, p := range []Profile{ProfileTiny(), ProfileDefault(), ProfilePaper()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestFacadeAcquisition(t *testing.T) {
+	acq := NewAcquisition(1, 0, true, 1)
+	img := CanonicalSign(14, 32)
+	out := acq.Apply(img)
+	if !out.SameShape(img) {
+		t.Error("acquisition changed shape")
+	}
+}

@@ -1,0 +1,129 @@
+// Package analysis implements the paper's Section III analysis
+// methodology: top-k prediction extraction, the Eq. 2 cost function
+// comparing classification probabilities across threat models, and
+// accuracy evaluation of a full inference pipeline under attack.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/mathx"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// ClassProb pairs a class id with its predicted probability.
+type ClassProb struct {
+	Class int
+	Prob  float64
+}
+
+// TopK returns the k highest-probability classes in descending order.
+func TopK(probs []float64, k int) []ClassProb {
+	idx := mathx.TopKIndices(probs, k)
+	out := make([]ClassProb, len(idx))
+	for i, c := range idx {
+		out[i] = ClassProb{Class: c, Prob: probs[c]}
+	}
+	return out
+}
+
+// Eq2Cost is the paper's Eq. 2: the summed top-k probability mass under
+// Threat Model I minus that under Threat Model II/III. It delegates to the
+// attacks package's canonical implementation (which the FAdeML trace also
+// uses).
+func Eq2Cost(probsI, probsII []float64, k int) float64 {
+	return attacks.Eq2Cost(probsI, probsII, k)
+}
+
+// Comparison is the outcome of running one adversarial example through
+// the pipeline under TM I and one of TM II/III — step 4 of the paper's
+// Fig. 3 methodology.
+type Comparison struct {
+	// AttackName and FilterName identify the configuration.
+	AttackName, FilterName string
+	// Source and Target are the scenario classes.
+	Source, Target int
+	// CleanPred/CleanConf describe the clean image through the deployed
+	// (filtered) pipeline.
+	CleanPred int
+	CleanConf float64
+	// TM1Pred/TM1Conf describe the adversarial image under TM I.
+	TM1Pred int
+	TM1Conf float64
+	// TMXPred/TMXConf describe the adversarial image under TM II or III.
+	TMX     pipeline.ThreatModel
+	TMXPred int
+	TMXConf float64
+	// Cost is Eq. 2 between the TM I and TM II/III probability vectors.
+	Cost float64
+	// Neutralized reports whether filtering reverted the prediction to
+	// the source class while TM I had achieved the target.
+	Neutralized bool
+	// SurvivedFilter reports whether the targeted misclassification held
+	// under TM II/III.
+	SurvivedFilter bool
+}
+
+// Compare runs the Fig. 3 methodology for one adversarial example: clean
+// baseline, TM I inference, TM II/III inference, Eq. 2 cost.
+func Compare(p *pipeline.Pipeline, clean, adv *tensor.Tensor, source, target int, tmx pipeline.ThreatModel, attackName string) Comparison {
+	if tmx != pipeline.TM2 && tmx != pipeline.TM3 {
+		panic(fmt.Sprintf("analysis: Compare wants TM2 or TM3, got %v", tmx))
+	}
+	cleanProbs := p.CleanProbs(clean)
+	probsI := p.Probs(adv, pipeline.TM1)
+	probsX := p.Probs(adv, tmx)
+
+	cleanPred := mathx.ArgMax(cleanProbs)
+	tm1Pred := mathx.ArgMax(probsI)
+	tmxPred := mathx.ArgMax(probsX)
+
+	return Comparison{
+		AttackName:     attackName,
+		FilterName:     p.Filter.Name(),
+		Source:         source,
+		Target:         target,
+		CleanPred:      cleanPred,
+		CleanConf:      cleanProbs[cleanPred],
+		TM1Pred:        tm1Pred,
+		TM1Conf:        probsI[tm1Pred],
+		TMX:            tmx,
+		TMXPred:        tmxPred,
+		TMXConf:        probsX[tmxPred],
+		Cost:           Eq2Cost(probsI, probsX, 5),
+		Neutralized:    tm1Pred == target && tmxPred == source,
+		SurvivedFilter: tmxPred == target,
+	}
+}
+
+// String renders the comparison as a single report line.
+func (c Comparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s | %s | %d→%d | clean %d@%.2f | TM-I %d@%.2f | %v %d@%.2f | cost %+.3f",
+		c.AttackName, c.FilterName, c.Source, c.Target,
+		c.CleanPred, c.CleanConf, c.TM1Pred, c.TM1Conf, c.TMX, c.TMXPred, c.TMXConf, c.Cost)
+	switch {
+	case c.SurvivedFilter:
+		sb.WriteString(" | SURVIVED")
+	case c.Neutralized:
+		sb.WriteString(" | NEUTRALIZED")
+	}
+	return sb.String()
+}
+
+// PipelineAccuracy evaluates top-1/top-5 accuracy of the pipeline over a
+// dataset with every sample passing the given threat-model path;
+// perturb may be nil (clean evaluation) or return the attacked version of
+// sample i.
+func PipelineAccuracy(p *pipeline.Pipeline, ds train.Dataset, tm pipeline.ThreatModel, perturb func(img *tensor.Tensor, i int) *tensor.Tensor) train.Metrics {
+	return train.Evaluate(p.Net, ds, func(img *tensor.Tensor, i int) *tensor.Tensor {
+		if perturb != nil {
+			img = perturb(img, i)
+		}
+		return p.Deliver(img, tm)
+	})
+}

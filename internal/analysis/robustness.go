@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/tensor"
+)
+
+// RobustnessPoint is one sample of an attack-strength sweep.
+type RobustnessPoint struct {
+	// Epsilon is the L∞ budget of this point.
+	Epsilon float64
+	// SuccessRate is the fraction of evaluated images whose goal the
+	// attack achieved at this budget.
+	SuccessRate float64
+	// MeanConfidence is the average prediction confidence on the
+	// adversarial images.
+	MeanConfidence float64
+}
+
+// RobustnessCurve sweeps an epsilon-parameterized attack family over a set
+// of (image, goal) pairs and records the success rate per budget — the
+// standard robustness-evaluation curve, usable against a bare classifier
+// or a FilteredClassifier (giving filtered-pipeline robustness).
+//
+// mkAttack builds the attack for a given epsilon (e.g. a BIM with
+// proportional step size).
+func RobustnessCurve(c attacks.Classifier, imgs []*tensor.Tensor, goals []attacks.Goal,
+	epsilons []float64, mkAttack func(eps float64) attacks.Attack) ([]RobustnessPoint, error) {
+	if len(imgs) == 0 || len(imgs) != len(goals) {
+		return nil, fmt.Errorf("analysis: robustness needs matching images and goals (%d vs %d)",
+			len(imgs), len(goals))
+	}
+	if len(epsilons) == 0 || mkAttack == nil {
+		return nil, fmt.Errorf("analysis: robustness needs epsilons and an attack factory")
+	}
+	var out []RobustnessPoint
+	for _, eps := range epsilons {
+		atk := mkAttack(eps)
+		successes := 0
+		confSum := 0.0
+		for i, img := range imgs {
+			res, err := atk.Generate(c, img, goals[i])
+			if err != nil {
+				return nil, fmt.Errorf("analysis: robustness at eps=%v image %d: %w", eps, i, err)
+			}
+			if res.Success {
+				successes++
+			}
+			confSum += res.Confidence
+		}
+		out = append(out, RobustnessPoint{
+			Epsilon:        eps,
+			SuccessRate:    float64(successes) / float64(len(imgs)),
+			MeanConfidence: confSum / float64(len(imgs)),
+		})
+	}
+	return out, nil
+}

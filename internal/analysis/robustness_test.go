@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/tensor"
+)
+
+func TestRobustnessCurveMonotone(t *testing.T) {
+	net := fixtureNet(t)
+	c := attacks.NetClassifier{Net: net}
+	imgs := []*tensor.Tensor{
+		gtsrb.Canonical(gtsrb.ClassStop, 16),
+		gtsrb.Canonical(gtsrb.ClassSpeed60, 16),
+	}
+	goals := []attacks.Goal{
+		{Source: 0, Target: attacks.Untargeted},
+		{Source: 1, Target: attacks.Untargeted},
+	}
+	eps := []float64{0.01, 0.05, 0.15}
+	points, err := RobustnessCurve(c, imgs, goals, eps, func(e float64) attacks.Attack {
+		return &attacks.BIM{Epsilon: e, Alpha: e / 8, Steps: 20, EarlyStop: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Success rate cannot decrease with budget for a monotone attack family
+	// (allowing equal values).
+	for i := 1; i < len(points); i++ {
+		if points[i].SuccessRate < points[i-1].SuccessRate-1e-9 {
+			t.Fatalf("success not monotone: %+v", points)
+		}
+	}
+	// The largest budget should break both of these 2-class inputs.
+	if points[2].SuccessRate < 1 {
+		t.Fatalf("eps=0.15 success = %v, want 1", points[2].SuccessRate)
+	}
+}
+
+func TestRobustnessCurveThroughFilter(t *testing.T) {
+	net := fixtureNet(t)
+	bare := attacks.NetClassifier{Net: net}
+	filtered := attacks.FilteredClassifier{Inner: bare, Pre: filters.NewLAP(8)}
+	imgs := []*tensor.Tensor{gtsrb.Canonical(gtsrb.ClassStop, 16)}
+	goals := []attacks.Goal{{Source: 0, Target: attacks.Untargeted}}
+	eps := []float64{0.05}
+	mk := func(e float64) attacks.Attack {
+		return &attacks.BIM{Epsilon: e, Alpha: e / 8, Steps: 20, EarlyStop: true}
+	}
+	pBare, err := RobustnessCurve(bare, imgs, goals, eps, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFilt, err := RobustnessCurve(filtered, imgs, goals, eps, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacking through the filter is never *easier* at equal budget.
+	if pFilt[0].SuccessRate > pBare[0].SuccessRate {
+		t.Fatalf("filtered attack easier than bare: %v > %v",
+			pFilt[0].SuccessRate, pBare[0].SuccessRate)
+	}
+}
+
+func TestRobustnessCurveValidation(t *testing.T) {
+	net := fixtureNet(t)
+	c := attacks.NetClassifier{Net: net}
+	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	mk := func(e float64) attacks.Attack { return &attacks.FGSM{Epsilon: e} }
+	if _, err := RobustnessCurve(c, nil, nil, []float64{0.1}, mk); err == nil {
+		t.Error("empty image set accepted")
+	}
+	if _, err := RobustnessCurve(c, []*tensor.Tensor{img}, nil, []float64{0.1}, mk); err == nil {
+		t.Error("mismatched goals accepted")
+	}
+	if _, err := RobustnessCurve(c, []*tensor.Tensor{img},
+		[]attacks.Goal{{Source: 0, Target: attacks.Untargeted}}, nil, mk); err == nil {
+		t.Error("empty epsilon list accepted")
+	}
+}

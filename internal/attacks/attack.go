@@ -1,0 +1,99 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Goal describes what an attack should achieve.
+type Goal struct {
+	// Source is the image's true class (required by untargeted attacks and
+	// used for success bookkeeping).
+	Source int
+	// Target is the class to force; Untargeted (-1) requests any
+	// misclassification away from Source.
+	Target int
+}
+
+// Untargeted is the Goal.Target sentinel for untargeted evasion.
+const Untargeted = -1
+
+// IsTargeted reports whether the goal names a specific target class.
+func (g Goal) IsTargeted() bool { return g.Target != Untargeted }
+
+// Validate checks the goal against a classifier's class count.
+func (g Goal) Validate(c Classifier) error {
+	n := c.NumClasses()
+	if g.Source < 0 || g.Source >= n {
+		return fmt.Errorf("attacks: goal source class %d outside [0,%d)", g.Source, n)
+	}
+	if g.Target != Untargeted && (g.Target < 0 || g.Target >= n) {
+		return fmt.Errorf("attacks: goal target class %d outside [0,%d)", g.Target, n)
+	}
+	if g.Target == g.Source {
+		return fmt.Errorf("attacks: goal target equals source class %d", g.Source)
+	}
+	return nil
+}
+
+// achieved reports whether predicting pred satisfies the goal.
+func (g Goal) achieved(pred int) bool {
+	if g.IsTargeted() {
+		return pred == g.Target
+	}
+	return pred != g.Source
+}
+
+// Result is the outcome of one attack run.
+type Result struct {
+	// Adversarial is the crafted image (clamped to [0, 1]).
+	Adversarial *tensor.Tensor
+	// Noise is Adversarial − original.
+	Noise *tensor.Tensor
+	// Success reports whether the goal was met under the attacker's model.
+	Success bool
+	// PredClass and Confidence describe the attacker-model prediction on
+	// Adversarial.
+	PredClass  int
+	Confidence float64
+	// Iterations counts optimizer iterations; Queries counts forward or
+	// gradient evaluations of the classifier.
+	Iterations int
+	Queries    int
+}
+
+// finishResult fills the prediction bookkeeping common to all attacks.
+func finishResult(c Classifier, original, adv *tensor.Tensor, goal Goal, iters, queries int) *Result {
+	pred, conf := Predict(c, adv)
+	return &Result{
+		Adversarial: adv,
+		Noise:       tensor.Sub(adv, original),
+		Success:     goal.achieved(pred),
+		PredClass:   pred,
+		Confidence:  conf,
+		Iterations:  iters,
+		Queries:     queries + 1,
+	}
+}
+
+// Attack generates adversarial examples against a classifier.
+type Attack interface {
+	// Name identifies the attack, e.g. "FGSM(0.03)".
+	Name() string
+	// Generate crafts an adversarial example from the clean image x
+	// pursuing goal. The input is never modified.
+	Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error)
+}
+
+// clampUnit clips img into the valid pixel range in place.
+func clampUnit(img *tensor.Tensor) { img.Clamp01() }
+
+// clampBall projects adv into the L∞ ball of radius eps around x, in place.
+func clampBall(adv, x *tensor.Tensor, eps float64) {
+	ad, xd := adv.Data(), x.Data()
+	for i := range ad {
+		ad[i] = mathx.Clamp(ad[i], xd[i]-eps, xd[i]+eps)
+	}
+}

@@ -1,0 +1,110 @@
+// Package attacks implements the paper's adversarial attack library —
+// L-BFGS, FGSM and BIM (the three attacks the paper evaluates) plus PGD,
+// DeepFool, C&W, JSMA and a one-pixel attack as library extensions — and
+// the FAdeML filter-aware attack wrapper, the paper's core contribution.
+//
+// Attacks operate against the Classifier interface: the attacker's
+// differentiable view of the victim. Wrapping a bare network gives the
+// classical (filter-blind) attacker; wrapping it in a FilteredClassifier
+// folds the deployment pipeline's pre-processing filters into the model
+// the attacker differentiates through, which is exactly the FAdeML idea.
+package attacks
+
+import (
+	"math"
+
+	"repro/internal/filters"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Classifier is the attacker's differentiable model of the victim system.
+type Classifier interface {
+	// NumClasses returns the classifier's output width.
+	NumClasses() int
+	// Logits returns raw class scores for a CHW image.
+	Logits(x *tensor.Tensor) []float64
+	// GradFromLogits runs a forward pass, calls dfn on the resulting
+	// logits to obtain dLoss/dLogits, and returns the logits together with
+	// dLoss/dInput.
+	GradFromLogits(x *tensor.Tensor, dfn func(logits []float64) []float64) ([]float64, *tensor.Tensor)
+}
+
+// NetClassifier adapts an nn.Network to the Classifier interface.
+type NetClassifier struct {
+	Net *nn.Network
+}
+
+// NumClasses implements Classifier.
+func (n NetClassifier) NumClasses() int { return n.Net.OutputClasses() }
+
+// Logits implements Classifier.
+func (n NetClassifier) Logits(x *tensor.Tensor) []float64 { return n.Net.Logits(x) }
+
+// GradFromLogits implements Classifier.
+func (n NetClassifier) GradFromLogits(x *tensor.Tensor, dfn func([]float64) []float64) ([]float64, *tensor.Tensor) {
+	return n.Net.LogitsAndInputGradFrom(x, dfn)
+}
+
+// FilteredClassifier prepends a pre-processing stage to another classifier
+// and differentiates through it via the stage's VJP. This is the FAdeML
+// mechanism: an attacker that models the deployed noise filter simply
+// attacks the FilteredClassifier instead of the bare network.
+type FilteredClassifier struct {
+	// Inner is the downstream model (usually a NetClassifier).
+	Inner Classifier
+	// Pre is the modeled pre-processing (a single filter or a Chain, which
+	// may include the acquisition stage under Threat Model II).
+	Pre filters.Filter
+}
+
+// NumClasses implements Classifier.
+func (f FilteredClassifier) NumClasses() int { return f.Inner.NumClasses() }
+
+// Logits implements Classifier.
+func (f FilteredClassifier) Logits(x *tensor.Tensor) []float64 {
+	return f.Inner.Logits(f.Pre.Apply(x))
+}
+
+// GradFromLogits implements Classifier.
+func (f FilteredClassifier) GradFromLogits(x *tensor.Tensor, dfn func([]float64) []float64) ([]float64, *tensor.Tensor) {
+	y := f.Pre.Apply(x)
+	logits, gy := f.Inner.GradFromLogits(y, dfn)
+	return logits, f.Pre.VJP(x, gy)
+}
+
+// Probs returns softmax probabilities of c at x.
+func Probs(c Classifier, x *tensor.Tensor) []float64 {
+	return nn.Softmax(c.Logits(x))
+}
+
+// Predict returns the argmax class of c at x and its probability.
+func Predict(c Classifier, x *tensor.Tensor) (int, float64) {
+	p := Probs(c, x)
+	best := mathx.ArgMax(p)
+	return best, p[best]
+}
+
+// CELossGrad computes the cross-entropy loss of c at x against class, and
+// its gradient with respect to x. Minimizing it drives the prediction
+// *toward* class (targeted direction); ascending it drives the prediction
+// away (untargeted direction).
+func CELossGrad(c Classifier, x *tensor.Tensor, class int) (float64, *tensor.Tensor) {
+	var loss float64
+	_, grad := c.GradFromLogits(x, func(logits []float64) []float64 {
+		logp := nn.LogSoftmax(logits)
+		loss = -logp[class]
+		d := make([]float64, len(logits))
+		for i := range d {
+			p := math.Exp(logp[i])
+			if i == class {
+				d[i] = p - 1
+			} else {
+				d[i] = p
+			}
+		}
+		return d
+	})
+	return loss, grad
+}

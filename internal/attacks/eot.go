@@ -1,0 +1,75 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// EOT (expectation over transformation, Athalye et al., ICML 2018) makes a
+// gradient attack robust to a *stochastic* pipeline stage by averaging
+// gradients over several draws of the stage. In this repository the
+// stochastic stage is the Threat-Model-II acquisition (sensor noise): a
+// FAdeML attacker that models acquisition with one fixed noise draw
+// overfits to that draw; EOT averages across draws instead.
+//
+// EOT wraps a Classifier, not an Attack: any gradient attack pointed at
+// the EOT classifier becomes transformation-robust.
+type EOT struct {
+	// Model builds the k-th stochastic view of the pipeline (e.g. a
+	// FilteredClassifier over an acquisition stage seeded with k).
+	Model func(draw int) Classifier
+	// Draws is the number of transformation samples averaged per call.
+	Draws int
+}
+
+// NewEOT constructs an EOT-composed classifier view.
+func NewEOT(model func(draw int) Classifier, draws int) *EOT {
+	if model == nil || draws <= 0 {
+		panic(fmt.Sprintf("attacks: EOT needs a model factory and positive draws (got %d)", draws))
+	}
+	return &EOT{Model: model, Draws: draws}
+}
+
+// NumClasses implements Classifier.
+func (e *EOT) NumClasses() int { return e.Model(0).NumClasses() }
+
+// Logits implements Classifier: the mean logits over the draws.
+func (e *EOT) Logits(x *tensor.Tensor) []float64 {
+	var acc []float64
+	for k := 0; k < e.Draws; k++ {
+		logits := e.Model(k).Logits(x)
+		if acc == nil {
+			acc = make([]float64, len(logits))
+		}
+		for i, v := range logits {
+			acc[i] += v
+		}
+	}
+	inv := 1 / float64(e.Draws)
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}
+
+// GradFromLogits implements Classifier: dfn is evaluated on the mean
+// logits, and the resulting dLoss/dLogits is backpropagated through every
+// draw, averaging the input gradients.
+func (e *EOT) GradFromLogits(x *tensor.Tensor, dfn func([]float64) []float64) ([]float64, *tensor.Tensor) {
+	mean := e.Logits(x)
+	dl := dfn(mean)
+	var gradAcc *tensor.Tensor
+	for k := 0; k < e.Draws; k++ {
+		_, g := e.Model(k).GradFromLogits(x, func([]float64) []float64 {
+			return dl
+		})
+		if gradAcc == nil {
+			gradAcc = g.Clone()
+		} else {
+			gradAcc.AddInPlace(g)
+		}
+	}
+	gradAcc.ScaleInPlace(1 / float64(e.Draws))
+	return mean, gradAcc
+}

@@ -1,0 +1,45 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// FGSM is Goodfellow et al.'s fast gradient sign method: one step of size
+// Epsilon along the sign of the input gradient (descending the target
+// loss for targeted goals, ascending the source loss for untargeted ones).
+type FGSM struct {
+	// Epsilon is the L∞ step size in pixel units ([0, 1] scale).
+	Epsilon float64
+}
+
+// NewFGSM constructs the attack with the repository's default budget
+// (8/255, imperceptible on the synthetic signs).
+func NewFGSM() *FGSM { return &FGSM{Epsilon: 8.0 / 255} }
+
+// Name implements Attack.
+func (f *FGSM) Name() string { return fmt.Sprintf("FGSM(%.3g)", f.Epsilon) }
+
+// Generate implements Attack.
+func (f *FGSM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+	if err := goal.Validate(c); err != nil {
+		return nil, err
+	}
+	if f.Epsilon <= 0 {
+		return nil, fmt.Errorf("attacks: FGSM epsilon %v must be positive", f.Epsilon)
+	}
+	var grad *tensor.Tensor
+	var step float64
+	if goal.IsTargeted() {
+		_, grad = CELossGrad(c, x, goal.Target)
+		step = -f.Epsilon // descend toward the target class
+	} else {
+		_, grad = CELossGrad(c, x, goal.Source)
+		step = +f.Epsilon // ascend away from the source class
+	}
+	adv := x.Clone()
+	adv.AddScaled(step, tensor.SignOf(grad))
+	clampUnit(adv)
+	return finishResult(c, x, adv, goal, 1, 1), nil
+}

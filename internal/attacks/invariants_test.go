@@ -1,0 +1,106 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/gtsrb"
+	"repro/internal/tensor"
+)
+
+// TestAttackInvariants runs every library attack against the shared
+// fixture and checks the contracts every Generate implementation must
+// uphold: the input is never mutated, the adversarial image stays in
+// [0, 1], Noise equals Adversarial − original, bookkeeping fields are
+// coherent, and all values are finite.
+func TestAttackInvariants(t *testing.T) {
+	c := testClassifier(t)
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	label := fixtureLabel[gtsrb.ClassStop]
+
+	goals := map[string]Goal{
+		"lbfgs":    {Source: label, Target: 1},
+		"fgsm":     {Source: label, Target: 1},
+		"bim":      {Source: label, Target: 1},
+		"mim":      {Source: label, Target: 1},
+		"pgd":      {Source: label, Target: 1},
+		"cw":       {Source: label, Target: 1},
+		"jsma":     {Source: label, Target: 1},
+		"deepfool": {Source: label, Target: Untargeted},
+		"onepixel": {Source: label, Target: Untargeted},
+		"spsa":     {Source: label, Target: Untargeted},
+	}
+	for _, name := range Names() {
+		goal, ok := goals[name]
+		if !ok {
+			t.Fatalf("no goal defined for library attack %q — extend this test", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			atk, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := clean.Clone()
+			res, err := atk.Generate(c, clean, goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tensor.EqualWithin(clean, before, 0) {
+				t.Error("input mutated")
+			}
+			if res.Adversarial.Min() < 0 || res.Adversarial.Max() > 1 {
+				t.Errorf("adversarial image outside [0,1]: [%v, %v]",
+					res.Adversarial.Min(), res.Adversarial.Max())
+			}
+			if !res.Adversarial.AllFinite() || !res.Noise.AllFinite() {
+				t.Error("non-finite values in result")
+			}
+			reconstructed := tensor.Add(clean, res.Noise)
+			if !tensor.EqualWithin(reconstructed, res.Adversarial, 1e-9) {
+				t.Error("Noise != Adversarial - original")
+			}
+			if res.PredClass < 0 || res.PredClass >= c.NumClasses() {
+				t.Errorf("PredClass %d out of range", res.PredClass)
+			}
+			if res.Confidence < 0 || res.Confidence > 1 {
+				t.Errorf("Confidence %v out of range", res.Confidence)
+			}
+			if res.Queries <= 0 {
+				t.Errorf("Queries = %d, expected positive", res.Queries)
+			}
+			if res.Success != goal.achieved(res.PredClass) {
+				t.Errorf("Success=%v inconsistent with PredClass=%d for %+v",
+					res.Success, res.PredClass, goal)
+			}
+		})
+	}
+}
+
+// TestAttacksDeterministic verifies that every attack with a fixed seed
+// (or no randomness) produces identical output across runs.
+func TestAttacksDeterministic(t *testing.T) {
+	c := testClassifier(t)
+	clean := gtsrb.Canonical(gtsrb.ClassSpeed60, 16)
+	label := fixtureLabel[gtsrb.ClassSpeed60]
+	for _, name := range []string{"fgsm", "bim", "mim", "pgd", "lbfgs", "onepixel"} {
+		goal := Goal{Source: label, Target: 0}
+		if name == "onepixel" {
+			goal = Goal{Source: label, Target: Untargeted}
+		}
+		a1, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _ := New(name)
+		r1, err := a1.Generate(c, clean, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := a2.Generate(c, clean, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.EqualWithin(r1.Adversarial, r2.Adversarial, 0) {
+			t.Errorf("%s not deterministic", name)
+		}
+	}
+}

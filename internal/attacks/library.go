@@ -1,0 +1,49 @@
+package attacks
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The attack library of the paper's Fig. 3/8: a registry mapping attack
+// names to default-configured constructors, so tools and experiments can
+// select attacks by name.
+
+// Constructor builds a fresh attack instance with default parameters.
+type Constructor func() Attack
+
+var library = map[string]Constructor{
+	"lbfgs":    func() Attack { return NewLBFGS() },
+	"fgsm":     func() Attack { return NewFGSM() },
+	"bim":      func() Attack { return NewBIM() },
+	"mim":      func() Attack { return NewMIM() },
+	"pgd":      func() Attack { return NewPGD() },
+	"cw":       func() Attack { return NewCW() },
+	"deepfool": func() Attack { return NewDeepFool() },
+	"jsma":     func() Attack { return NewJSMA() },
+	"onepixel": func() Attack { return NewOnePixel() },
+	"spsa":     func() Attack { return NewSPSA() },
+}
+
+// PaperAttacks lists the three attacks the paper evaluates, in the order
+// its figures present them.
+var PaperAttacks = []string{"lbfgs", "fgsm", "bim"}
+
+// New builds a default-configured attack by library name.
+func New(name string) (Attack, error) {
+	ctor, ok := library[name]
+	if !ok {
+		return nil, fmt.Errorf("attacks: unknown attack %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names returns the registered attack names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(library))
+	for name := range library {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

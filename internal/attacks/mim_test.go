@@ -1,0 +1,121 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/gtsrb"
+	"repro/internal/tensor"
+)
+
+func TestMIMTargeted(t *testing.T) {
+	c := testClassifier(t)
+	img, label := canonical(t, gtsrb.ClassStop)
+	requireCorrect(t, c, img, label)
+	atk := &MIM{Epsilon: 0.10, Alpha: 0.01, Steps: 40, Decay: 1.0, EarlyStop: true}
+	res, err := atk.Generate(c, img, Goal{Source: label, Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("MIM targeted attack failed: class %d at %.2f", res.PredClass, res.Confidence)
+	}
+	if res.Noise.LInfNorm() > 0.10+1e-9 {
+		t.Fatalf("MIM noise %v exceeds budget", res.Noise.LInfNorm())
+	}
+}
+
+func TestMIMUntargeted(t *testing.T) {
+	c := testClassifier(t)
+	img, label := canonical(t, gtsrb.ClassTurnRight)
+	res, err := (&MIM{Epsilon: 0.08, Alpha: 0.008, Steps: 30, Decay: 1.0, EarlyStop: true}).
+		Generate(c, img, Goal{Source: label, Target: Untargeted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("MIM untargeted failed: still class %d", res.PredClass)
+	}
+}
+
+func TestMIMValidation(t *testing.T) {
+	c := testClassifier(t)
+	img, label := canonical(t, gtsrb.ClassStop)
+	goal := Goal{Source: label, Target: 1}
+	for name, atk := range map[string]*MIM{
+		"zero eps":    {Epsilon: 0, Alpha: 0.01, Steps: 5, Decay: 1},
+		"zero alpha":  {Epsilon: 0.1, Alpha: 0, Steps: 5, Decay: 1},
+		"zero steps":  {Epsilon: 0.1, Alpha: 0.01, Steps: 0, Decay: 1},
+		"negative mu": {Epsilon: 0.1, Alpha: 0.01, Steps: 5, Decay: -1},
+	} {
+		if _, err := atk.Generate(c, img, goal); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMIMInLibrary(t *testing.T) {
+	atk, err := New("mim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.Name() == "" {
+		t.Fatal("library MIM nameless")
+	}
+}
+
+func TestUniversalTargetedPerturbation(t *testing.T) {
+	c := testClassifier(t)
+	// Crafting set: canonical images of three non-target classes.
+	imgs := []*tensor.Tensor{
+		gtsrb.Canonical(gtsrb.ClassStop, 16),
+		gtsrb.Canonical(gtsrb.ClassTurnLeft, 16),
+		gtsrb.Canonical(gtsrb.ClassTurnRight, 16),
+	}
+	u := &Universal{Epsilon: 0.15, StepSize: 0.02, Epochs: 12, TargetRate: 0.99}
+	res, err := u.Craft(c, imgs, Goal{Source: 0, Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noise.LInfNorm() > 0.15+1e-9 {
+		t.Fatalf("universal noise %v exceeds budget", res.Noise.LInfNorm())
+	}
+	if res.FoolingRate < 1.0/3 {
+		t.Fatalf("universal perturbation fooled only %.2f of the crafting set", res.FoolingRate)
+	}
+}
+
+func TestUniversalUntargeted(t *testing.T) {
+	c := testClassifier(t)
+	imgs := []*tensor.Tensor{
+		gtsrb.Canonical(gtsrb.ClassStop, 16),
+		gtsrb.Canonical(gtsrb.ClassSpeed60, 16),
+		gtsrb.Canonical(gtsrb.ClassTurnLeft, 16),
+		gtsrb.Canonical(gtsrb.ClassTurnRight, 16),
+	}
+	u := &Universal{Epsilon: 0.2, StepSize: 0.03, Epochs: 10, TargetRate: 0.75}
+	res, err := u.Craft(c, imgs, Goal{Source: 0, Target: Untargeted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoolingRate < 0.5 {
+		t.Fatalf("untargeted universal fooling rate %.2f too low", res.FoolingRate)
+	}
+}
+
+func TestUniversalValidation(t *testing.T) {
+	c := testClassifier(t)
+	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	if _, err := NewUniversal().Craft(c, nil, Goal{Target: 1}); err == nil {
+		t.Error("empty crafting set accepted")
+	}
+	if _, err := (&Universal{Epsilon: 0, StepSize: 0.01, Epochs: 1}).Craft(c, []*tensor.Tensor{img}, Goal{Target: 1}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewUniversal().Craft(c, []*tensor.Tensor{img}, Goal{Target: 99}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	mixed := []*tensor.Tensor{img, gtsrb.Canonical(gtsrb.ClassStop, 24)}
+	if _, err := NewUniversal().Craft(c, mixed, Goal{Target: 1}); err == nil {
+		t.Error("mixed-shape crafting set accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// OnePixel is Su et al.'s black-box attack: differential evolution over a
+// handful of (x, y, r, g, b) pixel substitutions, using only forward
+// queries — no gradients. A library extension beyond the paper's trio.
+type OnePixel struct {
+	// Pixels is the number of pixels the attack may replace.
+	Pixels int
+	// Population and Generations control the differential evolution.
+	Population, Generations int
+	// Seed drives the evolution deterministically.
+	Seed uint64
+}
+
+// NewOnePixel constructs the attack with 1 pixel, population 40 and
+// 30 generations.
+func NewOnePixel() *OnePixel {
+	return &OnePixel{Pixels: 1, Population: 40, Generations: 30, Seed: 7}
+}
+
+// Name implements Attack.
+func (o *OnePixel) Name() string { return fmt.Sprintf("OnePixel(%d)", o.Pixels) }
+
+// candidate is one DE individual: Pixels × (y, x, r, g, b) in [0,1] genes.
+type opCandidate []float64
+
+// Generate implements Attack. Works for targeted and untargeted goals.
+func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+	if err := goal.Validate(c); err != nil {
+		return nil, err
+	}
+	if x.Dims() != 3 {
+		return nil, fmt.Errorf("attacks: OnePixel needs a CHW image, got %v", x.Shape())
+	}
+	if o.Pixels <= 0 || o.Population <= 3 || o.Generations <= 0 {
+		return nil, fmt.Errorf("attacks: OnePixel parameters out of range")
+	}
+	ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	if ch != 3 && ch != 1 {
+		return nil, fmt.Errorf("attacks: OnePixel supports 1- or 3-channel images, got %d", ch)
+	}
+	genes := o.Pixels * (2 + ch)
+	rng := mathx.NewRNG(o.Seed)
+	queries := 0
+
+	apply := func(cand opCandidate) *tensor.Tensor {
+		img := x.Clone()
+		for p := 0; p < o.Pixels; p++ {
+			base := p * (2 + ch)
+			py := int(mathx.Clamp01(cand[base]) * float64(h-1))
+			px := int(mathx.Clamp01(cand[base+1]) * float64(w-1))
+			for cc := 0; cc < ch; cc++ {
+				img.Set(mathx.Clamp01(cand[base+2+cc]), cc, py, px)
+			}
+		}
+		return img
+	}
+	// Fitness: probability of the target class (to maximize) for targeted
+	// goals; negative probability of the source class for untargeted.
+	fitness := func(cand opCandidate) float64 {
+		probs := Probs(c, apply(cand))
+		queries++
+		if goal.IsTargeted() {
+			return probs[goal.Target]
+		}
+		return -probs[goal.Source]
+	}
+
+	pop := make([]opCandidate, o.Population)
+	fit := make([]float64, o.Population)
+	for i := range pop {
+		pop[i] = make(opCandidate, genes)
+		for g := range pop[i] {
+			pop[i][g] = rng.Float64()
+		}
+		fit[i] = fitness(pop[i])
+	}
+
+	trial := make(opCandidate, genes)
+	for gen := 0; gen < o.Generations; gen++ {
+		for i := range pop {
+			// DE/rand/1 mutation with F=0.5 and full crossover.
+			a, b, cc := rng.IntN(o.Population), rng.IntN(o.Population), rng.IntN(o.Population)
+			for g := range trial {
+				trial[g] = mathx.Clamp01(pop[a][g] + 0.5*(pop[b][g]-pop[cc][g]))
+			}
+			if f := fitness(trial); f > fit[i] {
+				copy(pop[i], trial)
+				fit[i] = f
+			}
+		}
+	}
+	best := mathx.ArgMax(fit)
+	adv := apply(pop[best])
+	return finishResult(c, x, adv, goal, o.Generations, queries), nil
+}

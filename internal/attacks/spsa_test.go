@@ -1,0 +1,116 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+func TestSPSAUntargetedEvades(t *testing.T) {
+	c := testClassifier(t)
+	img, label := canonical(t, gtsrb.ClassTurnRight)
+	requireCorrect(t, c, img, label)
+	atk := &SPSA{Epsilon: 0.08, Alpha: 0.01, Steps: 30, Samples: 24, Delta: 0.02, Seed: 5}
+	res, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("SPSA failed: still class %d at %.2f", res.PredClass, res.Confidence)
+	}
+	if res.Noise.LInfNorm() > 0.08+1e-9 {
+		t.Fatalf("SPSA noise %v exceeds budget", res.Noise.LInfNorm())
+	}
+}
+
+func TestSPSAIsBlackBox(t *testing.T) {
+	// SPSA must work against a classifier that only exposes Logits —
+	// verify by wrapping the fixture so GradFromLogits panics.
+	c := gradlessClassifier{inner: testClassifier(t)}
+	img, label := canonical(t, gtsrb.ClassTurnLeft)
+	atk := &SPSA{Epsilon: 0.08, Alpha: 0.012, Steps: 20, Samples: 16, Delta: 0.02, Seed: 7}
+	if _, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type gradlessClassifier struct{ inner Classifier }
+
+func (g gradlessClassifier) NumClasses() int                   { return g.inner.NumClasses() }
+func (g gradlessClassifier) Logits(x *tensor.Tensor) []float64 { return g.inner.Logits(x) }
+func (g gradlessClassifier) GradFromLogits(*tensor.Tensor, func([]float64) []float64) ([]float64, *tensor.Tensor) {
+	panic("SPSA must not request gradients")
+}
+
+func TestSPSAValidation(t *testing.T) {
+	c := testClassifier(t)
+	img, label := canonical(t, gtsrb.ClassStop)
+	goal := Goal{Source: label, Target: 1}
+	for name, atk := range map[string]*SPSA{
+		"zero eps":     {Epsilon: 0, Alpha: 0.01, Steps: 5, Samples: 4, Delta: 0.01},
+		"zero samples": {Epsilon: 0.1, Alpha: 0.01, Steps: 5, Samples: 0, Delta: 0.01},
+		"zero delta":   {Epsilon: 0.1, Alpha: 0.01, Steps: 5, Samples: 4, Delta: 0},
+	} {
+		if _, err := atk.Generate(c, img, goal); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestEOTAveragesOverDraws(t *testing.T) {
+	base := testClassifier(t)
+	// Stochastic pipeline: acquisition with per-draw noise seeds.
+	eot := NewEOT(func(draw int) Classifier {
+		acq := pipeline.NewAcquisition(1.0, 0.02, false, uint64(100+draw))
+		return FilteredClassifier{Inner: base, Pre: filters.Chain{acq}}
+	}, 4)
+	if eot.NumClasses() != base.NumClasses() {
+		t.Fatal("EOT class count wrong")
+	}
+	img, _ := canonical(t, gtsrb.ClassStop)
+	logits := eot.Logits(img)
+	if len(logits) != base.NumClasses() {
+		t.Fatalf("EOT logits length %d", len(logits))
+	}
+	// Gradients must flow and be finite.
+	_, grad := CELossGrad(eot, img, 1)
+	if !grad.AllFinite() || grad.L2Norm() == 0 {
+		t.Fatal("EOT gradient degenerate")
+	}
+}
+
+func TestEOTAttackThroughNoisyAcquisition(t *testing.T) {
+	base := testClassifier(t)
+	img, label := canonical(t, gtsrb.ClassStop)
+	goal := Goal{Source: label, Target: 1}
+	eot := NewEOT(func(draw int) Classifier {
+		acq := pipeline.NewAcquisition(1.0, 0.01, false, uint64(7+draw))
+		return FilteredClassifier{Inner: base, Pre: filters.Chain{acq}}
+	}, 3)
+	atk := &BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 40, EarlyStop: true}
+	res, err := atk.Generate(eot, img, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate against a *fresh* noise draw the attacker never saw.
+	holdout := FilteredClassifier{
+		Inner: base,
+		Pre:   filters.Chain{pipeline.NewAcquisition(1.0, 0.01, false, 999)},
+	}
+	pred, _ := Predict(holdout, res.Adversarial)
+	if pred == label {
+		t.Fatalf("EOT attack did not transfer to a fresh noise draw (still %d)", pred)
+	}
+}
+
+func TestEOTValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EOT with zero draws accepted")
+		}
+	}()
+	NewEOT(func(int) Classifier { return nil }, 0)
+}

@@ -1,0 +1,85 @@
+// Package core orchestrates the paper's two methodologies end to end:
+//
+//   - Section III (analysis): run a classical, filter-blind attack against
+//     the bare network, then measure what the deployed pipeline — with its
+//     pre-processing noise filter — actually predicts under Threat Models
+//     I and II/III.
+//   - Section IV (FAdeML): run the same attack filter-aware, folding the
+//     pipeline's pre-processing into the attacker's differentiable model,
+//     and measure again.
+//
+// Everything below core (tensor/nn/filters/attacks/pipeline/analysis) is a
+// substrate; everything above it (experiments, cmd tools, examples) is
+// presentation. Code that wants "attack this sign through this pipeline
+// and tell me what happened" calls core.Execute.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/attacks"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Run describes one attack execution against a deployed pipeline.
+type Run struct {
+	// Pipeline is the deployed system under attack.
+	Pipeline *pipeline.Pipeline
+	// Attack is the base attack from the library.
+	Attack attacks.Attack
+	// FilterAware selects the Section IV (FAdeML) attacker, which models
+	// the pipeline's pre-processing; false is the Section III classical
+	// attacker that sees only the bare network.
+	FilterAware bool
+	// TM is the threat model governing where the adversarial image enters
+	// the pipeline (TM2 or TM3 for filtered delivery).
+	TM pipeline.ThreatModel
+}
+
+// Validate checks the run configuration.
+func (r Run) Validate() error {
+	if r.Pipeline == nil {
+		return fmt.Errorf("core: run needs a pipeline")
+	}
+	if r.Attack == nil {
+		return fmt.Errorf("core: run needs an attack")
+	}
+	if r.TM != pipeline.TM2 && r.TM != pipeline.TM3 {
+		return fmt.Errorf("core: run threat model must be TM2 or TM3, got %v", r.TM)
+	}
+	return nil
+}
+
+// Outcome is the result of one Execute call.
+type Outcome struct {
+	// AttackerResult is the attack's own view of success (through the
+	// attacker's model, filtered for FAdeML, bare otherwise).
+	AttackerResult *attacks.Result
+	// Comparison is the deployed-side measurement: clean baseline, TM I,
+	// TM II/III, Eq. 2 cost, neutralization/survival flags.
+	Comparison analysis.Comparison
+}
+
+// Execute crafts an adversarial example from the clean image for the
+// scenario source→target and measures it against the deployed pipeline.
+func Execute(run Run, clean *tensor.Tensor, source, target int) (*Outcome, error) {
+	if err := run.Validate(); err != nil {
+		return nil, err
+	}
+	base := attacks.NetClassifier{Net: run.Pipeline.Net}
+	var atk attacks.Attack = run.Attack
+	attackName := run.Attack.Name()
+	if run.FilterAware {
+		fademl := attacks.NewFAdeML(run.Attack, run.Pipeline.AttackerModel(run.TM))
+		atk = fademl
+		attackName = fademl.Name()
+	}
+	res, err := atk.Generate(base, clean, attacks.Goal{Source: source, Target: target})
+	if err != nil {
+		return nil, fmt.Errorf("core: attack %s: %w", attackName, err)
+	}
+	cmp := analysis.Compare(run.Pipeline, clean, res.Adversarial, source, target, run.TM, attackName)
+	return &Outcome{AttackerResult: res, Comparison: cmp}, nil
+}

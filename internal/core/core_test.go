@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+var (
+	fxOnce sync.Once
+	fxNet  *nn.Network
+	fxErr  error
+)
+
+type remapDS struct {
+	inner *gtsrb.Dataset
+	remap map[int]int
+}
+
+func (d remapDS) Len() int { return d.inner.Len() }
+func (d remapDS) Sample(i int) (*tensor.Tensor, int) {
+	img, l := d.inner.Sample(i)
+	return img, d.remap[l]
+}
+
+func coreNet(t *testing.T) *nn.Network {
+	t.Helper()
+	fxOnce.Do(func() {
+		ds, err := gtsrb.Generate(gtsrb.Config{
+			Size: 16, PerClass: 25, Seed: 31,
+			Classes: []int{gtsrb.ClassStop, gtsrb.ClassSpeed60},
+		})
+		if err != nil {
+			fxErr = err
+			return
+		}
+		net, err := nn.TinyCNN(3, 16, 2, mathx.NewRNG(8))
+		if err != nil {
+			fxErr = err
+			return
+		}
+		remap := map[int]int{gtsrb.ClassStop: 0, gtsrb.ClassSpeed60: 1}
+		_, fxErr = train.Fit(net, remapDS{ds, remap}, train.Config{
+			Epochs: 12, BatchSize: 10, Schedule: train.ConstantLR(3e-3), Seed: 9,
+		})
+		fxNet = net
+	})
+	if fxErr != nil {
+		t.Fatalf("core fixture: %v", fxErr)
+	}
+	return fxNet
+}
+
+func TestRunValidation(t *testing.T) {
+	net := coreNet(t)
+	p := pipeline.New(net, filters.NewLAP(4), nil)
+	atk := attacks.NewBIM()
+	cases := []struct {
+		run Run
+		ok  bool
+	}{
+		{Run{Pipeline: p, Attack: atk, TM: pipeline.TM3}, true},
+		{Run{Pipeline: p, Attack: atk, TM: pipeline.TM2}, true},
+		{Run{Pipeline: nil, Attack: atk, TM: pipeline.TM3}, false},
+		{Run{Pipeline: p, Attack: nil, TM: pipeline.TM3}, false},
+		{Run{Pipeline: p, Attack: atk, TM: pipeline.TM1}, false},
+	}
+	for i, c := range cases {
+		err := c.run.Validate()
+		if c.ok && err != nil {
+			t.Errorf("case %d rejected: %v", i, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestSectionIIIvsSectionIV is the repository's core integration test: the
+// same base attack, first filter-blind (neutralized by the deployed LAP
+// filter) then filter-aware (survives it) — the paper's central claim as
+// one assertion pair.
+func TestSectionIIIvsSectionIV(t *testing.T) {
+	net := coreNet(t)
+	p := pipeline.New(net, filters.NewLAP(8), nil)
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	mkAttack := func() attacks.Attack {
+		return &attacks.BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 60, EarlyStop: true}
+	}
+
+	blind, err := Execute(Run{Pipeline: p, Attack: mkAttack(), FilterAware: false, TM: pipeline.TM3}, clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Execute(Run{Pipeline: p, Attack: mkAttack(), FilterAware: true, TM: pipeline.TM3}, clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if blind.Comparison.TM1Pred != 1 {
+		t.Fatalf("blind attack failed even under TM-I: %+v", blind.Comparison)
+	}
+	if blind.Comparison.SurvivedFilter {
+		t.Fatalf("blind attack survived the filter — filters are not doing their job: %+v", blind.Comparison)
+	}
+	if !aware.Comparison.SurvivedFilter {
+		t.Fatalf("FAdeML did not survive the filter: %+v", aware.Comparison)
+	}
+	if !strings.Contains(aware.Comparison.AttackName, "FAdeML") {
+		t.Fatalf("aware attack name %q lacks FAdeML tag", aware.Comparison.AttackName)
+	}
+}
+
+func TestExecuteTM2IncludesAcquisition(t *testing.T) {
+	net := coreNet(t)
+	p := pipeline.New(net, filters.NewLAP(8), pipeline.DefaultAcquisition(3))
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	atk := &attacks.BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 60, EarlyStop: true}
+	out, err := Execute(Run{Pipeline: p, Attack: atk, FilterAware: true, TM: pipeline.TM2}, clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker model under TM2 must mention the acquisition stage.
+	if !strings.Contains(out.Comparison.AttackName, "Acq") {
+		t.Fatalf("TM2 attacker model missing acquisition: %q", out.Comparison.AttackName)
+	}
+	// Physical-world FAdeML through quantizing acquisition is harder but
+	// should still at least disturb the filtered prediction away from a
+	// confident clean stop.
+	if out.Comparison.TMXPred == 0 && out.Comparison.TMXConf > 0.99 {
+		t.Fatalf("TM2 FAdeML left the pipeline fully confident: %+v", out.Comparison)
+	}
+}
+
+func TestExecutePropagatesAttackErrors(t *testing.T) {
+	net := coreNet(t)
+	p := pipeline.New(net, filters.NewLAP(4), nil)
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	// DeepFool rejects targeted goals -> Execute must surface the error.
+	_, err := Execute(Run{Pipeline: p, Attack: attacks.NewDeepFool(), TM: pipeline.TM3}, clean, 0, 1)
+	if err == nil {
+		t.Fatal("attack error swallowed")
+	}
+}
+
+func TestExecuteInvalidRun(t *testing.T) {
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	if _, err := Execute(Run{}, clean, 0, 1); err == nil {
+		t.Fatal("invalid run accepted")
+	}
+}

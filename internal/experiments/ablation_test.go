@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/filters"
+)
+
+func TestFilterStrengthAblation(t *testing.T) {
+	env := tinyEnv(t)
+	points := RunFilterStrengthAblation(env)
+	// Identity + 5 LAP + 5 LAR.
+	if len(points) != 11 {
+		t.Fatalf("ablation points = %d", len(points))
+	}
+	if points[0].FilterName != "none" || points[0].Taps != 1 {
+		t.Fatalf("baseline point wrong: %+v", points[0])
+	}
+	for _, p := range points {
+		if p.Top5 < 0 || p.Top5 > 1 || p.Top1 > p.Top5 {
+			t.Fatalf("implausible point: %+v", p)
+		}
+	}
+	// The unfiltered baseline must beat the heaviest smoothing.
+	last := points[len(points)-1] // LAR(5), 81 taps
+	if last.Taps != 81 {
+		t.Fatalf("last point is not LAR(5): %+v", last)
+	}
+	if points[0].Top5 < last.Top5 {
+		t.Fatalf("LAR(5) accuracy %v above unfiltered %v — smoothing cost missing",
+			last.Top5, points[0].Top5)
+	}
+}
+
+func TestEtaAblation(t *testing.T) {
+	env := tinyEnv(t)
+	points, err := RunEtaAblation(env, filters.NewLAP(8), []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("eta points = %d", len(points))
+	}
+	// Noise must scale monotonically with eta.
+	if points[0].NoiseLInf > points[1].NoiseLInf+1e-9 {
+		t.Fatalf("noise at eta=0.5 (%v) exceeds eta=1 (%v)",
+			points[0].NoiseLInf, points[1].NoiseLInf)
+	}
+	for _, p := range points {
+		if p.Confidence < 0 || p.Confidence > 1 {
+			t.Fatalf("confidence out of range: %+v", p)
+		}
+	}
+}
+
+func TestBudgetAblation(t *testing.T) {
+	env := tinyEnv(t)
+	points, err := RunBudgetAblation(env, []float64{0.02, 0.08, 0.16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("budget points = %d", len(points))
+	}
+	// Success must be monotone-ish: if the smallest budget succeeds, the
+	// largest must too (BIM with more budget strictly dominates).
+	if points[0].Success && !points[2].Success {
+		t.Fatalf("success not monotone in budget: %+v", points)
+	}
+}
+
+func TestFootprintAblation(t *testing.T) {
+	env := tinyEnv(t)
+	points := RunFootprintAblation(env, []int{1, 3})
+	if len(points) != 2 {
+		t.Fatalf("footprint points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.DiskTop5 < 0 || p.DiskTop5 > 1 || p.BoxTop5 < 0 || p.BoxTop5 > 1 {
+			t.Fatalf("implausible accuracies: %+v", p)
+		}
+	}
+	// The box smooths more than the disk at equal radius, so at the larger
+	// radius it should not preserve more accuracy (allowing noise slack).
+	if points[1].BoxTop5 > points[1].DiskTop5+0.1 {
+		t.Fatalf("Box(3) accuracy %v far above LAR(3) %v", points[1].BoxTop5, points[1].DiskTop5)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gtsrb"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+// Env is a ready experimental setup: the synthetic GTSRB splits and a
+// trained VGGNet, everything the figure runners consume.
+type Env struct {
+	Profile  Profile
+	Net      *nn.Network
+	TrainSet *gtsrb.Dataset
+	TestSet  *gtsrb.Dataset
+	// CleanTop1/CleanTop5 record unfiltered clean test accuracy at load
+	// time, reported in every figure header.
+	CleanTop1, CleanTop5 float64
+}
+
+// DefaultCacheDir is where trained weights are memoized between runs.
+func DefaultCacheDir() string { return filepath.Join("testdata", "cache") }
+
+// NewEnv generates the datasets and loads the profile's model from the
+// weight cache, training (and caching) it on a miss. cacheDir may be empty
+// to disable caching; log may be nil.
+func NewEnv(p Profile, cacheDir string, log io.Writer) (*Env, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := gtsrb.Generate(gtsrb.Config{Size: p.Size, PerClass: p.PerClass, Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dataset: %w", err)
+	}
+	trainSet, testSet := ds.Split(p.TrainFrac, p.Seed^0x5eed)
+
+	cfg := nn.ScaledVGGConfig(3, p.Size, gtsrb.NumClasses, p.VGGScale)
+	net, err := nn.VGGNet(cfg, mathx.NewRNG(p.Seed^0xce11))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: model: %w", err)
+	}
+
+	cached := false
+	var cachePath string
+	if cacheDir != "" {
+		cachePath = filepath.Join(cacheDir, "vgg-"+p.CacheKey()+".weights")
+		if err := net.LoadWeightsFile(cachePath); err == nil {
+			cached = true
+			if log != nil {
+				fmt.Fprintf(log, "loaded cached weights: %s\n", cachePath)
+			}
+		}
+	}
+	if !cached {
+		if log != nil {
+			fmt.Fprintf(log, "training %s profile (%d params, %d train images, %d epochs)...\n",
+				p.Name, net.ParamCount(), trainSet.Len(), p.Epochs)
+		}
+		_, err := train.Fit(net, trainSet, train.Config{
+			Epochs:    p.Epochs,
+			BatchSize: p.BatchSize,
+			Schedule:  train.CosineDecay{Base: p.LR, Floor: p.LR / 10, Total: p.Epochs},
+			Seed:      p.Seed ^ 0xf17,
+			Log:       log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training: %w", err)
+		}
+		if cachePath != "" {
+			if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+				if err := net.SaveWeightsFile(cachePath); err != nil && log != nil {
+					fmt.Fprintf(log, "warning: weight cache write failed: %v\n", err)
+				}
+			}
+		}
+	}
+
+	m := train.Evaluate(net, testSet, nil)
+	if log != nil {
+		fmt.Fprintf(log, "clean test accuracy: %s\n", m)
+	}
+	return &Env{
+		Profile:   p,
+		Net:       net,
+		TrainSet:  trainSet,
+		TestSet:   testSet,
+		CleanTop1: m.Top1,
+		CleanTop5: m.Top5,
+	}, nil
+}
+
+// evalSubset returns the test subset used for accuracy sweeps.
+func (e *Env) evalSubset() *gtsrb.Dataset {
+	return e.TestSet.Subset(evalCap(e.TestSet.Len(), e.Profile.EvalSamples))
+}
+
+// attackSubset returns the (smaller) test subset whose images are
+// individually attacked in accuracy sweeps.
+func (e *Env) attackSubset() *gtsrb.Dataset {
+	limit := e.Profile.AttackEvalSamples
+	if limit <= 0 {
+		limit = e.Profile.EvalSamples
+	}
+	return e.TestSet.Subset(evalCap(e.TestSet.Len(), limit))
+}

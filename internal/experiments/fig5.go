@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/gtsrb"
+	"repro/internal/tensor"
+)
+
+// buildAttack constructs a library attack with the experiment budgets used
+// across all figures (slightly larger than the library defaults so the
+// targeted payloads of the scenario table succeed reliably on the scaled
+// VGG; recorded in EXPERIMENTS.md).
+func buildAttack(name string) (attacks.Attack, error) {
+	switch name {
+	case "fgsm":
+		return &attacks.FGSM{Epsilon: 0.05}, nil
+	case "bim":
+		return &attacks.BIM{Epsilon: 0.10, Alpha: 0.008, Steps: 40, EarlyStop: true}, nil
+	case "lbfgs":
+		return &attacks.LBFGS{InitialC: 10, CSteps: 5, MaxIter: 30}, nil
+	case "pgd":
+		return &attacks.PGD{Epsilon: 0.10, Alpha: 0.01, Steps: 40, Restarts: 2, Seed: 11}, nil
+	case "cw":
+		return &attacks.CW{Kappa: 0, Steps: 100, LR: 0.05, InitialC: 5, BinarySearch: 3}, nil
+	default:
+		return attacks.New(name)
+	}
+}
+
+// buildFilterAwareAttack constructs the attack used inside a FAdeML
+// wrapper for the Fig. 9 sweeps. A filter-aware attacker spends a larger
+// budget than the filter-blind baseline: smoothing attenuates whatever
+// perturbation reaches the DNN, so equal-budget comparisons would
+// understate the attack the paper describes (which explicitly notes
+// FAdeML's larger accuracy impact). The optimization-based attacks
+// (L-BFGS, C&W) need no inflation — their real-valued noise already
+// concentrates in filter-surviving low frequencies.
+func buildFilterAwareAttack(name string) (attacks.Attack, error) {
+	switch name {
+	case "fgsm":
+		return &attacks.FGSM{Epsilon: 0.25}, nil
+	case "bim":
+		return &attacks.BIM{Epsilon: 0.25, Alpha: 0.02, Steps: 60, EarlyStop: true}, nil
+	case "pgd":
+		return &attacks.PGD{Epsilon: 0.25, Alpha: 0.025, Steps: 60, Restarts: 2, Seed: 11}, nil
+	case "lbfgs":
+		return &attacks.LBFGS{InitialC: 5, CSteps: 6, MaxIter: 50}, nil
+	case "cw":
+		return &attacks.CW{Kappa: 0, Steps: 150, LR: 0.05, InitialC: 5, BinarySearch: 3}, nil
+	default:
+		return buildAttack(name)
+	}
+}
+
+// attackLabel maps library names to the paper's figure labels.
+func attackLabel(name string) string {
+	switch name {
+	case "lbfgs":
+		return "L-BFGS"
+	case "fgsm":
+		return "FGSM"
+	case "bim":
+		return "BIM"
+	default:
+		return name
+	}
+}
+
+// Fig5Row is one cell of the paper's Fig. 5: a targeted attack on one
+// scenario evaluated under Threat Model I.
+type Fig5Row struct {
+	Scenario   Scenario
+	AttackName string
+	// Clean prediction of the source image (class id + confidence).
+	CleanPred int
+	CleanConf float64
+	// Adversarial prediction under TM I.
+	AdvPred int
+	AdvConf float64
+	// Success means the targeted misclassification was achieved.
+	Success bool
+	// NoiseLInf is the perturbation's max-norm (imperceptibility proxy).
+	NoiseLInf float64
+}
+
+// Fig5Result reproduces Fig. 5: every attack forces its scenario payload
+// under Threat Model I.
+type Fig5Result struct {
+	ProfileName string
+	Rows        []Fig5Row
+}
+
+// RunFig5 attacks each scenario's canonical source image with each attack
+// (nil attackNames = the paper's L-BFGS/FGSM/BIM trio) and records the
+// TM-I outcome.
+func RunFig5(env *Env, attackNames []string) (*Fig5Result, error) {
+	if attackNames == nil {
+		attackNames = attacks.PaperAttacks
+	}
+	res := &Fig5Result{ProfileName: env.Profile.Name}
+	c := attacks.NetClassifier{Net: env.Net}
+	for _, name := range attackNames {
+		for _, sc := range PaperScenarios {
+			atk, err := buildAttack(name)
+			if err != nil {
+				return nil, err
+			}
+			clean := sc.CleanImage(env.Profile.Size)
+			cleanPred, cleanConf := attacks.Predict(c, clean)
+			out, err := atk.Generate(c, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s on %s: %w", name, sc, err)
+			}
+			res.Rows = append(res.Rows, Fig5Row{
+				Scenario:   sc,
+				AttackName: attackLabel(name),
+				CleanPred:  cleanPred,
+				CleanConf:  cleanConf,
+				AdvPred:    out.PredClass,
+				AdvConf:    out.Confidence,
+				Success:    out.PredClass == sc.Target,
+				NoiseLInf:  out.Noise.LInfNorm(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// SuccessRate returns the fraction of rows achieving their payload.
+func (r *Fig5Result) SuccessRate() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, row := range r.Rows {
+		if row.Success {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.Rows))
+}
+
+// Table renders the figure in the paper's layout: one row per
+// attack × scenario with clean and adversarial predictions.
+func (r *Fig5Result) Table() string {
+	t := NewTable(
+		fmt.Sprintf("Fig. 5 — targeted attacks under Threat Model I (profile %s)", r.ProfileName),
+		"Attack", "Scenario", "Clean prediction", "Adversarial prediction", "Hit", "|noise|inf")
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.AttackName,
+			fmt.Sprintf("%d: %s", row.Scenario.ID, row.Scenario.Name),
+			fmt.Sprintf("%s @ %s", gtsrb.ClassName(row.CleanPred), pct(row.CleanConf)),
+			fmt.Sprintf("%s @ %s", gtsrb.ClassName(row.AdvPred), pct(row.AdvConf)),
+			map[bool]string{true: "yes", false: "NO"}[row.Success],
+			fmt.Sprintf("%.3f", row.NoiseLInf),
+		)
+	}
+	return t.String()
+}
+
+// adversarialFor is a sweep helper shared by Fig. 6/7: it attacks every
+// image of ds toward the scenario target (filter-blind) and returns the
+// adversarial images. Images already labeled as the target are attacked
+// too — the paper applies the payload perturbation to the whole stream.
+func adversarialFor(env *Env, ds *gtsrb.Dataset, atk attacks.Attack, sc Scenario) ([]*tensor.Tensor, error) {
+	c := attacks.NetClassifier{Net: env.Net}
+	out := make([]*tensor.Tensor, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		img, label := ds.Sample(i)
+		goal := attacks.Goal{Source: label, Target: sc.Target}
+		if label == sc.Target {
+			// Cannot target an image into its own class; use the scenario
+			// source as the bookkeeping source and leave the goal valid.
+			goal = attacks.Goal{Source: sc.Source, Target: sc.Target}
+			if sc.Source == label {
+				out[i] = img.Clone()
+				continue
+			}
+		}
+		res, err := atk.Generate(c, img, goal)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Adversarial
+	}
+	return out, nil
+}
+
+// sliceDataset adapts a fixed set of (possibly attacked) images with the
+// labels of a source dataset to train.Dataset.
+type sliceDataset struct {
+	imgs   []*tensor.Tensor
+	labels []int
+}
+
+func newSliceDataset(imgs []*tensor.Tensor, src *gtsrb.Dataset) *sliceDataset {
+	labels := make([]int, src.Len())
+	for i := range labels {
+		_, labels[i] = src.Sample(i)
+	}
+	return &sliceDataset{imgs: imgs, labels: labels}
+}
+
+func (d *sliceDataset) Len() int { return len(d.imgs) }
+func (d *sliceDataset) Sample(i int) (*tensor.Tensor, int) {
+	return d.imgs[i], d.labels[i]
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// SweepOptions narrows a Fig. 7 / Fig. 9 run. Zero values select the
+// paper's full grid.
+type SweepOptions struct {
+	// Scenarios defaults to the paper's five payloads.
+	Scenarios []Scenario
+	// AttackNames defaults to the paper trio (lbfgs, fgsm, bim).
+	AttackNames []string
+	// LAPSizes and LARRadii default to the paper sweeps
+	// ({4,8,16,32,64} and {1..5}).
+	LAPSizes []int
+	LARRadii []int
+	// IncludeCurves enables the accuracy-vs-filter curves (the expensive
+	// part: every test image in the attack subset is attacked).
+	IncludeCurves bool
+	// CurveScenarios restricts which scenarios get accuracy curves
+	// (defaults to Scenarios).
+	CurveScenarios []Scenario
+}
+
+func (o *SweepOptions) fill() {
+	if o.Scenarios == nil {
+		o.Scenarios = PaperScenarios
+	}
+	if o.AttackNames == nil {
+		o.AttackNames = attacks.PaperAttacks
+	}
+	if o.LAPSizes == nil {
+		o.LAPSizes = filters.PaperLAPSizes
+	}
+	if o.LARRadii == nil {
+		o.LARRadii = filters.PaperLARRadii
+	}
+	if o.CurveScenarios == nil {
+		o.CurveScenarios = o.Scenarios
+	}
+}
+
+// filterGrid builds the sweep's filter configurations: the identity
+// baseline, the LAP sweep and the LAR sweep.
+func (o *SweepOptions) filterGrid() []filters.Filter {
+	grid := []filters.Filter{filters.Identity{}}
+	for _, np := range o.LAPSizes {
+		grid = append(grid, filters.NewLAP(np))
+	}
+	for _, r := range o.LARRadii {
+		grid = append(grid, filters.NewLAR(r))
+	}
+	return grid
+}
+
+// Fig7Panel is one canonical-image cell of Fig. 7: a filter-blind attack
+// evaluated through a filter under Threat Model III.
+type Fig7Panel struct {
+	Scenario   Scenario
+	AttackName string
+	FilterName string
+	// TM1Pred/Conf is the unfiltered (TM-I) view of the adversarial image.
+	TM1Pred int
+	TM1Conf float64
+	// FilteredPred/Conf is the TM-III view through the filter.
+	FilteredPred int
+	FilteredConf float64
+	// Neutralized: TM-I hit the target but the filtered prediction
+	// reverted to the source class.
+	Neutralized bool
+}
+
+// Fig7Curve is one accuracy-vs-filter series of Fig. 7.
+type Fig7Curve struct {
+	Scenario   Scenario
+	AttackName string
+	// FilterNames and Top5 are parallel: Top5[i] is the top-5 accuracy of
+	// the attacked subset delivered through FilterNames[i].
+	FilterNames []string
+	Top5        []float64
+}
+
+// Fig7Result reproduces Fig. 7: classical (filter-blind) attacks are
+// neutralized by LAP/LAR smoothing at the cost of some confidence and
+// accuracy, with an inverted-U accuracy profile across filter strength.
+type Fig7Result struct {
+	ProfileName string
+	Panels      []Fig7Panel
+	Curves      []Fig7Curve
+	// FilterAware tags the result as a Fig. 9 run (shared machinery).
+	FilterAware bool
+}
+
+// RunFig7 executes the Fig. 7 grid: filter-blind attacks, filtered
+// delivery (Threat Model III).
+func RunFig7(env *Env, opt SweepOptions) (*Fig7Result, error) {
+	opt.fill()
+	return runFilterSweep(env, opt, false)
+}
+
+// runFilterSweep is shared between Fig. 7 (filterAware=false) and Fig. 9
+// (filterAware=true). The only difference is whether the attack models the
+// filter during generation.
+func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, error) {
+	res := &Fig7Result{ProfileName: env.Profile.Name, FilterAware: filterAware}
+	grid := opt.filterGrid()
+	bare := attacks.NetClassifier{Net: env.Net}
+
+	// Panels: canonical scenario images.
+	for _, name := range opt.AttackNames {
+		for _, sc := range opt.Scenarios {
+			clean := sc.CleanImage(env.Profile.Size)
+			goal := attacks.Goal{Source: sc.Source, Target: sc.Target}
+
+			// Filter-blind: generate once; filter-aware: per filter.
+			var blindAdv *tensor.Tensor
+			if !filterAware {
+				atk, err := buildAttack(name)
+				if err != nil {
+					return nil, err
+				}
+				out, err := atk.Generate(bare, clean, goal)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s on %s: %w", name, sc, err)
+				}
+				blindAdv = out.Adversarial
+			}
+			for _, f := range grid {
+				if _, ok := f.(filters.Identity); ok {
+					continue // panels only cover real filters
+				}
+				adv := blindAdv
+				if filterAware {
+					atk, err := buildFilterAwareAttack(name)
+					if err != nil {
+						return nil, err
+					}
+					out, err := attacks.NewFAdeML(atk, f).Generate(bare, clean, goal)
+					if err != nil {
+						return nil, fmt.Errorf("fig9 %s|%s on %s: %w", name, f.Name(), sc, err)
+					}
+					adv = out.Adversarial
+				}
+				p := pipeline.New(env.Net, f, nil)
+				cmp := analysisCompare(p, adv, sc)
+				res.Panels = append(res.Panels, Fig7Panel{
+					Scenario:     sc,
+					AttackName:   attackLabel(name),
+					FilterName:   f.Name(),
+					TM1Pred:      cmp.tm1Pred,
+					TM1Conf:      cmp.tm1Conf,
+					FilteredPred: cmp.tmxPred,
+					FilteredConf: cmp.tmxConf,
+					Neutralized:  cmp.tm1Pred == sc.Target && cmp.tmxPred == sc.Source,
+				})
+			}
+		}
+	}
+
+	// Curves: accuracy over the attacked subset per filter configuration.
+	if opt.IncludeCurves {
+		ds := env.attackSubset()
+		curveAttacks := append([]string{"none"}, opt.AttackNames...)
+		for _, sc := range opt.CurveScenarios {
+			for _, name := range curveAttacks {
+				curve := Fig7Curve{Scenario: sc, AttackName: attackLabel(name)}
+				// Filter-blind adversarial images are reused across the
+				// grid; filter-aware ones are regenerated per filter.
+				var blindAdvs []*tensor.Tensor
+				if name != "none" && !filterAware {
+					atk, err := buildAttack(name)
+					if err != nil {
+						return nil, err
+					}
+					blindAdvs, err = adversarialFor(env, ds, atk, sc)
+					if err != nil {
+						return nil, fmt.Errorf("fig7 curves %s on %s: %w", name, sc, err)
+					}
+				}
+				for _, f := range grid {
+					var eval train.Dataset
+					switch {
+					case name == "none":
+						eval = ds
+					case !filterAware:
+						eval = newSliceDataset(blindAdvs, ds)
+					default:
+						atk, err := buildFilterAwareAttack(name)
+						if err != nil {
+							return nil, err
+						}
+						var gen attacks.Attack = atk
+						if _, isIdentity := f.(filters.Identity); !isIdentity {
+							gen = attacks.NewFAdeML(atk, f)
+						}
+						advs, err := adversarialFor(env, ds, gen, sc)
+						if err != nil {
+							return nil, fmt.Errorf("fig9 curves %s|%s on %s: %w", name, f.Name(), sc, err)
+						}
+						eval = newSliceDataset(advs, ds)
+					}
+					p := pipeline.New(env.Net, f, nil)
+					m := train.Evaluate(env.Net, eval, func(img *tensor.Tensor, _ int) *tensor.Tensor {
+						return p.Deliver(img, pipeline.TM3)
+					})
+					curve.FilterNames = append(curve.FilterNames, f.Name())
+					curve.Top5 = append(curve.Top5, m.Top5)
+				}
+				res.Curves = append(res.Curves, curve)
+			}
+		}
+	}
+	return res, nil
+}
+
+// cmpView is a minimal internal comparison (full analysis.Comparison needs
+// a clean image too; the panels only need the adversarial views).
+type cmpView struct {
+	tm1Pred int
+	tm1Conf float64
+	tmxPred int
+	tmxConf float64
+}
+
+func analysisCompare(p *pipeline.Pipeline, adv *tensor.Tensor, sc Scenario) cmpView {
+	probsI := p.Probs(adv, pipeline.TM1)
+	probsX := p.Probs(adv, pipeline.TM3)
+	pi, px := argmax(probsI), argmax(probsX)
+	return cmpView{tm1Pred: pi, tm1Conf: probsI[pi], tmxPred: px, tmxConf: probsX[px]}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// NeutralizationRate returns the fraction of panels where the filter
+// reverted a TM-I-successful attack to the source class.
+func (r *Fig7Result) NeutralizationRate() float64 {
+	applicable, neutralized := 0, 0
+	for _, p := range r.Panels {
+		if p.TM1Pred == p.Scenario.Target {
+			applicable++
+			if p.Neutralized {
+				neutralized++
+			}
+		}
+	}
+	if applicable == 0 {
+		return 0
+	}
+	return float64(neutralized) / float64(applicable)
+}
+
+// SurvivalRate returns the fraction of panels whose filtered prediction
+// still hits the scenario target (the Fig. 9 headline metric).
+func (r *Fig7Result) SurvivalRate() float64 {
+	if len(r.Panels) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, p := range r.Panels {
+		if p.FilteredPred == p.Scenario.Target {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.Panels))
+}
+
+// Table renders the panels grid plus any curves.
+func (r *Fig7Result) Table() string {
+	figName := "Fig. 7 — filter-blind attacks through LAP/LAR (TM-III)"
+	if r.FilterAware {
+		figName = "Fig. 9 — FAdeML filter-aware attacks through LAP/LAR (TM-III)"
+	}
+	t := NewTable(fmt.Sprintf("%s (profile %s)", figName, r.ProfileName),
+		"Attack", "Scenario", "Filter", "TM-I view", "Filtered view", "Outcome")
+	for _, p := range r.Panels {
+		outcome := "-"
+		switch {
+		case p.FilteredPred == p.Scenario.Target:
+			outcome = "SURVIVED"
+		case p.Neutralized:
+			outcome = "neutralized"
+		case p.FilteredPred == p.Scenario.Source:
+			outcome = "reverted"
+		}
+		t.AddRow(
+			p.AttackName,
+			fmt.Sprintf("%d", p.Scenario.ID),
+			p.FilterName,
+			fmt.Sprintf("%s @ %s", gtsrb.ClassName(p.TM1Pred), pct(p.TM1Conf)),
+			fmt.Sprintf("%s @ %s", gtsrb.ClassName(p.FilteredPred), pct(p.FilteredConf)),
+			outcome,
+		)
+	}
+	out := t.String()
+	if len(r.Curves) > 0 {
+		ct := NewTable("Top-5 accuracy vs filter configuration",
+			append([]string{"Scenario", "Attack"}, r.Curves[0].FilterNames...)...)
+		for _, c := range r.Curves {
+			row := []any{fmt.Sprintf("%d", c.Scenario.ID), c.AttackName}
+			for _, v := range c.Top5 {
+				row = append(row, pct(v))
+			}
+			ct.AddRow(row...)
+		}
+		out += "\n" + ct.String()
+	}
+	return out
+}

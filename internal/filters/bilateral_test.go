@@ -1,0 +1,84 @@
+package filters
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestBilateralConstantUnchanged(t *testing.T) {
+	img := tensor.Full(0.42, 3, 8, 8)
+	out := NewBilateral(2, 1.5, 0.1).Apply(img)
+	if !tensor.EqualWithin(out, img, 1e-9) {
+		t.Fatal("bilateral changed a constant image")
+	}
+}
+
+func TestBilateralPreservesEdgesBetterThanLAP(t *testing.T) {
+	// A hard vertical edge: bilateral should keep it sharper than LAP(8).
+	size := 16
+	img := tensor.New(1, size, size)
+	for y := 0; y < size; y++ {
+		for x := size / 2; x < size; x++ {
+			img.Set(1, 0, y, x)
+		}
+	}
+	bi := NewBilateral(2, 1.5, 0.1).Apply(img)
+	lap := NewLAP(8).Apply(img)
+	// Measure edge contrast across the boundary columns.
+	edge := func(t2 *tensor.Tensor) float64 {
+		return t2.At(0, 8, size/2) - t2.At(0, 8, size/2-1)
+	}
+	if edge(bi) <= edge(lap) {
+		t.Fatalf("bilateral edge %.3f not sharper than LAP %.3f", edge(bi), edge(lap))
+	}
+}
+
+func TestBilateralRemovesSmallNoise(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	base := tensor.Full(0.5, 1, 12, 12)
+	noisy := base.Clone()
+	for i := range noisy.Data() {
+		noisy.Data()[i] = mathx.Clamp01(noisy.Data()[i] + rng.NormScaled(0, 0.03))
+	}
+	den := NewBilateral(2, 1.5, 0.2).Apply(noisy)
+	before := tensor.Sub(noisy, base).L2Norm()
+	after := tensor.Sub(den, base).L2Norm()
+	if after >= before/2 {
+		t.Fatalf("bilateral denoised %.4f -> %.4f, expected 2x reduction", before, after)
+	}
+}
+
+func TestBilateralVJPGradientFlow(t *testing.T) {
+	// The lazy Jacobian must at least distribute gradient mass without
+	// inventing it: the VJP of an all-ones upstream sums to the upstream
+	// total (weights are normalized).
+	rng := mathx.NewRNG(2)
+	x := tensor.RandU(rng, 0, 1, 1, 6, 6)
+	u := tensor.Full(1, 1, 6, 6)
+	g := NewBilateral(1, 1, 0.3).VJP(x, u)
+	if !mathx.EqualWithin(g.Sum(), u.Sum(), 1e-9) {
+		t.Fatalf("bilateral VJP total %v != upstream total %v", g.Sum(), u.Sum())
+	}
+	if g.Min() < 0 {
+		t.Fatal("bilateral VJP produced negative redistribution for positive upstream")
+	}
+}
+
+func TestBilateralValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero radius": func() { NewBilateral(0, 1, 1) },
+		"zero space":  func() { NewBilateral(1, 0, 1) },
+		"zero color":  func() { NewBilateral(1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

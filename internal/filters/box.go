@@ -1,0 +1,21 @@
+package filters
+
+import "fmt"
+
+// NewBox builds a square box (mean) filter with the given half-width: the
+// (2r+1)² uniform average classical image pipelines default to. It is a
+// stencil like LAP/LAR, so its VJP is the exact adjoint. Included to let
+// experiments compare the paper's circular LAR footprint against the
+// square box of equal radius.
+func NewBox(radius int) Filter {
+	if radius <= 0 {
+		panic(fmt.Sprintf("filters: box radius %d must be positive", radius))
+	}
+	var offs []offset
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			offs = append(offs, offset{dy, dx})
+		}
+	}
+	return newStencil(fmt.Sprintf("Box(%d)", radius), offs, uniformWeights(len(offs)))
+}

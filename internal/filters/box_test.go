@@ -1,0 +1,70 @@
+package filters
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestBoxTapCount(t *testing.T) {
+	for r, want := range map[int]int{1: 9, 2: 25, 3: 49} {
+		f := NewBox(r).(*stencil)
+		if f.Taps() != want {
+			t.Errorf("Box(%d) taps = %d, want %d", r, f.Taps(), want)
+		}
+	}
+}
+
+func TestBoxIsUniformAverage(t *testing.T) {
+	// On a plateau interior, a box average equals the plain mean.
+	img := tensor.New(1, 5, 5)
+	v := 0.0
+	for i := range img.Data() {
+		img.Data()[i] = v
+		v += 0.01
+	}
+	out := NewBox(1).Apply(img)
+	// Interior pixel (2,2): mean of the 3x3 window around it.
+	sum := 0.0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			sum += img.At(0, 2+dy, 2+dx)
+		}
+	}
+	if !mathx.EqualWithin(out.At(0, 2, 2), sum/9, 1e-12) {
+		t.Fatalf("Box(1) interior = %v, want %v", out.At(0, 2, 2), sum/9)
+	}
+}
+
+func TestBoxAdjointIdentity(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	x := tensor.RandN(rng, 2, 6, 6)
+	u := tensor.RandN(rng, 2, 6, 6)
+	f := NewBox(2)
+	lhs := tensor.Dot(f.Apply(x), u)
+	rhs := tensor.Dot(x, f.VJP(x, u))
+	if !mathx.EqualWithin(lhs, rhs, 1e-9) {
+		t.Fatalf("box adjoint identity broken: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestBoxVsLARFootprint(t *testing.T) {
+	// Box(2) has 25 taps; LAR(2) has 13 — the box smooths strictly more.
+	rng := mathx.NewRNG(4)
+	img := tensor.RandU(rng, 0, 1, 1, 16, 16)
+	vBox := mathx.Variance(NewBox(2).Apply(img).Data())
+	vLAR := mathx.Variance(NewLAR(2).Apply(img).Data())
+	if vBox >= vLAR {
+		t.Fatalf("Box(2) variance %v not below LAR(2) %v", vBox, vLAR)
+	}
+}
+
+func TestBoxValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Box(0) accepted")
+		}
+	}()
+	NewBox(0)
+}

@@ -1,0 +1,100 @@
+// Package filters implements the pre-processing noise filters at the heart
+// of the FAdeML paper: LAP (local average over the np nearest neighbour
+// pixels, np ∈ {4, 8, 16, 32, 64}) and LAR (local average over the
+// Euclidean disk of radius r ∈ {1..5}), plus Gaussian blur and a median
+// filter as library extensions.
+//
+// Every filter exposes Apply (the forward pass the inference pipeline runs)
+// and VJP — the vector-Jacobian product that backpropagates a gradient
+// through the filter. VJP is what makes the FAdeML attack possible: the
+// attacker folds the filter into the differentiable pipeline and optimizes
+// the perturbation through it. For the linear average filters the VJP is
+// the exact adjoint; for the non-differentiable median filter it is the
+// BPDA identity approximation (Athalye et al.'s "backward pass
+// differentiable approximation"), documented on the type.
+package filters
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Filter is one pre-processing stage operating on CHW image tensors.
+type Filter interface {
+	// Name returns a short identifier such as "LAP(32)" or "LAR(3)".
+	Name() string
+	// Apply returns the filtered image as a new tensor (input unchanged).
+	Apply(img *tensor.Tensor) *tensor.Tensor
+	// VJP returns dLoss/dInput given x (the filter input at which the
+	// Jacobian is taken) and upstream = dLoss/dOutput. Linear filters
+	// ignore x.
+	VJP(x, upstream *tensor.Tensor) *tensor.Tensor
+}
+
+// Identity is the no-op filter used for "No Filter" baselines.
+type Identity struct{}
+
+// Name implements Filter.
+func (Identity) Name() string { return "none" }
+
+// Apply implements Filter.
+func (Identity) Apply(img *tensor.Tensor) *tensor.Tensor { return img.Clone() }
+
+// VJP implements Filter.
+func (Identity) VJP(_, upstream *tensor.Tensor) *tensor.Tensor { return upstream.Clone() }
+
+// Chain composes filters in application order: Chain{a, b} computes
+// b(a(x)). Its VJP replays the forward pass to evaluate each stage's
+// Jacobian at the correct intermediate input.
+type Chain []Filter
+
+// Name implements Filter.
+func (c Chain) Name() string {
+	if len(c) == 0 {
+		return "none"
+	}
+	s := c[0].Name()
+	for _, f := range c[1:] {
+		s += "→" + f.Name()
+	}
+	return s
+}
+
+// Apply implements Filter.
+func (c Chain) Apply(img *tensor.Tensor) *tensor.Tensor {
+	out := img
+	for _, f := range c {
+		out = f.Apply(out)
+	}
+	if out == img {
+		out = img.Clone()
+	}
+	return out
+}
+
+// VJP implements Filter.
+func (c Chain) VJP(x, upstream *tensor.Tensor) *tensor.Tensor {
+	if len(c) == 0 {
+		return upstream.Clone()
+	}
+	// Forward replay to collect each stage's input.
+	inputs := make([]*tensor.Tensor, len(c))
+	cur := x
+	for i, f := range c {
+		inputs[i] = cur
+		cur = f.Apply(cur)
+	}
+	g := upstream
+	for i := len(c) - 1; i >= 0; i-- {
+		g = c[i].VJP(inputs[i], g)
+	}
+	return g
+}
+
+func checkCHW(op string, img *tensor.Tensor) (c, h, w int) {
+	if img.Dims() != 3 {
+		panic(fmt.Sprintf("filters: %s wants a CHW tensor, got shape %v", op, img.Shape()))
+	}
+	return img.Dim(0), img.Dim(1), img.Dim(2)
+}

@@ -1,0 +1,380 @@
+package filters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestLAPTapCounts(t *testing.T) {
+	for _, np := range PaperLAPSizes {
+		f := NewLAP(np).(*stencil)
+		if got := f.Taps(); got != np+1 {
+			t.Errorf("LAP(%d) has %d taps, want %d (center + np)", np, got, np+1)
+		}
+	}
+}
+
+func TestLAP4IsVonNeumannCross(t *testing.T) {
+	f := NewLAP(4).(*stencil)
+	want := map[offset]bool{{0, 0}: true, {-1, 0}: true, {1, 0}: true, {0, -1}: true, {0, 1}: true}
+	for _, o := range f.offsets {
+		if !want[o] {
+			t.Fatalf("LAP(4) contains unexpected offset %v", o)
+		}
+		delete(want, o)
+	}
+	if len(want) != 0 {
+		t.Fatalf("LAP(4) missing offsets %v", want)
+	}
+}
+
+func TestLAP8IsMooreNeighborhood(t *testing.T) {
+	f := NewLAP(8).(*stencil)
+	if f.Taps() != 9 {
+		t.Fatalf("LAP(8) taps = %d", f.Taps())
+	}
+	for _, o := range f.offsets {
+		if o.dy < -1 || o.dy > 1 || o.dx < -1 || o.dx > 1 {
+			t.Fatalf("LAP(8) reaches outside 3x3: %v", o)
+		}
+	}
+}
+
+func TestLARDiskSizes(t *testing.T) {
+	want := map[int]int{1: 5, 2: 13, 3: 29, 4: 49, 5: 81}
+	for _, r := range PaperLARRadii {
+		f := NewLAR(r).(*stencil)
+		if got := f.Taps(); got != want[r] {
+			t.Errorf("LAR(%d) has %d taps, want %d", r, got, want[r])
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"LAP(0)":     func() { NewLAP(0) },
+		"LAR(0)":     func() { NewLAR(0) },
+		"LAR(-1)":    func() { NewLAR(-1) },
+		"Gauss(0)":   func() { NewGaussian(0) },
+		"Median(0)":  func() { NewMedian(0) },
+		"Median(-2)": func() { NewMedian(-2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func allFilters() []Filter {
+	fs := []Filter{Identity{}}
+	for _, np := range PaperLAPSizes {
+		fs = append(fs, NewLAP(np))
+	}
+	for _, r := range PaperLARRadii {
+		fs = append(fs, NewLAR(r))
+	}
+	fs = append(fs, NewGaussian(1.0), NewMedian(1))
+	return fs
+}
+
+func TestConstantImageUnchanged(t *testing.T) {
+	img := tensor.Full(0.37, 3, 8, 8)
+	for _, f := range allFilters() {
+		out := f.Apply(img)
+		if !tensor.EqualWithin(out, img, 1e-12) {
+			t.Errorf("%s changed a constant image", f.Name())
+		}
+	}
+}
+
+func TestApplyPreservesRangeAndShape(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	img := tensor.RandU(rng, 0, 1, 3, 12, 12)
+	for _, f := range allFilters() {
+		out := f.Apply(img)
+		if !out.SameShape(img) {
+			t.Errorf("%s changed shape to %v", f.Name(), out.Shape())
+		}
+		if out.Min() < -1e-12 || out.Max() > 1+1e-12 {
+			t.Errorf("%s escaped [0,1]: [%v, %v]", f.Name(), out.Min(), out.Max())
+		}
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	img := tensor.RandU(rng, 0, 1, 1, 6, 6)
+	orig := img.Clone()
+	for _, f := range allFilters() {
+		f.Apply(img)
+		if !tensor.EqualWithin(img, orig, 0) {
+			t.Fatalf("%s mutated its input", f.Name())
+		}
+	}
+}
+
+func TestSmoothingReducesNoiseVariance(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	img := tensor.RandU(rng, 0, 1, 1, 16, 16)
+	inVar := mathx.Variance(img.Data())
+	for _, f := range []Filter{NewLAP(8), NewLAP(32), NewLAR(2), NewLAR(4), NewGaussian(1)} {
+		out := f.Apply(img)
+		if v := mathx.Variance(out.Data()); v >= inVar {
+			t.Errorf("%s did not reduce variance: %v -> %v", f.Name(), inVar, v)
+		}
+	}
+}
+
+func TestStrongerSmoothingSmoothsMore(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	img := tensor.RandU(rng, 0, 1, 1, 16, 16)
+	prev := math.Inf(1)
+	for _, np := range PaperLAPSizes {
+		v := mathx.Variance(NewLAP(np).Apply(img).Data())
+		if v >= prev {
+			t.Errorf("LAP(%d) variance %v not below previous %v", np, v, prev)
+		}
+		prev = v
+	}
+	prev = math.Inf(1)
+	for _, r := range PaperLARRadii {
+		v := mathx.Variance(NewLAR(r).Apply(img).Data())
+		if v >= prev {
+			t.Errorf("LAR(%d) variance %v not below previous %v", r, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Linearity property: F(a·x + b·y) == a·F(x) + b·F(y) for stencil filters.
+func TestLinearityProperty(t *testing.T) {
+	linear := []Filter{NewLAP(4), NewLAP(16), NewLAR(1), NewLAR(3), NewGaussian(0.8), Identity{}}
+	f := func(seed uint64, aRaw, bRaw int8) bool {
+		r := mathx.NewRNG(seed)
+		a, b := float64(aRaw)/32, float64(bRaw)/32
+		x := tensor.RandN(r, 1, 6, 6)
+		y := tensor.RandN(r, 1, 6, 6)
+		mixIn := tensor.Add(tensor.Scale(x, a), tensor.Scale(y, b))
+		for _, flt := range linear {
+			lhs := flt.Apply(mixIn)
+			rhs := tensor.Add(tensor.Scale(flt.Apply(x), a), tensor.Scale(flt.Apply(y), b))
+			if !tensor.EqualWithin(lhs, rhs, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adjoint identity property: ⟨F(x), u⟩ == ⟨x, Fᵀ(u)⟩ — the strongest
+// correctness test for VJP implementations of linear filters.
+func TestVJPAdjointIdentityProperty(t *testing.T) {
+	linear := []Filter{NewLAP(4), NewLAP(8), NewLAP(32), NewLAR(1), NewLAR(3), NewLAR(5), NewGaussian(1.2), Identity{}}
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		x := tensor.RandN(r, 2, 7, 7)
+		u := tensor.RandN(r, 2, 7, 7)
+		for _, flt := range linear {
+			lhs := tensor.Dot(flt.Apply(x), u)
+			rhs := tensor.Dot(x, flt.VJP(x, u))
+			if !mathx.EqualWithin(lhs, rhs, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// VJP must match finite differences of a scalar functional through the
+// filter (for linear filters this is exact up to float error).
+func TestVJPMatchesFiniteDifference(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	x := tensor.RandU(rng, 0, 1, 1, 5, 5)
+	probe := tensor.RandN(rng, 1, 5, 5)
+	for _, f := range []Filter{NewLAP(8), NewLAR(2), NewGaussian(1)} {
+		grad := f.VJP(x, probe)
+		const h = 1e-6
+		for _, i := range []int{0, 6, 12, 24} {
+			d := x.Data()
+			orig := d[i]
+			d[i] = orig + h
+			lp := tensor.Dot(f.Apply(x), probe)
+			d[i] = orig - h
+			lm := tensor.Dot(f.Apply(x), probe)
+			d[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			if !mathx.EqualWithin(grad.Data()[i], numeric, 1e-5) {
+				t.Errorf("%s VJP[%d] = %v, finite diff %v", f.Name(), i, grad.Data()[i], numeric)
+			}
+		}
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	img := tensor.RandU(rng, 0, 1, 1, 8, 8)
+	a, b := NewLAP(4), NewLAR(1)
+	chain := Chain{a, b}
+	want := b.Apply(a.Apply(img))
+	if !tensor.EqualWithin(chain.Apply(img), want, 1e-12) {
+		t.Fatal("Chain.Apply is not b(a(x))")
+	}
+	if chain.Name() != "LAP(4)→LAR(1)" {
+		t.Fatalf("Chain name = %q", chain.Name())
+	}
+}
+
+func TestChainVJPAdjoint(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	x := tensor.RandN(rng, 1, 6, 6)
+	u := tensor.RandN(rng, 1, 6, 6)
+	chain := Chain{NewLAP(8), NewGaussian(0.8), NewLAR(1)}
+	lhs := tensor.Dot(chain.Apply(x), u)
+	rhs := tensor.Dot(x, chain.VJP(x, u))
+	if !mathx.EqualWithin(lhs, rhs, 1e-9) {
+		t.Fatalf("chain adjoint identity broken: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestEmptyChainIsIdentity(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	img := tensor.RandU(rng, 0, 1, 1, 4, 4)
+	var c Chain
+	if !tensor.EqualWithin(c.Apply(img), img, 0) {
+		t.Fatal("empty chain not identity")
+	}
+	u := tensor.RandN(rng, 1, 4, 4)
+	if !tensor.EqualWithin(c.VJP(img, u), u, 0) {
+		t.Fatal("empty chain VJP not identity")
+	}
+	if c.Name() != "none" {
+		t.Fatalf("empty chain name = %q", c.Name())
+	}
+}
+
+func TestMedianKnownValues(t *testing.T) {
+	// 3×3 image with an impulse at the center: the median wipes it out.
+	img := tensor.New(1, 3, 3)
+	img.Set(1, 0, 1, 1)
+	out := NewMedian(1).Apply(img)
+	if out.At(0, 1, 1) != 0 {
+		t.Fatalf("median did not remove impulse: %v", out.At(0, 1, 1))
+	}
+}
+
+func TestMedianRemovesSaltPepper(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	img := tensor.Full(0.5, 1, 16, 16)
+	noisy := img.Clone()
+	// 8% salt-and-pepper corruption.
+	for i := range noisy.Data() {
+		if rng.Bool(0.04) {
+			noisy.Data()[i] = 1
+		} else if rng.Bool(0.04) {
+			noisy.Data()[i] = 0
+		}
+	}
+	denoised := NewMedian(1).Apply(noisy)
+	before := tensor.Sub(noisy, img).L2Norm()
+	after := tensor.Sub(denoised, img).L2Norm()
+	if after >= before/4 {
+		t.Fatalf("median barely denoised: %v -> %v", before, after)
+	}
+}
+
+func TestMedianVJPIsBPDAIdentity(t *testing.T) {
+	rng := mathx.NewRNG(10)
+	x := tensor.RandU(rng, 0, 1, 1, 5, 5)
+	u := tensor.RandN(rng, 1, 5, 5)
+	g := NewMedian(1).VJP(x, u)
+	if !tensor.EqualWithin(g, u, 0) {
+		t.Fatal("median VJP is not the BPDA identity")
+	}
+}
+
+func TestGaussianWeightsSumToOne(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2} {
+		f := NewGaussian(sigma).(*stencil)
+		sum := 0.0
+		for _, w := range f.weights {
+			sum += w
+		}
+		if !mathx.EqualWithin(sum, 1, 1e-12) {
+			t.Errorf("Gauss(%v) weights sum to %v", sigma, sum)
+		}
+	}
+}
+
+func TestIdentityFilter(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	img := tensor.RandU(rng, 0, 1, 2, 4, 4)
+	out := Identity{}.Apply(img)
+	if !tensor.EqualWithin(out, img, 0) {
+		t.Fatal("Identity.Apply changed the image")
+	}
+	out.Set(9, 0, 0, 0)
+	if img.At(0, 0, 0) == 9 {
+		t.Fatal("Identity.Apply shares storage with input")
+	}
+}
+
+func TestNonCHWPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("2-d input did not panic")
+		}
+	}()
+	NewLAP(4).Apply(tensor.New(4, 4))
+}
+
+// High-frequency attenuation: the core physical property the paper relies
+// on. A checkerboard (Nyquist frequency) must be attenuated far more than a
+// smooth gradient.
+func TestLowPassBehaviour(t *testing.T) {
+	size := 16
+	checker := tensor.New(1, size, size)
+	gradient := tensor.New(1, size, size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			checker.Set(float64((x+y)%2), 0, y, x)
+			gradient.Set(float64(x)/float64(size-1), 0, y, x)
+		}
+	}
+	for _, f := range []Filter{NewLAP(8), NewLAR(2)} {
+		cOut := f.Apply(checker)
+		gOut := f.Apply(gradient)
+		// AC energy relative to the mean.
+		ac := func(t *tensor.Tensor) float64 {
+			m := t.Mean()
+			c := t.Clone()
+			c.AddScalar(-m)
+			return c.L2Norm()
+		}
+		checkerKept := ac(cOut) / ac(checker)
+		gradKept := ac(gOut) / ac(gradient)
+		// LAR(2)'s 13-tap disk has a 9:4 parity imbalance, so it retains
+		// 5/13 ≈ 0.38 of a checkerboard's amplitude; anything well below
+		// the gradient's retention demonstrates low-pass behaviour.
+		if checkerKept > 0.45 {
+			t.Errorf("%s kept %.2f of checkerboard energy", f.Name(), checkerKept)
+		}
+		if gradKept < 0.8 {
+			t.Errorf("%s kept only %.2f of smooth gradient energy", f.Name(), gradKept)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package filters
+
+import "fmt"
+
+// NewGaussian builds a Gaussian blur with the given standard deviation
+// (taps truncated at ±3σ, weights normalized). It is a linear stencil, so
+// like LAP/LAR its VJP is the exact adjoint. Included as a library
+// extension beyond the paper's LAP/LAR pair.
+func NewGaussian(sigma float64) Filter {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("filters: Gaussian sigma %v must be positive", sigma))
+	}
+	offs, ws := gaussianOffsets(sigma)
+	return newStencil(fmt.Sprintf("Gauss(%.2g)", sigma), offs, ws)
+}

@@ -1,0 +1,42 @@
+package filters
+
+import "fmt"
+
+// PaperLAPSizes are the neighbour counts evaluated in the paper's Fig. 7/9
+// sweeps (np = 4, 8, 16, 32, 64).
+var PaperLAPSizes = []int{4, 8, 16, 32, 64}
+
+// NewLAP builds the paper's "local average with neighbourhood pixels"
+// filter: each output pixel is the mean of the center pixel and its np
+// nearest neighbours (Euclidean distance, deterministic tie-breaking),
+// with replicate border handling.
+//
+// np=4 is the von Neumann cross, np=8 the full 3×3 Moore neighbourhood;
+// larger np grow the neighbourhood outward by distance, matching the
+// paper's np ∈ {4, 8, 16, 32, 64} sweep.
+func NewLAP(np int) Filter {
+	if np <= 0 {
+		panic(fmt.Sprintf("filters: LAP neighbourhood %d must be positive", np))
+	}
+	// Search radius large enough to contain np neighbours: the disk of
+	// radius R holds ~πR² pixels, so R = ceil(sqrt(np)) + 2 is generous.
+	radius := 2
+	for {
+		if len(sortedNeighborhood(radius)) >= np {
+			break
+		}
+		radius++
+	}
+	neigh := sortedNeighborhood(radius)[:np]
+	offs := append([]offset{{0, 0}}, neigh...)
+	return newStencil(fmt.Sprintf("LAP(%d)", np), offs, uniformWeights(len(offs)))
+}
+
+// NewPaperLAPs returns the five LAP configurations of the paper's sweep.
+func NewPaperLAPs() []Filter {
+	out := make([]Filter, len(PaperLAPSizes))
+	for i, np := range PaperLAPSizes {
+		out[i] = NewLAP(np)
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package filters
+
+import "fmt"
+
+// PaperLARRadii are the radii evaluated in the paper's Fig. 7/9 sweeps
+// (r = 1..5).
+var PaperLARRadii = []int{1, 2, 3, 4, 5}
+
+// NewLAR builds the paper's "local average with radius" filter: each
+// output pixel is the mean over the Euclidean disk of radius r centered on
+// it (center included), with replicate border handling.
+//
+// Disk sizes: r=1 → 5 taps, r=2 → 13, r=3 → 29, r=4 → 49, r=5 → 81.
+func NewLAR(r int) Filter {
+	if r <= 0 {
+		panic(fmt.Sprintf("filters: LAR radius %d must be positive", r))
+	}
+	offs := diskOffsets(r)
+	return newStencil(fmt.Sprintf("LAR(%d)", r), offs, uniformWeights(len(offs)))
+}
+
+// NewPaperLARs returns the five LAR configurations of the paper's sweep.
+func NewPaperLARs() []Filter {
+	out := make([]Filter, len(PaperLARRadii))
+	for i, r := range PaperLARRadii {
+		out[i] = NewLAR(r)
+	}
+	return out
+}

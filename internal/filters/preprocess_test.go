@@ -1,0 +1,175 @@
+package filters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestGrayscaleLuminance(t *testing.T) {
+	img := tensor.New(3, 1, 1)
+	img.Set(1, 0, 0, 0) // pure red
+	out := Grayscale{}.Apply(img)
+	for c := 0; c < 3; c++ {
+		if !mathx.EqualWithin(out.At(c, 0, 0), 0.299, 1e-12) {
+			t.Fatalf("red luminance channel %d = %v", c, out.At(c, 0, 0))
+		}
+	}
+}
+
+func TestGrayscaleIdempotent(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	img := tensor.RandU(rng, 0, 1, 3, 4, 4)
+	once := Grayscale{}.Apply(img)
+	twice := Grayscale{}.Apply(once)
+	if !tensor.EqualWithin(once, twice, 1e-12) {
+		t.Fatal("grayscale not idempotent")
+	}
+}
+
+func TestGrayscaleAdjointIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		x := tensor.RandN(r, 3, 5, 5)
+		u := tensor.RandN(r, 3, 5, 5)
+		g := Grayscale{}
+		return mathx.EqualWithin(tensor.Dot(g.Apply(x), u), tensor.Dot(x, g.VJP(x, u)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayscaleRejectsWrongChannels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1-channel grayscale accepted")
+		}
+	}()
+	Grayscale{}.Apply(tensor.New(1, 4, 4))
+}
+
+func TestNormalizeStatistics(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	img := tensor.RandU(rng, 0.2, 0.9, 3, 8, 8)
+	n := NewNormalize(0.5, 0.25)
+	out := n.Apply(img)
+	if m := out.Mean(); math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("normalized mean = %v", m)
+	}
+	if s := mathx.StdDev(out.Data()); math.Abs(s-0.25) > 1e-3 {
+		t.Fatalf("normalized std = %v", s)
+	}
+}
+
+func TestNormalizeConstantImageSafe(t *testing.T) {
+	img := tensor.Full(0.7, 1, 4, 4)
+	out := NewNormalize(0.5, 0.25).Apply(img)
+	if !out.AllFinite() {
+		t.Fatal("normalize produced non-finite values on constant image")
+	}
+	// A constant image maps to the target mean.
+	if !mathx.EqualWithin(out.Mean(), 0.5, 1e-9) {
+		t.Fatalf("constant image mean = %v", out.Mean())
+	}
+}
+
+func TestNormalizeVJPScale(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	x := tensor.RandU(rng, 0, 1, 1, 6, 6)
+	u := tensor.Full(1, 1, 6, 6)
+	n := NewNormalize(0.5, 0.25)
+	g := n.VJP(x, u)
+	_, std := n.stats(x)
+	want := 0.25 / std
+	for _, v := range g.Data() {
+		if !mathx.EqualWithin(v, want, 1e-12) {
+			t.Fatalf("VJP value %v, want %v", v, want)
+		}
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero std accepted")
+		}
+	}()
+	NewNormalize(0.5, 0)
+}
+
+func TestHistEqSpreadsContrast(t *testing.T) {
+	// A low-contrast image concentrated in [0.4, 0.6] should be stretched
+	// toward the full [0, 1] range.
+	rng := mathx.NewRNG(4)
+	img := tensor.RandU(rng, 0.4, 0.6, 1, 16, 16)
+	out := NewHistEq(64).Apply(img)
+	if out.Max()-out.Min() < 0.9 {
+		t.Fatalf("histogram equalization kept range [%v, %v]", out.Min(), out.Max())
+	}
+	if out.Min() < -1e-12 || out.Max() > 1+1e-12 {
+		t.Fatalf("equalized image escaped [0,1]: [%v, %v]", out.Min(), out.Max())
+	}
+}
+
+func TestHistEqMonotone(t *testing.T) {
+	// Equalization must preserve value ordering within a channel.
+	rng := mathx.NewRNG(5)
+	img := tensor.RandU(rng, 0, 1, 1, 8, 8)
+	out := NewHistEq(256).Apply(img)
+	id, od := img.Data(), out.Data()
+	for i := 0; i < len(id); i++ {
+		for j := i + 1; j < len(id); j++ {
+			if id[i] < id[j] && od[i] > od[j]+1e-12 {
+				t.Fatalf("ordering violated: in %v<%v but out %v>%v", id[i], id[j], od[i], od[j])
+			}
+		}
+	}
+}
+
+func TestHistEqConstantImageUnchanged(t *testing.T) {
+	img := tensor.Full(0.3, 3, 4, 4)
+	out := NewHistEq(32).Apply(img)
+	if !tensor.EqualWithin(out, img, 1e-12) {
+		t.Fatal("constant image changed by equalization")
+	}
+}
+
+func TestHistEqVJPIsBPDA(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	x := tensor.RandU(rng, 0, 1, 1, 4, 4)
+	u := tensor.RandN(rng, 1, 4, 4)
+	if !tensor.EqualWithin(NewHistEq(16).VJP(x, u), u, 0) {
+		t.Fatal("HistEq VJP not the BPDA identity")
+	}
+}
+
+func TestHistEqValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HistEq(1) accepted")
+		}
+	}()
+	NewHistEq(1)
+}
+
+func TestPreprocessingStackComposes(t *testing.T) {
+	// The paper's full pre-processing stack: grayscale → normalize →
+	// smoothing, as one differentiable chain.
+	rng := mathx.NewRNG(7)
+	img := tensor.RandU(rng, 0, 1, 3, 8, 8)
+	chain := Chain{Grayscale{}, NewNormalize(0.5, 0.2), NewLAP(8)}
+	out := chain.Apply(img)
+	if !out.SameShape(img) {
+		t.Fatal("stack changed shape")
+	}
+	// Adjoint through the linear+lazy chain still transports gradient.
+	u := tensor.RandN(rng, 3, 8, 8)
+	g := chain.VJP(img, u)
+	if g.L2Norm() == 0 || !g.AllFinite() {
+		t.Fatal("stack VJP degenerate")
+	}
+}

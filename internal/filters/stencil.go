@@ -1,0 +1,168 @@
+package filters
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// offset is a relative pixel coordinate of a stencil tap.
+type offset struct{ dy, dx int }
+
+// stencil is a linear filter defined by a set of tap offsets and weights,
+// applied per channel with replicate ("clamp to edge") border handling.
+// LAP, LAR and Gaussian blur are all stencils; only the taps differ.
+type stencil struct {
+	name    string
+	offsets []offset
+	weights []float64
+}
+
+func newStencil(name string, offsets []offset, weights []float64) *stencil {
+	if len(offsets) == 0 || len(offsets) != len(weights) {
+		panic(fmt.Sprintf("filters: stencil %s has %d offsets and %d weights", name, len(offsets), len(weights)))
+	}
+	return &stencil{name: name, offsets: offsets, weights: weights}
+}
+
+// Name implements Filter.
+func (s *stencil) Name() string { return s.name }
+
+// Taps returns the number of stencil taps.
+func (s *stencil) Taps() int { return len(s.offsets) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Apply implements Filter: out[p] = Σ_k w_k · in[clamp(p + o_k)].
+func (s *stencil) Apply(img *tensor.Tensor) *tensor.Tensor {
+	c, h, w := checkCHW(s.name, img)
+	out := tensor.New(c, h, w)
+	id, od := img.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				acc := 0.0
+				for k, o := range s.offsets {
+					sy := clampInt(y+o.dy, 0, h-1)
+					sx := clampInt(x+o.dx, 0, w-1)
+					acc += s.weights[k] * id[base+sy*w+sx]
+				}
+				od[base+y*w+x] = acc
+			}
+		}
+	}
+	return out
+}
+
+// VJP implements Filter. The stencil is linear, so the VJP is the exact
+// adjoint: each output pixel scatters its upstream gradient back to the
+// (border-clamped) input pixels it read, with the same weights.
+func (s *stencil) VJP(_, upstream *tensor.Tensor) *tensor.Tensor {
+	c, h, w := checkCHW(s.name+" VJP", upstream)
+	out := tensor.New(c, h, w)
+	ud, od := upstream.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				u := ud[base+y*w+x]
+				if u == 0 {
+					continue
+				}
+				for k, o := range s.offsets {
+					sy := clampInt(y+o.dy, 0, h-1)
+					sx := clampInt(x+o.dx, 0, w-1)
+					od[base+sy*w+sx] += s.weights[k] * u
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortedNeighborhood returns all offsets within maxRadius (excluding the
+// center), ordered by Euclidean distance with deterministic tie-breaking
+// (distance, then dy, then dx).
+func sortedNeighborhood(maxRadius int) []offset {
+	var offs []offset
+	for dy := -maxRadius; dy <= maxRadius; dy++ {
+		for dx := -maxRadius; dx <= maxRadius; dx++ {
+			if dy == 0 && dx == 0 {
+				continue
+			}
+			if dy*dy+dx*dx <= maxRadius*maxRadius {
+				offs = append(offs, offset{dy, dx})
+			}
+		}
+	}
+	sort.Slice(offs, func(a, b int) bool {
+		da := offs[a].dy*offs[a].dy + offs[a].dx*offs[a].dx
+		db := offs[b].dy*offs[b].dy + offs[b].dx*offs[b].dx
+		if da != db {
+			return da < db
+		}
+		if offs[a].dy != offs[b].dy {
+			return offs[a].dy < offs[b].dy
+		}
+		return offs[a].dx < offs[b].dx
+	})
+	return offs
+}
+
+// uniformWeights returns n weights of 1/n.
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// diskOffsets returns every offset (including the center) with Euclidean
+// distance at most r from the origin.
+func diskOffsets(r int) []offset {
+	var offs []offset
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dy*dy+dx*dx <= r*r {
+				offs = append(offs, offset{dy, dx})
+			}
+		}
+	}
+	return offs
+}
+
+// gaussianOffsets returns taps within ±3σ with normalized Gaussian weights.
+func gaussianOffsets(sigma float64) ([]offset, []float64) {
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	var offs []offset
+	var ws []float64
+	sum := 0.0
+	inv2s2 := 1 / (2 * sigma * sigma)
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			w := math.Exp(-float64(dy*dy+dx*dx) * inv2s2)
+			offs = append(offs, offset{dy, dx})
+			ws = append(ws, w)
+			sum += w
+		}
+	}
+	for i := range ws {
+		ws[i] /= sum
+	}
+	return offs, ws
+}

@@ -1,0 +1,69 @@
+package gtsrb
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestBlurJitterSmooths(t *testing.T) {
+	jit := CanonicalJitter()
+	sharp := Render(ClassStop, 32, jit, nil)
+	jit.Blur = 1.0
+	blurred := Render(ClassStop, 32, jit, nil)
+	if tensor.EqualWithin(sharp, blurred, 1e-9) {
+		t.Fatal("blur jitter had no effect")
+	}
+	// Blur must reduce high-frequency energy: compare the variance of the
+	// horizontal first difference.
+	hfEnergy := func(img *tensor.Tensor) float64 {
+		e := 0.0
+		for c := 0; c < 3; c++ {
+			for y := 0; y < 32; y++ {
+				for x := 1; x < 32; x++ {
+					d := img.At(c, y, x) - img.At(c, y, x-1)
+					e += d * d
+				}
+			}
+		}
+		return e
+	}
+	if hfEnergy(blurred) >= hfEnergy(sharp) {
+		t.Fatalf("blurred image has more HF energy: %v vs %v", hfEnergy(blurred), hfEnergy(sharp))
+	}
+}
+
+func TestBlurPreservesRangeAndMass(t *testing.T) {
+	jit := CanonicalJitter()
+	jit.Blur = 2.0
+	img := Render(ClassSpeed60, 32, jit, nil)
+	if img.Min() < 0 || img.Max() > 1 {
+		t.Fatalf("blurred render escaped [0,1]: [%v, %v]", img.Min(), img.Max())
+	}
+	// A normalized blur approximately preserves total intensity.
+	sharp := Canonical(ClassSpeed60, 32)
+	if rel := (img.Sum() - sharp.Sum()) / sharp.Sum(); rel > 0.02 || rel < -0.02 {
+		t.Fatalf("blur changed total intensity by %.3f", rel)
+	}
+}
+
+func TestRandomJitterBlurDistribution(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	zero, nonzero := 0, 0
+	for i := 0; i < 400; i++ {
+		j := RandomJitter(rng)
+		if j.Blur == 0 {
+			zero++
+		} else {
+			nonzero++
+			if j.Blur < 0.3 || j.Blur > 1.1 {
+				t.Fatalf("blur %v outside [0.3, 1.1]", j.Blur)
+			}
+		}
+	}
+	// ~75% of samples carry blur.
+	if nonzero < 250 || zero < 50 {
+		t.Fatalf("blur mixture off: %d blurred, %d sharp", nonzero, zero)
+	}
+}

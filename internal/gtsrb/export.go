@@ -1,0 +1,88 @@
+package gtsrb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/imageio"
+)
+
+// Export writes every sample of the dataset into dir as PNG files plus a
+// labels.csv manifest (columns: filename, class id, class name), the
+// layout downstream tooling expects from a GTSRB-style dump.
+func (d *Dataset) Export(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("gtsrb: export: %w", err)
+	}
+	manifest, err := os.Create(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		return fmt.Errorf("gtsrb: export manifest: %w", err)
+	}
+	w := csv.NewWriter(manifest)
+	if err := w.Write([]string{"filename", "class_id", "class_name"}); err != nil {
+		manifest.Close()
+		return err
+	}
+	for i := 0; i < d.Len(); i++ {
+		img, label := d.Sample(i)
+		name := fmt.Sprintf("%05d_c%02d.png", i, label)
+		if err := imageio.SavePNG(img, filepath.Join(dir, name)); err != nil {
+			manifest.Close()
+			return fmt.Errorf("gtsrb: export sample %d: %w", i, err)
+		}
+		if err := w.Write([]string{name, strconv.Itoa(label), ClassName(label)}); err != nil {
+			manifest.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		manifest.Close()
+		return err
+	}
+	return manifest.Close()
+}
+
+// Import reads a directory produced by Export back into a Dataset.
+// Pixel values round-trip through 8-bit PNG, so images match the originals
+// to within 1/255 per channel.
+func Import(dir string) (*Dataset, error) {
+	f, err := os.Open(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("gtsrb: import manifest: %w", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gtsrb: import manifest: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("gtsrb: import: manifest has no samples")
+	}
+	ds := &Dataset{}
+	for _, row := range rows[1:] {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("gtsrb: import: malformed manifest row %v", row)
+		}
+		label, err := strconv.Atoi(row[1])
+		if err != nil || label < 0 || label >= NumClasses {
+			return nil, fmt.Errorf("gtsrb: import: bad class id %q", row[1])
+		}
+		img, err := imageio.LoadPNG(filepath.Join(dir, row[0]))
+		if err != nil {
+			return nil, fmt.Errorf("gtsrb: import %s: %w", row[0], err)
+		}
+		if ds.size == 0 {
+			ds.size = img.Dim(1)
+		} else if img.Dim(1) != ds.size || img.Dim(2) != ds.size {
+			return nil, fmt.Errorf("gtsrb: import: %s has size %dx%d, want %dx%d",
+				row[0], img.Dim(1), img.Dim(2), ds.size, ds.size)
+		}
+		ds.imgs = append(ds.imgs, img)
+		ds.labels = append(ds.labels, label)
+	}
+	return ds, nil
+}

@@ -1,0 +1,82 @@
+package gtsrb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	ds, err := Generate(Config{Size: 16, PerClass: 2, Seed: 8, Classes: []int{ClassStop, ClassSpeed60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ds.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Import(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() || back.Size() != ds.Size() {
+		t.Fatalf("round trip: len %d->%d size %d->%d", ds.Len(), back.Len(), ds.Size(), back.Size())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		orig, ol := ds.Sample(i)
+		got, gl := back.Sample(i)
+		if ol != gl {
+			t.Fatalf("sample %d label %d != %d", i, ol, gl)
+		}
+		if diff := tensor.Sub(orig, got).LInfNorm(); diff > 1.0/255+1e-9 {
+			t.Fatalf("sample %d differs by %v after PNG round trip", i, diff)
+		}
+	}
+}
+
+func TestExportManifestContents(t *testing.T) {
+	ds, _ := Generate(Config{Size: 16, PerClass: 1, Seed: 9, Classes: []int{ClassStop}})
+	dir := t.TempDir()
+	if err := ds.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.Contains(content, "class_name") || !strings.Contains(content, "Stop") {
+		t.Fatalf("manifest missing fields:\n%s", content)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 { // one PNG + manifest
+		t.Fatalf("export wrote %d files", len(entries))
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := Import(t.TempDir()); err == nil {
+		t.Error("import of empty dir accepted")
+	}
+	// Manifest referencing a missing image.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "labels.csv"),
+		[]byte("filename,class_id,class_name\nmissing.png,14,Stop\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Error("import with missing image accepted")
+	}
+	// Bad class id.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "labels.csv"),
+		[]byte("filename,class_id,class_name\nx.png,99,Bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir2); err == nil {
+		t.Error("import with bad class id accepted")
+	}
+}

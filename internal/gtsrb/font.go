@@ -1,0 +1,61 @@
+package gtsrb
+
+// A minimal 5×7 bitmap font covering the numerals and the letters needed
+// for the STOP legend. Each glyph is seven rows of five cells; '1' marks an
+// inked cell.
+var font5x7 = map[rune][7]string{
+	'0': {"01110", "10001", "10011", "10101", "11001", "10001", "01110"},
+	'1': {"00100", "01100", "00100", "00100", "00100", "00100", "01110"},
+	'2': {"01110", "10001", "00001", "00110", "01000", "10000", "11111"},
+	'3': {"01110", "10001", "00001", "00110", "00001", "10001", "01110"},
+	'4': {"00010", "00110", "01010", "10010", "11111", "00010", "00010"},
+	'5': {"11111", "10000", "11110", "00001", "00001", "10001", "01110"},
+	'6': {"00110", "01000", "10000", "11110", "10001", "10001", "01110"},
+	'7': {"11111", "00001", "00010", "00100", "01000", "01000", "01000"},
+	'8': {"01110", "10001", "10001", "01110", "10001", "10001", "01110"},
+	'9': {"01110", "10001", "10001", "01111", "00001", "00010", "01100"},
+	'S': {"01111", "10000", "10000", "01110", "00001", "00001", "11110"},
+	'T': {"11111", "00100", "00100", "00100", "00100", "00100", "00100"},
+	'O': {"01110", "10001", "10001", "10001", "10001", "10001", "01110"},
+	'P': {"11110", "10001", "10001", "11110", "10000", "10000", "10000"},
+	'!': {"00100", "00100", "00100", "00100", "00100", "00000", "00100"},
+}
+
+// glyphCoverage reports whether the point (gx, gy) in glyph-local unit
+// coordinates ([0,1]²; y grows downward) lies on an inked cell of r's
+// bitmap. Unknown runes are blank.
+func glyphCoverage(r rune, gx, gy float64) bool {
+	g, ok := font5x7[r]
+	if !ok {
+		return false
+	}
+	if gx < 0 || gx >= 1 || gy < 0 || gy >= 1 {
+		return false
+	}
+	col := int(gx * 5)
+	row := int(gy * 7)
+	return g[row][col] == '1'
+}
+
+// textCoverage reports whether (tx, ty) in text-local unit coordinates lies
+// on an inked cell of the string s laid out horizontally with a one-cell
+// gap between glyphs.
+func textCoverage(s string, tx, ty float64) bool {
+	if len(s) == 0 || tx < 0 || tx >= 1 || ty < 0 || ty >= 1 {
+		return false
+	}
+	runes := []rune(s)
+	n := len(runes)
+	// Each glyph spans 5 cells plus a 1-cell gap (except after the last).
+	totalCells := float64(n*5 + (n - 1))
+	cell := tx * totalCells
+	idx := int(cell / 6)
+	if idx >= n {
+		idx = n - 1
+	}
+	within := cell - float64(idx*6)
+	if within >= 5 {
+		return false // inter-glyph gap
+	}
+	return glyphCoverage(runes[idx], within/5, ty)
+}

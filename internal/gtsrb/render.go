@@ -1,0 +1,534 @@
+package gtsrb
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// rgb is a linear color triple in [0, 1].
+type rgb struct{ r, g, b float64 }
+
+// palette holds the sign colors for one rendering, pre-jittered per sample
+// so lighting varies across the dataset.
+type palette struct {
+	red, blue, white, black, yellow, gray rgb
+}
+
+func basePalette() palette {
+	return palette{
+		red:    rgb{0.78, 0.10, 0.12},
+		blue:   rgb{0.10, 0.25, 0.72},
+		white:  rgb{0.94, 0.94, 0.94},
+		black:  rgb{0.06, 0.06, 0.06},
+		yellow: rgb{0.88, 0.76, 0.18},
+		gray:   rgb{0.45, 0.45, 0.45},
+	}
+}
+
+func (p palette) jittered(rng *mathx.RNG, amount float64) palette {
+	j := func(c rgb) rgb {
+		f := 1 + rng.Range(-amount, amount)
+		return rgb{mathx.Clamp01(c.r * f), mathx.Clamp01(c.g * f), mathx.Clamp01(c.b * f)}
+	}
+	return palette{red: j(p.red), blue: j(p.blue), white: j(p.white),
+		black: j(p.black), yellow: j(p.yellow), gray: j(p.gray)}
+}
+
+// mix blends a into b by t.
+func mix(a, b rgb, t float64) rgb {
+	return rgb{mathx.Lerp(a.r, b.r, t), mathx.Lerp(a.g, b.g, t), mathx.Lerp(a.b, b.b, t)}
+}
+
+// Jitter holds the per-sample geometric and photometric variation of one
+// rendered sign. Zero value means a perfectly centered canonical sign.
+type Jitter struct {
+	// DX, DY translate the sign center in local units (1 = half image).
+	DX, DY float64
+	// Rot rotates the sign, radians.
+	Rot float64
+	// Scale multiplies the sign radius (1 = nominal, covering ~80% of the image).
+	Scale float64
+	// Brightness multiplies the final image, Contrast remaps around 0.5.
+	Brightness, Contrast float64
+	// NoiseStd is the per-pixel Gaussian noise sigma.
+	NoiseStd float64
+	// Blur is the optical blur sigma in pixels (0 = perfectly sharp).
+	// Real GTSRB photographs carry motion and focus blur; including it in
+	// the jitter keeps mild smoothing inside the training distribution,
+	// which is what lets the paper's model tolerate its pre-processing
+	// filters at little clean-accuracy cost.
+	Blur float64
+	// ColorJitter scales the palette jitter amount.
+	ColorJitter float64
+	// BgSeed selects the procedural background.
+	BgSeed uint64
+}
+
+// CanonicalJitter returns the identity jitter used for reference samples
+// (the paper's attack inputs): centered sign, neutral lighting, no noise.
+func CanonicalJitter() Jitter {
+	return Jitter{Scale: 1, Brightness: 1, Contrast: 1}
+}
+
+// RandomJitter draws a dataset-quality jitter from rng.
+func RandomJitter(rng *mathx.RNG) Jitter {
+	blur := 0.0
+	if rng.Bool(0.75) {
+		blur = rng.Range(0.3, 1.1)
+	}
+	return Jitter{
+		DX:          rng.Range(-0.12, 0.12),
+		DY:          rng.Range(-0.12, 0.12),
+		Rot:         rng.Range(-0.15, 0.15),
+		Scale:       rng.Range(0.82, 1.05),
+		Brightness:  rng.Range(0.8, 1.15),
+		Contrast:    rng.Range(0.85, 1.1),
+		NoiseStd:    rng.Range(0.005, 0.025),
+		Blur:        blur,
+		ColorJitter: 0.12,
+		BgSeed:      rng.Uint64(),
+	}
+}
+
+// Render draws the given GTSRB class id as an RGB CHW tensor of side size.
+// The same (class, size, jitter) triple always produces the same image.
+func Render(class, size int, jit Jitter, rng *mathx.RNG) *tensor.Tensor {
+	info := Class(class)
+	if size < 8 {
+		panic("gtsrb: Render size too small")
+	}
+	if jit.Scale == 0 {
+		jit.Scale = 1
+	}
+	if jit.Brightness == 0 {
+		jit.Brightness = 1
+	}
+	if jit.Contrast == 0 {
+		jit.Contrast = 1
+	}
+	pal := basePalette()
+	if jit.ColorJitter > 0 && rng != nil {
+		pal = pal.jittered(rng, jit.ColorJitter)
+	}
+	bg := newBackground(jit.BgSeed)
+	img := tensor.New(3, size, size)
+	d := img.Data()
+	plane := size * size
+
+	cos, sin := math.Cos(-jit.Rot), math.Sin(-jit.Rot)
+	inv := 1 / (0.8 * jit.Scale) // nominal sign radius is 80% of half-image
+
+	const ss = 2 // 2x2 supersampling for anti-aliased edges
+	for py := 0; py < size; py++ {
+		for px := 0; px < size; px++ {
+			var acc rgb
+			for sy := 0; sy < ss; sy++ {
+				for sx := 0; sx < ss; sx++ {
+					// Pixel center in [-1, 1] coordinates.
+					fx := (float64(px)+(float64(sx)+0.5)/ss)/float64(size)*2 - 1
+					fy := (float64(py)+(float64(sy)+0.5)/ss)/float64(size)*2 - 1
+					// Undo translation, rotation and scale to sign-local coords.
+					tx, ty := fx-jit.DX, fy-jit.DY
+					lx := (tx*cos - ty*sin) * inv
+					ly := (tx*sin + ty*cos) * inv
+					col, alpha := paintSign(info, lx, ly, pal)
+					bgc := bg.at(fx, fy)
+					c := mix(bgc, col, alpha)
+					acc.r += c.r
+					acc.g += c.g
+					acc.b += c.b
+				}
+			}
+			n := float64(ss * ss)
+			c := rgb{acc.r / n, acc.g / n, acc.b / n}
+			// Photometric jitter.
+			c.r = mathx.Clamp01((c.r-0.5)*jit.Contrast*jit.Brightness + 0.5*jit.Brightness)
+			c.g = mathx.Clamp01((c.g-0.5)*jit.Contrast*jit.Brightness + 0.5*jit.Brightness)
+			c.b = mathx.Clamp01((c.b-0.5)*jit.Contrast*jit.Brightness + 0.5*jit.Brightness)
+			idx := py*size + px
+			d[idx] = c.r
+			d[plane+idx] = c.g
+			d[2*plane+idx] = c.b
+		}
+	}
+	if jit.Blur > 0 {
+		img = blurImage(img, jit.Blur)
+		d = img.Data()
+	}
+	if jit.NoiseStd > 0 && rng != nil {
+		for i := range d {
+			d[i] = mathx.Clamp01(d[i] + rng.NormScaled(0, jit.NoiseStd))
+		}
+	}
+	return img
+}
+
+// blurImage applies a separable Gaussian blur (taps at ±3σ, replicate
+// border) — the optical-blur component of the jitter model.
+func blurImage(img *tensor.Tensor, sigma float64) *tensor.Tensor {
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	clampi := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	tmp := tensor.New(c, h, w)
+	out := tensor.New(c, h, w)
+	id, td, od := img.Data(), tmp.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				acc := 0.0
+				for k, kv := range kernel {
+					acc += kv * id[base+y*w+clampi(x+k-radius, w-1)]
+				}
+				td[base+y*w+x] = acc
+			}
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				acc := 0.0
+				for k, kv := range kernel {
+					acc += kv * td[base+clampi(y+k-radius, h-1)*w+x]
+				}
+				od[base+y*w+x] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Canonical renders the reference image of a class: centered, unjittered,
+// noise-free. This is the "reference sample x" of the paper's Section IV.
+func Canonical(class, size int) *tensor.Tensor {
+	return Render(class, size, CanonicalJitter(), nil)
+}
+
+// background is a smooth procedural backdrop (sky-to-ground gradient with a
+// deterministic hue tint) standing in for the street scenes behind real
+// GTSRB crops.
+type background struct {
+	top, bottom rgb
+	phase       float64
+}
+
+func newBackground(seed uint64) *background {
+	r := mathx.NewRNG(seed ^ 0xbadc0ffee)
+	sky := rgb{0.45 + r.Range(-0.15, 0.25), 0.55 + r.Range(-0.15, 0.2), 0.65 + r.Range(-0.2, 0.25)}
+	ground := rgb{0.35 + r.Range(-0.15, 0.15), 0.33 + r.Range(-0.12, 0.15), 0.3 + r.Range(-0.1, 0.12)}
+	return &background{top: sky, bottom: ground, phase: r.Range(0, math.Pi)}
+}
+
+func (b *background) at(x, y float64) rgb {
+	t := mathx.Clamp01((y + 1) / 2)
+	c := mix(b.top, b.bottom, t)
+	// A faint horizontal ripple so the background is not linearly separable
+	// from sign colors by mean intensity alone.
+	w := 0.03 * math.Sin(3*x+b.phase)
+	return rgb{mathx.Clamp01(c.r + w), mathx.Clamp01(c.g + w), mathx.Clamp01(c.b + w)}
+}
+
+// smoothstep is the standard cubic step with edges e0 < e1.
+func smoothstep(e0, e1, x float64) float64 {
+	t := mathx.Clamp01((x - e0) / (e1 - e0))
+	return t * t * (3 - 2*t)
+}
+
+// edge antialiasing width in sign-local units.
+const aa = 0.04
+
+// paintSign evaluates the sign color at local coordinates (x, y) in
+// [-1, 1]² (y grows downward) and returns the color with a coverage alpha
+// (0 outside the sign).
+func paintSign(info ClassInfo, x, y float64, pal palette) (rgb, float64) {
+	switch info.Shape {
+	case ShapeProhibitory:
+		return paintProhibitory(info, x, y, pal)
+	case ShapeDerestriction:
+		return paintDerestriction(info, x, y, pal)
+	case ShapeMandatory:
+		return paintMandatory(info, x, y, pal)
+	case ShapeWarning:
+		return paintWarning(info, x, y, pal)
+	case ShapeYield:
+		return paintYield(x, y, pal)
+	case ShapePriority:
+		return paintPriority(x, y, pal)
+	case ShapeStop:
+		return paintStop(x, y, pal)
+	case ShapeNoEntry:
+		return paintNoEntry(x, y, pal)
+	default:
+		return rgb{}, 0
+	}
+}
+
+func paintProhibitory(info ClassInfo, x, y float64, pal palette) (rgb, float64) {
+	r := math.Hypot(x, y)
+	alpha := 1 - smoothstep(1-aa, 1+aa, r)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	ring := smoothstep(0.74-aa, 0.74+aa, r)
+	col := mix(pal.white, pal.red, ring)
+	if r < 0.74 {
+		if info.SpeedDigits != "" {
+			col = mix(col, pal.black, speedGlyph(info.SpeedDigits, x, y))
+		} else {
+			col = mix(col, pal.black, classGlyph(info.ID, x, y, pal))
+		}
+	}
+	return col, alpha
+}
+
+func paintDerestriction(info ClassInfo, x, y float64, pal palette) (rgb, float64) {
+	r := math.Hypot(x, y)
+	alpha := 1 - smoothstep(1-aa, 1+aa, r)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	col := pal.white
+	if info.SpeedDigits != "" {
+		col = mix(col, pal.gray, 0.8*speedGlyph(info.SpeedDigits, x, y))
+	} else {
+		col = mix(col, pal.gray, 0.6*classGlyph(info.ID, x, y, pal))
+	}
+	// Diagonal derestriction band from lower-left to upper-right.
+	d := math.Abs(x+y) / math.Sqrt2
+	band := 1 - smoothstep(0.1-aa, 0.1+aa, d)
+	col = mix(col, pal.gray, 0.9*band)
+	return col, alpha
+}
+
+func paintMandatory(info ClassInfo, x, y float64, pal palette) (rgb, float64) {
+	r := math.Hypot(x, y)
+	alpha := 1 - smoothstep(1-aa, 1+aa, r)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	col := pal.blue
+	var glyph float64
+	switch info.ID {
+	case ClassTurnRight:
+		glyph = arrowGlyph(x, y, +1, false)
+	case ClassTurnLeft:
+		glyph = arrowGlyph(x, y, -1, false)
+	case ClassAheadOnly:
+		glyph = arrowGlyph(x, y, 0, false)
+	case 36: // straight or right
+		glyph = math.Max(arrowGlyph(x*1.4+0.45, y, 0, true), arrowGlyph(x*1.4-0.45, y, +1, true))
+	case 37: // straight or left
+		glyph = math.Max(arrowGlyph(x*1.4-0.45, y, 0, true), arrowGlyph(x*1.4+0.45, y, -1, true))
+	case 38: // keep right
+		glyph = arrowGlyph(x-0.18, y, +1, false)
+	case 39: // keep left
+		glyph = arrowGlyph(x+0.18, y, -1, false)
+	case 40: // roundabout: ring of three arcs approximated by a ring
+		d := math.Abs(math.Hypot(x, y) - 0.45)
+		glyph = 1 - smoothstep(0.12-aa, 0.12+aa, d)
+	default:
+		glyph = classGlyph(info.ID, x, y, pal)
+	}
+	col = mix(col, pal.white, glyph)
+	return col, alpha
+}
+
+func paintWarning(info ClassInfo, x, y float64, pal palette) (rgb, float64) {
+	d := triangleSDF(x, y, false)
+	alpha := 1 - smoothstep(-aa, aa, d)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	border := 1 - smoothstep(-0.22-aa, -0.22+aa, d)
+	col := mix(pal.red, pal.white, border)
+	if d < -0.22 {
+		// Interior glyph: '!' for general caution, class-coded mark otherwise.
+		if info.ID == 18 {
+			g := 0.0
+			if textCoverage("!", (x+0.3)/0.6, (y+0.05)/0.62) {
+				g = 1
+			}
+			col = mix(col, pal.black, g)
+		} else {
+			col = mix(col, pal.black, classGlyph(info.ID, x, y*1.2+0.18, pal))
+		}
+	}
+	return col, alpha
+}
+
+func paintYield(x, y float64, pal palette) (rgb, float64) {
+	d := triangleSDF(x, y, true)
+	alpha := 1 - smoothstep(-aa, aa, d)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	border := 1 - smoothstep(-0.28-aa, -0.28+aa, d)
+	col := mix(pal.red, pal.white, border)
+	return col, alpha
+}
+
+func paintPriority(x, y float64, pal palette) (rgb, float64) {
+	d := (math.Abs(x) + math.Abs(y)) - 1
+	alpha := 1 - smoothstep(-aa, aa, d)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	// Yellow center on white diamond border.
+	inner := (math.Abs(x) + math.Abs(y)) - 0.62
+	col := mix(pal.white, pal.yellow, 1-smoothstep(-aa, aa, inner))
+	return col, alpha
+}
+
+func paintStop(x, y float64, pal palette) (rgb, float64) {
+	d := octagonSDF(x, y)
+	alpha := 1 - smoothstep(-aa, aa, d)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	col := pal.red
+	// Thin white rim near the octagon edge (d close to 0), red interior.
+	rim := smoothstep(-0.1-aa, -0.1+aa, d)
+	col = mix(col, pal.white, 0.9*rim)
+	if textCoverage("STOP", (x+0.78)/1.56, (y+0.3)/0.6) {
+		col = pal.white
+	}
+	return col, alpha
+}
+
+func paintNoEntry(x, y float64, pal palette) (rgb, float64) {
+	r := math.Hypot(x, y)
+	alpha := 1 - smoothstep(1-aa, 1+aa, r)
+	if alpha <= 0 {
+		return rgb{}, 0
+	}
+	col := pal.red
+	// White horizontal bar.
+	bar := 1 - smoothstep(0.22-aa, 0.22+aa, math.Abs(y))
+	inBar := smoothstep(0.8-aa, 0.8+aa, math.Abs(x))
+	col = mix(col, pal.white, bar*(1-inBar))
+	return col, alpha
+}
+
+// speedGlyph returns the ink coverage of a speed numeral centered in the
+// sign interior. The numerals are drawn as large as the ring interior
+// allows: at 32-pixel rendering the first digit must span enough pixels
+// that 20/30/80 remain separable after five pooling stages.
+func speedGlyph(digits string, x, y float64) float64 {
+	w := 1.12
+	if len(digits) >= 3 {
+		w = 1.3
+	}
+	tx := (x + w/2) / w
+	ty := (y + 0.44) / 0.88
+	if textCoverage(digits, tx, ty) {
+		return 1
+	}
+	return 0
+}
+
+// arrowGlyph returns the coverage of an arrow glyph. dir is -1 (left),
+// 0 (straight up) or +1 (right); small shrinks the glyph for two-arrow signs.
+func arrowGlyph(x, y float64, dir int, small bool) float64 {
+	s := 1.0
+	if small {
+		s = 0.8
+	}
+	x, y = x/s, y/s
+	switch dir {
+	case 0:
+		// Vertical shaft with an upward head.
+		shaft := boolTo(math.Abs(x) < 0.13 && y > -0.2 && y < 0.55)
+		head := boolTo(y >= -0.55 && y < -0.1 && math.Abs(x) < 0.45*((y+0.55)/0.45+0.12) && math.Abs(x) < 0.42 && y < -0.2+0.01)
+		// Simpler triangular head: width shrinks toward the tip at y=-0.55.
+		head = boolTo(y >= -0.55 && y <= -0.15 && math.Abs(x) <= 0.42*(y+0.55)/0.4)
+		return math.Max(shaft, head)
+	case 1:
+		// Horizontal shaft pointing right with a rightward head.
+		shaft := boolTo(math.Abs(y) < 0.13 && x > -0.55 && x < 0.2)
+		head := boolTo(x >= 0.15 && x <= 0.55 && math.Abs(y) <= 0.42*(0.55-x)/0.4)
+		return math.Max(shaft, head)
+	default:
+		// Mirror of the rightward arrow.
+		return arrowGlyph(-x, y, 1, false)
+	}
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// classGlyph renders a deterministic 3×4 dot-matrix code of the class id —
+// a visually plausible stand-in glyph that guarantees the 30+ warning and
+// prohibitory classes without modeled pictograms remain distinguishable.
+func classGlyph(id int, x, y float64, _ palette) float64 {
+	// Map the interior to a 3×4 cell grid.
+	gx := (x + 0.45) / 0.9
+	gy := (y + 0.45) / 0.9
+	if gx < 0 || gx >= 1 || gy < 0 || gy >= 1 {
+		return 0
+	}
+	col := int(gx * 3)
+	row := int(gy * 4)
+	bit := uint(row*3 + col)
+	// Spread id bits across 12 cells with a multiplicative hash so nearby
+	// ids differ in several cells.
+	h := uint64(id)*2654435761 + 0x9e37
+	if (h>>bit)&1 == 1 {
+		// Leave small gaps between dots.
+		cx := (gx*3 - float64(col)) - 0.5
+		cy := (gy*4 - float64(row)) - 0.5
+		if math.Abs(cx) < 0.38 && math.Abs(cy) < 0.38 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// triangleSDF is the signed distance to an equilateral-ish triangle
+// occupying the unit box; negative inside. down=true flips it point-down.
+func triangleSDF(x, y float64, down bool) float64 {
+	if down {
+		y = -y
+	}
+	// Vertices: (0,-1), (-1, 0.8), (1, 0.8).
+	// Edges as half-planes with outward normals.
+	top := y - 0.8                     // below bottom edge when positive
+	leftN := (-1.8*x - 1*y - 1) / 2.06 // left edge: from (0,-1) to (-1,0.8)
+	rightN := (1.8*x - 1*y - 1) / 2.06 // right edge
+	return math.Max(top, math.Max(leftN, rightN))
+}
+
+// octagonSDF is the signed distance to a regular octagon of circumradius 1;
+// negative inside.
+func octagonSDF(x, y float64) float64 {
+	ax, ay := math.Abs(x), math.Abs(y)
+	k := 0.924 // cos(pi/8)
+	d1 := ax - k
+	d2 := ay - k
+	d3 := (ax+ay)/math.Sqrt2 - k
+	return math.Max(d1, math.Max(d2, d3))
+}

@@ -1,0 +1,317 @@
+// Package lbfgs implements a limited-memory BFGS minimizer with Armijo
+// backtracking line search and optional box constraints (projected
+// gradient variant). It is the optimizer behind the paper's L-BFGS attack
+// (Szegedy et al.'s box-constrained formulation) and is usable as a
+// general-purpose smooth minimizer.
+package lbfgs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective evaluates the function and writes its gradient into grad
+// (which has the same length as x), returning the function value.
+type Objective func(x []float64, grad []float64) float64
+
+// Config controls the minimization.
+type Config struct {
+	// Memory is the number of (s, y) correction pairs kept (default 8).
+	Memory int
+	// MaxIter bounds the outer iterations (default 100).
+	MaxIter int
+	// GradTol stops when the (projected) gradient inf-norm drops below it
+	// (default 1e-6).
+	GradTol float64
+	// FuncTol stops when the relative function decrease drops below it
+	// (default 1e-10).
+	FuncTol float64
+	// Lower/Upper are optional box constraints applied by projection; nil
+	// means unconstrained. When set they must have the same length as x.
+	Lower, Upper []float64
+	// ArmijoC is the sufficient-decrease constant (default 1e-4).
+	ArmijoC float64
+	// MaxLineSearch bounds backtracking steps per iteration (default 30).
+	MaxLineSearch int
+}
+
+func (c *Config) defaults(n int) error {
+	if c.Memory <= 0 {
+		c.Memory = 8
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.GradTol <= 0 {
+		c.GradTol = 1e-6
+	}
+	if c.FuncTol <= 0 {
+		c.FuncTol = 1e-10
+	}
+	if c.ArmijoC <= 0 {
+		c.ArmijoC = 1e-4
+	}
+	if c.MaxLineSearch <= 0 {
+		c.MaxLineSearch = 30
+	}
+	if (c.Lower != nil && len(c.Lower) != n) || (c.Upper != nil && len(c.Upper) != n) {
+		return fmt.Errorf("lbfgs: bound length does not match x length %d", n)
+	}
+	return nil
+}
+
+// Status describes why the minimizer stopped.
+type Status int
+
+// Termination reasons.
+const (
+	// Converged means the gradient or function tolerance was met.
+	Converged Status = iota
+	// MaxIterReached means the iteration budget ran out.
+	MaxIterReached
+	// LineSearchFailed means no acceptable step was found; X holds the
+	// best point so far.
+	LineSearchFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case MaxIterReached:
+		return "max-iterations"
+	case LineSearchFailed:
+		return "line-search-failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Result holds the outcome of a minimization.
+type Result struct {
+	// X is the best point found (same slice length as the input).
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Iters is the number of outer iterations performed.
+	Iters int
+	// Evals is the number of objective evaluations.
+	Evals int
+	// Status is the termination reason.
+	Status Status
+}
+
+// Minimize runs L-BFGS from x0. x0 is not modified.
+func Minimize(obj Objective, x0 []float64, cfg Config) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("lbfgs: empty start point")
+	}
+	if err := cfg.defaults(n); err != nil {
+		return Result{}, err
+	}
+
+	x := append([]float64(nil), x0...)
+	project(x, cfg.Lower, cfg.Upper)
+	g := make([]float64, n)
+	evals := 0
+	f := obj(x, g)
+	evals++
+	if math.IsNaN(f) {
+		return Result{}, fmt.Errorf("lbfgs: objective is NaN at start point")
+	}
+
+	// History ring buffers.
+	m := cfg.Memory
+	sHist := make([][]float64, 0, m)
+	yHist := make([][]float64, 0, m)
+	rhoHist := make([]float64, 0, m)
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+	alphaBuf := make([]float64, m)
+
+	res := Result{X: x, F: f}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iters = iter + 1
+		if projGradInf(x, g, cfg.Lower, cfg.Upper) < cfg.GradTol {
+			res.Status = Converged
+			break
+		}
+
+		// Two-loop recursion: dir = -H·g.
+		copy(dir, g)
+		k := len(sHist)
+		for i := k - 1; i >= 0; i-- {
+			alphaBuf[i] = rhoHist[i] * dot(sHist[i], dir)
+			axpy(dir, yHist[i], -alphaBuf[i])
+		}
+		if k > 0 {
+			// Initial Hessian scaling gamma = s·y / y·y.
+			gamma := dot(sHist[k-1], yHist[k-1]) / dot(yHist[k-1], yHist[k-1])
+			scale(dir, gamma)
+		}
+		for i := 0; i < k; i++ {
+			beta := rhoHist[i] * dot(yHist[i], dir)
+			axpy(dir, sHist[i], alphaBuf[i]-beta)
+		}
+		neg(dir)
+
+		// Ensure descent; fall back to steepest descent if curvature
+		// information is unusable.
+		if dot(dir, g) >= 0 {
+			copy(dir, g)
+			neg(dir)
+		}
+
+		// Backtracking Armijo line search with box projection.
+		step := 1.0
+		gd := dot(g, dir)
+		ok := false
+		firstTrial := true
+		var fNew float64
+		for ls := 0; ls < cfg.MaxLineSearch; ls++ {
+			for i := range xNew {
+				xNew[i] = x[i] + step*dir[i]
+			}
+			project(xNew, cfg.Lower, cfg.Upper)
+			fNew = obj(xNew, gNew)
+			evals++
+			if fNew <= f+cfg.ArmijoC*step*gd && !math.IsNaN(fNew) {
+				ok = true
+				break
+			}
+			firstTrial = false
+			step *= 0.5
+		}
+		if !ok {
+			res.Status = LineSearchFailed
+			break
+		}
+		// If the unit step was accepted outright, greedily expand while the
+		// Armijo condition keeps holding and the value keeps improving.
+		// Armijo-only backtracking otherwise locks quasi-Newton scaling into
+		// a tiny-step crawl on ill-conditioned valleys; expansion plays the
+		// role of the Wolfe curvature condition.
+		if firstTrial {
+			xTry := make([]float64, n)
+			gTry := make([]float64, n)
+			for e := 0; e < 20; e++ {
+				trial := step * 2
+				for i := range xTry {
+					xTry[i] = x[i] + trial*dir[i]
+				}
+				project(xTry, cfg.Lower, cfg.Upper)
+				fTry := obj(xTry, gTry)
+				evals++
+				if math.IsNaN(fTry) || fTry >= fNew || fTry > f+cfg.ArmijoC*trial*gd {
+					break
+				}
+				step = trial
+				fNew = fTry
+				copy(xNew, xTry)
+				copy(gNew, gTry)
+			}
+		}
+
+		// Update curvature history.
+		s := make([]float64, n)
+		yv := make([]float64, n)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			yv[i] = gNew[i] - g[i]
+		}
+		sy := dot(s, yv)
+		if sy > 1e-10 {
+			if len(sHist) == m {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+			sHist = append(sHist, s)
+			yHist = append(yHist, yv)
+			rhoHist = append(rhoHist, 1/sy)
+		}
+
+		relDecrease := (f - fNew) / math.Max(1, math.Abs(f))
+		copy(x, xNew)
+		copy(g, gNew)
+		f = fNew
+		res.F = f
+		if relDecrease >= 0 && relDecrease < cfg.FuncTol {
+			res.Status = Converged
+			break
+		}
+		if iter == cfg.MaxIter-1 {
+			res.Status = MaxIterReached
+		}
+	}
+	res.X = x
+	res.F = f
+	res.Evals = evals
+	return res, nil
+}
+
+// project clamps x into [lower, upper] element-wise (nil bounds are a no-op).
+func project(x, lower, upper []float64) {
+	if lower != nil {
+		for i := range x {
+			if x[i] < lower[i] {
+				x[i] = lower[i]
+			}
+		}
+	}
+	if upper != nil {
+		for i := range x {
+			if x[i] > upper[i] {
+				x[i] = upper[i]
+			}
+		}
+	}
+}
+
+// projGradInf is the inf-norm of the projected gradient: components
+// pointing outside an active bound are ignored.
+func projGradInf(x, g, lower, upper []float64) float64 {
+	m := 0.0
+	for i := range g {
+		gi := g[i]
+		if lower != nil && x[i] <= lower[i] && gi > 0 {
+			continue
+		}
+		if upper != nil && x[i] >= upper[i] && gi < 0 {
+			continue
+		}
+		if a := math.Abs(gi); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(dst, src []float64, alpha float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+func scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+func neg(x []float64) {
+	for i := range x {
+		x[i] = -x[i]
+	}
+}

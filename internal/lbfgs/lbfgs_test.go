@@ -1,0 +1,201 @@
+package lbfgs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// quadratic objective: f(x) = Σ c_i (x_i - t_i)^2.
+func quadratic(c, target []float64) Objective {
+	return func(x, grad []float64) float64 {
+		f := 0.0
+		for i := range x {
+			d := x[i] - target[i]
+			f += c[i] * d * d
+			grad[i] = 2 * c[i] * d
+		}
+		return f
+	}
+}
+
+func rosenbrock(x, grad []float64) float64 {
+	// Classic 2-d Rosenbrock: f = (1-x0)^2 + 100 (x1 - x0^2)^2.
+	a := 1 - x[0]
+	b := x[1] - x[0]*x[0]
+	grad[0] = -2*a - 400*x[0]*b
+	grad[1] = 200 * b
+	return a*a + 100*b*b
+}
+
+func TestQuadraticConvergence(t *testing.T) {
+	target := []float64{1, -2, 3, 0.5}
+	c := []float64{1, 10, 0.1, 5}
+	res, err := Minimize(quadratic(c, target), []float64{0, 0, 0, 0}, Config{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Converged {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for i := range target {
+		if math.Abs(res.X[i]-target[i]) > 1e-4 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], target[i])
+		}
+	}
+	if res.F > 1e-8 {
+		t.Fatalf("final f = %v", res.F)
+	}
+}
+
+func TestRosenbrockConvergence(t *testing.T) {
+	res, err := Minimize(rosenbrock, []float64{-1.2, 1}, Config{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum not found: %v (f=%v, status=%v)", res.X, res.F, res.Status)
+	}
+}
+
+func TestBoxConstraintsRespected(t *testing.T) {
+	// Unconstrained minimum at (2, 2); box forces x <= 1.
+	target := []float64{2, 2}
+	c := []float64{1, 1}
+	lower := []float64{-1, -1}
+	upper := []float64{1, 1}
+	res, err := Minimize(quadratic(c, target), []float64{0, 0}, Config{
+		MaxIter: 200, Lower: lower, Upper: upper,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if v < lower[i]-1e-12 || v > upper[i]+1e-12 {
+			t.Fatalf("x[%d] = %v escaped box", i, v)
+		}
+	}
+	// Constrained optimum is the box corner (1, 1).
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-1) > 1e-6 {
+		t.Fatalf("constrained optimum = %v, want (1,1)", res.X)
+	}
+}
+
+func TestStartPointProjectedIntoBox(t *testing.T) {
+	res, err := Minimize(quadratic([]float64{1}, []float64{0.5}), []float64{99}, Config{
+		MaxIter: 50,
+		Lower:   []float64{0},
+		Upper:   []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-6 {
+		t.Fatalf("x = %v, want 0.5", res.X[0])
+	}
+}
+
+func TestMaxIterRespected(t *testing.T) {
+	res, err := Minimize(rosenbrock, []float64{-1.2, 1}, Config{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 3 {
+		t.Fatalf("ran %d iters with MaxIter=3", res.Iters)
+	}
+	if res.Status == Converged && res.F > 1e-6 {
+		t.Fatalf("claimed convergence at f=%v", res.F)
+	}
+}
+
+func TestX0NotModified(t *testing.T) {
+	x0 := []float64{-1.2, 1}
+	if _, err := Minimize(rosenbrock, x0, Config{MaxIter: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != -1.2 || x0[1] != 1 {
+		t.Fatalf("x0 modified: %v", x0)
+	}
+}
+
+func TestEmptyStartRejected(t *testing.T) {
+	if _, err := Minimize(rosenbrock, nil, Config{}); err == nil {
+		t.Fatal("empty start accepted")
+	}
+}
+
+func TestBoundLengthValidated(t *testing.T) {
+	_, err := Minimize(quadratic([]float64{1}, []float64{0}), []float64{1}, Config{
+		Lower: []float64{0, 0},
+	})
+	if err == nil {
+		t.Fatal("mismatched bound length accepted")
+	}
+}
+
+func TestNaNObjectiveRejected(t *testing.T) {
+	bad := func(x, g []float64) float64 {
+		for i := range g {
+			g[i] = 0
+		}
+		return math.NaN()
+	}
+	if _, err := Minimize(bad, []float64{1}, Config{}); err == nil {
+		t.Fatal("NaN objective at start accepted")
+	}
+}
+
+func TestHighDimensionalQuadratic(t *testing.T) {
+	rng := mathx.NewRNG(17)
+	n := 200
+	target := make([]float64, n)
+	c := make([]float64, n)
+	x0 := make([]float64, n)
+	for i := range target {
+		target[i] = rng.Range(-2, 2)
+		c[i] = rng.Range(0.1, 10)
+		x0[i] = rng.Range(-5, 5)
+	}
+	res, err := Minimize(quadratic(c, target), x0, Config{MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range target {
+		if math.Abs(res.X[i]-target[i]) > 1e-3 {
+			t.Fatalf("dim %d: x=%v want %v (status %v after %d iters)",
+				i, res.X[i], target[i], res.Status, res.Iters)
+		}
+	}
+}
+
+func TestReportedFIsBestSeen(t *testing.T) {
+	// The Armijo condition only ever accepts strictly improving steps, so
+	// the reported F must equal the smallest accepted value the objective
+	// ever returned from an accepted point; at minimum it can never exceed
+	// the starting value.
+	g0 := make([]float64, 2)
+	f0 := rosenbrock([]float64{-1.2, 1}, g0)
+	res, err := Minimize(rosenbrock, []float64{-1.2, 1}, Config{MaxIter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > f0 {
+		t.Fatalf("final f %v exceeds starting f %v", res.F, f0)
+	}
+	if res.F > 1e-3 {
+		t.Fatalf("final Rosenbrock value %v", res.F)
+	}
+	if res.Evals < res.Iters {
+		t.Fatalf("evals %d < iters %d", res.Evals, res.Iters)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Converged.String() != "converged" ||
+		MaxIterReached.String() != "max-iterations" ||
+		LineSearchFailed.String() != "line-search-failed" ||
+		Status(99).String() != "unknown" {
+		t.Fatal("Status.String labels wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package mathx
+
+import "math"
+
+// EqualWithin reports whether a and b are equal to within tol, using a
+// combined absolute/relative criterion: |a-b| <= tol * max(1, |a|, |b|).
+func EqualWithin(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp01 limits v to the unit interval, the canonical pixel range used
+// throughout the pipeline.
+func Clamp01(v float64) float64 { return Clamp(v, 0, 1) }
+
+// Sign returns -1, 0 or +1 matching the sign of v. Unlike math.Copysign it
+// maps zero to zero, which is the convention FGSM-style attacks require.
+func Sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Lerp linearly interpolates between a and b by t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// IsFinite reports whether v is neither NaN nor infinite.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

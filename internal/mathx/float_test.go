@@ -1,0 +1,86 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1.0000001, 1e-6, true},
+		{1, 1.1, 1e-6, false},
+		{1e12, 1e12 + 1, 1e-6, true}, // relative criterion
+		{0, 1e-9, 1e-6, true},        // absolute criterion near zero
+		{math.NaN(), 1, 1, false},
+		{1, math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%v,%v,%v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(-1, 0, 1); got != 0 {
+		t.Errorf("Clamp(-1,0,1) = %v", got)
+	}
+	if got := Clamp(2, 0, 1); got != 1 {
+		t.Errorf("Clamp(2,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestClampPropertyInRange(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		c := Clamp01(v)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSign(t *testing.T) {
+	if Sign(3.2) != 1 || Sign(-0.001) != -1 || Sign(0) != 0 {
+		t.Fatalf("Sign gave %v %v %v", Sign(3.2), Sign(-0.001), Sign(0))
+	}
+}
+
+func TestSignPropertyIdempotentMagnitude(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		s := Sign(v)
+		return s == -1 || s == 0 || s == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp midpoint = %v", got)
+	}
+	if got := Lerp(2, 2, 0.7); got != 2 {
+		t.Errorf("Lerp of equal endpoints = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(1.5) || IsFinite(math.NaN()) || IsFinite(math.Inf(1)) || IsFinite(math.Inf(-1)) {
+		t.Fatal("IsFinite misclassified a value")
+	}
+}

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	name string
+	mask []bool // true where input > 0 for the latest Forward
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			od[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	dd, dxd := dout.Data(), dx.Data()
+	for i := range dd {
+		if r.mask[i] {
+			dxd[i] = dd[i]
+		}
+	}
+	return dx
+}
+
+// LeakyReLU is max(x, alpha·x) for a small positive alpha; it keeps a
+// nonzero gradient on the negative side, which stabilizes attacks that need
+// gradient signal through saturated units.
+type LeakyReLU struct {
+	name  string
+	Alpha float64
+	x     *tensor.Tensor
+}
+
+// NewLeakyReLU constructs a LeakyReLU layer with the given negative slope.
+func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
+	return &LeakyReLU{name: name, Alpha: alpha}
+}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (l *LeakyReLU) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	return tensor.Apply(x, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return l.Alpha * v
+	})
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	xd, dd, dxd := l.x.Data(), dout.Data(), dx.Data()
+	for i := range dd {
+		if xd[i] > 0 {
+			dxd[i] = dd[i]
+		} else {
+			dxd[i] = l.Alpha * dd[i]
+		}
+	}
+	return dx
+}
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	name string
+	y    *tensor.Tensor
+}
+
+// NewTanh constructs a Tanh layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return t.name }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (t *Tanh) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	t.y = tensor.Apply(x, math.Tanh)
+	return t.y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	yd, dd, dxd := t.y.Data(), dout.Data(), dx.Data()
+	for i := range dd {
+		dxd[i] = dd[i] * (1 - yd[i]*yd[i])
+	}
+	return dx
+}
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	name string
+	y    *tensor.Tensor
+}
+
+// NewSigmoid constructs a Sigmoid layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (s *Sigmoid) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s.y = tensor.Apply(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	yd, dd, dxd := s.y.Data(), dout.Data(), dx.Data()
+	for i := range dd {
+		dxd[i] = dd[i] * yd[i] * (1 - yd[i])
+	}
+	return dx
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-d convolution over NCHW batches, implemented with the
+// classic im2col lowering so both forward and backward passes reduce to
+// matrix multiplication.
+//
+// Weights have shape [OutC, InC·K·K]; each output channel is one row.
+type Conv2D struct {
+	name                        string
+	InC, OutC                   int
+	K, Stride, Pad              int
+	W, B                        *Param
+	inH, inW, outH, outW, batch int
+
+	cols *tensor.Tensor // cached im2col matrix [N·outH·outW rows grouped per sample]
+}
+
+// NewConv2D constructs a convolution layer with He-normal initialization.
+// kernel must be positive, stride positive, pad non-negative.
+func NewConv2D(name string, inC, outC, kernel, stride, pad int, rng *mathx.RNG) *Conv2D {
+	if kernel <= 0 || stride <= 0 || pad < 0 || inC <= 0 || outC <= 0 {
+		panic(fmt.Sprintf("nn: NewConv2D(%s) invalid geometry k=%d s=%d p=%d inC=%d outC=%d",
+			name, kernel, stride, pad, inC, outC))
+	}
+	fanIn := inC * kernel * kernel
+	w := tensor.New(outC, fanIn)
+	w.FillHeNormal(rng, fanIn)
+	return &Conv2D{
+		name:   name,
+		InC:    inC,
+		OutC:   outC,
+		K:      kernel,
+		Stride: stride,
+		Pad:    pad,
+		W:      newParam(name+"/W", w),
+		B:      newParam(name+"/b", tensor.New(outC)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutShape implements OutputShaper.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != c.InC {
+		return nil, shapeErr(c.name, in, fmt.Sprintf("want [%d H W]", c.InC))
+	}
+	oh := (in[1]+2*c.Pad-c.K)/c.Stride + 1
+	ow := (in[2]+2*c.Pad-c.K)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, shapeErr(c.name, in, "kernel larger than padded input")
+	}
+	return []int{c.OutC, oh, ow}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s: Forward input shape %v, want [N %d H W]", c.name, x.Shape(), c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.batch, c.inH, c.inW = n, h, w
+	c.outH = (h+2*c.Pad-c.K)/c.Stride + 1
+	c.outW = (w+2*c.Pad-c.K)/c.Stride + 1
+	if c.outH <= 0 || c.outW <= 0 {
+		panic(fmt.Sprintf("nn: %s: kernel %d exceeds padded input %dx%d", c.name, c.K, h, w))
+	}
+	patch := c.InC * c.K * c.K
+	cols := tensor.New(n, patch, c.outH*c.outW)
+	for s := 0; s < n; s++ {
+		im2col(x.Image(s), cols.SubBatch(s, s+1).Reshape(patch, c.outH*c.outW), c.K, c.Stride, c.Pad)
+	}
+	c.cols = cols
+
+	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	spatial := c.outH * c.outW
+	bd := c.B.Value.Data()
+	for s := 0; s < n; s++ {
+		colMat := cols.SubBatch(s, s+1).Reshape(patch, spatial)
+		y := tensor.MatMul(c.W.Value, colMat) // [OutC, spatial]
+		dst := out.Data()[s*c.OutC*spatial : (s+1)*c.OutC*spatial]
+		yd := y.Data()
+		for f := 0; f < c.OutC; f++ {
+			b := bd[f]
+			row := yd[f*spatial : (f+1)*spatial]
+			drow := dst[f*spatial : (f+1)*spatial]
+			for i, v := range row {
+				drow[i] = v + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	n := c.batch
+	patch := c.InC * c.K * c.K
+	spatial := c.outH * c.outW
+	dx := tensor.New(n, c.InC, c.inH, c.inW)
+	dbd := c.B.Grad.Data()
+	for s := 0; s < n; s++ {
+		doutMat := tensor.FromSlice(
+			dout.Data()[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
+		colMat := c.cols.SubBatch(s, s+1).Reshape(patch, spatial)
+		// dW[f,p] += Σ_i dout[f,i]·cols[p,i]
+		tensor.MatMulAccum(c.W.Grad, doutMat, tensor.Transpose2D(colMat))
+		// db[f] += Σ_i dout[f,i]
+		dd := doutMat.Data()
+		for f := 0; f < c.OutC; f++ {
+			s := 0.0
+			for _, v := range dd[f*spatial : (f+1)*spatial] {
+				s += v
+			}
+			dbd[f] += s
+		}
+		// dcols = Wᵀ·dout, then scatter back to image layout.
+		dcols := tensor.MatMulTransA(c.W.Value, doutMat) // [patch, spatial]
+		col2im(dcols, dx.Image(s), c.K, c.Stride, c.Pad)
+	}
+	return dx
+}
+
+// im2col lowers a CHW image into a [C·K·K, outH·outW] matrix where column i
+// holds the receptive field of output position i. Out-of-bounds (padding)
+// positions contribute zeros.
+func im2col(img, cols *tensor.Tensor, k, stride, pad int) {
+	ch, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	id := img.Data()
+	cd := cols.Data()
+	spatial := outH * outW
+	row := 0
+	for cc := 0; cc < ch; cc++ {
+		base := cc * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				dst := cd[row*spatial : (row+1)*spatial]
+				row++
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					sy := oy*stride + ky - pad
+					if sy < 0 || sy >= h {
+						for ox := 0; ox < outW; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := base + sy*w
+					for ox := 0; ox < outW; ox++ {
+						sx := ox*stride + kx - pad
+						if sx < 0 || sx >= w {
+							dst[i] = 0
+						} else {
+							dst[i] = id[rowBase+sx]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a [C·K·K, outH·outW] gradient matrix back into CHW image
+// layout, accumulating where receptive fields overlap. It is the exact
+// adjoint of im2col.
+func col2im(cols, img *tensor.Tensor, k, stride, pad int) {
+	ch, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	id := img.Data()
+	cd := cols.Data()
+	spatial := outH * outW
+	row := 0
+	for cc := 0; cc < ch; cc++ {
+		base := cc * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				src := cd[row*spatial : (row+1)*spatial]
+				row++
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					sy := oy*stride + ky - pad
+					if sy < 0 || sy >= h {
+						i += outW
+						continue
+					}
+					rowBase := base + sy*w
+					for ox := 0; ox < outW; ox++ {
+						sx := ox*stride + kx - pad
+						if sx >= 0 && sx < w {
+							id[rowBase+sx] += src[i]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Dropout implements inverted dropout: during training each element is
+// zeroed with probability Rate and survivors are scaled by 1/(1-Rate), so
+// inference needs no rescaling. In evaluation mode it is the identity.
+type Dropout struct {
+	name string
+	Rate float64
+	rng  *mathx.RNG
+	mask []float64
+}
+
+// NewDropout constructs a dropout layer with drop probability rate in
+// [0, 1). The layer owns a private RNG stream split from rng.
+func NewDropout(name string, rate float64, rng *mathx.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: NewDropout(%s) rate %v outside [0,1)", name, rate))
+	}
+	return &Dropout{name: name, Rate: rate, rng: rng.Split()}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (d *Dropout) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float64, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		if d.rng.Bool(keep) {
+			d.mask[i] = scale
+			od[i] = xd[i] * scale
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		// Eval-mode forward was an identity.
+		return dout
+	}
+	dx := tensor.New(dout.Shape()...)
+	dd, dxd := dout.Data(), dx.Data()
+	for i := range dd {
+		dxd[i] = dd[i] * d.mask[i]
+	}
+	return dx
+}

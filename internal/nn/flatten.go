@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Flatten reshapes an [N, ...] batch into [N, D], the bridge between the
+// convolutional stack and the dense classifier head.
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (f *Flatten) OutShape(in []int) ([]int, error) {
+	d := 1
+	for _, v := range in {
+		d *= v
+	}
+	return []int{d}, nil
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten.Backward before Forward")
+	}
+	return dout.Reshape(f.inShape...)
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Network is a sequential stack of layers with helpers for inference,
+// training and — crucially for this repository — differentiating the loss
+// with respect to the *input image*, which is what every gradient-based
+// adversarial attack consumes.
+type Network struct {
+	name    string
+	layers  []Layer
+	inShape []int // expected input shape without the batch dimension
+}
+
+// NewNetwork builds a sequential network. inShape is the per-sample input
+// shape (e.g. [3, 32, 32]); it is threaded through every layer that
+// implements OutputShaper to validate the topology eagerly, so a malformed
+// stack fails at construction rather than mid-training.
+func NewNetwork(name string, inShape []int, layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: network %q has no layers", name)
+	}
+	seen := make(map[string]bool)
+	shape := append([]int(nil), inShape...)
+	for _, l := range layers {
+		if seen[l.Name()] {
+			return nil, fmt.Errorf("nn: network %q has duplicate layer name %q", name, l.Name())
+		}
+		seen[l.Name()] = true
+		if os, ok := l.(OutputShaper); ok {
+			next, err := os.OutShape(shape)
+			if err != nil {
+				return nil, err
+			}
+			shape = next
+		}
+	}
+	return &Network{name: name, layers: layers, inShape: append([]int(nil), inShape...)}, nil
+}
+
+// MustNetwork is NewNetwork that panics on error, for statically known
+// topologies such as the built-in VGGNet constructors.
+func MustNetwork(name string, inShape []int, layers ...Layer) *Network {
+	n, err := NewNetwork(name, inShape, layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// InputShape returns the per-sample input shape the network was built for.
+func (n *Network) InputShape() []int { return append([]int(nil), n.inShape...) }
+
+// Layers returns the layer stack (callers must not mutate it).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// OutputClasses returns the width of the final layer's output, i.e. the
+// number of classes for a classifier topology.
+func (n *Network) OutputClasses() int {
+	shape := n.inShape
+	for _, l := range n.layers {
+		if os, ok := l.(OutputShaper); ok {
+			next, err := os.OutShape(shape)
+			if err != nil {
+				panic(err)
+			}
+			shape = next
+		}
+	}
+	if len(shape) != 1 {
+		panic(fmt.Sprintf("nn: network %q output shape %v is not a class vector", n.name, shape))
+	}
+	return shape[0]
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// Forward runs the full stack on a batch. train selects training-time layer
+// behaviour. The returned tensor is the logits batch [N, C].
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x
+	for _, l := range n.layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Backward propagates dLoss/dLogits back through the stack, accumulating
+// parameter gradients, and returns dLoss/dInput.
+func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	g := dout
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return g
+}
+
+// Logits runs inference (eval mode) for a single CHW image and returns the
+// class-score vector.
+func (n *Network) Logits(img *tensor.Tensor) []float64 {
+	batch := n.asBatch(img)
+	out := n.Forward(batch, false)
+	return append([]float64(nil), out.Row(0).Data()...)
+}
+
+// Probs runs inference for a single CHW image and returns softmax
+// probabilities.
+func (n *Network) Probs(img *tensor.Tensor) []float64 {
+	return Softmax(n.Logits(img))
+}
+
+// Predict returns the argmax class and its probability for a single image.
+func (n *Network) Predict(img *tensor.Tensor) (class int, prob float64) {
+	probs := n.Probs(img)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, probs[best]
+}
+
+// LossAndInputGrad computes loss(network(img), label) and its gradient with
+// respect to the image, the primitive consumed by every gradient-based
+// attack. The image is promoted to a batch of one; parameter gradients are
+// accumulated as a side effect, so training code must call ZeroGrads before
+// reusing them (attack code ignores them entirely).
+func (n *Network) LossAndInputGrad(img *tensor.Tensor, label int, loss Loss) (float64, *tensor.Tensor) {
+	batch := n.asBatch(img)
+	logits := n.Forward(batch, false)
+	lv, dlogits := loss.Eval(logits, []int{label})
+	dx := n.Backward(dlogits)
+	return lv, dx.Reshape(img.Shape()...)
+}
+
+// LogitsAndInputGradFrom runs a forward pass for a single image and then
+// backpropagates an arbitrary dLoss/dLogits vector, returning the input
+// gradient. Attacks with non-cross-entropy objectives (C&W margin loss,
+// DeepFool linearization, the FAdeML Eq. 2 cost) use this primitive.
+func (n *Network) LogitsAndInputGradFrom(img *tensor.Tensor, dlogitsFn func(logits []float64) []float64) ([]float64, *tensor.Tensor) {
+	batch := n.asBatch(img)
+	out := n.Forward(batch, false)
+	logits := append([]float64(nil), out.Row(0).Data()...)
+	dl := dlogitsFn(logits)
+	if len(dl) != len(logits) {
+		panic(fmt.Sprintf("nn: dlogits length %d, want %d", len(dl), len(logits)))
+	}
+	dout := tensor.FromSlice(append([]float64(nil), dl...), 1, len(dl))
+	dx := n.Backward(dout)
+	return logits, dx.Reshape(img.Shape()...)
+}
+
+// asBatch promotes a CHW image to a [1, C, H, W] batch, validating shape.
+func (n *Network) asBatch(img *tensor.Tensor) *tensor.Tensor {
+	want := n.inShape
+	got := img.Shape()
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("nn: network %q expects input shape %v, got %v", n.name, want, got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("nn: network %q expects input shape %v, got %v", n.name, want, got))
+		}
+	}
+	return img.Reshape(append([]int{1}, got...)...)
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over NCHW batches. It records the argmax
+// position of every pooling window so Backward can route gradients to the
+// winning input element only.
+type MaxPool2D struct {
+	name      string
+	K, Stride int
+	argmax    []int // flat input index of the max for each output element
+	inShape   []int
+}
+
+// NewMaxPool2D constructs a max-pooling layer with the given window and
+// stride (both must be positive).
+func NewMaxPool2D(name string, kernel, stride int) *MaxPool2D {
+	if kernel <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: NewMaxPool2D(%s) invalid k=%d s=%d", name, kernel, stride))
+	}
+	return &MaxPool2D{name: name, K: kernel, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements OutputShaper.
+func (p *MaxPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(p.name, in, "want [C H W]")
+	}
+	oh := (in[1]-p.K)/p.Stride + 1
+	ow := (in[2]-p.K)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, shapeErr(p.name, in, "window larger than input")
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s: Forward input shape %v, want NCHW", p.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s: window %d exceeds input %dx%d", p.name, p.K, h, w))
+	}
+	p.inShape = x.Shape()
+	out := tensor.New(n, c, oh, ow)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	xd, od := x.Data(), out.Data()
+	oi := 0
+	for s := 0; s < n; s++ {
+		for cc := 0; cc < c; cc++ {
+			plane := (s*c + cc) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.K; ky++ {
+						sy := oy*p.Stride + ky
+						rowBase := plane + sy*w
+						for kx := 0; kx < p.K; kx++ {
+							sx := ox*p.Stride + kx
+							if v := xd[rowBase+sx]; v > best {
+								best = v
+								bestIdx = rowBase + sx
+							}
+						}
+					}
+					od[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	dx := tensor.New(p.inShape...)
+	dxd, dd := dx.Data(), dout.Data()
+	for i, v := range dd {
+		dxd[p.argmax[i]] += v
+	}
+	return dx
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// Weight-file format (little-endian):
+//
+//	magic   [8]byte  "FADEMLW1"
+//	count   uint32   number of tensors
+//	per tensor:
+//	  nameLen uint16, name []byte
+//	  ndims   uint8,  dims []uint32
+//	  data    []float64 (raw IEEE-754 bits)
+//
+// Both trainable parameters and layer state (batch-norm running statistics)
+// are stored, keyed by name. Loading matches names and shapes strictly: a
+// weight file from a different topology is rejected rather than silently
+// truncated.
+
+var weightMagic = [8]byte{'F', 'A', 'D', 'E', 'M', 'L', 'W', '1'}
+
+// SaveWeights writes every parameter (and layer state) of the network to w.
+func (n *Network) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	entries := n.weightEntries()
+	if _, err := bw.Write(weightMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if len(e.name) > math.MaxUint16 {
+			return fmt.Errorf("nn: weight name %q too long", e.name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(e.name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(e.name); err != nil {
+			return err
+		}
+		dims := e.t.Shape()
+		if err := bw.WriteByte(byte(len(dims))); err != nil {
+			return err
+		}
+		for _, d := range dims {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 8*len(e.t.Data()))
+		for i, v := range e.t.Data() {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights reads a weight file produced by SaveWeights into the network.
+// Every tensor in the file must match a parameter or state tensor by name
+// and shape, and every network tensor must be present in the file.
+func (n *Network) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading weight magic: %w", err)
+	}
+	if magic != weightMagic {
+		return fmt.Errorf("nn: bad weight file magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: reading weight count: %w", err)
+	}
+	targets := make(map[string]*tensor.Tensor)
+	for _, e := range n.weightEntries() {
+		targets[e.name] = e.t
+	}
+	if int(count) != len(targets) {
+		return fmt.Errorf("nn: weight file has %d tensors, network %q has %d", count, n.name, len(targets))
+	}
+	loaded := make(map[string]bool)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("nn: reading name length: %w", err)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return fmt.Errorf("nn: reading name: %w", err)
+		}
+		name := string(nameBuf)
+		ndims, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("nn: reading ndims for %q: %w", name, err)
+		}
+		dims := make([]int, ndims)
+		elems := 1
+		for d := range dims {
+			var v uint32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return fmt.Errorf("nn: reading dims for %q: %w", name, err)
+			}
+			dims[d] = int(v)
+			elems *= int(v)
+		}
+		dst, ok := targets[name]
+		if !ok {
+			return fmt.Errorf("nn: weight file tensor %q not in network %q", name, n.name)
+		}
+		if loaded[name] {
+			return fmt.Errorf("nn: weight file has duplicate tensor %q", name)
+		}
+		want := dst.Shape()
+		if len(want) != len(dims) {
+			return fmt.Errorf("nn: tensor %q shape %v, network wants %v", name, dims, want)
+		}
+		for d := range want {
+			if want[d] != dims[d] {
+				return fmt.Errorf("nn: tensor %q shape %v, network wants %v", name, dims, want)
+			}
+		}
+		buf := make([]byte, 8*elems)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("nn: reading data for %q: %w", name, err)
+		}
+		data := dst.Data()
+		for e := 0; e < elems; e++ {
+			data[e] = math.Float64frombits(binary.LittleEndian.Uint64(buf[e*8:]))
+		}
+		loaded[name] = true
+	}
+	return nil
+}
+
+// SaveWeightsFile writes the network weights to path atomically (temp file
+// plus rename) so an interrupted write never leaves a corrupt cache.
+func (n *Network) SaveWeightsFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := n.SaveWeights(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadWeightsFile reads network weights from path.
+func (n *Network) LoadWeightsFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.LoadWeights(f)
+}
+
+type weightEntry struct {
+	name string
+	t    *tensor.Tensor
+}
+
+// weightEntries lists every tensor to serialize in deterministic order.
+func (n *Network) weightEntries() []weightEntry {
+	var entries []weightEntry
+	for _, p := range n.Params() {
+		entries = append(entries, weightEntry{p.Name, p.Value})
+	}
+	for _, l := range n.layers {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			entries = append(entries,
+				weightEntry{bn.Name() + "/run_mean", bn.RunMean},
+				weightEntry{bn.Name() + "/run_var", bn.RunVar})
+		}
+	}
+	return entries
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(61)
+	net, _ := TinyCNN(1, 8, 4, rng)
+	img := tensor.RandU(rng, 0, 1, 1, 8, 8)
+	before := net.Probs(img)
+
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a freshly initialized network with different weights.
+	net2, _ := TinyCNN(1, 8, 4, mathx.NewRNG(999))
+	different := false
+	after0 := net2.Probs(img)
+	for i := range before {
+		if before[i] != after0[i] {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("fresh network coincidentally identical — test is vacuous")
+	}
+	if err := net2.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after := net2.Probs(img)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("probs differ after round trip: %v vs %v", before, after)
+		}
+	}
+}
+
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(62)
+	net, _ := TinyCNN(1, 8, 3, rng)
+	path := filepath.Join(t.TempDir(), "weights.bin")
+	if err := net.SaveWeightsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	net2, _ := TinyCNN(1, 8, 3, mathx.NewRNG(777))
+	if err := net2.LoadWeightsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.RandU(rng, 0, 1, 1, 8, 8)
+	a, b := net.Probs(img), net2.Probs(img)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("file round trip changed weights")
+		}
+	}
+}
+
+func TestLoadRejectsWrongTopology(t *testing.T) {
+	rng := mathx.NewRNG(63)
+	net, _ := TinyCNN(1, 8, 4, rng)
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := TinyCNN(1, 8, 7, mathx.NewRNG(1)) // different class count
+	if err := other.LoadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading mismatched topology succeeded")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	rng := mathx.NewRNG(64)
+	net, _ := TinyCNN(1, 8, 4, rng)
+
+	// Bad magic.
+	if err := net.LoadWeights(bytes.NewReader([]byte("NOTAFILE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated file.
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := net.LoadWeights(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Empty file.
+	if err := net.LoadWeights(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestSaveWeightsFileAtomic(t *testing.T) {
+	rng := mathx.NewRNG(65)
+	net, _ := TinyCNN(1, 8, 4, rng)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.bin")
+	if err := net.SaveWeightsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind: %v", entries)
+	}
+}
+
+func TestBatchNormStateSerialized(t *testing.T) {
+	rng := mathx.NewRNG(66)
+	net := MustNetwork("bnnet", []int{2, 4, 4},
+		NewBatchNorm2D("bn", 2),
+		NewFlatten("flat"),
+		NewDenseXavier("fc", 32, 3, rng),
+	)
+	// Drive running stats away from defaults.
+	x := tensor.RandN(rng, 8, 2, 4, 4)
+	x.AddScalar(4)
+	for i := 0; i < 20; i++ {
+		net.Forward(x, true)
+	}
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	net2 := MustNetwork("bnnet", []int{2, 4, 4},
+		NewBatchNorm2D("bn", 2),
+		NewFlatten("flat"),
+		NewDenseXavier("fc", 32, 3, mathx.NewRNG(5)),
+	)
+	if err := net2.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.RandN(mathx.NewRNG(6), 2, 4, 4)
+	img.AddScalar(4)
+	a, b := net.Probs(img), net2.Probs(img)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("BN running stats not preserved through serialization")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax converts a vector of logits into a probability distribution using
+// the numerically stable max-shift formulation.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// SoftmaxBatch applies Softmax to every row of an [N, C] tensor, returning
+// a new tensor of the same shape.
+func SoftmaxBatch(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Dims() != 2 {
+		panic("nn: SoftmaxBatch needs [N, C] logits")
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	ld, od := logits.Data(), out.Data()
+	for r := 0; r < n; r++ {
+		row := Softmax(ld[r*c : (r+1)*c])
+		copy(od[r*c:(r+1)*c], row)
+	}
+	return out
+}
+
+// LogSoftmax returns log(softmax(logits)) computed stably.
+func LogSoftmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - maxV)
+	}
+	logSum := maxV + math.Log(sum)
+	for i, v := range logits {
+		out[i] = v - logSum
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// The paper-width config enables dropout before the classifier; these
+// tests cover that code path without training the full-width network.
+
+func TestVGGNetWithDropoutForward(t *testing.T) {
+	cfg := ScaledVGGConfig(3, 32, 10, 16)
+	cfg.Dropout = 0.5
+	rng := mathx.NewRNG(71)
+	net, err := VGGNet(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5×(conv+relu+pool) + flatten + dropout + fc = 18 layers.
+	if got := len(net.Layers()); got != 18 {
+		t.Fatalf("dropout VGG layer count = %d", got)
+	}
+	x := tensor.RandU(rng, 0, 1, 2, 3, 32, 32)
+	// Eval mode is deterministic despite dropout.
+	a := net.Forward(x, false)
+	b := net.Forward(x, false)
+	if !tensor.EqualWithin(a, b, 0) {
+		t.Fatal("eval-mode dropout VGG not deterministic")
+	}
+	// Train mode applies masks; two passes should differ.
+	c := net.Forward(x, true)
+	d := net.Forward(x, true)
+	if tensor.EqualWithin(c, d, 1e-12) {
+		t.Fatal("train-mode dropout produced identical passes")
+	}
+}
+
+func TestVGGNetDropoutBackwardShapes(t *testing.T) {
+	cfg := ScaledVGGConfig(1, 32, 5, 16)
+	cfg.Dropout = 0.3
+	rng := mathx.NewRNG(72)
+	net, err := VGGNet(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandU(rng, 0, 1, 2, 1, 32, 32)
+	logits := net.Forward(x, true)
+	loss, dlogits := CrossEntropy{}.Eval(logits, []int{0, 3})
+	if loss <= 0 {
+		t.Fatalf("initial loss %v not positive", loss)
+	}
+	dx := net.Backward(dlogits)
+	if !dx.SameShape(x) {
+		t.Fatalf("input grad shape %v, want %v", dx.Shape(), x.Shape())
+	}
+	if !dx.AllFinite() {
+		t.Fatal("input grad has non-finite values")
+	}
+}
+
+func TestVGGNetDropoutSerializationRoundTrip(t *testing.T) {
+	cfg := ScaledVGGConfig(1, 32, 4, 16)
+	cfg.Dropout = 0.5
+	net, err := VGGNet(cfg, mathx.NewRNG(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, err := VGGNet(cfg, mathx.NewRNG(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropout is stateless, so weights round-trip normally.
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.RandU(mathx.NewRNG(5), 0, 1, 1, 32, 32)
+	a, b := net.Probs(img), net2.Probs(img)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dropout VGG weights not preserved")
+		}
+	}
+}

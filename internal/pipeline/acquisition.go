@@ -1,0 +1,92 @@
+// Package pipeline models the paper's ML inference pipeline — data
+// acquisition → pre-processing noise filter → input buffer → DNN — and the
+// three threat models of Fig. 2 that differ in where the adversarial
+// perturbation enters that pipeline.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Acquisition simulates the data-capture hardware that Threat Model II
+// routes a physical-world perturbation through: exposure gain, additive
+// sensor noise, and 8-bit quantization. It stands in for the camera the
+// paper's TM II assumes (substitution documented in DESIGN.md).
+//
+// Acquisition implements the filters.Filter interface so a filter-aware
+// attacker can fold it into the differentiable pipeline: gain is exact;
+// quantization and noise use the BPDA identity on the backward pass.
+type Acquisition struct {
+	// Gain multiplies pixel values (exposure); 1 is neutral.
+	Gain float64
+	// NoiseStd is the additive Gaussian sensor-noise sigma (0 disables).
+	NoiseStd float64
+	// Quantize rounds to 8-bit levels when true.
+	Quantize bool
+	// Seed drives the sensor noise deterministically per Apply call
+	// sequence.
+	rng *mathx.RNG
+}
+
+// NewAcquisition builds a capture model. seed drives the sensor noise.
+func NewAcquisition(gain, noiseStd float64, quantize bool, seed uint64) *Acquisition {
+	if gain <= 0 {
+		panic(fmt.Sprintf("pipeline: acquisition gain %v must be positive", gain))
+	}
+	if noiseStd < 0 {
+		panic(fmt.Sprintf("pipeline: acquisition noise %v must be non-negative", noiseStd))
+	}
+	return &Acquisition{Gain: gain, NoiseStd: noiseStd, Quantize: quantize, rng: mathx.NewRNG(seed)}
+}
+
+// DefaultAcquisition is the experiment default: neutral gain, one LSB of
+// sensor noise, 8-bit quantization.
+func DefaultAcquisition(seed uint64) *Acquisition {
+	return NewAcquisition(1.0, 1.0/255, true, seed)
+}
+
+// Name implements filters.Filter.
+func (a *Acquisition) Name() string {
+	q := ""
+	if a.Quantize {
+		q = ",8bit"
+	}
+	return fmt.Sprintf("Acq(g=%.2g,σ=%.2g%s)", a.Gain, a.NoiseStd, q)
+}
+
+// Apply implements filters.Filter: capture the image.
+func (a *Acquisition) Apply(img *tensor.Tensor) *tensor.Tensor {
+	out := img.Clone()
+	d := out.Data()
+	for i := range d {
+		v := d[i] * a.Gain
+		if a.NoiseStd > 0 {
+			v += a.rng.NormScaled(0, a.NoiseStd)
+		}
+		v = mathx.Clamp01(v)
+		if a.Quantize {
+			v = quantize8(v)
+		}
+		d[i] = v
+	}
+	return out
+}
+
+// VJP implements filters.Filter. Gain is differentiated exactly;
+// quantization and noise injection use the BPDA identity (their true
+// derivative is zero almost everywhere, which would blind the attacker).
+func (a *Acquisition) VJP(_, upstream *tensor.Tensor) *tensor.Tensor {
+	out := upstream.Clone()
+	if a.Gain != 1 {
+		out.ScaleInPlace(a.Gain)
+	}
+	return out
+}
+
+// quantize8 rounds v∈[0,1] to the nearest of 256 levels.
+func quantize8(v float64) float64 {
+	return float64(int(v*255+0.5)) / 255
+}

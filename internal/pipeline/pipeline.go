@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/filters"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ThreatModel enumerates the paper's Fig. 2 attack scenarios, which differ
+// in where the adversarial image enters the inference pipeline.
+type ThreatModel int
+
+const (
+	// TM1 — the attacker has access to the pre-processing filter's output
+	// and writes the perturbed image directly into the DNN input buffer:
+	// the DNN consumes the adversarial image unfiltered.
+	TM1 ThreatModel = iota + 1
+	// TM2 — the attacker manipulates the scene before data acquisition:
+	// the adversarial image passes capture (gain, sensor noise,
+	// quantization) and then the pre-processing filter.
+	TM2
+	// TM3 — the attacker perturbs the acquired data before the buffer but
+	// has no access to the filter: the adversarial image passes the
+	// pre-processing filter only.
+	TM3
+)
+
+// String implements fmt.Stringer.
+func (tm ThreatModel) String() string {
+	switch tm {
+	case TM1:
+		return "TM-I"
+	case TM2:
+		return "TM-II"
+	case TM3:
+		return "TM-III"
+	default:
+		return fmt.Sprintf("ThreatModel(%d)", int(tm))
+	}
+}
+
+// Pipeline is the deployed inference system: acquisition, pre-processing
+// noise filter, and the DNN behind the input buffer.
+type Pipeline struct {
+	// Acq models the capture hardware (nil disables acquisition effects).
+	Acq *Acquisition
+	// Filter is the integrated pre-processing noise filter
+	// (filters.Identity{} for a filterless deployment).
+	Filter filters.Filter
+	// Net is the trained classifier.
+	Net *nn.Network
+}
+
+// New builds a pipeline; filter may be nil for no filtering.
+func New(net *nn.Network, filter filters.Filter, acq *Acquisition) *Pipeline {
+	if net == nil {
+		panic("pipeline: nil network")
+	}
+	if filter == nil {
+		filter = filters.Identity{}
+	}
+	return &Pipeline{Acq: acq, Filter: filter, Net: net}
+}
+
+// Deliver returns the tensor that reaches the DNN when the attacker-
+// controlled image x enters the pipeline under the given threat model.
+func (p *Pipeline) Deliver(x *tensor.Tensor, tm ThreatModel) *tensor.Tensor {
+	switch tm {
+	case TM1:
+		// Post-filter buffer access: the DNN sees x as-is.
+		return x.Clone()
+	case TM2:
+		img := x
+		if p.Acq != nil {
+			img = p.Acq.Apply(img)
+		}
+		return p.Filter.Apply(img)
+	case TM3:
+		return p.Filter.Apply(x)
+	default:
+		panic(fmt.Sprintf("pipeline: unknown threat model %d", int(tm)))
+	}
+}
+
+// Probs runs the pipeline under a threat model and returns softmax
+// probabilities.
+func (p *Pipeline) Probs(x *tensor.Tensor, tm ThreatModel) []float64 {
+	return p.Net.Probs(p.Deliver(x, tm))
+}
+
+// Predict runs the pipeline under a threat model and returns the top
+// class with its probability.
+func (p *Pipeline) Predict(x *tensor.Tensor, tm ThreatModel) (int, float64) {
+	probs := p.Probs(x, tm)
+	best := mathx.ArgMax(probs)
+	return best, probs[best]
+}
+
+// CleanProbs is the benign-inference path: every legitimate input passes
+// the filter (and acquisition when modeled) before the DNN — identical to
+// Deliver under TM2 but named for readability at call sites evaluating
+// clean accuracy.
+func (p *Pipeline) CleanProbs(x *tensor.Tensor) []float64 {
+	return p.Probs(x, TM2)
+}
+
+// AttackerModel returns the pre-processing stage a filter-aware (FAdeML)
+// attacker should fold into its differentiable model for the given threat
+// model: nothing under TM1, acquisition+filter under TM2, filter under TM3.
+func (p *Pipeline) AttackerModel(tm ThreatModel) filters.Filter {
+	switch tm {
+	case TM1:
+		return filters.Identity{}
+	case TM2:
+		if p.Acq != nil {
+			return filters.Chain{p.Acq, p.Filter}
+		}
+		return p.Filter
+	case TM3:
+		return p.Filter
+	default:
+		panic(fmt.Sprintf("pipeline: unknown threat model %d", int(tm)))
+	}
+}

@@ -1,0 +1,247 @@
+package pipeline
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+var (
+	netOnce sync.Once
+	netInst *nn.Network
+	netErr  error
+)
+
+type remapDS struct {
+	inner *gtsrb.Dataset
+	remap map[int]int
+}
+
+func (d remapDS) Len() int { return d.inner.Len() }
+func (d remapDS) Sample(i int) (*tensor.Tensor, int) {
+	img, l := d.inner.Sample(i)
+	return img, d.remap[l]
+}
+
+func pipelineNet(t *testing.T) *nn.Network {
+	t.Helper()
+	netOnce.Do(func() {
+		ds, err := gtsrb.Generate(gtsrb.Config{
+			Size: 16, PerClass: 20, Seed: 11,
+			Classes: []int{gtsrb.ClassStop, gtsrb.ClassSpeed60, gtsrb.ClassNoEntry},
+		})
+		if err != nil {
+			netErr = err
+			return
+		}
+		net, err := nn.TinyCNN(3, 16, 3, mathx.NewRNG(1))
+		if err != nil {
+			netErr = err
+			return
+		}
+		remap := map[int]int{gtsrb.ClassStop: 0, gtsrb.ClassSpeed60: 1, gtsrb.ClassNoEntry: 2}
+		_, netErr = train.Fit(net, remapDS{ds, remap}, train.Config{
+			Epochs: 15, BatchSize: 12, Schedule: train.ConstantLR(3e-3), Seed: 2,
+		})
+		netInst = net
+	})
+	if netErr != nil {
+		t.Fatalf("pipeline fixture: %v", netErr)
+	}
+	return netInst
+}
+
+func TestThreatModelStrings(t *testing.T) {
+	if TM1.String() != "TM-I" || TM2.String() != "TM-II" || TM3.String() != "TM-III" {
+		t.Fatal("threat model labels wrong")
+	}
+	if !strings.Contains(ThreatModel(9).String(), "9") {
+		t.Fatal("unknown threat model label unhelpful")
+	}
+}
+
+func TestDeliverPaths(t *testing.T) {
+	net := pipelineNet(t)
+	filter := filters.NewLAP(8)
+	acq := DefaultAcquisition(5)
+	p := New(net, filter, acq)
+	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
+
+	// TM1 is a pass-through.
+	tm1 := p.Deliver(img, TM1)
+	if !tensor.EqualWithin(tm1, img, 0) {
+		t.Fatal("TM1 delivery altered the image")
+	}
+	// TM3 applies exactly the filter.
+	tm3 := p.Deliver(img, TM3)
+	if !tensor.EqualWithin(tm3, filter.Apply(img), 1e-12) {
+		t.Fatal("TM3 delivery != filter(x)")
+	}
+	// TM2 applies acquisition then filter: quantization makes it differ
+	// from TM3 but only slightly.
+	tm2 := p.Deliver(img, TM2)
+	if tensor.EqualWithin(tm2, tm3, 0) {
+		t.Fatal("TM2 identical to TM3 despite acquisition stage")
+	}
+	if diff := tensor.Sub(tm2, tm3).LInfNorm(); diff > 0.05 {
+		t.Fatalf("TM2 vs TM3 difference %v implausibly large", diff)
+	}
+}
+
+func TestDeliverDoesNotMutateInput(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, filters.NewLAR(2), DefaultAcquisition(1))
+	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	orig := img.Clone()
+	for _, tm := range []ThreatModel{TM1, TM2, TM3} {
+		p.Deliver(img, tm)
+		if !tensor.EqualWithin(img, orig, 0) {
+			t.Fatalf("%v delivery mutated the input", tm)
+		}
+	}
+}
+
+func TestNilFilterDefaultsToIdentity(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, nil, nil)
+	img := gtsrb.Canonical(gtsrb.ClassSpeed60, 16)
+	if !tensor.EqualWithin(p.Deliver(img, TM3), img, 0) {
+		t.Fatal("nil filter is not identity")
+	}
+}
+
+func TestUnknownThreatModelPanics(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown threat model did not panic")
+		}
+	}()
+	p.Deliver(gtsrb.Canonical(0, 16), ThreatModel(7))
+}
+
+func TestCleanInferenceSurvivesPipeline(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, filters.NewLAP(8), DefaultAcquisition(3))
+	// Clean canonical images should classify correctly through the full
+	// capture + filter path.
+	for gid, label := range map[int]int{gtsrb.ClassStop: 0, gtsrb.ClassSpeed60: 1, gtsrb.ClassNoEntry: 2} {
+		img := gtsrb.Canonical(gid, 16)
+		pred, conf := p.Predict(img, TM2)
+		if pred != label {
+			t.Errorf("clean %s through pipeline: pred %d (%.2f), want %d",
+				gtsrb.ClassName(gid), pred, conf, label)
+		}
+	}
+}
+
+func TestProbsSumToOne(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, filters.NewLAR(1), nil)
+	img := gtsrb.Canonical(gtsrb.ClassNoEntry, 16)
+	for _, tm := range []ThreatModel{TM1, TM2, TM3} {
+		probs := p.Probs(img, tm)
+		sum := 0.0
+		for _, v := range probs {
+			sum += v
+		}
+		if !mathx.EqualWithin(sum, 1, 1e-9) {
+			t.Errorf("%v probs sum to %v", tm, sum)
+		}
+	}
+}
+
+func TestAttackerModelComposition(t *testing.T) {
+	net := pipelineNet(t)
+	filter := filters.NewLAP(4)
+	acq := DefaultAcquisition(9)
+	p := New(net, filter, acq)
+
+	if name := p.AttackerModel(TM1).Name(); name != "none" {
+		t.Errorf("TM1 attacker model = %q", name)
+	}
+	if name := p.AttackerModel(TM3).Name(); name != "LAP(4)" {
+		t.Errorf("TM3 attacker model = %q", name)
+	}
+	tm2name := p.AttackerModel(TM2).Name()
+	if !strings.Contains(tm2name, "Acq") || !strings.Contains(tm2name, "LAP(4)") {
+		t.Errorf("TM2 attacker model = %q", tm2name)
+	}
+	// Without acquisition, TM2 model reduces to the filter.
+	p2 := New(net, filter, nil)
+	if name := p2.AttackerModel(TM2).Name(); name != "LAP(4)" {
+		t.Errorf("TM2 without acq = %q", name)
+	}
+}
+
+func TestAcquisitionQuantization(t *testing.T) {
+	acq := NewAcquisition(1, 0, true, 1)
+	img := tensor.Full(0.5001, 3, 4, 4)
+	out := acq.Apply(img)
+	for _, v := range out.Data() {
+		lv := v * 255
+		if diff := lv - float64(int(lv+0.5)); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("value %v not on 8-bit grid", v)
+		}
+	}
+}
+
+func TestAcquisitionGainAndVJP(t *testing.T) {
+	acq := NewAcquisition(0.8, 0, false, 1)
+	img := tensor.Full(0.5, 1, 2, 2)
+	out := acq.Apply(img)
+	if !mathx.EqualWithin(out.Data()[0], 0.4, 1e-12) {
+		t.Fatalf("gain 0.8 gave %v", out.Data()[0])
+	}
+	u := tensor.Full(1, 1, 2, 2)
+	g := acq.VJP(img, u)
+	if !mathx.EqualWithin(g.Data()[0], 0.8, 1e-12) {
+		t.Fatalf("VJP gain = %v", g.Data()[0])
+	}
+}
+
+func TestAcquisitionNoiseDeterministicPerSeed(t *testing.T) {
+	img := tensor.Full(0.5, 1, 4, 4)
+	a := NewAcquisition(1, 0.02, false, 7).Apply(img)
+	b := NewAcquisition(1, 0.02, false, 7).Apply(img)
+	if !tensor.EqualWithin(a, b, 0) {
+		t.Fatal("same-seed acquisition differs")
+	}
+	c := NewAcquisition(1, 0.02, false, 8).Apply(img)
+	if tensor.EqualWithin(a, c, 0) {
+		t.Fatal("different-seed acquisition identical")
+	}
+}
+
+func TestAcquisitionValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero gain":      func() { NewAcquisition(0, 0, false, 1) },
+		"negative noise": func() { NewAcquisition(1, -0.1, false, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNilNetworkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil network accepted")
+		}
+	}()
+	New(nil, nil, nil)
+}

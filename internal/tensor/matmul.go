@@ -1,0 +1,171 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a(m×k) · b(k×n) as a new m×n tensor.
+// Both operands must be 2-dimensional with compatible inner dimensions.
+//
+// The loop order (i, p, j with a row-scalar broadcast) keeps the innermost
+// loop streaming over contiguous memory in both b and the output, which is
+// the standard cache-friendly formulation for row-major storage.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// matMulInto computes dst += nothing; it overwrites dst with A·B where A is
+// m×k and B is k×n, all row-major flat slices.
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			axpyUnrolled(drow, brow, av)
+		}
+	}
+}
+
+// MatMulAccum computes dst += a(m×k) · b(k×n) in place. dst must be m×n.
+func MatMulAccum(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulAccum needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAccum shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := dst.data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			axpyUnrolled(drow, brow, av)
+		}
+	}
+}
+
+// axpyUnrolled computes dst += alpha * src with 4-way unrolling. dst and src
+// must have equal length.
+func axpyUnrolled(dst, src []float64, alpha float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// MatMulTransA returns aᵀ(k×m)ᵀ · b — i.e. the product of a's transpose with
+// b, computed without materializing the transpose. a is m×k interpreted so
+// the result is k×n for b m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransA needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	m2, n := b.shape[0], b.shape[1]
+	if m != m2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(k, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		brow := b.data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpyUnrolled(out.data[p*n:(p+1)*n], brow, av)
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a · bᵀ where a is m×k and b is n×k; the result is m×n.
+// Used in backprop where weight matrices are consumed transposed.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransB needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-d tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic("tensor: Transpose2D needs a 2-d tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a(m×n) · x(n) as a length-m
+// 1-d tensor.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Dims() != 2 || x.Dims() != 1 {
+		panic("tensor: MatVec needs 2-d matrix and 1-d vector")
+	}
+	m, n := a.shape[0], a.shape[1]
+	if x.shape[0] != n {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x %v", a.shape, x.shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+	if c.Dim(0) != 2 || c.Dim(1) != 2 {
+		t.Fatalf("MatMul shape = %v", c.Shape())
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := mathx.NewRNG(1)
+	a := RandN(r, 4, 4)
+	eye := New(4, 4)
+	for i := 0; i < 4; i++ {
+		eye.Set(1, i, i)
+	}
+	if !EqualWithin(MatMul(a, eye), a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !EqualWithin(MatMul(eye, a), a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with bad inner dims did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulAccum(t *testing.T) {
+	a := FromSlice([]float64{1, 0, 0, 1}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	dst := Full(1, 2, 2)
+	MatMulAccum(dst, a, b)
+	want := []float64{6, 7, 8, 9}
+	for i, w := range want {
+		if dst.Data()[i] != w {
+			t.Fatalf("MatMulAccum = %v", dst.Data())
+		}
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose2D(a)
+	if at.Dim(0) != 3 || at.Dim(1) != 2 {
+		t.Fatalf("transpose shape = %v", at.Shape())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", at.Data())
+	}
+}
+
+// MatMulTransA(a,b) must equal MatMul(Transpose2D(a), b).
+func TestMatMulTransAMatchesExplicit(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 5, 3)
+		b := RandN(r, 5, 4)
+		return EqualWithin(MatMulTransA(a, b), MatMul(Transpose2D(a), b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MatMulTransB(a,b) must equal MatMul(a, Transpose2D(b)).
+func TestMatMulTransBMatchesExplicit(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 4, 6)
+		b := RandN(r, 3, 6)
+		return EqualWithin(MatMulTransB(a, b), MatMul(a, Transpose2D(b)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)C == A(BC) for random matrices (associativity within fp tolerance).
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 3, 4)
+		b := RandN(r, 4, 5)
+		c := RandN(r, 5, 2)
+		return EqualWithin(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float64{1, 0, -1}, 3)
+	y := MatVec(a, x)
+	if y.Data()[0] != -2 || y.Data()[1] != -2 {
+		t.Fatalf("MatVec = %v", y.Data())
+	}
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	r := mathx.NewRNG(8)
+	a := RandN(r, 6, 5)
+	x := RandN(r, 5)
+	viaMatMul := MatMul(a, x.Reshape(5, 1)).Flatten()
+	if !EqualWithin(MatVec(a, x), viaMatMul, 1e-12) {
+		t.Fatal("MatVec disagrees with MatMul")
+	}
+}

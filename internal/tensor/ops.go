@@ -1,0 +1,148 @@
+package tensor
+
+import "repro/internal/mathx"
+
+// Add returns a new tensor a + b (element-wise). Shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a new tensor a - b (element-wise). Shapes must match.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns a new tensor a * b (element-wise, Hadamard). Shapes must match.
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Scale returns a new tensor with every element of t multiplied by s.
+func Scale(t *Tensor, s float64) *Tensor {
+	out := New(t.shape...)
+	for i := range out.data {
+		out.data[i] = t.data[i] * s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into t (t += b). Shapes must match.
+func (t *Tensor) AddInPlace(b *Tensor) {
+	assertSameShape("AddInPlace", t, b)
+	for i := range t.data {
+		t.data[i] += b.data[i]
+	}
+}
+
+// SubInPlace subtracts b from t (t -= b). Shapes must match.
+func (t *Tensor) SubInPlace(b *Tensor) {
+	assertSameShape("SubInPlace", t, b)
+	for i := range t.data {
+		t.data[i] -= b.data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled performs the AXPY update t += alpha * b. Shapes must match.
+func (t *Tensor) AddScaled(alpha float64, b *Tensor) {
+	assertSameShape("AddScaled", t, b)
+	for i := range t.data {
+		t.data[i] += alpha * b.data[i]
+	}
+}
+
+// AddScalar adds s to every element of t in place.
+func (t *Tensor) AddScalar(s float64) {
+	for i := range t.data {
+		t.data[i] += s
+	}
+}
+
+// Clamp limits every element of t to [lo, hi] in place.
+func (t *Tensor) Clamp(lo, hi float64) {
+	for i := range t.data {
+		v := t.data[i]
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}
+
+// Clamp01 limits every element to the canonical pixel range [0, 1].
+func (t *Tensor) Clamp01() { t.Clamp(0, 1) }
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	for i := range out.data {
+		out.data[i] = f(t.data[i])
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element of t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) {
+	for i := range t.data {
+		t.data[i] = f(t.data[i])
+	}
+}
+
+// SignOf returns a new tensor holding the element-wise sign of t
+// (-1, 0 or +1), the quantity FGSM-family attacks step along.
+func SignOf(t *Tensor) *Tensor {
+	out := New(t.shape...)
+	for i := range out.data {
+		out.data[i] = mathx.Sign(t.data[i])
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+// Shapes must match element count.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// EqualWithin reports whether a and b have the same shape and all elements
+// equal to within tol (combined absolute/relative criterion).
+func EqualWithin(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.data {
+		if !mathx.EqualWithin(a.data[i], b.data[i], tol) {
+			return false
+		}
+	}
+	return true
+}

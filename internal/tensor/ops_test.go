@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if got := Add(a, b).Data(); got[3] != 44 || got[0] != 11 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data(); got[3] != 36 || got[0] != 9 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data(); got[2] != 90 {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched shapes did not panic")
+		}
+	}()
+	Add(New(2, 2), New(4))
+}
+
+func TestScaleAndInPlace(t *testing.T) {
+	a := FromSlice([]float64{1, -2}, 2)
+	s := Scale(a, 3)
+	if s.Data()[1] != -6 {
+		t.Fatalf("Scale = %v", s)
+	}
+	a.ScaleInPlace(-1)
+	if a.Data()[0] != -1 || a.Data()[1] != 2 {
+		t.Fatalf("ScaleInPlace = %v", a)
+	}
+	a.AddScalar(1)
+	if a.Data()[0] != 0 || a.Data()[1] != 3 {
+		t.Fatalf("AddScalar = %v", a)
+	}
+}
+
+func TestAddScaledAXPY(t *testing.T) {
+	a := FromSlice([]float64{1, 1, 1}, 3)
+	b := FromSlice([]float64{1, 2, 3}, 3)
+	a.AddScaled(0.5, b)
+	want := []float64{1.5, 2, 2.5}
+	for i, w := range want {
+		if a.Data()[i] != w {
+			t.Fatalf("AddScaled = %v, want %v", a.Data(), want)
+		}
+	}
+}
+
+func TestAddSubInPlace(t *testing.T) {
+	a := FromSlice([]float64{5, 5}, 2)
+	b := FromSlice([]float64{2, 3}, 2)
+	a.AddInPlace(b)
+	if a.Data()[1] != 8 {
+		t.Fatalf("AddInPlace = %v", a.Data())
+	}
+	a.SubInPlace(b)
+	a.SubInPlace(b)
+	if a.Data()[0] != 3 {
+		t.Fatalf("SubInPlace = %v", a.Data())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	a := FromSlice([]float64{-0.5, 0.3, 1.7}, 3)
+	a.Clamp01()
+	want := []float64{0, 0.3, 1}
+	for i, w := range want {
+		if a.Data()[i] != w {
+			t.Fatalf("Clamp01 = %v", a.Data())
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromSlice([]float64{1, 4, 9}, 3)
+	r := Apply(a, math.Sqrt)
+	if r.Data()[2] != 3 {
+		t.Fatalf("Apply = %v", r.Data())
+	}
+	if a.Data()[2] != 9 {
+		t.Fatal("Apply mutated input")
+	}
+	a.ApplyInPlace(func(v float64) float64 { return -v })
+	if a.Data()[0] != -1 {
+		t.Fatalf("ApplyInPlace = %v", a.Data())
+	}
+}
+
+func TestSignOf(t *testing.T) {
+	a := FromSlice([]float64{-3, 0, 0.2}, 3)
+	s := SignOf(a)
+	want := []float64{-1, 0, 1}
+	for i, w := range want {
+		if s.Data()[i] != w {
+			t.Fatalf("SignOf = %v", s.Data())
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestEqualWithinTensors(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1 + 1e-9, 2}, 2)
+	if !EqualWithin(a, b, 1e-6) {
+		t.Fatal("nearly equal tensors reported unequal")
+	}
+	if EqualWithin(a, FromSlice([]float64{1, 2}, 1, 2), 1e-6) {
+		t.Fatal("different-shape tensors reported equal")
+	}
+}
+
+// Property: Add is commutative and Sub(Add(a,b),b) == a.
+func TestAddPropertyCommutativeInverse(t *testing.T) {
+	rng := mathx.NewRNG(99)
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 3, 4)
+		b := RandN(r, 3, 4)
+		if !EqualWithin(Add(a, b), Add(b, a), 1e-12) {
+			return false
+		}
+		return EqualWithin(Sub(Add(a, b), b), a, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot(a,a) == L2Norm(a)^2.
+func TestDotNormProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 10)
+		n := a.L2Norm()
+		return mathx.EqualWithin(Dot(a, a), n*n, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// RandN returns a tensor with i.i.d. standard normal entries drawn from rng.
+func RandN(rng *mathx.RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.Norm()
+	}
+	return t
+}
+
+// RandU returns a tensor with i.i.d. uniform entries in [lo, hi).
+func RandU(rng *mathx.RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.Range(lo, hi)
+	}
+	return t
+}
+
+// FillRandN overwrites t with i.i.d. normal entries of the given mean and
+// stddev.
+func (t *Tensor) FillRandN(rng *mathx.RNG, mean, stddev float64) {
+	for i := range t.data {
+		t.data[i] = rng.NormScaled(mean, stddev)
+	}
+}
+
+// FillHeNormal initializes t with the He/Kaiming normal scheme for a layer
+// with the given fan-in — the standard initialization for ReLU networks and
+// the one used for every convolution and dense layer in this repository.
+func (t *Tensor) FillHeNormal(rng *mathx.RNG, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.FillRandN(rng, 0, std)
+}
+
+// FillXavierUniform initializes t with the Glorot/Xavier uniform scheme for
+// the given fan-in and fan-out, used for the final classifier layer.
+func (t *Tensor) FillXavierUniform(rng *mathx.RNG, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range t.data {
+		t.data[i] = rng.Range(-limit, limit)
+	}
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestRandNMoments(t *testing.T) {
+	r := mathx.NewRNG(21)
+	a := RandN(r, 100, 100)
+	if m := a.Mean(); math.Abs(m) > 0.05 {
+		t.Errorf("RandN mean = %v", m)
+	}
+	std := mathx.StdDev(a.Data())
+	if math.Abs(std-1) > 0.05 {
+		t.Errorf("RandN std = %v", std)
+	}
+}
+
+func TestRandUBounds(t *testing.T) {
+	r := mathx.NewRNG(22)
+	a := RandU(r, -0.25, 0.75, 50, 50)
+	if a.Min() < -0.25 || a.Max() >= 0.75 {
+		t.Errorf("RandU out of bounds: min=%v max=%v", a.Min(), a.Max())
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := RandN(mathx.NewRNG(7), 10)
+	b := RandN(mathx.NewRNG(7), 10)
+	if !EqualWithin(a, b, 0) {
+		t.Fatal("RandN not deterministic for equal seeds")
+	}
+}
+
+func TestFillHeNormalScale(t *testing.T) {
+	r := mathx.NewRNG(23)
+	a := New(200, 50)
+	fanIn := 50
+	a.FillHeNormal(r, fanIn)
+	std := mathx.StdDev(a.Data())
+	want := math.Sqrt(2.0 / float64(fanIn))
+	if math.Abs(std-want) > 0.02 {
+		t.Errorf("He init std = %v, want ~%v", std, want)
+	}
+}
+
+func TestFillXavierUniformBounds(t *testing.T) {
+	r := mathx.NewRNG(24)
+	a := New(64, 64)
+	a.FillXavierUniform(r, 64, 64)
+	limit := math.Sqrt(6.0 / 128.0)
+	if a.Min() < -limit || a.Max() > limit {
+		t.Errorf("Xavier init escaped [-%v, %v]", limit, limit)
+	}
+	if mathx.StdDev(a.Data()) < limit/4 {
+		t.Error("Xavier init suspiciously concentrated")
+	}
+}

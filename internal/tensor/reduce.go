@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the largest element.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the largest element (first on ties).
+func (t *Tensor) ArgMax() int {
+	return mathx.ArgMax(t.data)
+}
+
+// L1Norm returns the sum of absolute values.
+func (t *Tensor) L1Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// LInfNorm returns the maximum absolute value — the perturbation budget
+// metric for FGSM/BIM-style attacks.
+func (t *Tensor) LInfNorm() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L0Count returns the number of elements with |v| > eps, the sparsity
+// measure used by pixel-budget attacks such as JSMA.
+func (t *Tensor) L0Count(eps float64) int {
+	n := 0
+	for _, v := range t.data {
+		if math.Abs(v) > eps {
+			n++
+		}
+	}
+	return n
+}
+
+// AllFinite reports whether every element is finite (no NaN/Inf), used as a
+// sanity check after optimization steps.
+func (t *Tensor) AllFinite() bool {
+	for _, v := range t.data {
+		if !mathx.IsFinite(v) {
+			return false
+		}
+	}
+	return true
+}

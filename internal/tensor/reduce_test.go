@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestReductionsKnown(t *testing.T) {
+	a := FromSlice([]float64{-1, 2, -3, 4}, 4)
+	if a.Sum() != 2 {
+		t.Errorf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 0.5 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 4 {
+		t.Errorf("Max = %v", a.Max())
+	}
+	if a.Min() != -3 {
+		t.Errorf("Min = %v", a.Min())
+	}
+	if a.ArgMax() != 3 {
+		t.Errorf("ArgMax = %v", a.ArgMax())
+	}
+	if a.L1Norm() != 10 {
+		t.Errorf("L1 = %v", a.L1Norm())
+	}
+	if got := a.L2Norm(); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("L2 = %v", got)
+	}
+	if a.LInfNorm() != 4 {
+		t.Errorf("LInf = %v", a.LInfNorm())
+	}
+	if a.L0Count(0.5) != 4 {
+		t.Errorf("L0 = %v", a.L0Count(0.5))
+	}
+	if a.L0Count(3.5) != 1 {
+		t.Errorf("L0(3.5) = %v", a.L0Count(3.5))
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	if !a.AllFinite() {
+		t.Fatal("finite tensor reported non-finite")
+	}
+	a.Set(math.NaN(), 0)
+	if a.AllFinite() {
+		t.Fatal("NaN tensor reported finite")
+	}
+	a.Set(math.Inf(1), 0)
+	if a.AllFinite() {
+		t.Fatal("Inf tensor reported finite")
+	}
+}
+
+// Norm ordering property: LInf <= L2 <= L1 for any vector.
+func TestNormOrderingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 20)
+		linf, l2, l1 := a.LInfNorm(), a.L2Norm(), a.L1Norm()
+		return linf <= l2+1e-12 && l2 <= l1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Triangle inequality property for L2.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a := RandN(r, 16)
+		b := RandN(r, 16)
+		return Add(a, b).L2Norm() <= a.L2Norm()+b.L2Norm()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaling property: ||s·a|| == |s|·||a|| for all norms.
+func TestNormHomogeneityProperty(t *testing.T) {
+	f := func(seed uint64, sRaw int8) bool {
+		r := mathx.NewRNG(seed)
+		s := float64(sRaw) / 16
+		a := RandN(r, 12)
+		sa := Scale(a, s)
+		abs := math.Abs(s)
+		return mathx.EqualWithin(sa.L1Norm(), abs*a.L1Norm(), 1e-9) &&
+			mathx.EqualWithin(sa.L2Norm(), abs*a.L2Norm(), 1e-9) &&
+			mathx.EqualWithin(sa.LInfNorm(), abs*a.LInfNorm(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import "fmt"
+
+// Reshape returns a tensor sharing t's storage with a new shape. The total
+// element count must be preserved.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: Reshape %v -> %v changes element count", t.shape, shape))
+	}
+	return &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: computeStrides(shape),
+		data:   t.data,
+	}
+}
+
+// Flatten returns a 1-d view sharing t's storage.
+func (t *Tensor) Flatten() *Tensor { return t.Reshape(len(t.data)) }
+
+// SubBatch returns a view of rows [from, to) along the leading dimension.
+// The view shares storage with t. Used to slice mini-batches and to address
+// single images inside an NCHW batch without copying.
+func (t *Tensor) SubBatch(from, to int) *Tensor {
+	if t.Dims() < 1 {
+		panic("tensor: SubBatch on scalar")
+	}
+	n := t.shape[0]
+	if from < 0 || to > n || from >= to {
+		panic(fmt.Sprintf("tensor: SubBatch[%d:%d] out of range for leading dim %d", from, to, n))
+	}
+	inner := len(t.data) / n
+	shape := append([]int{to - from}, t.shape[1:]...)
+	return &Tensor{
+		shape:  shape,
+		stride: computeStrides(shape),
+		data:   t.data[from*inner : to*inner],
+	}
+}
+
+// Image returns a view of the i-th image in an NCHW batch as a CHW tensor
+// sharing storage.
+func (t *Tensor) Image(i int) *Tensor {
+	if t.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Image needs an NCHW batch, got shape %v", t.shape))
+	}
+	sub := t.SubBatch(i, i+1)
+	return sub.Reshape(t.shape[1], t.shape[2], t.shape[3])
+}
+
+// Row returns a 1-d view of row i of a 2-d tensor, sharing storage.
+func (t *Tensor) Row(i int) *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: Row needs a 2-d tensor")
+	}
+	n := t.shape[1]
+	return &Tensor{
+		shape:  []int{n},
+		stride: []int{1},
+		data:   t.data[i*n : (i+1)*n],
+	}
+}
+
+// Stack concatenates equal-shaped tensors along a new leading dimension,
+// producing shape [len(ts), ts[0].shape...]. Data is copied.
+func Stack(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Stack of empty slice")
+	}
+	inner := ts[0].shape
+	for _, t := range ts[1:] {
+		if !t.SameShape(ts[0]) {
+			panic(fmt.Sprintf("tensor: Stack shape mismatch %v vs %v", t.shape, inner))
+		}
+	}
+	shape := append([]int{len(ts)}, inner...)
+	out := New(shape...)
+	step := ts[0].Len()
+	for i, t := range ts {
+		copy(out.data[i*step:(i+1)*step], t.data)
+	}
+	return out
+}

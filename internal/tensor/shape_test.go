@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestReshapeSharesStorage(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Reshape does not share storage")
+	}
+	if b.At(2, 1) != 6 {
+		t.Fatalf("Reshape indexing wrong")
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape changing element count did not panic")
+		}
+	}()
+	New(2, 3).Reshape(7)
+}
+
+func TestFlatten(t *testing.T) {
+	a := New(2, 3, 4)
+	f := a.Flatten()
+	if f.Dims() != 1 || f.Len() != 24 {
+		t.Fatalf("Flatten shape = %v", f.Shape())
+	}
+}
+
+func TestSubBatch(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4, 2)
+	s := a.SubBatch(1, 3)
+	if s.Dim(0) != 2 || s.Dim(1) != 2 {
+		t.Fatalf("SubBatch shape = %v", s.Shape())
+	}
+	if s.At(0, 0) != 3 || s.At(1, 1) != 6 {
+		t.Fatalf("SubBatch data wrong: %v", s.Data())
+	}
+	s.Set(99, 0, 0)
+	if a.At(1, 0) != 99 {
+		t.Fatal("SubBatch does not share storage")
+	}
+}
+
+func TestSubBatchOutOfRangePanics(t *testing.T) {
+	a := New(4, 2)
+	for _, r := range [][2]int{{-1, 2}, {0, 5}, {2, 2}, {3, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SubBatch[%d:%d] did not panic", r[0], r[1])
+				}
+			}()
+			a.SubBatch(r[0], r[1])
+		}()
+	}
+}
+
+func TestImageView(t *testing.T) {
+	batch := New(2, 3, 4, 4) // N=2, C=3, H=W=4
+	batch.Data()[3*16+5] = 7 // image 0, channel 3? no: within image 0
+	img := batch.Image(0)
+	if img.Dims() != 3 || img.Dim(0) != 3 || img.Dim(1) != 4 || img.Dim(2) != 4 {
+		t.Fatalf("Image view shape = %v", img.Shape())
+	}
+	img1 := batch.Image(1)
+	img1.Set(5, 2, 3, 3)
+	if batch.At(1, 2, 3, 3) != 5 {
+		t.Fatal("Image view does not share storage")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := a.Row(1)
+	if r.Len() != 3 || r.At(0) != 4 {
+		t.Fatalf("Row view wrong: %v", r.Data())
+	}
+	r.Set(99, 2)
+	if a.At(1, 2) != 99 {
+		t.Fatal("Row does not share storage")
+	}
+}
+
+func TestStack(t *testing.T) {
+	r := mathx.NewRNG(4)
+	imgs := []*Tensor{RandN(r, 2, 3), RandN(r, 2, 3), RandN(r, 2, 3)}
+	s := Stack(imgs)
+	if s.Dim(0) != 3 || s.Dim(1) != 2 || s.Dim(2) != 3 {
+		t.Fatalf("Stack shape = %v", s.Shape())
+	}
+	for i, img := range imgs {
+		if s.At(i, 1, 2) != img.At(1, 2) {
+			t.Fatalf("Stack data mismatch at %d", i)
+		}
+	}
+	// Stack copies: mutating the stack must not touch the sources.
+	s.Set(42, 0, 0, 0)
+	if imgs[0].At(0, 0) == 42 {
+		t.Fatal("Stack shares storage with sources")
+	}
+}
+
+func TestStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stack with mismatched shapes did not panic")
+		}
+	}()
+	Stack([]*Tensor{New(2, 2), New(2, 3)})
+}

@@ -1,0 +1,195 @@
+// Package tensor implements a dense float64 N-dimensional array with the
+// operations required by the hand-built neural network, filter, and attack
+// code in this repository: element-wise arithmetic, AXPY updates, matrix
+// multiplication, reductions, and NCHW image views.
+//
+// Tensors use row-major (C-order) contiguous storage. The implementation is
+// deliberately simple — correctness and determinism over raw speed — but the
+// hot paths (matmul, im2col) are written to be cache-friendly so the
+// experiment harness runs in reasonable time on a single CPU core.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tensor is a dense row-major N-dimensional float64 array.
+//
+// The zero value is not usable; construct tensors with New, FromSlice or the
+// helpers in this package. Shape and stride slices are owned by the tensor
+// and must not be mutated by callers.
+type Tensor struct {
+	shape  []int
+	stride []int
+	data   []float64
+}
+
+// New allocates a zero-filled tensor with the given shape. Every dimension
+// must be positive. A tensor with no dimensions is a scalar holding one
+// element.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: computeStrides(shape),
+		data:   make([]float64, n),
+	}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it must have exactly as many elements as the shape
+// requires.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	return &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: computeStrides(shape),
+		data:   data,
+	}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// checkShape validates a shape and returns the element count.
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid shape %v: dimensions must be positive", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func computeStrides(shape []int) []int {
+	stride := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		stride[i] = acc
+		acc *= shape[i]
+	}
+	return stride
+}
+
+// Shape returns a copy of the tensor's dimensions.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data exposes the underlying storage. Mutating it mutates the tensor; this
+// is intentional and used by the hot loops in nn and filters.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has %d coordinates for %d-d tensor", idx, len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off += x * t.stride[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies the contents of src (which must have the same total
+// element count) into t, preserving t's shape.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom length mismatch %d vs %d", len(src.data), len(t.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// Zero resets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description: shape plus up to eight leading
+// elements. Full numeric dumps of large tensors are never useful in logs.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	n := len(t.data)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.data[i])
+	}
+	if n < len(t.data) {
+		b.WriteString(" ...")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	a := New(2, 3)
+	if a.Len() != 6 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New not zero-filled")
+		}
+	}
+	if a.Dims() != 2 || a.Dim(0) != 2 || a.Dim(1) != 3 {
+		t.Fatalf("shape accessors wrong: %v", a.Shape())
+	}
+}
+
+func TestNewInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with non-positive dim did not panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if a.At(1, 2) != 6 || a.At(0, 0) != 1 || a.At(0, 2) != 3 {
+		t.Fatalf("FromSlice indexing wrong: %v", a)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(2, 3, 4)
+	a.Set(7.5, 1, 2, 3)
+	if got := a.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At after Set = %v", got)
+	}
+	// Row-major layout: offset of (1,2,3) in 2x3x4 is 1*12+2*4+3 = 23.
+	if a.Data()[23] != 7.5 {
+		t.Fatal("row-major offset wrong")
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	a := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, 2}, {-1, 0}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%v) did not panic", idx)
+				}
+			}()
+			a.At(idx...)
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	c := a.Clone()
+	c.Set(99, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.SameShape(a) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	b := FromSlice([]float64{1, 2, 3, 4}, 4)
+	a.CopyFrom(b)
+	if a.At(1, 1) != 4 {
+		t.Fatal("CopyFrom did not copy data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom length mismatch did not panic")
+		}
+	}()
+	a.CopyFrom(New(3))
+}
+
+func TestFillAndZero(t *testing.T) {
+	a := New(3)
+	a.Fill(2.5)
+	if a.Sum() != 7.5 {
+		t.Fatalf("Fill sum = %v", a.Sum())
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatal("Zero did not clear")
+	}
+	b := Full(3, 2, 2)
+	if b.Sum() != 12 {
+		t.Fatalf("Full sum = %v", b.Sum())
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("equal shapes reported different")
+	}
+	if New(2, 3).SameShape(New(3, 2)) {
+		t.Fatal("different shapes reported same")
+	}
+	if New(6).SameShape(New(2, 3)) {
+		t.Fatal("different ranks reported same")
+	}
+}
+
+func TestStringCompact(t *testing.T) {
+	a := New(100)
+	s := a.String()
+	if !strings.Contains(s, "...") {
+		t.Fatalf("large tensor String not truncated: %q", s)
+	}
+	if len(s) > 200 {
+		t.Fatalf("String too long: %d chars", len(s))
+	}
+}
+
+func TestScalarTensor(t *testing.T) {
+	s := New()
+	if s.Len() != 1 || s.Dims() != 0 {
+		t.Fatalf("scalar tensor Len=%d Dims=%d", s.Len(), s.Dims())
+	}
+	s.Set(5)
+	if s.At() != 5 {
+		t.Fatal("scalar At/Set failed")
+	}
+}

@@ -1,0 +1,104 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Dataset is the minimal data access contract the trainer and metric
+// helpers need. internal/gtsrb implements it; tests use in-memory stubs.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Sample returns the i-th image as a CHW tensor and its class label.
+	// Implementations may return a shared/stored tensor; callers must not
+	// mutate it.
+	Sample(i int) (*tensor.Tensor, int)
+}
+
+// TopKCorrect reports whether label is among the k highest-probability
+// entries of probs.
+func TopKCorrect(probs []float64, label, k int) bool {
+	for _, idx := range mathx.TopKIndices(probs, k) {
+		if idx == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics summarizes classifier performance over a dataset.
+type Metrics struct {
+	// N is the number of evaluated samples.
+	N int
+	// Top1 and Top5 are accuracy fractions in [0, 1].
+	Top1, Top5 float64
+	// MeanConfidence is the average probability assigned to the predicted
+	// class — the "confidence" quantity the paper's figures report.
+	MeanConfidence float64
+	// MeanTrueProb is the average probability assigned to the correct class.
+	MeanTrueProb float64
+}
+
+// String renders the metrics in a single log-friendly line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d top1=%.2f%% top5=%.2f%% conf=%.2f%%",
+		m.N, 100*m.Top1, 100*m.Top5, 100*m.MeanConfidence)
+}
+
+// Evaluate runs the network over every sample of ds (optionally transformed)
+// and returns aggregate metrics. transform may be nil; otherwise each image
+// is passed through it before inference — the hook the experiment harness
+// uses to route evaluation through attacks, acquisition and filters.
+func Evaluate(net *nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *tensor.Tensor) Metrics {
+	var m Metrics
+	n := ds.Len()
+	if n == 0 {
+		return m
+	}
+	var top1, top5, conf, trueProb float64
+	for i := 0; i < n; i++ {
+		img, label := ds.Sample(i)
+		if transform != nil {
+			img = transform(img, i)
+		}
+		probs := net.Probs(img)
+		pred := mathx.ArgMax(probs)
+		if pred == label {
+			top1++
+		}
+		if TopKCorrect(probs, label, 5) {
+			top5++
+		}
+		conf += probs[pred]
+		trueProb += probs[label]
+	}
+	inv := 1 / float64(n)
+	return Metrics{
+		N:              n,
+		Top1:           top1 * inv,
+		Top5:           top5 * inv,
+		MeanConfidence: conf * inv,
+		MeanTrueProb:   trueProb * inv,
+	}
+}
+
+// Confusion accumulates a confusion matrix over a dataset. Rows are true
+// classes, columns predictions.
+func Confusion(net *nn.Network, ds Dataset, classes int) [][]int {
+	mat := make([][]int, classes)
+	for i := range mat {
+		mat[i] = make([]int, classes)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		img, label := ds.Sample(i)
+		pred, _ := net.Predict(img)
+		if label >= 0 && label < classes && pred >= 0 && pred < classes {
+			mat[label][pred]++
+		}
+	}
+	return mat
+}

@@ -1,0 +1,47 @@
+package train
+
+import "math"
+
+// Schedule maps an epoch index (0-based) to a learning rate.
+type Schedule interface {
+	// LR returns the learning rate for the given epoch.
+	LR(epoch int) float64
+}
+
+// ConstantLR always returns the same learning rate.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Gamma every Every epochs.
+type StepDecay struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LR implements Schedule.
+func (s StepDecay) LR(epoch int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.Every))
+}
+
+// CosineDecay anneals from Base to Floor over Total epochs following a
+// half-cosine, then stays at Floor.
+type CosineDecay struct {
+	Base  float64
+	Floor float64
+	Total int
+}
+
+// LR implements Schedule.
+func (c CosineDecay) LR(epoch int) float64 {
+	if c.Total <= 1 || epoch >= c.Total {
+		return c.Floor
+	}
+	t := float64(epoch) / float64(c.Total-1)
+	return c.Floor + 0.5*(c.Base-c.Floor)*(1+math.Cos(math.Pi*t))
+}

@@ -1,0 +1,274 @@
+package train
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// blobDataset is a tiny in-memory classification task: class k images are
+// constant blocks of intensity around k's level plus noise, trivially
+// learnable by a small network.
+type blobDataset struct {
+	imgs   []*tensor.Tensor
+	labels []int
+}
+
+func newBlobDataset(n, classes, size int, seed uint64) *blobDataset {
+	rng := mathx.NewRNG(seed)
+	ds := &blobDataset{}
+	for i := 0; i < n; i++ {
+		label := i % classes
+		img := tensor.New(1, size, size)
+		base := float64(label) / float64(classes)
+		for j := range img.Data() {
+			img.Data()[j] = mathx.Clamp01(base + rng.NormScaled(0, 0.04))
+		}
+		ds.imgs = append(ds.imgs, img)
+		ds.labels = append(ds.labels, label)
+	}
+	return ds
+}
+
+func (d *blobDataset) Len() int { return len(d.imgs) }
+func (d *blobDataset) Sample(i int) (*tensor.Tensor, int) {
+	return d.imgs[i], d.labels[i]
+}
+
+func smallNet(t *testing.T, classes int, seed uint64) *nn.Network {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	net, err := nn.NewNetwork("mlp", []int{1, 8, 8},
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", 64, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDenseXavier("fc2", 32, classes, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestFitLearnsBlobTask(t *testing.T) {
+	ds := newBlobDataset(120, 4, 8, 1)
+	net := smallNet(t, 4, 2)
+	res, err := Fit(net, ds, Config{
+		Epochs:    12,
+		BatchSize: 16,
+		Schedule:  ConstantLR(1e-2),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Epochs[0].MeanLoss
+	last := res.FinalLoss()
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	m := Evaluate(net, ds, nil)
+	if m.Top1 < 0.9 {
+		t.Fatalf("top1 after training = %v, want >= 0.9", m.Top1)
+	}
+}
+
+func TestFitDeterministicForSeed(t *testing.T) {
+	run := func() []float64 {
+		ds := newBlobDataset(60, 3, 8, 7)
+		net := smallNet(t, 3, 11)
+		res, err := Fit(net, ds, Config{Epochs: 3, BatchSize: 8, Schedule: ConstantLR(1e-3), Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for _, e := range res.Epochs {
+			losses = append(losses, e.MeanLoss)
+		}
+		return losses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFitValidatesConfig(t *testing.T) {
+	ds := newBlobDataset(10, 2, 8, 1)
+	net := smallNet(t, 2, 1)
+	if _, err := Fit(net, ds, Config{Epochs: 0, BatchSize: 4}); err == nil {
+		t.Fatal("Epochs=0 accepted")
+	}
+	if _, err := Fit(net, ds, Config{Epochs: 1, BatchSize: 0}); err == nil {
+		t.Fatal("BatchSize=0 accepted")
+	}
+	if _, err := Fit(net, &blobDataset{}, Config{Epochs: 1, BatchSize: 4}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestFitLogsEpochs(t *testing.T) {
+	ds := newBlobDataset(20, 2, 8, 2)
+	net := smallNet(t, 2, 3)
+	var sb strings.Builder
+	if _, err := Fit(net, ds, Config{Epochs: 2, BatchSize: 8, Log: &sb, Schedule: ConstantLR(1e-3)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "epoch"); got != 2 {
+		t.Fatalf("logged %d epoch lines, want 2", got)
+	}
+}
+
+func TestOptimizersReduceQuadraticLoss(t *testing.T) {
+	// Minimize f(w) = ||w - target||^2 directly through the optimizer
+	// interface using a single dense layer's parameter.
+	for _, opt := range []Optimizer{SGD{}, NewMomentum(0.9), NewAdam()} {
+		rng := mathx.NewRNG(31)
+		p := &nn.Param{
+			Name:  "w",
+			Value: tensor.RandN(rng, 10),
+			Grad:  tensor.New(10),
+		}
+		target := tensor.RandN(rng, 10)
+		lossAt := func() float64 { return tensor.Sub(p.Value, target).L2Norm() }
+		initial := lossAt()
+		for i := 0; i < 200; i++ {
+			diff := tensor.Sub(p.Value, target)
+			p.Grad.Zero()
+			p.Grad.AddScaled(2, diff)
+			opt.Step([]*nn.Param{p}, 0.05)
+		}
+		if final := lossAt(); final > initial/10 {
+			t.Errorf("%s: loss %v -> %v, expected 10x reduction", opt.Name(), initial, final)
+		}
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	p := &nn.Param{Name: "w", Value: tensor.New(4), Grad: tensor.FromSlice([]float64{3, 4, 0, 0}, 4)}
+	norm := GradClip([]*nn.Param{p}, 1.0)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	if got := p.Grad.L2Norm(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v, want 1", got)
+	}
+	// No clipping when under the limit or disabled.
+	p.Grad = tensor.FromSlice([]float64{0.1, 0, 0, 0}, 4)
+	GradClip([]*nn.Param{p}, 1.0)
+	if p.Grad.Data()[0] != 0.1 {
+		t.Fatal("clip modified gradient under the limit")
+	}
+	GradClip([]*nn.Param{p}, 0)
+	if p.Grad.Data()[0] != 0.1 {
+		t.Fatal("disabled clip modified gradient")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if got := (ConstantLR(0.1)).LR(99); got != 0.1 {
+		t.Errorf("ConstantLR = %v", got)
+	}
+	sd := StepDecay{Base: 1, Gamma: 0.1, Every: 2}
+	for _, c := range []struct {
+		epoch int
+		want  float64
+	}{{0, 1}, {1, 1}, {2, 0.1}, {3, 0.1}, {4, 0.01}} {
+		if got := sd.LR(c.epoch); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("StepDecay.LR(%d) = %v, want %v", c.epoch, got, c.want)
+		}
+	}
+	cd := CosineDecay{Base: 1, Floor: 0.1, Total: 11}
+	if got := cd.LR(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CosineDecay.LR(0) = %v", got)
+	}
+	if got := cd.LR(10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("CosineDecay.LR(10) = %v", got)
+	}
+	if got := cd.LR(100); got != 0.1 {
+		t.Errorf("CosineDecay past end = %v", got)
+	}
+	mid := cd.LR(5)
+	if mid <= 0.1 || mid >= 1 {
+		t.Errorf("CosineDecay midpoint = %v not between floor and base", mid)
+	}
+}
+
+func TestStepDecayZeroEvery(t *testing.T) {
+	sd := StepDecay{Base: 0.5, Gamma: 0.1, Every: 0}
+	if got := sd.LR(10); got != 0.5 {
+		t.Errorf("StepDecay with Every=0 = %v, want base", got)
+	}
+}
+
+func TestTopKCorrect(t *testing.T) {
+	probs := []float64{0.1, 0.4, 0.3, 0.15, 0.05}
+	if !TopKCorrect(probs, 1, 1) {
+		t.Error("top1 missed argmax")
+	}
+	if TopKCorrect(probs, 4, 3) {
+		t.Error("top3 included the least likely class")
+	}
+	if !TopKCorrect(probs, 3, 4) {
+		t.Error("top4 missed 4th class")
+	}
+}
+
+func TestEvaluateTransformHook(t *testing.T) {
+	ds := newBlobDataset(40, 2, 8, 9)
+	net := smallNet(t, 2, 10)
+	if _, err := Fit(net, ds, Config{Epochs: 10, BatchSize: 8, Schedule: ConstantLR(1e-2), Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clean := Evaluate(net, ds, nil)
+	// A transform that destroys the image should crater accuracy.
+	destroyed := Evaluate(net, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
+		out := img.Clone()
+		out.Fill(0.5)
+		return out
+	})
+	if clean.Top1 < 0.9 {
+		t.Fatalf("clean top1 = %v", clean.Top1)
+	}
+	if destroyed.Top1 > 0.75 {
+		t.Fatalf("destroyed-input top1 = %v, expected chance-ish", destroyed.Top1)
+	}
+}
+
+func TestConfusionDiagonalDominant(t *testing.T) {
+	ds := newBlobDataset(60, 3, 8, 12)
+	net := smallNet(t, 3, 13)
+	if _, err := Fit(net, ds, Config{Epochs: 15, BatchSize: 10, Schedule: ConstantLR(1e-2), Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mat := Confusion(net, ds, 3)
+	total, diag := 0, 0
+	for i := range mat {
+		for j := range mat[i] {
+			total += mat[i][j]
+			if i == j {
+				diag += mat[i][j]
+			}
+		}
+	}
+	if total != 60 {
+		t.Fatalf("confusion total = %d", total)
+	}
+	if float64(diag)/float64(total) < 0.85 {
+		t.Fatalf("diagonal fraction = %v", float64(diag)/float64(total))
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	net := smallNet(t, 2, 14)
+	m := Evaluate(net, &blobDataset{}, nil)
+	if m.N != 0 || m.Top1 != 0 {
+		t.Fatalf("empty Evaluate = %+v", m)
+	}
+}
