@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	fademl "repro"
 	"repro/internal/analysis"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -28,7 +30,9 @@ func main() {
 	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32 or LAR:3")
 	attackList := flag.String("attacks", "lbfgs,fgsm,bim", "comma-separated attack names")
 	tmFlag := flag.Int("tm", 3, "threat model for filtered delivery: 2 or 3")
+	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	p, err := profileByName(*profileName)
 	if err != nil {

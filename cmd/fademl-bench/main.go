@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	fademl "repro"
 	"repro/internal/experiments"
 	"repro/internal/filters"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -26,7 +28,9 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	fig := flag.String("fig", "all", "which figure to regenerate: all, 5, 6, 7 or 9")
 	curves := flag.Bool("curves", true, "include the accuracy-vs-filter curves in Figs. 7/9")
+	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	p, err := profileByName(*profileName)
 	if err != nil {

@@ -38,9 +38,25 @@ import (
 	"repro/internal/filters"
 	"repro/internal/gtsrb"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
+
+// Parallelism.
+//
+// The experiment engine (figure runners, train.Evaluate, the ablations)
+// fans independent grid cells out over a process-wide bounded worker
+// pool; results are bit-identical to a serial run regardless of pool
+// size. Individual networks stay single-threaded — concurrency comes
+// from weight-sharing clones (Network.Clone), one per worker.
+
+// SetWorkers sets the process-wide experiment worker pool size. n <= 0
+// resets to runtime.NumCPU(); 1 runs everything serially.
+func SetWorkers(n int) { parallel.SetWorkers(n) }
+
+// WorkerCount returns the current worker pool size.
+func WorkerCount() int { return parallel.Workers() }
 
 // Core value types re-exported from the internal packages.
 type (

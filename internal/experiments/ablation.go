@@ -36,8 +36,9 @@ func RunFilterStrengthAblation(env *Env) []FilterStrengthPoint {
 		grid = append(grid, filters.NewLAR(r))
 	}
 	var out []FilterStrengthPoint
+	nets := env.workerNets(gridWorkers(ds.Len()))
 	for _, f := range grid {
-		m := train.Evaluate(env.Net, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
+		m := train.EvaluateOn(nets, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
 			return f.Apply(img)
 		})
 		taps := 1
@@ -127,23 +128,28 @@ type FootprintPoint struct {
 }
 
 // RunFootprintAblation contrasts the paper's circular LAR footprint with a
-// square box filter of the same radius on clean accuracy.
+// square box filter of the same radius on clean accuracy. Each grid cell
+// is one full evaluation fanned out over the worker pool via EvaluateOn
+// (per-sample parallelism scales past the 2 × len(radii) cell count and
+// is bit-identical to serial by construction).
 func RunFootprintAblation(env *Env, radii []int) []FootprintPoint {
 	if len(radii) == 0 {
 		radii = filters.PaperLARRadii
 	}
 	ds := env.evalSubset()
-	var out []FootprintPoint
-	for _, r := range radii {
-		disk := filters.NewLAR(r)
-		box := filters.NewBox(r)
-		dm := train.Evaluate(env.Net, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
-			return disk.Apply(img)
-		})
-		bm := train.Evaluate(env.Net, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
-			return box.Apply(img)
-		})
-		out = append(out, FootprintPoint{Radius: r, DiskTop5: dm.Top5, BoxTop5: bm.Top5})
+	nets := env.workerNets(gridWorkers(ds.Len()))
+	eval := func(f filters.Filter) float64 {
+		return train.EvaluateOn(nets, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
+			return f.Apply(img)
+		}).Top5
+	}
+	out := make([]FootprintPoint, len(radii))
+	for i, r := range radii {
+		out[i] = FootprintPoint{
+			Radius:   r,
+			DiskTop5: eval(filters.NewLAR(r)),
+			BoxTop5:  eval(filters.NewBox(r)),
+		}
 	}
 	return out
 }

@@ -5,10 +5,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/gtsrb"
 	"repro/internal/mathx"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/train"
 )
 
@@ -22,6 +24,54 @@ type Env struct {
 	// CleanTop1/CleanTop5 record unfiltered clean test accuracy at load
 	// time, reported in every figure header.
 	CleanTop1, CleanTop5 float64
+
+	// clones caches weight-sharing copies of Net for the worker pool so
+	// their scratch buffers amortize across experiment stages.
+	clonesMu sync.Mutex
+	clones   []*nn.Network
+}
+
+// workerNets returns n networks that may run inference and input-gradient
+// passes concurrently: slot 0 is the live network, the rest are cached
+// weight-sharing clones (grown on demand). Callers must index the slice
+// by worker id, never share one entry across goroutines.
+func (e *Env) workerNets(n int) []*nn.Network {
+	if n < 1 {
+		n = 1
+	}
+	e.clonesMu.Lock()
+	defer e.clonesMu.Unlock()
+	for len(e.clones) < n-1 {
+		e.clones = append(e.clones, e.Net.Clone())
+	}
+	nets := make([]*nn.Network, n)
+	nets[0] = e.Net
+	copy(nets[1:], e.clones[:n-1])
+	return nets
+}
+
+// gridWorkers sizes a worker pool for a grid of n independent tasks.
+func gridWorkers(n int) int {
+	w := parallel.Workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// firstErr returns the error with the lowest index — the same error a
+// serial loop would have surfaced first — so parallel failure modes stay
+// deterministic.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DefaultCacheDir is where trained weights are memoized between runs.
@@ -81,18 +131,20 @@ func NewEnv(p Profile, cacheDir string, log io.Writer) (*Env, error) {
 		}
 	}
 
-	m := train.Evaluate(net, testSet, nil)
+	env := &Env{
+		Profile:  p,
+		Net:      net,
+		TrainSet: trainSet,
+		TestSet:  testSet,
+	}
+	// Evaluate through the env's clone cache so the worker networks (and
+	// their scratch buffers) are warm for the figure runners that follow.
+	m := train.EvaluateOn(env.workerNets(gridWorkers(testSet.Len())), testSet, nil)
 	if log != nil {
 		fmt.Fprintf(log, "clean test accuracy: %s\n", m)
 	}
-	return &Env{
-		Profile:   p,
-		Net:       net,
-		TrainSet:  trainSet,
-		TestSet:   testSet,
-		CleanTop1: m.Top1,
-		CleanTop5: m.Top5,
-	}, nil
+	env.CleanTop1, env.CleanTop5 = m.Top1, m.Top5
+	return env, nil
 }
 
 // evalSubset returns the test subset used for accuracy sweeps.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/attacks"
 	"repro/internal/gtsrb"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -94,37 +95,50 @@ type Fig5Result struct {
 
 // RunFig5 attacks each scenario's canonical source image with each attack
 // (nil attackNames = the paper's L-BFGS/FGSM/BIM trio) and records the
-// TM-I outcome.
+// TM-I outcome. The attack × scenario grid cells are independent, so they
+// fan out over the parallel worker pool; rows land in the same
+// attack-major order a serial loop would produce.
 func RunFig5(env *Env, attackNames []string) (*Fig5Result, error) {
 	if attackNames == nil {
 		attackNames = attacks.PaperAttacks
 	}
 	res := &Fig5Result{ProfileName: env.Profile.Name}
-	c := attacks.NetClassifier{Net: env.Net}
-	for _, name := range attackNames {
-		for _, sc := range PaperScenarios {
-			atk, err := buildAttack(name)
-			if err != nil {
-				return nil, err
-			}
-			clean := sc.CleanImage(env.Profile.Size)
-			cleanPred, cleanConf := attacks.Predict(c, clean)
-			out, err := atk.Generate(c, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s on %s: %w", name, sc, err)
-			}
-			res.Rows = append(res.Rows, Fig5Row{
-				Scenario:   sc,
-				AttackName: attackLabel(name),
-				CleanPred:  cleanPred,
-				CleanConf:  cleanConf,
-				AdvPred:    out.PredClass,
-				AdvConf:    out.Confidence,
-				Success:    out.PredClass == sc.Target,
-				NoiseLInf:  out.Noise.LInfNorm(),
-			})
+	nS := len(PaperScenarios)
+	tasks := len(attackNames) * nS
+	rows := make([]Fig5Row, tasks)
+	errs := make([]error, tasks)
+	nets := env.workerNets(gridWorkers(tasks))
+	parallel.ForWorker(len(nets), tasks, func(worker, t int) {
+		name := attackNames[t/nS]
+		sc := PaperScenarios[t%nS]
+		c := attacks.NetClassifier{Net: nets[worker]}
+		atk, err := buildAttack(name)
+		if err != nil {
+			errs[t] = err
+			return
 		}
+		clean := sc.CleanImage(env.Profile.Size)
+		cleanPred, cleanConf := attacks.Predict(c, clean)
+		out, err := atk.Generate(c, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
+		if err != nil {
+			errs[t] = fmt.Errorf("fig5 %s on %s: %w", name, sc, err)
+			return
+		}
+		rows[t] = Fig5Row{
+			Scenario:   sc,
+			AttackName: attackLabel(name),
+			CleanPred:  cleanPred,
+			CleanConf:  cleanConf,
+			AdvPred:    out.PredClass,
+			AdvConf:    out.Confidence,
+			Success:    out.PredClass == sc.Target,
+			NoiseLInf:  out.Noise.LInfNorm(),
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -165,10 +179,17 @@ func (r *Fig5Result) Table() string {
 // image of ds toward the scenario target (filter-blind) and returns the
 // adversarial images. Images already labeled as the target are attacked
 // too — the paper applies the payload perturbation to the whole stream.
+//
+// Per-image generations are independent and fan out over the worker pool
+// (attacks re-seed from their configured Seed on every Generate call, so
+// sharing atk across workers is deterministic and race-free); results are
+// index-addressed, keeping them identical to a serial run.
 func adversarialFor(env *Env, ds *gtsrb.Dataset, atk attacks.Attack, sc Scenario) ([]*tensor.Tensor, error) {
-	c := attacks.NetClassifier{Net: env.Net}
-	out := make([]*tensor.Tensor, ds.Len())
-	for i := 0; i < ds.Len(); i++ {
+	n := ds.Len()
+	out := make([]*tensor.Tensor, n)
+	errs := make([]error, n)
+	nets := env.workerNets(gridWorkers(n))
+	parallel.ForWorker(len(nets), n, func(worker, i int) {
 		img, label := ds.Sample(i)
 		goal := attacks.Goal{Source: label, Target: sc.Target}
 		if label == sc.Target {
@@ -177,14 +198,18 @@ func adversarialFor(env *Env, ds *gtsrb.Dataset, atk attacks.Attack, sc Scenario
 			goal = attacks.Goal{Source: sc.Source, Target: sc.Target}
 			if sc.Source == label {
 				out[i] = img.Clone()
-				continue
+				return
 			}
 		}
-		res, err := atk.Generate(c, img, goal)
+		res, err := atk.Generate(attacks.NetClassifier{Net: nets[worker]}, img, goal)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		out[i] = res.Adversarial
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -55,7 +55,7 @@ func RunFig6(env *Env, attackNames []string) (*Fig6Result, error) {
 	ds := env.attackSubset()
 	res := &Fig6Result{
 		ProfileName: env.Profile.Name,
-		Baseline:    train.Evaluate(env.Net, ds, nil),
+		Baseline:    train.EvaluateOn(env.workerNets(gridWorkers(ds.Len())), ds, nil),
 		Samples:     ds.Len(),
 	}
 	for _, name := range attackNames {
@@ -68,7 +68,7 @@ func RunFig6(env *Env, attackNames []string) (*Fig6Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s on %s: %w", name, sc, err)
 			}
-			m := train.Evaluate(env.Net, newSliceDataset(advs, ds), nil)
+			m := train.EvaluateOn(env.workerNets(gridWorkers(ds.Len())), newSliceDataset(advs, ds), nil)
 			res.Cells = append(res.Cells, Fig6Cell{
 				Scenario:   sc,
 				AttackName: attackLabel(name),

@@ -6,6 +6,7 @@ import (
 	"repro/internal/attacks"
 	"repro/internal/filters"
 	"repro/internal/gtsrb"
+	"repro/internal/parallel"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -109,61 +110,94 @@ func RunFig7(env *Env, opt SweepOptions) (*Fig7Result, error) {
 // runFilterSweep is shared between Fig. 7 (filterAware=false) and Fig. 9
 // (filterAware=true). The only difference is whether the attack models the
 // filter during generation.
+//
+// The grid is executed in two parallel stages over the worker pool: the
+// filter-blind generations (one per attack × scenario, reused across the
+// filter axis) and then every panel cell (attack × scenario × filter —
+// for Fig. 9 each cell runs its own filter-aware generation, which is
+// where the bulk of the wall time goes). Cells are index-addressed, so
+// the result is cell-for-cell identical to a serial sweep.
 func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, error) {
 	res := &Fig7Result{ProfileName: env.Profile.Name, FilterAware: filterAware}
 	grid := opt.filterGrid()
-	bare := attacks.NetClassifier{Net: env.Net}
 
-	// Panels: canonical scenario images.
-	for _, name := range opt.AttackNames {
-		for _, sc := range opt.Scenarios {
-			clean := sc.CleanImage(env.Profile.Size)
-			goal := attacks.Goal{Source: sc.Source, Target: sc.Target}
-
-			// Filter-blind: generate once; filter-aware: per filter.
-			var blindAdv *tensor.Tensor
-			if !filterAware {
-				atk, err := buildAttack(name)
-				if err != nil {
-					return nil, err
-				}
-				out, err := atk.Generate(bare, clean, goal)
-				if err != nil {
-					return nil, fmt.Errorf("fig7 %s on %s: %w", name, sc, err)
-				}
-				blindAdv = out.Adversarial
-			}
-			for _, f := range grid {
-				if _, ok := f.(filters.Identity); ok {
-					continue // panels only cover real filters
-				}
-				adv := blindAdv
-				if filterAware {
-					atk, err := buildFilterAwareAttack(name)
-					if err != nil {
-						return nil, err
-					}
-					out, err := attacks.NewFAdeML(atk, f).Generate(bare, clean, goal)
-					if err != nil {
-						return nil, fmt.Errorf("fig9 %s|%s on %s: %w", name, f.Name(), sc, err)
-					}
-					adv = out.Adversarial
-				}
-				p := pipeline.New(env.Net, f, nil)
-				cmp := analysisCompare(p, adv, sc)
-				res.Panels = append(res.Panels, Fig7Panel{
-					Scenario:     sc,
-					AttackName:   attackLabel(name),
-					FilterName:   f.Name(),
-					TM1Pred:      cmp.tm1Pred,
-					TM1Conf:      cmp.tm1Conf,
-					FilteredPred: cmp.tmxPred,
-					FilteredConf: cmp.tmxConf,
-					Neutralized:  cmp.tm1Pred == sc.Target && cmp.tmxPred == sc.Source,
-				})
-			}
+	// Panels only cover real filters, never the identity baseline.
+	var real []filters.Filter
+	for _, f := range grid {
+		if _, ok := f.(filters.Identity); !ok {
+			real = append(real, f)
 		}
 	}
+	nS, nF := len(opt.Scenarios), len(real)
+
+	// Stage 1 (filter-blind only): one generation per attack × scenario.
+	blind := make([]*tensor.Tensor, len(opt.AttackNames)*nS)
+	if !filterAware {
+		errs := make([]error, len(blind))
+		nets := env.workerNets(gridWorkers(len(blind)))
+		parallel.ForWorker(len(nets), len(blind), func(worker, t int) {
+			name := opt.AttackNames[t/nS]
+			sc := opt.Scenarios[t%nS]
+			atk, err := buildAttack(name)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			out, err := atk.Generate(attacks.NetClassifier{Net: nets[worker]},
+				sc.CleanImage(env.Profile.Size), attacks.Goal{Source: sc.Source, Target: sc.Target})
+			if err != nil {
+				errs[t] = fmt.Errorf("fig7 %s on %s: %w", name, sc, err)
+				return
+			}
+			blind[t] = out.Adversarial
+		})
+		if err := firstErr(errs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: every panel cell, in the serial sweep's attack-major order.
+	panels := make([]Fig7Panel, len(opt.AttackNames)*nS*nF)
+	errs := make([]error, len(panels))
+	nets := env.workerNets(gridWorkers(len(panels)))
+	parallel.ForWorker(len(nets), len(panels), func(worker, t int) {
+		ai, rem := t/(nS*nF), t%(nS*nF)
+		si, fi := rem/nF, rem%nF
+		name, sc, f := opt.AttackNames[ai], opt.Scenarios[si], real[fi]
+		net := nets[worker]
+
+		adv := blind[ai*nS+si]
+		if filterAware {
+			atk, err := buildFilterAwareAttack(name)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			out, err := attacks.NewFAdeML(atk, f).Generate(attacks.NetClassifier{Net: net},
+				sc.CleanImage(env.Profile.Size), attacks.Goal{Source: sc.Source, Target: sc.Target})
+			if err != nil {
+				errs[t] = fmt.Errorf("fig9 %s|%s on %s: %w", name, f.Name(), sc, err)
+				return
+			}
+			adv = out.Adversarial
+		}
+		p := pipeline.New(net, f, nil)
+		cmp := analysisCompare(p, adv, sc)
+		panels[t] = Fig7Panel{
+			Scenario:     sc,
+			AttackName:   attackLabel(name),
+			FilterName:   f.Name(),
+			TM1Pred:      cmp.tm1Pred,
+			TM1Conf:      cmp.tm1Conf,
+			FilteredPred: cmp.tmxPred,
+			FilteredConf: cmp.tmxConf,
+			Neutralized:  cmp.tm1Pred == sc.Target && cmp.tmxPred == sc.Source,
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	res.Panels = panels
 
 	// Curves: accuracy over the attacked subset per filter configuration.
 	if opt.IncludeCurves {
@@ -208,9 +242,10 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 						eval = newSliceDataset(advs, ds)
 					}
 					p := pipeline.New(env.Net, f, nil)
-					m := train.Evaluate(env.Net, eval, func(img *tensor.Tensor, _ int) *tensor.Tensor {
-						return p.Deliver(img, pipeline.TM3)
-					})
+					m := train.EvaluateOn(env.workerNets(gridWorkers(eval.Len())), eval,
+						func(img *tensor.Tensor, _ int) *tensor.Tensor {
+							return p.Deliver(img, pipeline.TM3)
+						})
 					curve.FilterNames = append(curve.FilterNames, f.Name())
 					curve.Top5 = append(curve.Top5, m.Top5)
 				}

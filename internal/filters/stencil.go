@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -18,6 +19,14 @@ type stencil struct {
 	name    string
 	offsets []offset
 	weights []float64
+
+	// taps caches the border-clamped tap index table per image size so the
+	// hot Apply/VJP loops don't recompute clamps per pixel. Keyed by
+	// packed (h<<32 | w); values are []int32 of length h·w·len(offsets)
+	// where entry (y·w+x)·taps+k is the clamped flat index sy·w+sx of tap
+	// k at pixel (y, x). sync.Map because filters are shared across the
+	// parallel sweep workers.
+	taps sync.Map
 }
 
 func newStencil(name string, offsets []offset, weights []float64) *stencil {
@@ -43,23 +52,49 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
+// tapTable returns (building and caching on first use) the clamped tap
+// index table for an h×w image. The computation is idempotent, so a rare
+// duplicate build under concurrent first use is harmless.
+func (s *stencil) tapTable(h, w int) []int32 {
+	key := uint64(h)<<32 | uint64(uint32(w))
+	if tab, ok := s.taps.Load(key); ok {
+		return tab.([]int32)
+	}
+	taps := len(s.offsets)
+	tab := make([]int32, h*w*taps)
+	i := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for _, o := range s.offsets {
+				sy := clampInt(y+o.dy, 0, h-1)
+				sx := clampInt(x+o.dx, 0, w-1)
+				tab[i] = int32(sy*w + sx)
+				i++
+			}
+		}
+	}
+	actual, _ := s.taps.LoadOrStore(key, tab)
+	return actual.([]int32)
+}
+
 // Apply implements Filter: out[p] = Σ_k w_k · in[clamp(p + o_k)].
 func (s *stencil) Apply(img *tensor.Tensor) *tensor.Tensor {
 	c, h, w := checkCHW(s.name, img)
 	out := tensor.New(c, h, w)
 	id, od := img.Data(), out.Data()
+	tab := s.tapTable(h, w)
+	taps := len(s.offsets)
+	ws := s.weights
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				acc := 0.0
-				for k, o := range s.offsets {
-					sy := clampInt(y+o.dy, 0, h-1)
-					sx := clampInt(x+o.dx, 0, w-1)
-					acc += s.weights[k] * id[base+sy*w+sx]
-				}
-				od[base+y*w+x] = acc
+		plane := id[base : base+h*w]
+		for p := 0; p < h*w; p++ {
+			idx := tab[p*taps : (p+1)*taps]
+			acc := 0.0
+			for k, j := range idx {
+				acc += ws[k] * plane[j]
 			}
+			od[base+p] = acc
 		}
 	}
 	return out
@@ -72,19 +107,20 @@ func (s *stencil) VJP(_, upstream *tensor.Tensor) *tensor.Tensor {
 	c, h, w := checkCHW(s.name+" VJP", upstream)
 	out := tensor.New(c, h, w)
 	ud, od := upstream.Data(), out.Data()
+	tab := s.tapTable(h, w)
+	taps := len(s.offsets)
+	ws := s.weights
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				u := ud[base+y*w+x]
-				if u == 0 {
-					continue
-				}
-				for k, o := range s.offsets {
-					sy := clampInt(y+o.dy, 0, h-1)
-					sx := clampInt(x+o.dx, 0, w-1)
-					od[base+sy*w+sx] += s.weights[k] * u
-				}
+		plane := od[base : base+h*w]
+		for p := 0; p < h*w; p++ {
+			u := ud[base+p]
+			if u == 0 {
+				continue
+			}
+			idx := tab[p*taps : (p+1)*taps]
+			for k, j := range idx {
+				plane[j] += ws[k] * u
 			}
 		}
 	}

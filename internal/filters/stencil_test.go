@@ -1,0 +1,91 @@
+package filters
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// naiveStencilApply is the pre-cache reference implementation: clamp
+// every tap per pixel. The cached tap-table fast path must match it
+// exactly on every image size.
+func naiveStencilApply(s *stencil, img *tensor.Tensor) *tensor.Tensor {
+	c, h, w := checkCHW(s.name, img)
+	out := tensor.New(c, h, w)
+	id, od := img.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				acc := 0.0
+				for k, o := range s.offsets {
+					sy := clampInt(y+o.dy, 0, h-1)
+					sx := clampInt(x+o.dx, 0, w-1)
+					acc += s.weights[k] * id[base+sy*w+sx]
+				}
+				od[base+y*w+x] = acc
+			}
+		}
+	}
+	return out
+}
+
+func TestTapTableMatchesNaiveAcrossSizes(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	for _, f := range []Filter{NewLAP(4), NewLAP(64), NewLAR(1), NewLAR(5), NewGaussian(1.2)} {
+		s, ok := f.(*stencil)
+		if !ok {
+			t.Fatalf("%s is not a stencil", f.Name())
+		}
+		// Mixed sizes through one filter instance exercise the per-size
+		// cache, including images smaller than the stencil radius.
+		for _, hw := range [][2]int{{8, 8}, {32, 32}, {16, 24}, {3, 3}} {
+			img := tensor.RandU(rng, 0, 1, 3, hw[0], hw[1])
+			want := naiveStencilApply(s, img)
+			got := s.Apply(img)
+			wd, gd := want.Data(), got.Data()
+			for i := range wd {
+				if wd[i] != gd[i] {
+					t.Fatalf("%s on %dx%d: Apply[%d] = %v, naive %v",
+						f.Name(), hw[0], hw[1], i, gd[i], wd[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStencilConcurrentApply is the -race witness for sharing one filter
+// across sweep workers: concurrent Apply/VJP on a shared instance must
+// be safe and bit-identical to a lone call.
+func TestStencilConcurrentApply(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	f := NewLAP(32)
+	img := tensor.RandU(rng, 0, 1, 3, 32, 32)
+	up := tensor.RandN(rng, 3, 32, 32)
+	wantApply := f.Apply(img)
+	wantVJP := f.VJP(img, up)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				got := f.Apply(img)
+				if !tensor.EqualWithin(got, wantApply, 0) {
+					t.Error("concurrent Apply diverged")
+					return
+				}
+				gv := f.VJP(img, up)
+				if !tensor.EqualWithin(gv, wantVJP, 0) {
+					t.Error("concurrent VJP diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,6 +18,9 @@ func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 // Name implements Layer.
 func (r *ReLU) Name() string { return r.name }
 
+// CloneLayer implements Cloner: the clone owns its own activation mask.
+func (r *ReLU) CloneLayer() Layer { return &ReLU{name: r.name} }
+
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
@@ -73,6 +76,9 @@ func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
 // Name implements Layer.
 func (l *LeakyReLU) Name() string { return l.name }
 
+// CloneLayer implements Cloner.
+func (l *LeakyReLU) CloneLayer() Layer { return &LeakyReLU{name: l.name, Alpha: l.Alpha} }
+
 // Params implements Layer.
 func (l *LeakyReLU) Params() []*Param { return nil }
 
@@ -116,6 +122,9 @@ func NewTanh(name string) *Tanh { return &Tanh{name: name} }
 // Name implements Layer.
 func (t *Tanh) Name() string { return t.name }
 
+// CloneLayer implements Cloner.
+func (t *Tanh) CloneLayer() Layer { return &Tanh{name: t.name} }
+
 // Params implements Layer.
 func (t *Tanh) Params() []*Param { return nil }
 
@@ -149,6 +158,9 @@ func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
 
 // Name implements Layer.
 func (s *Sigmoid) Name() string { return s.name }
+
+// CloneLayer implements Cloner.
+func (s *Sigmoid) CloneLayer() Layer { return &Sigmoid{name: s.name} }
 
 // Params implements Layer.
 func (s *Sigmoid) Params() []*Param { return nil }

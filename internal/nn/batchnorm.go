@@ -50,6 +50,23 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 // Name implements Layer.
 func (b *BatchNorm2D) Name() string { return b.name }
 
+// CloneLayer implements Cloner. The clone shares gamma/beta values and the
+// running-statistics tensors (inference only reads them); concurrent
+// *training* of original and clone is not supported — training-mode
+// Forward writes the shared running statistics.
+func (b *BatchNorm2D) CloneLayer() Layer {
+	return &BatchNorm2D{
+		name:     b.name,
+		C:        b.C,
+		Eps:      b.Eps,
+		Momentum: b.Momentum,
+		Gamma:    b.Gamma.ShareValue(),
+		Beta:     b.Beta.ShareValue(),
+		RunMean:  b.RunMean,
+		RunVar:   b.RunVar,
+	}
+}
+
 // Params implements Layer.
 func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 

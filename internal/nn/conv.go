@@ -19,7 +19,14 @@ type Conv2D struct {
 	W, B                        *Param
 	inH, inW, outH, outW, batch int
 
-	cols *tensor.Tensor // cached im2col matrix [N·outH·outW rows grouped per sample]
+	// Per-call scratch owned by this instance and reused across calls so
+	// the attack loops don't re-allocate the im2col matrix thousands of
+	// times. Clones (Network.Clone) get their own scratch, which is what
+	// makes a cloned network safe for concurrent inference.
+	cols     *tensor.Tensor // cached im2col matrix [N, patch, outH·outW]
+	colsBuf  []float64
+	yBuf     []float64 // forward matmul output [OutC, outH·outW]
+	dcolsBuf []float64 // backward dcols [patch, outH·outW]
 }
 
 // NewConv2D constructs a convolution layer with He-normal initialization.
@@ -46,6 +53,17 @@ func NewConv2D(name string, inC, outC, kernel, stride, pad int, rng *mathx.RNG) 
 
 // Name implements Layer.
 func (c *Conv2D) Name() string { return c.name }
+
+// CloneLayer implements Cloner: the clone shares W and B values but owns
+// its own scratch buffers and gradient accumulators.
+func (c *Conv2D) CloneLayer() Layer {
+	return &Conv2D{
+		name: c.name,
+		InC:  c.InC, OutC: c.OutC,
+		K: c.K, Stride: c.Stride, Pad: c.Pad,
+		W: c.W.ShareValue(), B: c.B.ShareValue(),
+	}
+}
 
 // Params implements Layer.
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
@@ -76,18 +94,19 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s: kernel %d exceeds padded input %dx%d", c.name, c.K, h, w))
 	}
 	patch := c.InC * c.K * c.K
-	cols := tensor.New(n, patch, c.outH*c.outW)
+	spatial := c.outH * c.outW
+	cols := scratch(&c.colsBuf, n, patch, spatial)
 	for s := 0; s < n; s++ {
-		im2col(x.Image(s), cols.SubBatch(s, s+1).Reshape(patch, c.outH*c.outW), c.K, c.Stride, c.Pad)
+		im2col(x.Image(s), cols.SubBatch(s, s+1).Reshape(patch, spatial), c.K, c.Stride, c.Pad)
 	}
 	c.cols = cols
 
 	out := tensor.New(n, c.OutC, c.outH, c.outW)
-	spatial := c.outH * c.outW
 	bd := c.B.Value.Data()
+	y := scratch(&c.yBuf, c.OutC, spatial)
 	for s := 0; s < n; s++ {
 		colMat := cols.SubBatch(s, s+1).Reshape(patch, spatial)
-		y := tensor.MatMul(c.W.Value, colMat) // [OutC, spatial]
+		tensor.MatMulInto(y, c.W.Value, colMat) // [OutC, spatial]
 		dst := out.Data()[s*c.OutC*spatial : (s+1)*c.OutC*spatial]
 		yd := y.Data()
 		for f := 0; f < c.OutC; f++ {
@@ -112,12 +131,14 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	spatial := c.outH * c.outW
 	dx := tensor.New(n, c.InC, c.inH, c.inW)
 	dbd := c.B.Grad.Data()
+	dcols := scratch(&c.dcolsBuf, patch, spatial)
 	for s := 0; s < n; s++ {
 		doutMat := tensor.FromSlice(
 			dout.Data()[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
 		colMat := c.cols.SubBatch(s, s+1).Reshape(patch, spatial)
-		// dW[f,p] += Σ_i dout[f,i]·cols[p,i]
-		tensor.MatMulAccum(c.W.Grad, doutMat, tensor.Transpose2D(colMat))
+		// dW[f,p] += Σ_i dout[f,i]·cols[p,i], fused — no materialized
+		// transpose of the im2col matrix.
+		tensor.MatMulAccumTransB(c.W.Grad, doutMat, colMat)
 		// db[f] += Σ_i dout[f,i]
 		dd := doutMat.Data()
 		for f := 0; f < c.OutC; f++ {
@@ -128,7 +149,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			dbd[f] += s
 		}
 		// dcols = Wᵀ·dout, then scatter back to image layout.
-		dcols := tensor.MatMulTransA(c.W.Value, doutMat) // [patch, spatial]
+		tensor.MatMulTransAInto(dcols, c.W.Value, doutMat) // [patch, spatial]
 		col2im(dcols, dx.Image(s), c.K, c.Stride, c.Pad)
 	}
 	return dx

@@ -43,6 +43,18 @@ func NewDenseXavier(name string, in, out int, rng *mathx.RNG) *Dense {
 // Name implements Layer.
 func (d *Dense) Name() string { return d.name }
 
+// CloneLayer implements Cloner: the clone shares W and B values but owns
+// its own input cache and gradient accumulators.
+func (d *Dense) CloneLayer() Layer {
+	return &Dense{
+		name: d.name,
+		In:   d.In,
+		Out:  d.Out,
+		W:    d.W.ShareValue(),
+		B:    d.B.ShareValue(),
+	}
+}
+
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
@@ -79,9 +91,9 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if d.x == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	// dW[o,i] += Σ_n dout[n,o]·x[n,i]
-	dW := tensor.MatMulTransA(dout, d.x)
-	d.W.Grad.AddInPlace(dW)
+	// dW[o,i] += Σ_n dout[n,o]·x[n,i], accumulated straight into the
+	// gradient — no intermediate product tensor.
+	tensor.MatMulAccumTransA(d.W.Grad, dout, d.x)
 	// db[o] += Σ_n dout[n,o]
 	n, out := dout.Dim(0), dout.Dim(1)
 	db := d.B.Grad.Data()

@@ -2,8 +2,10 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -28,6 +30,20 @@ func NewDropout(name string, rate float64, rng *mathx.RNG) *Dropout {
 
 // Name implements Layer.
 func (d *Dropout) Name() string { return d.name }
+
+// CloneLayer implements Cloner. The clone gets an independent RNG stream
+// seeded by parallel.TaskSeed over a process-wide clone counter, so
+// cloning never advances the original's stream: clones are meant for
+// concurrent inference, where dropout is the identity; a clone used for
+// training samples masks that are deterministic in clone-creation order
+// but uncorrelated with the original's.
+func (d *Dropout) CloneLayer() Layer {
+	seed := parallel.TaskSeed(0xd809, int(cloneSeq.Add(1)))
+	return &Dropout{name: d.name, Rate: d.Rate, rng: mathx.NewRNG(seed)}
+}
+
+// cloneSeq derives distinct seeds for cloned dropout layers.
+var cloneSeq atomic.Uint64
 
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }

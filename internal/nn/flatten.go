@@ -17,6 +17,9 @@ func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
 // Name implements Layer.
 func (f *Flatten) Name() string { return f.name }
 
+// CloneLayer implements Cloner.
+func (f *Flatten) CloneLayer() Layer { return &Flatten{name: f.name} }
+
 // Params implements Layer.
 func (f *Flatten) Params() []*Param { return nil }
 

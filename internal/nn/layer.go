@@ -37,6 +37,14 @@ func newParam(name string, value *tensor.Tensor) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// ShareValue returns a Param that aliases the same weight tensor but owns
+// a private, zeroed gradient accumulator. Network.Clone uses it so a
+// clone sees every weight update made to the original (the Value storage
+// is shared) while concurrent Backward passes never race on Grad.
+func (p *Param) ShareValue() *Param {
+	return &Param{Name: p.Name, Value: p.Value, Grad: tensor.New(p.Value.Shape()...)}
+}
+
 // Layer is one differentiable stage of a network.
 type Layer interface {
 	// Name returns the layer's unique name within its network.
@@ -49,6 +57,33 @@ type Layer interface {
 	Backward(dout *tensor.Tensor) *tensor.Tensor
 	// Params returns the trainable parameters, or nil for stateless layers.
 	Params() []*Param
+}
+
+// Cloner is implemented by layers that can produce a weight-sharing copy
+// of themselves. The clone aliases the original's parameter values (so it
+// tracks optimizer updates for free) but owns every piece of per-call
+// state — im2col buffers, activation masks, argmax tables, gradient
+// accumulators — so the original and any number of clones can run
+// Forward/Backward concurrently. All built-in layers implement Cloner.
+type Cloner interface {
+	CloneLayer() Layer
+}
+
+// scratch returns a tensor of the given shape backed by *buf, growing the
+// buffer only when capacity is insufficient. It is the allocation-reuse
+// primitive behind the per-layer scratch state: each layer instance owns
+// its buffers, so reuse is safe as long as a single instance is not used
+// from two goroutines (which is what Network.Clone exists for).
+func scratch(buf *[]float64, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return tensor.FromSlice(*buf, shape...)
 }
 
 // OutputShaper is implemented by layers that can statically report their

@@ -55,6 +55,32 @@ func MustNetwork(name string, inShape []int, layers ...Layer) *Network {
 // Name returns the network's name.
 func (n *Network) Name() string { return n.name }
 
+// Clone returns a copy of the network that shares trained weight values
+// with the original but owns every piece of per-call state (layer scratch
+// buffers, activation caches, gradient accumulators). Original and clones
+// may run Forward, Backward, Probs and LossAndInputGrad concurrently —
+// this is the primitive the parallel experiment engine builds worker
+// pools from. Weight updates applied to the original (optimizer steps,
+// LoadWeights) are visible to clones because the Param values alias the
+// same storage; do not train concurrently with cloned inference.
+//
+// Clone panics if any layer does not implement Cloner (all built-in
+// layers do). Clone never copies weights, but it does allocate a zeroed
+// gradient accumulator per parameter (one full parameter-memory's worth),
+// so reuse clones across evaluations (train.EvaluateOn, the experiment
+// engine's worker-net cache) rather than cloning per call.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		c, ok := l.(Cloner)
+		if !ok {
+			panic(fmt.Sprintf("nn: network %q layer %q (%T) does not implement Cloner", n.name, l.Name(), l))
+		}
+		layers[i] = c.CloneLayer()
+	}
+	return &Network{name: n.name, layers: layers, inShape: append([]int(nil), n.inShape...)}
+}
+
 // InputShape returns the per-sample input shape the network was built for.
 func (n *Network) InputShape() []int { return append([]int(nil), n.inShape...) }
 

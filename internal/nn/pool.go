@@ -29,6 +29,11 @@ func NewMaxPool2D(name string, kernel, stride int) *MaxPool2D {
 // Name implements Layer.
 func (p *MaxPool2D) Name() string { return p.name }
 
+// CloneLayer implements Cloner: the clone owns its own argmax table.
+func (p *MaxPool2D) CloneLayer() Layer {
+	return &MaxPool2D{name: p.name, K: p.K, Stride: p.Stride}
+}
+
 // Params implements Layer.
 func (p *MaxPool2D) Params() []*Param { return nil }
 

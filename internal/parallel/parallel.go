@@ -1,0 +1,116 @@
+// Package parallel is the bounded worker pool behind the experiment
+// engine. It fans independent grid cells — scenario × attack × filter
+// tasks, per-image attack generation, per-sample evaluation — out over a
+// fixed number of goroutines while keeping results deterministic: work
+// items are identified by index, callers write results into index-
+// addressed slots, and any reduction happens serially in index order
+// afterwards, so a parallel run is bit-identical to a serial one.
+//
+// The pool size defaults to runtime.NumCPU and is set process-wide via
+// SetWorkers (wired to the -workers flag of cmd/fademl-bench and
+// cmd/fademl-analyze). SetWorkers(1) degrades every call site to plain
+// serial loops, which the determinism tests exploit.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide pool size; 0 means "use
+// runtime.NumCPU()".
+var defaultWorkers atomic.Int64
+
+// Workers returns the current process-wide worker count (at least 1).
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers sets the process-wide worker count used when a call site
+// passes workers <= 0. n <= 0 resets to runtime.NumCPU().
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// For runs fn(i) for every i in [0, n) over a pool of the given number of
+// workers (workers <= 0 selects Workers()). Indices are claimed
+// dynamically from an atomic counter, so uneven task costs balance
+// automatically. fn must be safe for concurrent invocation; For returns
+// after every index has completed. A panic in fn is re-raised on the
+// calling goroutine after the pool drains.
+func For(workers, n int, fn func(i int)) {
+	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker id (in [0, effective-worker-count))
+// passed alongside the task index, so callers can address per-worker
+// resources such as cloned networks. Worker 0 is the calling goroutine.
+func ForWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	run := func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = r })
+				// Drain remaining indices so sibling workers exit promptly.
+				next.Store(int64(n))
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(worker, i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			run(worker)
+		}(w)
+	}
+	run(0)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// TaskSeed maps a task index to a deterministic RNG seed derived from a
+// base seed. The mapping depends only on (base, index) — never on worker
+// identity or completion order — so stochastic tasks produce identical
+// streams no matter how the pool schedules them. SplitMix64 finalizer.
+func TaskSeed(base uint64, index int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -41,6 +41,22 @@ func matMulInto(dst, a, b []float64, m, k, n int) {
 	}
 }
 
+// MatMulInto computes dst = a(m×k) · b(k×n) in place, overwriting dst's
+// contents. dst must be m×n and must not alias a or b. It is the
+// allocation-free variant of MatMul for hot paths that own a scratch
+// output buffer (the conv/dense forward passes).
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulInto needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	matMulInto(dst.data, a.data, b.data, m, k, n)
+}
+
 // MatMulAccum computes dst += a(m×k) · b(k×n) in place. dst must be m×n.
 func MatMulAccum(dst, a, b *Tensor) {
 	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
@@ -80,6 +96,33 @@ func axpyUnrolled(dst, src []float64, alpha float64) {
 	}
 }
 
+// MatMulAccumTransB computes dst += a(m×k) · bᵀ where b is n×k, without
+// materializing the transpose. dst must be m×n. This is the fused form of
+// MatMulAccum(dst, a, Transpose2D(b)) used by Conv2D.Backward for the
+// weight gradient: both a's rows and b's rows stream contiguously.
+func MatMulAccumTransB(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulAccumTransB needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAccumTransB shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			drow[j] += s
+		}
+	}
+}
+
 // MatMulTransA returns aᵀ(k×m)ᵀ · b — i.e. the product of a's transpose with
 // b, computed without materializing the transpose. a is m×k interpreted so
 // the result is k×n for b m×n.
@@ -93,6 +136,47 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(k, n)
+	matMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ · b in place, overwriting dst. For a
+// m×k and b m×n, dst must be k×n and must not alias the operands. It is
+// the allocation-free variant of MatMulTransA for scratch-buffer reuse.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulTransAInto needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	m2, n := b.shape[0], b.shape[1]
+	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	dst.Zero()
+	matMulTransAInto(dst, a, b)
+}
+
+// MatMulAccumTransA computes dst += aᵀ · b without materializing the
+// transpose or an intermediate product: for a m×k and b m×n, dst must be
+// k×n. Dense.Backward uses it to accumulate the weight gradient in one
+// pass.
+func MatMulAccumTransA(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulAccumTransA needs 2-d operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	m2, n := b.shape[0], b.shape[1]
+	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAccumTransA shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	matMulTransAInto(dst, a, b)
+}
+
+// matMulTransAInto accumulates aᵀ·b into dst (which must be zeroed by the
+// caller when overwrite semantics are wanted).
+func matMulTransAInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
 	for i := 0; i < m; i++ {
 		arow := a.data[i*k : (i+1)*k]
 		brow := b.data[i*n : (i+1)*n]
@@ -100,10 +184,9 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			if av == 0 {
 				continue
 			}
-			axpyUnrolled(out.data[p*n:(p+1)*n], brow, av)
+			axpyUnrolled(dst.data[p*n:(p+1)*n], brow, av)
 		}
 	}
-	return out
 }
 
 // MatMulTransB returns a · bᵀ where a is m×k and b is n×k; the result is m×n.

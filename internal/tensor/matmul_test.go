@@ -128,3 +128,54 @@ func TestMatVecMatchesMatMul(t *testing.T) {
 		t.Fatal("MatVec disagrees with MatMul")
 	}
 }
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	r := mathx.NewRNG(21)
+	a := RandN(r, 7, 5)
+	b := RandN(r, 5, 9)
+	dst := RandN(r, 7, 9) // non-zero garbage: Into must overwrite
+	MatMulInto(dst, a, b)
+	if !EqualWithin(dst, MatMul(a, b), 0) {
+		t.Fatal("MatMulInto disagrees with MatMul")
+	}
+}
+
+func TestMatMulTransAIntoMatchesMatMulTransA(t *testing.T) {
+	r := mathx.NewRNG(22)
+	a := RandN(r, 6, 4)
+	b := RandN(r, 6, 8)
+	dst := RandN(r, 4, 8)
+	MatMulTransAInto(dst, a, b)
+	if !EqualWithin(dst, MatMulTransA(a, b), 0) {
+		t.Fatal("MatMulTransAInto disagrees with MatMulTransA")
+	}
+}
+
+func TestMatMulAccumTransBMatchesTransposedAccum(t *testing.T) {
+	r := mathx.NewRNG(23)
+	a := RandN(r, 5, 6)
+	b := RandN(r, 7, 6)
+	dst := RandN(r, 5, 7)
+	want := dst.Clone()
+	MatMulAccumTransB(dst, a, b)
+	// Reference: materialized transpose plus dot-product accumulation.
+	bt := Transpose2D(b)
+	prod := MatMul(a, bt)
+	want.AddInPlace(prod)
+	if !EqualWithin(dst, want, 1e-12) {
+		t.Fatal("MatMulAccumTransB disagrees with MatMulAccum over Transpose2D")
+	}
+}
+
+func TestMatMulAccumTransAMatchesComposition(t *testing.T) {
+	r := mathx.NewRNG(24)
+	a := RandN(r, 6, 3)
+	b := RandN(r, 6, 4)
+	dst := RandN(r, 3, 4)
+	want := dst.Clone()
+	want.AddInPlace(MatMulTransA(a, b))
+	MatMulAccumTransA(dst, a, b)
+	if !EqualWithin(dst, want, 1e-12) {
+		t.Fatal("MatMulAccumTransA disagrees with MatMulTransA + AddInPlace")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mathx"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -53,28 +54,95 @@ func (m Metrics) String() string {
 // and returns aggregate metrics. transform may be nil; otherwise each image
 // is passed through it before inference — the hook the experiment harness
 // uses to route evaluation through attacks, acquisition and filters.
+//
+// Evaluation is fanned out over the process-wide parallel.Workers() pool;
+// transform, when given, must therefore be safe for concurrent calls
+// (pure functions of the image and index — every filter in this
+// repository qualifies; stateful acquisition models do not). Results are
+// bit-identical to a serial run regardless of worker count.
 func Evaluate(net *nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *tensor.Tensor) Metrics {
+	return EvaluateWorkers(net, ds, transform, 0)
+}
+
+// EvaluateWorkers is Evaluate with an explicit worker count (<= 0 selects
+// parallel.Workers(); 1 runs serially on the calling goroutine). Workers
+// beyond the first run on weight-sharing clones of net (nn.Network.Clone),
+// so net itself is only ever used from one goroutine at a time. Callers
+// evaluating many datasets against the same network should prefer
+// EvaluateOn with a reused clone set — this convenience clones afresh
+// per call.
+func EvaluateWorkers(net *nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *tensor.Tensor, workers int) Metrics {
+	n := ds.Len()
+	if n == 0 {
+		return Metrics{}
+	}
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	nets := make([]*nn.Network, workers)
+	nets[0] = net
+	for w := 1; w < workers; w++ {
+		nets[w] = net.Clone()
+	}
+	return EvaluateOn(nets, ds, transform)
+}
+
+// EvaluateOn evaluates using caller-supplied worker networks — nets[0]
+// plus weight-sharing clones of it — so repeated evaluations (the Fig. 7/9
+// curve sweeps run one per attack × scenario × filter cell) amortize the
+// clone allocations instead of re-cloning per call. nets must be
+// non-empty; len(nets) bounds the worker count, and each entry is only
+// ever used by one goroutine per call.
+func EvaluateOn(nets []*nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *tensor.Tensor) Metrics {
+	if len(nets) == 0 {
+		panic("train: EvaluateOn needs at least one network")
+	}
 	var m Metrics
 	n := ds.Len()
 	if n == 0 {
 		return m
 	}
-	var top1, top5, conf, trueProb float64
-	for i := 0; i < n; i++ {
+	workers := len(nets)
+	if workers > n {
+		workers = n
+	}
+
+	// Per-sample results land in index-addressed slots; the floating-point
+	// reduction below then runs serially in sample order, making the
+	// parallel metrics bit-identical to a serial evaluation.
+	type sampleStat struct {
+		top1, top5     bool
+		conf, trueProb float64
+	}
+	stats := make([]sampleStat, n)
+	parallel.ForWorker(workers, n, func(worker, i int) {
 		img, label := ds.Sample(i)
 		if transform != nil {
 			img = transform(img, i)
 		}
-		probs := net.Probs(img)
+		probs := nets[worker].Probs(img)
 		pred := mathx.ArgMax(probs)
-		if pred == label {
+		stats[i] = sampleStat{
+			top1:     pred == label,
+			top5:     TopKCorrect(probs, label, 5),
+			conf:     probs[pred],
+			trueProb: probs[label],
+		}
+	})
+
+	var top1, top5, conf, trueProb float64
+	for i := range stats {
+		if stats[i].top1 {
 			top1++
 		}
-		if TopKCorrect(probs, label, 5) {
+		if stats[i].top5 {
 			top5++
 		}
-		conf += probs[pred]
-		trueProb += probs[label]
+		conf += stats[i].conf
+		trueProb += stats[i].trueProb
 	}
 	inv := 1 / float64(n)
 	return Metrics{
