@@ -299,6 +299,24 @@ func BenchmarkAttackFGSM(b *testing.B) {
 	}
 }
 
+// BenchmarkAttackOnePixel measures one black-box one-pixel DE attack —
+// the query-based workload whose per-generation population scoring runs
+// through the batched inference surface.
+func BenchmarkAttackOnePixel(b *testing.B) {
+	env := benchEnvironment(b)
+	cls := attacks.NetClassifier{Net: env.Net}
+	sc := PaperScenarios[0]
+	clean := sc.CleanImage(env.Profile.Size)
+	goal := attacks.Goal{Source: sc.Source, Target: sc.Target}
+	atk := &attacks.OnePixel{Pixels: 1, Population: 10, Generations: 5, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atk.Generate(cls, clean, goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAttackFAdeMLBIM measures one filter-aware BIM adversarial
 // example through LAP(8) — the paper's core operation.
 func BenchmarkAttackFAdeMLBIM(b *testing.B) {

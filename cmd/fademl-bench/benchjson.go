@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	fademl "repro"
+	"repro/internal/attacks"
+	"repro/internal/gtsrb"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// benchResult is one benchmark's measurement in the BENCH_*.json
+// trajectory files (schema documented in PERFORMANCE.md).
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	Workers    int           `json:"workers"`
+	Profile    string        `json:"profile"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// writeBenchJSON runs the selected benchmarks (the figure regenerations
+// and substrate micro-benchmarks PERFORMANCE.md tracks) via
+// testing.Benchmark and writes the results to path.
+func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, workers int) error {
+	env, err := fademl.NewEnv(p, cacheDir, os.Stderr)
+	if err != nil {
+		return err
+	}
+	sc := fademl.PaperScenarios[0]
+	clean := sc.CleanImage(env.Profile.Size)
+	goal := attacks.Goal{Source: sc.Source, Target: sc.Target}
+	sweep := fademl.SweepOptions{
+		IncludeCurves:  true,
+		CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
+	}
+
+	// Each runner mirrors its bench_test.go counterpart; the optional
+	// metric lands in the JSON "metrics" map via b.ReportMetric.
+	runners := map[string]func(b *testing.B){
+		"matmul": func(b *testing.B) {
+			b.ReportAllocs()
+			rng := mathx.NewRNG(2)
+			x := tensor.RandN(rng, 128, 128)
+			y := tensor.RandN(rng, 128, 128)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(x, y)
+			}
+		},
+		"vggforward": func(b *testing.B) {
+			b.ReportAllocs()
+			img := gtsrb.Canonical(gtsrb.ClassStop, env.Profile.Size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.Net.Probs(img)
+			}
+		},
+		"vgginputgrad": func(b *testing.B) {
+			b.ReportAllocs()
+			img := gtsrb.Canonical(gtsrb.ClassStop, env.Profile.Size)
+			loss := nn.CrossEntropy{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.Net.LossAndInputGrad(img, gtsrb.ClassSpeed60, loss)
+			}
+		},
+		"onepixel": func(b *testing.B) {
+			b.ReportAllocs()
+			cls := attacks.NetClassifier{Net: env.Net}
+			atk := &attacks.OnePixel{Pixels: 1, Population: 10, Generations: 5, Seed: 7}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := atk.Generate(cls, clean, goal); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"fig7": func(b *testing.B) {
+			b.ReportAllocs()
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res, err := fademl.RunFig7(env, sweep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = res.NeutralizationRate()
+			}
+			b.ReportMetric(100*rate, "pct_neutralized")
+		},
+		"fig9": func(b *testing.B) {
+			b.ReportAllocs()
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res, err := fademl.RunFig9(env, sweep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = res.SurvivalRate()
+			}
+			b.ReportMetric(100*rate, "pct_survived")
+		},
+	}
+
+	report := benchReport{
+		Schema:    "fademl-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   workers,
+		Profile:   env.Profile.Name,
+	}
+	for _, name := range strings.Split(selected, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fn, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, fig7, fig9)", name)
+		}
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		r := testing.Benchmark(fn)
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "  %s: %d iter, %.0f ns/op, %d B/op, %d allocs/op\n",
+			name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

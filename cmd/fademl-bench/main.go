@@ -29,8 +29,30 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: all, 5, 6, 7 or 9")
 	curves := flag.Bool("curves", true, "include the accuracy-vs-filter curves in Figs. 7/9")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
+	benchJSON := flag.String("bench-json", "", "write the benchmark trajectory (wall/bytes/allocs for the figure and substrate benchmarks) as JSON to this file and exit; see PERFORMANCE.md for the schema")
+	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,fig7,fig9", "comma-separated benchmark subset for -bench-json")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	if *benchJSON != "" {
+		// The benchmark trajectory defaults to the tiny profile (the one
+		// PERFORMANCE.md tracks across PRs) unless -profile was given
+		// explicitly.
+		name := "tiny"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "profile" {
+				name = *profileName
+			}
+		})
+		p, err := profileByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeBenchJSON(*benchJSON, *benchSelect, p, *cacheDir, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	p, err := profileByName(*profileName)
 	if err != nil {

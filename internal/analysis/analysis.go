@@ -74,9 +74,15 @@ func Compare(p *pipeline.Pipeline, clean, adv *tensor.Tensor, source, target int
 	if tmx != pipeline.TM2 && tmx != pipeline.TM3 {
 		panic(fmt.Sprintf("analysis: Compare wants TM2 or TM3, got %v", tmx))
 	}
-	cleanProbs := p.CleanProbs(clean)
-	probsI := p.Probs(adv, pipeline.TM1)
-	probsX := p.Probs(adv, tmx)
+	// All three pipeline views (clean under TM-II delivery, adversarial
+	// under TM-I and TM-II/III) score through one batched forward pass;
+	// rows are bit-identical to separate Probs calls.
+	views := p.Net.ProbsBatch([]*tensor.Tensor{
+		p.Deliver(clean, pipeline.TM2),
+		p.Deliver(adv, pipeline.TM1),
+		p.Deliver(adv, tmx),
+	})
+	cleanProbs, probsI, probsX := views[0], views[1], views[2]
 
 	cleanPred := mathx.ArgMax(cleanProbs)
 	tm1Pred := mathx.ArgMax(probsI)

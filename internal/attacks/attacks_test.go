@@ -303,3 +303,40 @@ func TestAttackNamesDescriptive(t *testing.T) {
 		}
 	}
 }
+
+// unbatchedClassifier hides a classifier's LogitsBatch method so the
+// batched helpers fall back to per-image queries. Embedding the interface
+// (not the concrete type) is what strips the optional method.
+type unbatchedClassifier struct{ Classifier }
+
+// TestOnePixelBatchedMatchesPerImageScoring pins the batched DE fitness
+// path: scoring the population through one LogitsBatch forward must issue
+// the same number of queries and produce a bit-identical adversarial
+// image as per-image Probs fallback scoring with the same seed.
+func TestOnePixelBatchedMatchesPerImageScoring(t *testing.T) {
+	c := testClassifier(t)
+	if _, ok := any(c).(LogitsBatcher); !ok {
+		t.Fatal("fixture classifier does not implement LogitsBatcher; test is vacuous")
+	}
+	img, label := canonical(t, gtsrb.ClassStop)
+	atk := &OnePixel{Pixels: 2, Population: 12, Generations: 6, Seed: 11}
+
+	batched, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := atk.Generate(unbatchedClassifier{c}, img, Goal{Source: label, Target: Untargeted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Queries != single.Queries {
+		t.Fatalf("batched issued %d queries, per-image %d", batched.Queries, single.Queries)
+	}
+	if !tensor.EqualWithin(batched.Adversarial, single.Adversarial, 0) {
+		t.Fatal("batched and per-image one-pixel scoring diverged")
+	}
+	if batched.PredClass != single.PredClass || batched.Confidence != single.Confidence {
+		t.Fatalf("result bookkeeping diverged: (%d,%v) vs (%d,%v)",
+			batched.PredClass, batched.Confidence, single.PredClass, single.Confidence)
+	}
+}

@@ -23,12 +23,25 @@ import (
 type Classifier interface {
 	// NumClasses returns the classifier's output width.
 	NumClasses() int
-	// Logits returns raw class scores for a CHW image.
+	// Logits returns raw class scores for a CHW image. The returned slice
+	// must be caller-owned (not a view of internal reusable state): the
+	// Probs/ProbsBatch helpers softmax it in place.
 	Logits(x *tensor.Tensor) []float64
 	// GradFromLogits runs a forward pass, calls dfn on the resulting
 	// logits to obtain dLoss/dLogits, and returns the logits together with
 	// dLoss/dInput.
 	GradFromLogits(x *tensor.Tensor, dfn func(logits []float64) []float64) ([]float64, *tensor.Tensor)
+}
+
+// LogitsBatcher is the optional batched-scoring extension of Classifier:
+// one forward pass over a whole slice of images. Query-based attacks (the
+// one-pixel DE population) and batched evaluation probe for it and fall
+// back to per-image Logits calls when absent, so implementing it is purely
+// a performance contract — per-row results must be bit-identical to
+// single-image queries, and rows must be caller-owned slices (ProbsBatch
+// softmaxes them in place), like Logits.
+type LogitsBatcher interface {
+	LogitsBatch(xs []*tensor.Tensor) [][]float64
 }
 
 // NetClassifier adapts an nn.Network to the Classifier interface.
@@ -41,6 +54,11 @@ func (n NetClassifier) NumClasses() int { return n.Net.OutputClasses() }
 
 // Logits implements Classifier.
 func (n NetClassifier) Logits(x *tensor.Tensor) []float64 { return n.Net.Logits(x) }
+
+// LogitsBatch implements LogitsBatcher via one batched network forward.
+func (n NetClassifier) LogitsBatch(xs []*tensor.Tensor) [][]float64 {
+	return n.Net.LogitsBatch(xs)
+}
 
 // GradFromLogits implements Classifier.
 func (n NetClassifier) GradFromLogits(x *tensor.Tensor, dfn func([]float64) []float64) ([]float64, *tensor.Tensor) {
@@ -67,6 +85,17 @@ func (f FilteredClassifier) Logits(x *tensor.Tensor) []float64 {
 	return f.Inner.Logits(f.Pre.Apply(x))
 }
 
+// LogitsBatch implements LogitsBatcher: the pre-processing stage runs
+// per image (filters are single-image operators) and the filtered batch
+// is scored through the inner classifier's batched path.
+func (f FilteredClassifier) LogitsBatch(xs []*tensor.Tensor) [][]float64 {
+	ys := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		ys[i] = f.Pre.Apply(x)
+	}
+	return LogitsBatch(f.Inner, ys)
+}
+
 // GradFromLogits implements Classifier.
 func (f FilteredClassifier) GradFromLogits(x *tensor.Tensor, dfn func([]float64) []float64) ([]float64, *tensor.Tensor) {
 	y := f.Pre.Apply(x)
@@ -74,9 +103,34 @@ func (f FilteredClassifier) GradFromLogits(x *tensor.Tensor, dfn func([]float64)
 	return logits, f.Pre.VJP(x, gy)
 }
 
-// Probs returns softmax probabilities of c at x.
+// Probs returns softmax probabilities of c at x. The softmax reuses the
+// caller-owned logits slice, so one query costs one allocation.
 func Probs(c Classifier, x *tensor.Tensor) []float64 {
-	return nn.Softmax(c.Logits(x))
+	p := c.Logits(x)
+	return nn.SoftmaxInto(p, p)
+}
+
+// LogitsBatch scores a batch of images through one batched forward when c
+// implements LogitsBatcher, falling back to per-image queries otherwise.
+// Row i is always bit-identical to c.Logits(xs[i]).
+func LogitsBatch(c Classifier, xs []*tensor.Tensor) [][]float64 {
+	if bc, ok := c.(LogitsBatcher); ok {
+		return bc.LogitsBatch(xs)
+	}
+	rows := make([][]float64, len(xs))
+	for i, x := range xs {
+		rows[i] = c.Logits(x)
+	}
+	return rows
+}
+
+// ProbsBatch is LogitsBatch with a per-row in-place softmax.
+func ProbsBatch(c Classifier, xs []*tensor.Tensor) [][]float64 {
+	rows := LogitsBatch(c, xs)
+	for i := range rows {
+		rows[i] = nn.SoftmaxInto(rows[i], rows[i])
+	}
+	return rows
 }
 
 // Predict returns the argmax class of c at x and its probability.

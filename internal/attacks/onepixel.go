@@ -10,6 +10,15 @@ import (
 // OnePixel is Su et al.'s black-box attack: differential evolution over a
 // handful of (x, y, r, g, b) pixel substitutions, using only forward
 // queries — no gradients. A library extension beyond the paper's trio.
+//
+// The evolution is the textbook synchronous DE/rand/1 scheme: every
+// generation builds its full trial population from the generation-start
+// population, scores all trials, then applies selection. Building the
+// whole population up front is what lets the fitness evaluation run as
+// one batched forward pass per generation (via LogitsBatcher) instead of
+// Population separate batch-of-1 queries; the batched and per-image
+// scoring paths are bit-identical (same queries, same adversarial
+// output, same seed).
 type OnePixel struct {
 	// Pixels is the number of pixels the attack may replace.
 	Pixels int
@@ -50,27 +59,60 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 	rng := mathx.NewRNG(o.Seed)
 	queries := 0
 
-	apply := func(cand opCandidate) *tensor.Tensor {
-		img := x.Clone()
+	// forEachPixel decodes each of cand's pixel genes to its clamped image
+	// coordinate exactly once, so the perturb and restore passes below can
+	// never disagree about which pixels were touched.
+	forEachPixel := func(cand opCandidate, visit func(base, py, px int)) {
 		for p := 0; p < o.Pixels; p++ {
 			base := p * (2 + ch)
 			py := int(mathx.Clamp01(cand[base]) * float64(h-1))
 			px := int(mathx.Clamp01(cand[base+1]) * float64(w-1))
+			visit(base, py, px)
+		}
+	}
+	// writePixels perturbs img in place per cand; restorePixels puts the
+	// original values back. One scratch image per population slot (cloned
+	// once, perturbed and restored around every scoring pass) replaces the
+	// historical full-image clone per fitness query — thousands of image
+	// copies per attack.
+	writePixels := func(img *tensor.Tensor, cand opCandidate) {
+		forEachPixel(cand, func(base, py, px int) {
 			for cc := 0; cc < ch; cc++ {
 				img.Set(mathx.Clamp01(cand[base+2+cc]), cc, py, px)
 			}
-		}
-		return img
+		})
 	}
-	// Fitness: probability of the target class (to maximize) for targeted
-	// goals; negative probability of the source class for untargeted.
-	fitness := func(cand opCandidate) float64 {
-		probs := Probs(c, apply(cand))
-		queries++
-		if goal.IsTargeted() {
-			return probs[goal.Target]
+	restorePixels := func(img *tensor.Tensor, cand opCandidate) {
+		forEachPixel(cand, func(_, py, px int) {
+			for cc := 0; cc < ch; cc++ {
+				img.Set(x.At(cc, py, px), cc, py, px)
+			}
+		})
+	}
+	slots := make([]*tensor.Tensor, o.Population)
+	for i := range slots {
+		slots[i] = x.Clone()
+	}
+	// scoreAll evaluates every candidate's fitness — probability of the
+	// target class for targeted goals, negative source-class probability
+	// for untargeted — in one batched forward pass over the slot images.
+	fitDst := make([]float64, o.Population)
+	scoreAll := func(cands []opCandidate, fit []float64) {
+		for i, cand := range cands {
+			writePixels(slots[i], cand)
 		}
-		return -probs[goal.Source]
+		probs := ProbsBatch(c, slots[:len(cands)])
+		queries += len(cands)
+		for i := range cands {
+			if goal.IsTargeted() {
+				fit[i] = probs[i][goal.Target]
+			} else {
+				fit[i] = -probs[i][goal.Source]
+			}
+		}
+		for i, cand := range cands {
+			restorePixels(slots[i], cand)
+		}
 	}
 
 	pop := make([]opCandidate, o.Population)
@@ -80,24 +122,32 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 		for g := range pop[i] {
 			pop[i][g] = rng.Float64()
 		}
-		fit[i] = fitness(pop[i])
 	}
+	scoreAll(pop, fit)
 
-	trial := make(opCandidate, genes)
+	trials := make([]opCandidate, o.Population)
+	for i := range trials {
+		trials[i] = make(opCandidate, genes)
+	}
 	for gen := 0; gen < o.Generations; gen++ {
 		for i := range pop {
-			// DE/rand/1 mutation with F=0.5 and full crossover.
+			// DE/rand/1 mutation with F=0.5 and full crossover, donors
+			// drawn from the generation-start population.
 			a, b, cc := rng.IntN(o.Population), rng.IntN(o.Population), rng.IntN(o.Population)
-			for g := range trial {
-				trial[g] = mathx.Clamp01(pop[a][g] + 0.5*(pop[b][g]-pop[cc][g]))
+			for g := range trials[i] {
+				trials[i][g] = mathx.Clamp01(pop[a][g] + 0.5*(pop[b][g]-pop[cc][g]))
 			}
-			if f := fitness(trial); f > fit[i] {
-				copy(pop[i], trial)
-				fit[i] = f
+		}
+		scoreAll(trials, fitDst)
+		for i := range pop {
+			if fitDst[i] > fit[i] {
+				copy(pop[i], trials[i])
+				fit[i] = fitDst[i]
 			}
 		}
 	}
 	best := mathx.ArgMax(fit)
-	adv := apply(pop[best])
+	adv := x.Clone()
+	writePixels(adv, pop[best])
 	return finishResult(c, x, adv, goal, o.Generations, queries), nil
 }

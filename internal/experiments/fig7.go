@@ -266,8 +266,10 @@ type cmpView struct {
 }
 
 func analysisCompare(p *pipeline.Pipeline, adv *tensor.Tensor, sc Scenario) cmpView {
-	probsI := p.Probs(adv, pipeline.TM1)
-	probsX := p.Probs(adv, pipeline.TM3)
+	// Both threat-model views of the panel cell score in one batched
+	// forward; rows are bit-identical to separate Probs calls.
+	views := p.ProbsViews(adv, pipeline.TM1, pipeline.TM3)
+	probsI, probsX := views[0], views[1]
 	pi, px := argmax(probsI), argmax(probsX)
 	return cmpView{tm1Pred: pi, tm1Conf: probsI[pi], tmxPred: px, tmxConf: probsX[px]}
 }

@@ -14,6 +14,12 @@ type Network struct {
 	name    string
 	layers  []Layer
 	inShape []int // expected input shape without the batch dimension
+
+	// inBuf backs the stacked input batch of the *Batch inference surface.
+	// Like the per-layer scratch buffers it is owned by this instance
+	// (clones grow their own), which keeps batched inference on clones
+	// safe for concurrent use.
+	inBuf []float64
 }
 
 // NewNetwork builds a sequential network. inShape is the per-sample input
@@ -152,7 +158,7 @@ func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Logits runs inference (eval mode) for a single CHW image and returns the
-// class-score vector.
+// class-score vector as a caller-owned slice.
 func (n *Network) Logits(img *tensor.Tensor) []float64 {
 	batch := n.asBatch(img)
 	out := n.Forward(batch, false)
@@ -160,9 +166,96 @@ func (n *Network) Logits(img *tensor.Tensor) []float64 {
 }
 
 // Probs runs inference for a single CHW image and returns softmax
-// probabilities.
+// probabilities. The softmax is computed straight from the forward
+// output's row into one fresh slice — no intermediate logits copy.
 func (n *Network) Probs(img *tensor.Tensor) []float64 {
-	return Softmax(n.Logits(img))
+	batch := n.asBatch(img)
+	out := n.Forward(batch, false)
+	row := out.Row(0).Data()
+	return SoftmaxInto(make([]float64, len(row)), row)
+}
+
+// stackBatch copies a slice of CHW images into one [N, C, H, W] batch
+// tensor backed by the network's reusable input buffer, validating every
+// image's shape. The returned tensor is valid until the next *Batch call
+// on this network.
+func (n *Network) stackBatch(imgs []*tensor.Tensor) *tensor.Tensor {
+	per := 1
+	for _, d := range n.inShape {
+		per *= d
+	}
+	batch := scratch(&n.inBuf, append([]int{len(imgs)}, n.inShape...)...)
+	bd := batch.Data()
+	for s, img := range imgs {
+		got := img.Shape()
+		ok := len(got) == len(n.inShape)
+		for i := 0; ok && i < len(got); i++ {
+			ok = got[i] == n.inShape[i]
+		}
+		if !ok {
+			panic(fmt.Sprintf("nn: network %q expects input shape %v, got %v (batch slot %d)", n.name, n.inShape, got, s))
+		}
+		copy(bd[s*per:(s+1)*per], img.Data())
+	}
+	return batch
+}
+
+// LogitsBatch runs eval-mode inference for a slice of CHW images through
+// one batched Forward pass and returns one caller-owned logits slice per
+// image. Every layer processes batch rows independently in eval mode, so
+// each returned row is bit-identical to a batch-of-1 Logits call — the
+// batching only amortizes per-call dispatch and allocation overhead. This
+// is the scoring primitive behind batched evaluation and the query-based
+// (one-pixel DE) attack.
+func (n *Network) LogitsBatch(imgs []*tensor.Tensor) [][]float64 {
+	if len(imgs) == 0 {
+		return nil
+	}
+	out := n.Forward(n.stackBatch(imgs), false)
+	c := out.Dim(1)
+	flat := make([]float64, len(imgs)*c)
+	copy(flat, out.Data())
+	rows := make([][]float64, len(imgs))
+	for i := range rows {
+		rows[i] = flat[i*c : (i+1)*c]
+	}
+	return rows
+}
+
+// ProbsBatch is LogitsBatch followed by a per-row softmax, applied
+// directly from the forward output into one flat result block (a single
+// allocation for the whole batch's probabilities).
+func (n *Network) ProbsBatch(imgs []*tensor.Tensor) [][]float64 {
+	if len(imgs) == 0 {
+		return nil
+	}
+	out := n.Forward(n.stackBatch(imgs), false)
+	c := out.Dim(1)
+	od := out.Data()
+	flat := make([]float64, len(imgs)*c)
+	rows := make([][]float64, len(imgs))
+	for i := range rows {
+		rows[i] = SoftmaxInto(flat[i*c:(i+1)*c], od[i*c:(i+1)*c])
+	}
+	return rows
+}
+
+// PredictBatch returns the argmax class and its probability for every
+// image, evaluated through one batched forward pass.
+func (n *Network) PredictBatch(imgs []*tensor.Tensor) (classes []int, probs []float64) {
+	rows := n.ProbsBatch(imgs)
+	classes = make([]int, len(rows))
+	probs = make([]float64, len(rows))
+	for i, p := range rows {
+		best := 0
+		for j, v := range p {
+			if v > p[best] {
+				best = j
+			}
+		}
+		classes[i], probs[i] = best, p[best]
+	}
+	return classes, probs
 }
 
 // Predict returns the argmax class and its probability for a single image.
@@ -194,15 +287,24 @@ func (n *Network) LossAndInputGrad(img *tensor.Tensor, label int, loss Loss) (fl
 // backpropagates an arbitrary dLoss/dLogits vector, returning the input
 // gradient. Attacks with non-cross-entropy objectives (C&W margin loss,
 // DeepFool linearization, the FAdeML Eq. 2 cost) use this primitive.
+//
+// dlogitsFn must treat its argument as read-only and return a distinct
+// slice: the logits passed in (and returned to the caller) alias the live
+// forward output, and the returned dLoss/dLogits feeds Backward without a
+// defensive copy. Every in-repo objective allocates its gradient fresh.
 func (n *Network) LogitsAndInputGradFrom(img *tensor.Tensor, dlogitsFn func(logits []float64) []float64) ([]float64, *tensor.Tensor) {
 	batch := n.asBatch(img)
 	out := n.Forward(batch, false)
-	logits := append([]float64(nil), out.Row(0).Data()...)
+	// The returned logits view aliases this pass's forward output, which
+	// every layer allocates fresh, so it stays valid for the caller (until
+	// garbage collected) without a defensive copy; likewise dl is consumed
+	// by Backward before dlogitsFn's owner can observe it again.
+	logits := out.Row(0).Data()
 	dl := dlogitsFn(logits)
 	if len(dl) != len(logits) {
 		panic(fmt.Sprintf("nn: dlogits length %d, want %d", len(dl), len(logits)))
 	}
-	dout := tensor.FromSlice(append([]float64(nil), dl...), 1, len(dl))
+	dout := tensor.FromSlice(dl, 1, len(dl))
 	dx := n.Backward(dout)
 	return logits, dx.Reshape(img.Shape()...)
 }

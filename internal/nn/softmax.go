@@ -9,9 +9,20 @@ import (
 // Softmax converts a vector of logits into a probability distribution using
 // the numerically stable max-shift formulation.
 func Softmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
+	return SoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// SoftmaxInto writes softmax(logits) into dst and returns it, avoiding the
+// extra allocation of Softmax on hot paths that own a destination. dst must
+// have the same length as logits; dst may be the logits slice itself (the
+// in-place form used when a caller-owned logits copy becomes the
+// probability vector).
+func SoftmaxInto(dst, logits []float64) []float64 {
+	if len(dst) != len(logits) {
+		panic("nn: SoftmaxInto length mismatch")
+	}
 	if len(logits) == 0 {
-		return out
+		return dst
 	}
 	maxV := logits[0]
 	for _, v := range logits[1:] {
@@ -22,14 +33,14 @@ func Softmax(logits []float64) []float64 {
 	sum := 0.0
 	for i, v := range logits {
 		e := math.Exp(v - maxV)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
 	inv := 1 / sum
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // SoftmaxBatch applies Softmax to every row of an [N, C] tensor, returning
@@ -42,8 +53,7 @@ func SoftmaxBatch(logits *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(n, c)
 	ld, od := logits.Data(), out.Data()
 	for r := 0; r < n; r++ {
-		row := Softmax(ld[r*c : (r+1)*c])
-		copy(od[r*c:(r+1)*c], row)
+		SoftmaxInto(od[r*c:(r+1)*c], ld[r*c:(r+1)*c])
 	}
 	return out
 }

@@ -91,6 +91,28 @@ func (p *Pipeline) Probs(x *tensor.Tensor, tm ThreatModel) []float64 {
 	return p.Net.Probs(p.Deliver(x, tm))
 }
 
+// ProbsBatch delivers every image under tm and scores the whole batch
+// through one batched network forward. Row i is bit-identical to
+// Probs(xs[i], tm).
+func (p *Pipeline) ProbsBatch(xs []*tensor.Tensor, tm ThreatModel) [][]float64 {
+	delivered := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		delivered[i] = p.Deliver(x, tm)
+	}
+	return p.Net.ProbsBatch(delivered)
+}
+
+// ProbsViews scores one image delivered under several threat models in a
+// single batched forward — the Fig. 7/9 panel cells use it to get the
+// TM-I and TM-III views of an adversarial image in one network pass.
+func (p *Pipeline) ProbsViews(x *tensor.Tensor, tms ...ThreatModel) [][]float64 {
+	delivered := make([]*tensor.Tensor, len(tms))
+	for i, tm := range tms {
+		delivered[i] = p.Deliver(x, tm)
+	}
+	return p.Net.ProbsBatch(delivered)
+}
+
 // Predict runs the pipeline under a threat model and returns the top
 // class with its probability.
 func (p *Pipeline) Predict(x *tensor.Tensor, tm ThreatModel) (int, float64) {

@@ -1,83 +1,315 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// MatMul returns the matrix product a(m×k) · b(k×n) as a new m×n tensor.
-// Both operands must be 2-dimensional with compatible inner dimensions.
+// This file implements every matrix-multiplication variant on top of one
+// shared packed, register-blocked GEMM core (gemm). The core computes
 //
-// The loop order (i, p, j with a row-scalar broadcast) keeps the innermost
-// loop streaming over contiguous memory in both b and the output, which is
-// the standard cache-friendly formulation for row-major storage.
-func MatMul(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
-	}
-	out := New(m, n)
-	matMulInto(out.data, a.data, b.data, m, k, n)
-	return out
+//	dst (+)= opA · opB
+//
+// where opA and opB are strided views of the operands, so the transposed
+// variants (MatMulTransA/B and their Accum forms) pack their panels once
+// instead of strided-reading inside the O(m·n·k) inner loop.
+//
+// Determinism contract: for every output element, contributions are added
+// in increasing k order, one IEEE-754 add per k index, exactly like the
+// historical naive kernels. Cache blocking splits the k loop, but the
+// microkernel reloads the running output tile between k-blocks, so the
+// sequence of rounded additions per element is unchanged (float64 stores
+// are exact). Results are therefore bit-identical to the naive kernels
+// for all finite inputs; the only divergence is the sign of exact zeros
+// (the naive kernels skipped a==0 terms, the packed core adds them — an
+// accumulator that starts at +0 can never become −0, so even that cannot
+// change stored bits in practice) and non-finite operands (0·Inf).
+const (
+	// gemmMR×gemmNR is the register microkernel's output tile: 8 float64
+	// accumulators plus the 6 per-iteration operands fit amd64's 16 XMM
+	// registers (a 4×4 tile's 16 accumulators spill and run no faster
+	// than the naive kernel).
+	gemmMR = 4
+	gemmNR = 2
+	// Cache block sizes: a kc×gemmNR B sliver (8 KiB) stays L1-resident
+	// across a row of microkernel calls, the packed mc×kc A block
+	// (256 KiB) targets L2, and kc×nc bounds the packed B panel.
+	gemmKC = 256
+	gemmMC = 128
+	gemmNC = 1024
+	// Below this m·n·k the packing overhead outweighs the blocked core and
+	// gemm falls back to the unpacked kernels (bit-identical either way).
+	gemmSmallLimit = 8192
+)
+
+// gemmBufs holds the packing scratch for one in-flight gemm call. Buffers
+// are pooled so the conv/dense hot loops (and every worker goroutine of
+// the parallel experiment engine) reuse them instead of re-allocating
+// per multiplication.
+type gemmBufs struct {
+	a, b, c []float64
 }
 
-// matMulInto computes dst += nothing; it overwrites dst with A·B where A is
-// m×k and B is k×n, all row-major flat slices.
-func matMulInto(dst, a, b []float64, m, k, n int) {
+var gemmPool = sync.Pool{New: func() any { return new(gemmBufs) }}
+
+func growBuf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// gemm computes dst (+)= opA·opB for a row-major m×n dst, where
+// opA[i][p] = a[i·ars + p·acs] and opB[p][j] = b[p·brs + j·bcs].
+// accum selects += (true) versus overwrite (false). dst must not alias
+// a or b.
+func gemm(dst []float64, m, n, k int, a []float64, ars, acs int, b []float64, brs, bcs int, accum bool) {
+	if !accum {
+		clear(dst[:m*n])
+	}
+	if m >= 2 && n >= 2 && k >= 4 && m*n*k >= gemmSmallLimit {
+		gemmPacked(dst, m, n, k, a, ars, acs, b, brs, bcs)
+		return
+	}
+	gemmSmall(dst, m, n, k, a, ars, acs, b, brs, bcs)
+}
+
+// gemmSmall is the unpacked fallback for shapes too small to amortize
+// packing. Both branches accumulate into dst per output element in
+// increasing k order, matching the packed core bit for bit.
+func gemmSmall(dst []float64, m, n, k int, a []float64, ars, acs int, b []float64, brs, bcs int) {
+	if bcs == 1 {
+		// opB rows are contiguous: stream them with the unrolled AXPY.
+		for i := 0; i < m; i++ {
+			drow := dst[i*n : (i+1)*n]
+			ai := i * ars
+			for p := 0; p < k; p++ {
+				av := a[ai+p*acs]
+				if av == 0 {
+					continue
+				}
+				bo := p * brs
+				axpyUnrolled(drow, b[bo:bo+n], av)
+			}
+		}
+		return
+	}
+	// opB columns are strided: dot-product form, contiguous over k when
+	// brs == 1 (the TransB layouts).
 	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
+		ai := i * ars
 		drow := dst[i*n : (i+1)*n]
-		for j := range drow {
-			drow[j] = 0
-		}
-		for p, av := range arow {
-			if av == 0 {
-				continue
+		for j := 0; j < n; j++ {
+			bj := j * bcs
+			s := drow[j]
+			for p := 0; p < k; p++ {
+				s += a[ai+p*acs] * b[bj+p*brs]
 			}
-			brow := b[p*n : (p+1)*n]
-			axpyUnrolled(drow, brow, av)
+			drow[j] = s
 		}
 	}
 }
 
-// MatMulInto computes dst = a(m×k) · b(k×n) in place, overwriting dst's
-// contents. dst must be m×n and must not alias a or b. It is the
-// allocation-free variant of MatMul for hot paths that own a scratch
-// output buffer (the conv/dense forward passes).
-func MatMulInto(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulInto needs 2-d operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
-	}
-	matMulInto(dst.data, a.data, b.data, m, k, n)
-}
-
-// MatMulAccum computes dst += a(m×k) · b(k×n) in place. dst must be m×n.
-func MatMulAccum(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulAccum needs 2-d operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulAccum shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
-	}
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		drow := dst.data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
+// gemmPacked is the blocked core: loop nest jc→pc→ic over nc/kc/mc cache
+// blocks, packing B into gemmNR-wide column panels and A into gemmMR-tall
+// row panels, then driving the register microkernel over the block.
+func gemmPacked(dst []float64, m, n, k int, a []float64, ars, acs int, b []float64, brs, bcs int) {
+	bufs := gemmPool.Get().(*gemmBufs)
+	kcMax := min(k, gemmKC)
+	mcMax := min(m, gemmMC)
+	ncMax := min(n, gemmNC)
+	bufs.a = growBuf(bufs.a, roundUp(mcMax, gemmMR)*kcMax)
+	bufs.b = growBuf(bufs.b, kcMax*roundUp(ncMax, gemmNR))
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packB(bufs.b, b, brs, bcs, pc, pc+kc, jc, jc+nc)
+			for ic := 0; ic < m; ic += gemmMC {
+				mc := min(gemmMC, m-ic)
+				packA(bufs.a, a, ars, acs, ic, ic+mc, pc, pc+kc)
+				gemmMacro(dst, n, ic, jc, mc, nc, kc, bufs.a, bufs.b)
 			}
-			brow := b.data[p*n : (p+1)*n]
-			axpyUnrolled(drow, brow, av)
 		}
 	}
+	gemmPool.Put(bufs)
+}
+
+func roundUp(v, to int) int { return (v + to - 1) / to * to }
+
+// packA lays out rows [i0,i1) × columns [p0,p1) of opA as gemmMR-tall
+// panels: within a panel, the gemmMR values of one k index are adjacent,
+// so the microkernel reads A with unit stride. Short final panels are
+// zero-padded (the pad lanes feed accumulators that are never stored).
+func packA(dst, a []float64, rs, cs, i0, i1, p0, p1 int) {
+	idx := 0
+	for i := i0; i < i1; i += gemmMR {
+		rows := min(gemmMR, i1-i)
+		if rows == gemmMR && cs == 1 {
+			// Contiguous operand rows: four streaming reads per panel.
+			r0 := a[i*rs+p0 : i*rs+p1]
+			r1 := a[(i+1)*rs+p0 : (i+1)*rs+p1]
+			r2 := a[(i+2)*rs+p0 : (i+2)*rs+p1]
+			r3 := a[(i+3)*rs+p0 : (i+3)*rs+p1]
+			for p := range r0 {
+				dst[idx] = r0[p]
+				dst[idx+1] = r1[p]
+				dst[idx+2] = r2[p]
+				dst[idx+3] = r3[p]
+				idx += gemmMR
+			}
+			continue
+		}
+		for p := p0; p < p1; p++ {
+			pc := p * cs
+			for r := 0; r < rows; r++ {
+				dst[idx+r] = a[(i+r)*rs+pc]
+			}
+			for r := rows; r < gemmMR; r++ {
+				dst[idx+r] = 0
+			}
+			idx += gemmMR
+		}
+	}
+}
+
+// packB lays out rows [p0,p1) × columns [j0,j1) of opB as gemmNR-wide
+// panels, zero-padding short final panels.
+func packB(dst, b []float64, rs, cs, p0, p1, j0, j1 int) {
+	idx := 0
+	for j := j0; j < j1; j += gemmNR {
+		cols := min(gemmNR, j1-j)
+		if cols == gemmNR && cs == 1 {
+			for p := p0; p < p1; p++ {
+				base := p*rs + j
+				dst[idx] = b[base]
+				dst[idx+1] = b[base+1]
+				idx += gemmNR
+			}
+			continue
+		}
+		for p := p0; p < p1; p++ {
+			pr := p * rs
+			for c := 0; c < cols; c++ {
+				dst[idx+c] = b[pr+(j+c)*cs]
+			}
+			for c := cols; c < gemmNR; c++ {
+				dst[idx+c] = 0
+			}
+			idx += gemmNR
+		}
+	}
+}
+
+// gemmMacro sweeps the microkernel over one packed mc×kc × kc×nc block,
+// updating dst at offset (i0, j0). Edge tiles run through a local buffer
+// so the microkernel itself only ever sees full gemmMR×gemmNR tiles.
+func gemmMacro(dst []float64, ldd, i0, j0, mc, nc, kc int, apack, bpack []float64) {
+	for jr := 0; jr < nc; jr += gemmNR {
+		nrV := min(gemmNR, nc-jr)
+		bp := bpack[(jr/gemmNR)*kc*gemmNR:]
+		for ir := 0; ir < mc; ir += gemmMR {
+			mrV := min(gemmMR, mc-ir)
+			ap := apack[(ir/gemmMR)*kc*gemmMR:]
+			c := dst[(i0+ir)*ldd+j0+jr:]
+			if mrV == gemmMR && nrV == gemmNR {
+				microKernel(c, ldd, ap, bp, kc)
+				continue
+			}
+			var cbuf [gemmMR * gemmNR]float64
+			for r := 0; r < mrV; r++ {
+				copy(cbuf[r*gemmNR:r*gemmNR+nrV], c[r*ldd:r*ldd+nrV])
+			}
+			microKernel(cbuf[:], gemmNR, ap, bp, kc)
+			for r := 0; r < mrV; r++ {
+				copy(c[r*ldd:r*ldd+nrV], cbuf[r*gemmNR:r*gemmNR+nrV])
+			}
+		}
+	}
+}
+
+// microKernel accumulates a gemmMR×gemmNR (4×2) output tile held in eight
+// scalar registers: c[r][j] += Σ_p ap[p][r]·bp[p][j] with p increasing,
+// loading and storing the running tile so k-blocked calls keep the exact
+// per-element addition order of an unblocked loop. The 4×2 shape keeps
+// accumulators plus the six per-iteration operands within amd64's sixteen
+// XMM registers — a 4×4 tile spills and runs no faster than the naive
+// kernel.
+func microKernel(c []float64, ldc int, ap, bp []float64, kc int) {
+	c00, c01 := c[0], c[1]
+	r := c[ldc:]
+	c10, c11 := r[0], r[1]
+	r = c[2*ldc:]
+	c20, c21 := r[0], r[1]
+	r = c[3*ldc:]
+	c30, c31 := r[0], r[1]
+	ap = ap[:kc*gemmMR]
+	bp = bp[:kc*gemmNR]
+	for len(ap) >= 4*gemmMR && len(bp) >= 4*gemmNR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[4], ap[5], ap[6], ap[7]
+		b0, b1 = bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[8], ap[9], ap[10], ap[11]
+		b0, b1 = bp[4], bp[5]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[12], ap[13], ap[14], ap[15]
+		b0, b1 = bp[6], bp[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[4*gemmMR:]
+		bp = bp[4*gemmNR:]
+	}
+	for len(ap) >= gemmMR && len(bp) >= gemmNR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[gemmMR:]
+		bp = bp[gemmNR:]
+	}
+	c[0], c[1] = c00, c01
+	r = c[ldc:]
+	r[0], r[1] = c10, c11
+	r = c[2*ldc:]
+	r[0], r[1] = c20, c21
+	r = c[3*ldc:]
+	r[0], r[1] = c30, c31
 }
 
 // axpyUnrolled computes dst += alpha * src with 4-way unrolling. dst and src
@@ -96,47 +328,68 @@ func axpyUnrolled(dst, src []float64, alpha float64) {
 	}
 }
 
-// MatMulAccumTransB computes dst += a(m×k) · bᵀ where b is n×k, without
-// materializing the transpose. dst must be m×n. This is the fused form of
-// MatMulAccum(dst, a, Transpose2D(b)) used by Conv2D.Backward for the
-// weight gradient: both a's rows and b's rows stream contiguously.
-func MatMulAccumTransB(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulAccumTransB needs 2-d operands")
+// matmulDims checks that both operands are 2-d and returns their stored
+// shapes (a is m×k, b is k2×n); each variant interprets and validates the
+// inner/outer dimensions itself. Destination checking lives in checkDst.
+func matmulDims(op string, a, b *Tensor) (m, k, k2, n int) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2-d operands, got %v and %v", op, a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulAccumTransB shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
-	}
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		drow := dst.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p := range arow {
-				s += arow[p] * brow[p]
-			}
-			drow[j] += s
-		}
+	return a.shape[0], a.shape[1], b.shape[0], b.shape[1]
+}
+
+func checkDst(op string, dst *Tensor, m, n int) {
+	if dst.Dims() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.shape, m, n))
 	}
 }
 
-// MatMulTransA returns aᵀ(k×m)ᵀ · b — i.e. the product of a's transpose with
-// b, computed without materializing the transpose. a is m×k interpreted so
-// the result is k×n for b m×n.
-func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic("tensor: MatMulTransA needs 2-d operands")
+// MatMul returns the matrix product a(m×k) · b(k×n) as a new m×n tensor.
+// Both operands must be 2-dimensional with compatible inner dimensions.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, k2, n := matmulDims("MatMul", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	m2, n := b.shape[0], b.shape[1]
-	if m != m2 {
+	out := New(m, n)
+	// A fresh tensor is already zeroed, so the accumulate path (which
+	// skips gemm's clear pass) computes the identical overwrite result.
+	gemm(out.data, m, n, k, a.data, k, 1, b.data, n, 1, true)
+	return out
+}
+
+// MatMulInto computes dst = a(m×k) · b(k×n) in place, overwriting dst's
+// contents. dst must be m×n and must not alias a or b. It is the
+// allocation-free variant of MatMul for hot paths that own a scratch
+// output buffer (the conv/dense forward passes).
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, k2, n := matmulDims("MatMulInto", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	checkDst("MatMulInto", dst, m, n)
+	gemm(dst.data, m, n, k, a.data, k, 1, b.data, n, 1, false)
+}
+
+// MatMulAccum computes dst += a(m×k) · b(k×n) in place. dst must be m×n.
+func MatMulAccum(dst, a, b *Tensor) {
+	m, k, k2, n := matmulDims("MatMulAccum", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAccum inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	checkDst("MatMulAccum", dst, m, n)
+	gemm(dst.data, m, n, k, a.data, k, 1, b.data, n, 1, true)
+}
+
+// MatMulTransA returns aᵀ · b computed without materializing the
+// transpose: for a m×k and b m×n the result is k×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	ma, ka, mb, n := matmulDims("MatMulTransA", a, b)
+	if ma != mb {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	out := New(k, n)
-	matMulTransAInto(out, a, b)
+	out := New(ka, n)
+	gemm(out.data, ka, n, ma, a.data, 1, ka, b.data, n, 1, false)
 	return out
 }
 
@@ -144,16 +397,12 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // m×k and b m×n, dst must be k×n and must not alias the operands. It is
 // the allocation-free variant of MatMulTransA for scratch-buffer reuse.
 func MatMulTransAInto(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulTransAInto needs 2-d operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	m2, n := b.shape[0], b.shape[1]
-	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
+	ma, ka, mb, n := matmulDims("MatMulTransAInto", a, b)
+	if ma != mb {
 		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	dst.Zero()
-	matMulTransAInto(dst, a, b)
+	checkDst("MatMulTransAInto", dst, ka, n)
+	gemm(dst.data, ka, n, ma, a.data, 1, ka, b.data, n, 1, false)
 }
 
 // MatMulAccumTransA computes dst += aᵀ · b without materializing the
@@ -161,59 +410,51 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 // k×n. Dense.Backward uses it to accumulate the weight gradient in one
 // pass.
 func MatMulAccumTransA(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulAccumTransA needs 2-d operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	m2, n := b.shape[0], b.shape[1]
-	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
+	ma, ka, mb, n := matmulDims("MatMulAccumTransA", a, b)
+	if ma != mb {
 		panic(fmt.Sprintf("tensor: MatMulAccumTransA shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matMulTransAInto(dst, a, b)
-}
-
-// matMulTransAInto accumulates aᵀ·b into dst (which must be zeroed by the
-// caller when overwrite semantics are wanted).
-func matMulTransAInto(dst, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		brow := b.data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			axpyUnrolled(dst.data[p*n:(p+1)*n], brow, av)
-		}
-	}
+	checkDst("MatMulAccumTransA", dst, ka, n)
+	gemm(dst.data, ka, n, ma, a.data, 1, ka, b.data, n, 1, true)
 }
 
 // MatMulTransB returns a · bᵀ where a is m×k and b is n×k; the result is m×n.
 // Used in backprop where weight matrices are consumed transposed.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic("tensor: MatMulTransB needs 2-d operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
+	m, k, n, k2 := matmulDims("MatMulTransB", a, b)
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p := range arow {
-				s += arow[p] * brow[p]
-			}
-			orow[j] = s
-		}
-	}
+	gemm(out.data, m, n, k, a.data, k, 1, b.data, 1, k, false)
 	return out
+}
+
+// MatMulAccumTransB computes dst += a(m×k) · bᵀ where b is n×k, without
+// materializing the transpose. dst must be m×n. This is the fused form of
+// MatMulAccum(dst, a, Transpose2D(b)) used by Conv2D.Backward for the
+// weight gradient.
+//
+// Accumulation order note: this variant has always added the *complete*
+// dot product to dst in a single rounded addition (unlike the running
+// accumulation of MatMulAccum/MatMulAccumTransA), so it routes the
+// product through a pooled scratch matrix and then folds that into dst
+// element-wise — preserving the historical rounding while the product
+// itself runs through the packed core.
+func MatMulAccumTransB(dst, a, b *Tensor) {
+	m, k, n, k2 := matmulDims("MatMulAccumTransB", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAccumTransB shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	checkDst("MatMulAccumTransB", dst, m, n)
+	bufs := gemmPool.Get().(*gemmBufs)
+	bufs.c = growBuf(bufs.c, m*n)
+	gemm(bufs.c, m, n, k, a.data, k, 1, b.data, 1, k, false)
+	dd := dst.data
+	for i, v := range bufs.c[:m*n] {
+		dd[i] += v
+	}
+	gemmPool.Put(bufs)
 }
 
 // Transpose2D returns the transpose of a 2-d tensor as a new tensor.

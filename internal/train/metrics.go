@@ -20,6 +20,11 @@ type Dataset interface {
 	Sample(i int) (*tensor.Tensor, int)
 }
 
+// evalBatchSize is the mini-batch each evaluation worker scores through
+// one batched forward pass. Sixteen 32×32 RGB images keep the per-worker
+// im2col scratch a few MB while amortizing per-image dispatch overhead.
+const evalBatchSize = 16
+
 // TopKCorrect reports whether label is among the k highest-probability
 // entries of probs.
 func TopKCorrect(probs []float64, label, k int) bool {
@@ -105,31 +110,54 @@ func EvaluateOn(nets []*nn.Network, ds Dataset, transform func(*tensor.Tensor, i
 	if n == 0 {
 		return m
 	}
+	// Samples are scored in mini-batches of evalBatchSize per worker: one
+	// batched forward pass (nn.Network.ProbsBatch) replaces evalBatchSize
+	// batch-of-1 dispatches. Batched rows are bit-identical to single-image
+	// Probs calls, and the per-sample results land in index-addressed slots
+	// with the floating-point reduction running serially in sample order —
+	// so the metrics are bit-identical to a serial, unbatched evaluation
+	// regardless of worker count.
+	chunks := (n + evalBatchSize - 1) / evalBatchSize
 	workers := len(nets)
-	if workers > n {
-		workers = n
+	if workers > chunks {
+		workers = chunks
 	}
-
-	// Per-sample results land in index-addressed slots; the floating-point
-	// reduction below then runs serially in sample order, making the
-	// parallel metrics bit-identical to a serial evaluation.
 	type sampleStat struct {
 		top1, top5     bool
 		conf, trueProb float64
 	}
 	stats := make([]sampleStat, n)
-	parallel.ForWorker(workers, n, func(worker, i int) {
-		img, label := ds.Sample(i)
-		if transform != nil {
-			img = transform(img, i)
+	imgs := make([][]*tensor.Tensor, workers)
+	labels := make([][]int, workers)
+	for w := range imgs {
+		imgs[w] = make([]*tensor.Tensor, 0, evalBatchSize)
+		labels[w] = make([]int, 0, evalBatchSize)
+	}
+	parallel.ForWorker(workers, chunks, func(worker, chunk int) {
+		lo := chunk * evalBatchSize
+		hi := lo + evalBatchSize
+		if hi > n {
+			hi = n
 		}
-		probs := nets[worker].Probs(img)
-		pred := mathx.ArgMax(probs)
-		stats[i] = sampleStat{
-			top1:     pred == label,
-			top5:     TopKCorrect(probs, label, 5),
-			conf:     probs[pred],
-			trueProb: probs[label],
+		batch, lab := imgs[worker][:0], labels[worker][:0]
+		for i := lo; i < hi; i++ {
+			img, label := ds.Sample(i)
+			if transform != nil {
+				img = transform(img, i)
+			}
+			batch = append(batch, img)
+			lab = append(lab, label)
+		}
+		rows := nets[worker].ProbsBatch(batch)
+		for i := lo; i < hi; i++ {
+			probs, label := rows[i-lo], lab[i-lo]
+			pred := mathx.ArgMax(probs)
+			stats[i] = sampleStat{
+				top1:     pred == label,
+				top5:     TopKCorrect(probs, label, 5),
+				conf:     probs[pred],
+				trueProb: probs[label],
+			}
 		}
 	})
 
@@ -155,17 +183,32 @@ func EvaluateOn(nets []*nn.Network, ds Dataset, transform func(*tensor.Tensor, i
 }
 
 // Confusion accumulates a confusion matrix over a dataset. Rows are true
-// classes, columns predictions.
+// classes, columns predictions. Predictions run in batched forward passes.
 func Confusion(net *nn.Network, ds Dataset, classes int) [][]int {
 	mat := make([][]int, classes)
 	for i := range mat {
 		mat[i] = make([]int, classes)
 	}
-	for i := 0; i < ds.Len(); i++ {
-		img, label := ds.Sample(i)
-		pred, _ := net.Predict(img)
-		if label >= 0 && label < classes && pred >= 0 && pred < classes {
-			mat[label][pred]++
+	n := ds.Len()
+	imgs := make([]*tensor.Tensor, 0, evalBatchSize)
+	labs := make([]int, 0, evalBatchSize)
+	for lo := 0; lo < n; lo += evalBatchSize {
+		hi := lo + evalBatchSize
+		if hi > n {
+			hi = n
+		}
+		imgs, labs = imgs[:0], labs[:0]
+		for i := lo; i < hi; i++ {
+			img, label := ds.Sample(i)
+			imgs = append(imgs, img)
+			labs = append(labs, label)
+		}
+		preds, _ := net.PredictBatch(imgs)
+		for i, pred := range preds {
+			label := labs[i]
+			if label >= 0 && label < classes && pred >= 0 && pred < classes {
+				mat[label][pred]++
+			}
 		}
 	}
 	return mat

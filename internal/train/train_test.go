@@ -272,3 +272,57 @@ func TestEvaluateEmptyDataset(t *testing.T) {
 		t.Fatalf("empty Evaluate = %+v", m)
 	}
 }
+
+// TestEvaluateBatchedMatchesPerImage pins the batched evaluation path:
+// EvaluateOn scores evalBatchSize mini-batches through ProbsBatch, and the
+// resulting metrics must be bit-identical to a serial per-image evaluation
+// (for any worker count — worker 1 vs 4 is covered by the experiments
+// package's parallel determinism test).
+func TestEvaluateBatchedMatchesPerImage(t *testing.T) {
+	// 37 samples: exercises a full chunk, a partial tail chunk, and an
+	// odd count that does not divide the batch size.
+	ds := newBlobDataset(37, 4, 8, 9)
+	net := smallNet(t, 4, 10)
+	if _, err := Fit(net, ds, Config{Epochs: 2, BatchSize: 8, Schedule: ConstantLR(0.05), Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	transform := func(img *tensor.Tensor, _ int) *tensor.Tensor {
+		out := img.Clone()
+		out.ScaleInPlace(0.9)
+		return out
+	}
+
+	for _, tr := range []func(*tensor.Tensor, int) *tensor.Tensor{nil, transform} {
+		got := Evaluate(net, ds, tr)
+
+		// Reference: serial, batch-of-1, same reduction order.
+		var top1, top5, conf, trueProb float64
+		for i := 0; i < ds.Len(); i++ {
+			img, label := ds.Sample(i)
+			if tr != nil {
+				img = tr(img, i)
+			}
+			probs := net.Probs(img)
+			pred := mathx.ArgMax(probs)
+			if pred == label {
+				top1++
+			}
+			if TopKCorrect(probs, label, 5) {
+				top5++
+			}
+			conf += probs[pred]
+			trueProb += probs[label]
+		}
+		inv := 1 / float64(ds.Len())
+		want := Metrics{
+			N:              ds.Len(),
+			Top1:           top1 * inv,
+			Top5:           top5 * inv,
+			MeanConfidence: conf * inv,
+			MeanTrueProb:   trueProb * inv,
+		}
+		if got != want {
+			t.Fatalf("batched Evaluate = %+v, per-image reference = %+v", got, want)
+		}
+	}
+}
