@@ -13,8 +13,10 @@ package fademl
 // profile for EXPERIMENTS.md.
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/attacks"
 	"repro/internal/experiments"
@@ -331,5 +333,45 @@ func BenchmarkAttackFAdeMLBIM(b *testing.B) {
 		if _, err := fa.Generate(cls, clean, goal); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeThroughput measures the online serving layer on the tiny
+// VGG profile: concurrent clients hammering one Server through the full
+// TM-II path (acquisition + LAP(32) + network). The batched16 variant
+// coalesces requests into micro-batches of up to 16; unbatched serves
+// request-at-a-time (MaxBatch 1). Both return bit-identical responses —
+// the delta is pure throughput, reported alongside the observed mean
+// batch occupancy.
+func BenchmarkServeThroughput(b *testing.B) {
+	env := benchEnvironment(b)
+	acq := NewAcquisition(1.0, 1.0/255, true, 97)
+	pipe := NewPipeline(env.Net, NewLAP(32), acq)
+	img := gtsrb.Canonical(gtsrb.ClassStop, env.Profile.Size)
+	for _, cfg := range []struct {
+		name     string
+		maxBatch int
+	}{
+		{"batched16", 16},
+		{"unbatched", 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := NewServer(pipe, ServeOptions{MaxBatch: cfg.maxBatch, MaxWait: 2 * time.Millisecond})
+			defer s.Close()
+			ctx := context.Background()
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := s.Predict(ctx, img, TM2); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(st.MeanBatchOccupancy, "occupancy")
+		})
 	}
 }

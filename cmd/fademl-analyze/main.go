@@ -16,7 +16,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 
 	fademl "repro"
@@ -29,38 +28,44 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32 or LAR:3")
 	attackList := flag.String("attacks", "lbfgs,fgsm,bim", "comma-separated attack names")
-	tmFlag := flag.Int("tm", 3, "threat model for filtered delivery: 2 or 3")
+	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	p, err := profileByName(*profileName)
+	// Flag validation happens before any model loads: a bad -tm or -filter
+	// spec is a usage error, not a panic from inside the pipeline.
+	tm, err := fademl.ParseThreatModel(*tmFlag)
 	if err != nil {
-		log.Fatal(err)
+		usageError(err)
+	}
+	if tm == fademl.TM1 {
+		usageError(fmt.Errorf("threat model %v has no filtered delivery; use 2 or 3", tm))
+	}
+	filter, err := fademl.ParseFilter(*filterSpec)
+	if err != nil {
+		usageError(err)
+	}
+	p, err := fademl.ParseProfile(*profileName)
+	if err != nil {
+		usageError(err)
 	}
 	env, err := fademl.NewEnv(p, *cacheDir, os.Stdout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	filter, err := parseFilter(*filterSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var tm fademl.ThreatModel
 	var acq *fademl.Acquisition
-	switch *tmFlag {
-	case 2:
-		tm = fademl.TM2
+	if tm == fademl.TM2 {
 		acq = fademl.NewAcquisition(1.0, 1.0/255, true, 97)
-	case 3:
-		tm = fademl.TM3
-	default:
-		log.Fatalf("threat model %d: want 2 or 3", *tmFlag)
 	}
 	pipe := fademl.NewPipeline(env.Net, filter, acq)
+	filterName := "none"
+	if filter != nil {
+		filterName = filter.Name()
+	}
 
 	fmt.Printf("\nSection III analysis — filter %s, %v, profile %s\n\n",
-		filter.Name(), tm, p.Name)
+		filterName, tm, p.Name)
 	var comparisons []analysis.Comparison
 	for _, name := range strings.Split(*attackList, ",") {
 		name = strings.TrimSpace(name)
@@ -89,44 +94,11 @@ func main() {
 		}
 	}
 	fmt.Printf("\nTM-I-successful attacks neutralized by %s: %d/%d\n",
-		filter.Name(), neutralized, applicable)
+		filterName, neutralized, applicable)
 }
 
-func profileByName(name string) (fademl.Profile, error) {
-	switch name {
-	case "tiny":
-		return fademl.ProfileTiny(), nil
-	case "default":
-		return fademl.ProfileDefault(), nil
-	case "paper":
-		return fademl.ProfilePaper(), nil
-	default:
-		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
-	}
-}
-
-func parseFilter(spec string) (fademl.Filter, error) {
-	if spec == "" || spec == "none" {
-		return nil, nil
-	}
-	parts := strings.SplitN(spec, ":", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("filter spec %q: want KIND:PARAM, e.g. LAP:32", spec)
-	}
-	v, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("filter spec %q: %v", spec, err)
-	}
-	switch strings.ToUpper(parts[0]) {
-	case "LAP":
-		return fademl.NewLAP(v), nil
-	case "LAR":
-		return fademl.NewLAR(v), nil
-	case "MEDIAN":
-		return fademl.NewMedian(v), nil
-	case "GAUSS":
-		return fademl.NewGaussian(float64(v)), nil
-	default:
-		return nil, fmt.Errorf("unknown filter kind %q (LAP|LAR|MEDIAN|GAUSS)", parts[0])
-	}
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "fademl-analyze: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -16,38 +16,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
 	fademl "repro"
 	"repro/internal/imageio"
 )
-
-func parseFilter(spec string) (fademl.Filter, error) {
-	if spec == "" || spec == "none" {
-		return nil, nil
-	}
-	parts := strings.SplitN(spec, ":", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("filter spec %q: want KIND:PARAM, e.g. LAP:32", spec)
-	}
-	v, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("filter spec %q: %v", spec, err)
-	}
-	switch strings.ToUpper(parts[0]) {
-	case "LAP":
-		return fademl.NewLAP(v), nil
-	case "LAR":
-		return fademl.NewLAR(v), nil
-	case "MEDIAN":
-		return fademl.NewMedian(v), nil
-	case "GAUSS":
-		return fademl.NewGaussian(float64(v)), nil
-	default:
-		return nil, fmt.Errorf("unknown filter kind %q (LAP|LAR|MEDIAN|GAUSS)", parts[0])
-	}
-}
 
 func main() {
 	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
@@ -56,7 +29,7 @@ func main() {
 	attackName := flag.String("attack", "bim", "attack name (see -list)")
 	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32, LAR:3, none")
 	aware := flag.Bool("aware", true, "run the attack filter-aware (FAdeML)")
-	tmFlag := flag.Int("tm", 3, "threat model for filtered delivery: 2 or 3")
+	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
 	outDir := flag.String("out", "attack-out", "output directory for PNGs (empty to skip)")
 	list := flag.Bool("list", false, "list available attacks and exit")
 	flag.Parse()
@@ -70,25 +43,24 @@ func main() {
 	}
 	sc := fademl.PaperScenarios[*scenarioID-1]
 
-	var tm fademl.ThreatModel
-	switch *tmFlag {
-	case 2:
-		tm = fademl.TM2
-	case 3:
-		tm = fademl.TM3
-	default:
-		log.Fatalf("threat model %d: want 2 or 3", *tmFlag)
-	}
-
-	p, err := profileByName(*profileName)
+	// Flag validation happens before any model loads: a bad -tm or -filter
+	// spec is a usage error, not a panic from inside the pipeline.
+	tm, err := fademl.ParseThreatModel(*tmFlag)
 	if err != nil {
-		log.Fatal(err)
+		usageError(err)
+	}
+	if tm == fademl.TM1 {
+		usageError(fmt.Errorf("threat model %v has no filtered delivery; use 2 or 3", tm))
+	}
+	filter, err := fademl.ParseFilter(*filterSpec)
+	if err != nil {
+		usageError(err)
+	}
+	p, err := fademl.ParseProfile(*profileName)
+	if err != nil {
+		usageError(err)
 	}
 	env, err := fademl.NewEnv(p, *cacheDir, os.Stdout)
-	if err != nil {
-		log.Fatal(err)
-	}
-	filter, err := parseFilter(*filterSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,15 +112,8 @@ func main() {
 	}
 }
 
-func profileByName(name string) (fademl.Profile, error) {
-	switch name {
-	case "tiny":
-		return fademl.ProfileTiny(), nil
-	case "default":
-		return fademl.ProfileDefault(), nil
-	case "paper":
-		return fademl.ProfilePaper(), nil
-	default:
-		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
-	}
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "fademl-attack: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	fademl "repro"
 	"repro/internal/attacks"
@@ -96,6 +98,15 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 				}
 			}
 		},
+		// serve / serve_unbatched measure the micro-batching service under
+		// concurrent clients on the full TM-II path; the occupancy metric
+		// shows how much coalescing happened (1.0 = none possible).
+		"serve": func(b *testing.B) {
+			benchServe(b, env, clean, 16)
+		},
+		"serve_unbatched": func(b *testing.B) {
+			benchServe(b, env, clean, 1)
+		},
 		"fig7": func(b *testing.B) {
 			b.ReportAllocs()
 			var rate float64
@@ -138,7 +149,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		}
 		fn, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, fig7, fig9)", name)
+			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, serve, serve_unbatched, fig7, fig9)", name)
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		r := testing.Benchmark(fn)
@@ -165,4 +176,30 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// benchServe is the shared body of the serve / serve_unbatched runners:
+// 32 concurrent clients per CPU against one Server on the TM-II path —
+// enough standing load to keep flush-on-full the dominant trigger.
+func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch int) {
+	b.ReportAllocs()
+	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
+	s := fademl.NewServer(pipe, fademl.ServeOptions{MaxBatch: maxBatch, MaxWait: 2 * time.Millisecond})
+	defer s.Close()
+	ctx := context.Background()
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Predict(ctx, img, fademl.TM2); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(st.MeanBatchOccupancy, "mean_batch_occupancy")
+	b.ReportMetric(st.P99LatencyMs, "p99_latency_ms")
 }

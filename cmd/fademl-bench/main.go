@@ -30,7 +30,7 @@ func main() {
 	curves := flag.Bool("curves", true, "include the accuracy-vs-filter curves in Figs. 7/9")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark trajectory (wall/bytes/allocs for the figure and substrate benchmarks) as JSON to this file and exit; see PERFORMANCE.md for the schema")
-	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,fig7,fig9", "comma-separated benchmark subset for -bench-json")
+	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,serve,serve_unbatched,fig7,fig9", "comma-separated benchmark subset for -bench-json")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
@@ -44,7 +44,7 @@ func main() {
 				name = *profileName
 			}
 		})
-		p, err := profileByName(name)
+		p, err := fademl.ParseProfile(name)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func main() {
 		return
 	}
 
-	p, err := profileByName(*profileName)
+	p, err := fademl.ParseProfile(*profileName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,17 +150,4 @@ func runAblations(env *fademl.Env) error {
 		fmt.Printf("  r=%d disk=%5.1f%% box=%5.1f%%\n", p.Radius, 100*p.DiskTop5, 100*p.BoxTop5)
 	}
 	return nil
-}
-
-func profileByName(name string) (fademl.Profile, error) {
-	switch name {
-	case "tiny":
-		return fademl.ProfileTiny(), nil
-	case "default":
-		return fademl.ProfileDefault(), nil
-	case "paper":
-		return fademl.ProfilePaper(), nil
-	default:
-		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
-	}
 }

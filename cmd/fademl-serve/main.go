@@ -1,0 +1,134 @@
+// Command fademl-serve runs the deployed inference pipeline of the
+// paper's Fig. 2 — acquisition, pre-processing noise filter, DNN — as a
+// concurrent HTTP service with dynamic micro-batching: single-image
+// requests from concurrent clients coalesce into batched forwards on a
+// pool of weight-sharing network clones, and every response is
+// bit-identical to a direct single-image inference.
+//
+// Usage:
+//
+//	fademl-serve [-addr :8080] [-profile tiny] [-filter LAP:32] [-tm 2]
+//	             [-workers N] [-max-batch 16] [-max-wait 2ms]
+//
+// Endpoints:
+//
+//	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
+//	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …]}
+//	GET  /v1/healthz        liveness + configuration
+//	GET  /v1/stats          requests, batches, mean batch occupancy, p50/p99 latency
+//
+// The process drains gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests complete, then the batching service shuts
+// down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	fademl "repro"
+	"repro/internal/gtsrb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	profileName := flag.String("profile", "tiny", "experiment profile: tiny, default or paper")
+	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
+	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32, LAR:3, none")
+	tmSpec := flag.String("tm", "2", "default threat model for requests that name none: 1, 2 or 3")
+	acqSeed := flag.Uint64("acq-seed", 97, "acquisition sensor-noise seed (TM-II capture stage)")
+	workers := flag.Int("workers", runtime.NumCPU(), "inference worker pool size (one network clone each)")
+	maxBatch := flag.Int("max-batch", 16, "micro-batch flush-on-full threshold (1 = no batching)")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "micro-batch flush-on-linger bound")
+	flag.Parse()
+
+	// Validate user input at the flag boundary: a bad spec is a usage
+	// error with a message, never a panic from deep inside the pipeline.
+	filter, err := fademl.ParseFilter(*filterSpec)
+	if err != nil {
+		usageError(err)
+	}
+	tm, err := fademl.ParseThreatModel(*tmSpec)
+	if err != nil {
+		usageError(err)
+	}
+	if *maxBatch < 1 || *workers < 1 {
+		usageError(fmt.Errorf("-max-batch and -workers must be at least 1 (got %d, %d)", *maxBatch, *workers))
+	}
+	profile, err := fademl.ParseProfile(*profileName)
+	if err != nil {
+		usageError(err)
+	}
+
+	env, err := fademl.NewEnv(profile, *cacheDir, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The acquisition stage models the camera every benign input passes
+	// under TM-II; requests for TM-1/TM-3 views simply bypass it.
+	acq := fademl.NewAcquisition(1.0, 1.0/255, true, *acqSeed)
+	pipe := fademl.NewPipeline(env.Net, filter, acq)
+
+	srv := fademl.NewServer(pipe, fademl.ServeOptions{
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+		MaxWait:   *maxWait,
+		DefaultTM: tm,
+		ClassName: gtsrb.ClassName,
+	})
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A long-running service must not let slow clients pin connection
+		// goroutines forever (slowloris); prediction bodies are small, so
+		// tight read bounds are safe.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	filterName := "none"
+	if filter != nil {
+		filterName = filter.Name()
+	}
+	log.Printf("fademl-serve: profile %s, filter %s, default %v, %d workers, batch ≤%d, linger ≤%v on %s",
+		env.Profile.Name, filterName, tm, *workers, *maxBatch, *maxWait, *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("fademl-serve: signal received, draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("fademl-serve: shutdown: %v", err)
+		}
+	}
+	srv.Close()
+	st := srv.Stats()
+	log.Printf("fademl-serve: done — %d requests in %d batches (mean occupancy %.2f, p50 %.2fms, p99 %.2fms)",
+		st.Requests, st.Batches, st.MeanBatchOccupancy, st.P50LatencyMs, st.P99LatencyMs)
+}
+
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "fademl-serve: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
+}

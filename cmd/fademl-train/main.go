@@ -16,26 +16,13 @@ import (
 	fademl "repro"
 )
 
-func profileByName(name string) (fademl.Profile, error) {
-	switch name {
-	case "tiny":
-		return fademl.ProfileTiny(), nil
-	case "default":
-		return fademl.ProfileDefault(), nil
-	case "paper":
-		return fademl.ProfilePaper(), nil
-	default:
-		return fademl.Profile{}, fmt.Errorf("unknown profile %q (tiny|default|paper)", name)
-	}
-}
-
 func main() {
 	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory (empty to disable)")
 	out := flag.String("out", "", "optional explicit weights output path")
 	flag.Parse()
 
-	p, err := profileByName(*profileName)
+	p, err := fademl.ParseProfile(*profileName)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,158 @@
+// Command serveload drives concurrent traffic against a fademl-serve
+// instance and reports client-side throughput next to the server's own
+// micro-batching counters — the quickest way to see request coalescing
+// (mean batch occupancy > 1) happen.
+//
+// Point it at a running server:
+//
+//	fademl-serve -profile tiny &
+//	go run ./examples/serveload -addr http://localhost:8080
+//
+// or let it self-host an in-process server on a loopback port (no flags
+// needed; the tiny-profile model trains or loads from testdata/cache):
+//
+//	go run ./examples/serveload
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fademl "repro"
+	"repro/internal/gtsrb"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running fademl-serve (empty: self-host in-process)")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	requests := flag.Int("requests", 50, "requests per client")
+	tm := flag.String("tm", "2", "threat model sent with every request")
+	flag.Parse()
+
+	if _, err := fademl.ParseThreatModel(*tm); err != nil {
+		log.Fatal(err)
+	}
+
+	base := *addr
+	if base == "" {
+		var shutdown func()
+		var err error
+		base, shutdown, err = selfHost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+	}
+
+	// One wire-ready payload per GTSRB class the tiny profile knows.
+	shape := probeShape(base)
+	var payloads [][]byte
+	for class := 0; class < gtsrb.NumClasses; class += 7 {
+		img := gtsrb.Canonical(class, shape[len(shape)-1])
+		body, err := json.Marshal(map[string]any{
+			"pixels": img.Data(), "shape": img.Shape(), "tm": *tm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		payloads = append(payloads, body)
+	}
+
+	fmt.Printf("serveload: %d clients × %d requests against %s\n", *clients, *requests, base)
+	var ok, failed atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < *requests; r++ {
+				body := payloads[(c+r)%len(payloads)]
+				resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("done: %d ok, %d failed in %.2fs → %.0f req/s\n",
+		ok.Load(), failed.Load(), wall.Seconds(), float64(ok.Load())/wall.Seconds())
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st fademl.ServeStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: %d requests in %d batches — mean occupancy %.2f, p50 %.2fms, p99 %.2fms\n",
+		st.Requests, st.Batches, st.MeanBatchOccupancy, st.P50LatencyMs, st.P99LatencyMs)
+	if st.MeanBatchOccupancy > 1 {
+		fmt.Println("micro-batching is coalescing concurrent requests (occupancy > 1)")
+	}
+}
+
+// selfHost spins up the tiny-profile pipeline behind an in-process
+// fademl.Server on a loopback port and returns its base URL.
+func selfHost() (string, func(), error) {
+	env, err := fademl.NewEnv(fademl.ProfileTiny(), "testdata/cache", os.Stdout)
+	if err != nil {
+		return "", nil, err
+	}
+	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
+	srv := fademl.NewServer(pipe, fademl.ServeOptions{ClassName: gtsrb.ClassName})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	shutdown := func() {
+		httpSrv.Close()
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// probeShape asks /v1/healthz for the model's input shape so the payloads
+// match whatever profile the server runs.
+func probeShape(base string) []int {
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		log.Fatalf("server unreachable at %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		InShape []int `json:"in_shape"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || len(health.InShape) == 0 {
+		log.Fatalf("bad healthz response from %s: %v", base, err)
+	}
+	return health.InShape
+}

@@ -16,7 +16,10 @@
 //     (internal/attacks);
 //   - the threat-model pipeline of the paper's Fig. 2 and the Section III
 //     analysis methodology (internal/pipeline, internal/analysis);
-//   - experiment runners regenerating Figs. 5/6/7/9 (internal/experiments).
+//   - experiment runners regenerating Figs. 5/6/7/9 (internal/experiments);
+//   - an online inference service with dynamic micro-batching over a
+//     pool of weight-sharing network clones (internal/serve,
+//     cmd/fademl-serve).
 //
 // This package re-exports the surface a downstream user needs so examples
 // and tools read naturally:
@@ -26,6 +29,14 @@
 //	atk, _ := fademl.NewAttack("bim")
 //	out, _ := fademl.Execute(fademl.Run{Pipeline: p, Attack: atk,
 //	    FilterAware: true, TM: fademl.TM3}, img, src, dst)
+//
+// Serving the same pipeline online — concurrent clients coalesce into
+// batched forwards, each response bit-identical to a direct Probs call:
+//
+//	srv := fademl.NewServer(p, fademl.ServeOptions{MaxBatch: 16})
+//	defer srv.Close()
+//	pred, _ := srv.Predict(ctx, img, fademl.TM2)
+//	http.ListenAndServe(":8080", srv.Handler()) // or: cmd/fademl-serve
 package fademl
 
 import (
@@ -40,6 +51,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -94,6 +106,14 @@ type (
 	Env = experiments.Env
 	// SweepOptions narrows the Fig. 7 / Fig. 9 grids.
 	SweepOptions = experiments.SweepOptions
+	// Server is the micro-batching online inference service.
+	Server = serve.Server
+	// ServeOptions configures a Server (workers, batch size, linger).
+	ServeOptions = serve.Options
+	// Prediction is one served inference result.
+	Prediction = serve.Prediction
+	// ServeStats is a snapshot of a Server's counters.
+	ServeStats = serve.Stats
 )
 
 // Threat models of the paper's Fig. 2.
@@ -202,10 +222,32 @@ func NewPipeline(net *Network, filter Filter, acq *Acquisition) *Pipeline {
 }
 
 // NewAcquisition models the capture stage (gain, sensor noise, 8-bit
-// quantization) for Threat Model II.
+// quantization) for Threat Model II. The sensor-noise stream is a pure
+// function of (seed, image), so acquisition is safe for concurrent use
+// and bit-identical across serial, parallel and served runs.
 func NewAcquisition(gain, noiseStd float64, quantize bool, seed uint64) *Acquisition {
 	return pipeline.NewAcquisition(gain, noiseStd, quantize, seed)
 }
+
+// ParseThreatModel converts a user-supplied string ("2", "tm3", "TM-II",
+// …) into a ThreatModel, returning an error for anything else — validate
+// CLI flags and request fields with it instead of panicking in Deliver.
+func ParseThreatModel(s string) (ThreatModel, error) { return pipeline.ParseThreatModel(s) }
+
+// ParseFilter converts a KIND:PARAM spec (LAP:32, LAR:3, MEDIAN:1,
+// GAUSS:2, BOX:2; "none" or "" for no filtering) into a Filter, with
+// parameter validation at the flag boundary.
+func ParseFilter(spec string) (Filter, error) { return filters.Parse(spec) }
+
+// Serving.
+
+// NewServer starts a micro-batching inference service over the deployed
+// pipeline: concurrent Predict calls coalesce into batched forwards on a
+// pool of weight-sharing network clones; every response is bit-identical
+// to a direct Pipeline.Probs call. Serve HTTP with srv.Handler() (see
+// cmd/fademl-serve) or call Predict/PredictBatch in-process; stop with
+// Close.
+func NewServer(p *Pipeline, opts ServeOptions) *Server { return serve.New(p, opts) }
 
 // Execute crafts an adversarial example for the scenario source→target and
 // measures it against the deployed pipeline under the run's threat model.
@@ -225,6 +267,10 @@ func ClassName(id int) string { return gtsrb.ClassName(id) }
 func ProfileTiny() Profile    { return experiments.ProfileTiny() }
 func ProfileDefault() Profile { return experiments.ProfileDefault() }
 func ProfilePaper() Profile   { return experiments.ProfilePaper() }
+
+// ParseProfile resolves a -profile flag value (tiny, default, paper)
+// into a Profile, with an error instead of a panic for bad input.
+func ParseProfile(name string) (Profile, error) { return experiments.ParseProfile(name) }
 
 // NewEnv generates the synthetic GTSRB splits and loads or trains the
 // profile's VGGNet (cacheDir may be empty to disable the weight cache;

@@ -5,8 +5,13 @@ package fademl
 // figure benchmarks; these tests pin the re-exported surface itself.
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
 )
 
 func TestFacadeFilters(t *testing.T) {
@@ -89,5 +94,49 @@ func TestFacadeAcquisition(t *testing.T) {
 	out := acq.Apply(img)
 	if !out.SameShape(img) {
 		t.Error("acquisition changed shape")
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	if tm, err := ParseThreatModel("tm2"); err != nil || tm != TM2 {
+		t.Errorf("ParseThreatModel(tm2) = %v, %v", tm, err)
+	}
+	if _, err := ParseThreatModel("tm9"); err == nil {
+		t.Error("ParseThreatModel accepted tm9")
+	}
+	f, err := ParseFilter("LAP:32")
+	if err != nil || f == nil {
+		t.Fatalf("ParseFilter(LAP:32) = %v, %v", f, err)
+	}
+	if f.Name() != NewLAP(32).Name() {
+		t.Errorf("parsed filter = %q", f.Name())
+	}
+	if f, err := ParseFilter("none"); err != nil || f != nil {
+		t.Errorf("ParseFilter(none) = %v, %v", f, err)
+	}
+	if _, err := ParseFilter("LAP:zero"); err == nil {
+		t.Error("ParseFilter accepted LAP:zero")
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	net, err := nn.TinyCNN(3, 16, 4, mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(net, NewLAP(8), NewAcquisition(1.0, 1.0/255, true, 7))
+	srv := NewServer(pipe, ServeOptions{Workers: 2, MaxBatch: 4, MaxWait: time.Millisecond})
+	defer srv.Close()
+	img := CanonicalSign(14, 16)
+	pred, err := srv.Predict(context.Background(), img, TM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pipe.Probs(img, TM2)
+	if pred.Class != mathx.ArgMax(want) || pred.Prob != want[pred.Class] {
+		t.Fatalf("served prediction %+v differs from direct pipeline call", pred)
+	}
+	if st := srv.Stats(); st.Requests != 1 || st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -124,22 +124,14 @@ func (c Comparison) String() string {
 // PipelineAccuracy evaluates top-1/top-5 accuracy of the pipeline over a
 // dataset with every sample passing the given threat-model path;
 // perturb may be nil (clean evaluation) or return the attacked version of
-// sample i.
-//
-// When the delivery path draws from the acquisition's sensor-noise RNG
-// (TM-II with a capture model), evaluation stays serial: the shared RNG
-// stream is both unsafe to share across goroutines and order-dependent,
-// so only the serial sample order reproduces the documented stream.
-// Every other path is pure per sample and fans out over the worker pool.
+// sample i. Every delivery path — including TM-II sensor noise, which is
+// a pure function of (seed, image) — is pure per sample, so evaluation
+// fans out over the worker pool with results identical to a serial run.
 func PipelineAccuracy(p *pipeline.Pipeline, ds train.Dataset, tm pipeline.ThreatModel, perturb func(img *tensor.Tensor, i int) *tensor.Tensor) train.Metrics {
-	workers := 0 // pool default
-	if tm == pipeline.TM2 && p.Acq != nil {
-		workers = 1
-	}
 	return train.EvaluateWorkers(p.Net, ds, func(img *tensor.Tensor, i int) *tensor.Tensor {
 		if perturb != nil {
 			img = perturb(img, i)
 		}
 		return p.Deliver(img, tm)
-	}, workers)
+	}, 0)
 }

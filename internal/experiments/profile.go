@@ -7,7 +7,10 @@
 // repository root and to cmd/fademl-bench.
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Profile sizes an experimental run. The paper's full setup (VGGNet with
 // 64..512 filters, 39209 GTSRB samples) is far beyond a single-CPU budget;
@@ -39,6 +42,21 @@ type Profile struct {
 	// attacked in the Fig. 6/7/9 accuracy curves (gradient passes per
 	// image; the expensive part). 0 means EvalSamples.
 	AttackEvalSamples int
+}
+
+// ParseProfile resolves a user-supplied profile name — the -profile CLI
+// flag every binary exposes — returning an error for anything but tiny,
+// default or paper (case-insensitively).
+func ParseProfile(name string) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "tiny":
+		return ProfileTiny(), nil
+	case "default":
+		return ProfileDefault(), nil
+	case "paper":
+		return ProfilePaper(), nil
+	}
+	return Profile{}, fmt.Errorf("experiments: unknown profile %q (tiny|default|paper)", name)
 }
 
 // ProfileTiny is the continuous-integration profile: smallest VGG widths,

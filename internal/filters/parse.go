@@ -1,0 +1,46 @@
+package filters
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse converts a user-supplied filter spec — the -filter CLI flag, a
+// serving-config field — into a Filter. The grammar is KIND:PARAM with
+// KIND in LAP, LAR, MEDIAN, GAUSS, BOX (case-insensitive); "none" and ""
+// select no filtering and return (nil, nil), which pipeline.New treats as
+// Identity. Parameters are validated here so a bad spec surfaces as an
+// error at the flag boundary instead of a constructor panic mid-run.
+func Parse(spec string) (Filter, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "none") {
+		return nil, nil
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("filter spec %q: want KIND:PARAM, e.g. LAP:32 or none", spec)
+	}
+	kind := strings.ToUpper(strings.TrimSpace(parts[0]))
+	v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("filter spec %q: parameter %q is not an integer", spec, parts[1])
+	}
+	if v <= 0 {
+		return nil, fmt.Errorf("filter spec %q: parameter must be positive", spec)
+	}
+	switch kind {
+	case "LAP":
+		return NewLAP(v), nil
+	case "LAR":
+		return NewLAR(v), nil
+	case "MEDIAN":
+		return NewMedian(v), nil
+	case "GAUSS":
+		return NewGaussian(float64(v)), nil
+	case "BOX":
+		return NewBox(v), nil
+	default:
+		return nil, fmt.Errorf("filter spec %q: unknown kind %q (LAP|LAR|MEDIAN|GAUSS|BOX|none)", spec, parts[0])
+	}
+}

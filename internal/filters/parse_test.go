@@ -1,0 +1,57 @@
+package filters
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := map[string]string{
+		"LAP:32":    "LAP(32)",
+		"lap:4":     "LAP(4)",
+		"LAR:3":     "LAR(3)",
+		"MEDIAN:1":  "Median(1)",
+		"gauss:2":   "Gauss",
+		"BOX:2":     "Box(2)",
+		" LAP : 8 ": "LAP(8)",
+	}
+	for spec, wantPrefix := range cases {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if f == nil {
+			t.Errorf("Parse(%q) returned nil filter", spec)
+			continue
+		}
+		if name := f.Name(); !strings.HasPrefix(name, strings.Split(wantPrefix, "(")[0]) {
+			t.Errorf("Parse(%q).Name() = %q, want prefix of %q", spec, name, wantPrefix)
+		}
+	}
+}
+
+func TestParseNone(t *testing.T) {
+	for _, spec := range []string{"", "none", "NONE", "  none  "} {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+		}
+		if f != nil {
+			t.Errorf("Parse(%q) = %v, want nil", spec, f)
+		}
+	}
+}
+
+func TestParseBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"LAP", "LAP:", "LAP:x", "LAP:0", "LAP:-3", "WAVELET:2", ":3", "LAP:3:4:",
+	} {
+		// Must return an error — never panic (these come straight from
+		// user-facing flags).
+		f, err := Parse(spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted (got %v)", spec, f)
+		}
+	}
+}

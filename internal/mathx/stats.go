@@ -78,13 +78,18 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 // ArgMax returns the index of the largest element of xs (first occurrence on
-// ties), or -1 for an empty slice.
+// ties), or -1 for an empty slice. NaN elements are skipped, so for any
+// non-empty slice the result is a valid index: an all-NaN slice yields 0.
+// Callers that index into xs with the result (Predict hot paths) therefore
+// never panic on degenerate scores from a diverged network.
 func ArgMax(xs []float64) int {
-	best := -1
-	bestV := math.Inf(-1)
-	for i, x := range xs {
-		if x > bestV {
-			best, bestV = i, x
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] || (math.IsNaN(xs[best]) && !math.IsNaN(xs[i])) {
+			best = i
 		}
 	}
 	return best

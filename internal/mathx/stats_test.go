@@ -61,6 +61,34 @@ func TestArgMax(t *testing.T) {
 	}
 }
 
+func TestArgMaxDegenerate(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		want int
+	}{
+		{"all NaN", []float64{nan, nan, nan}, 0},
+		{"leading NaN", []float64{nan, 2, 1}, 1},
+		{"trailing NaN", []float64{1, 3, nan}, 1},
+		{"NaN between", []float64{1, nan, 5}, 2},
+		{"single NaN", []float64{nan}, 0},
+		{"neg inf beats NaN", []float64{nan, math.Inf(-1)}, 1},
+	}
+	for _, c := range cases {
+		if got := ArgMax(c.xs); got != c.want {
+			t.Errorf("%s: ArgMax(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+	// Any non-empty input must yield an index callers can use to subscript
+	// the slice — the Predict hot paths rely on it.
+	for _, xs := range [][]float64{{nan}, {nan, nan}, {0}, {-1, nan}} {
+		if got := ArgMax(xs); got < 0 || got >= len(xs) {
+			t.Fatalf("ArgMax(%v) = %v out of range", xs, got)
+		}
+	}
+}
+
 func TestTopKIndices(t *testing.T) {
 	xs := []float64{0.1, 0.7, 0.2, 0.7, 0.05}
 	got := TopKIndices(xs, 3)

@@ -217,7 +217,10 @@ func (n *Network) LogitsBatch(imgs []*tensor.Tensor) [][]float64 {
 	copy(flat, out.Data())
 	rows := make([][]float64, len(imgs))
 	for i := range rows {
-		rows[i] = flat[i*c : (i+1)*c]
+		// Full slice expression: rows are handed to independent owners
+		// (serving clients), so cap each one at its own region — an
+		// append must reallocate, never bleed into the next row.
+		rows[i] = flat[i*c : (i+1)*c : (i+1)*c]
 	}
 	return rows
 }
@@ -235,7 +238,7 @@ func (n *Network) ProbsBatch(imgs []*tensor.Tensor) [][]float64 {
 	flat := make([]float64, len(imgs)*c)
 	rows := make([][]float64, len(imgs))
 	for i := range rows {
-		rows[i] = SoftmaxInto(flat[i*c:(i+1)*c], od[i*c:(i+1)*c])
+		rows[i] = SoftmaxInto(flat[i*c:(i+1)*c:(i+1)*c], od[i*c:(i+1)*c])
 	}
 	return rows
 }

@@ -6,6 +6,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/mathx"
 	"repro/internal/tensor"
@@ -19,6 +20,14 @@ import (
 // Acquisition implements the filters.Filter interface so a filter-aware
 // attacker can fold it into the differentiable pipeline: gain is exact;
 // quantization and noise use the BPDA identity on the backward pass.
+//
+// Apply is a pure function: the sensor-noise stream is derived from the
+// seed plus the image content, never from mutable generator state, so
+// capturing the same image twice gives bit-identical output no matter how
+// many goroutines share the Acquisition or in what order they call it.
+// This is what keeps concurrent TM-II delivery (the serving layer, the
+// parallel experiment engine) bit-identical to a serial run. Distinct
+// draws of the noise — e.g. for EOT averaging — come from distinct seeds.
 type Acquisition struct {
 	// Gain multiplies pixel values (exposure); 1 is neutral.
 	Gain float64
@@ -26,9 +35,8 @@ type Acquisition struct {
 	NoiseStd float64
 	// Quantize rounds to 8-bit levels when true.
 	Quantize bool
-	// Seed drives the sensor noise deterministically per Apply call
-	// sequence.
-	rng *mathx.RNG
+	// seed is the base of the per-image noise stream.
+	seed uint64
 }
 
 // NewAcquisition builds a capture model. seed drives the sensor noise.
@@ -39,7 +47,7 @@ func NewAcquisition(gain, noiseStd float64, quantize bool, seed uint64) *Acquisi
 	if noiseStd < 0 {
 		panic(fmt.Sprintf("pipeline: acquisition noise %v must be non-negative", noiseStd))
 	}
-	return &Acquisition{Gain: gain, NoiseStd: noiseStd, Quantize: quantize, rng: mathx.NewRNG(seed)}
+	return &Acquisition{Gain: gain, NoiseStd: noiseStd, Quantize: quantize, seed: seed}
 }
 
 // DefaultAcquisition is the experiment default: neutral gain, one LSB of
@@ -57,14 +65,19 @@ func (a *Acquisition) Name() string {
 	return fmt.Sprintf("Acq(g=%.2g,σ=%.2g%s)", a.Gain, a.NoiseStd, q)
 }
 
-// Apply implements filters.Filter: capture the image.
+// Apply implements filters.Filter: capture the image. Safe for concurrent
+// use — the noise stream is a pure function of the seed and the image.
 func (a *Acquisition) Apply(img *tensor.Tensor) *tensor.Tensor {
 	out := img.Clone()
 	d := out.Data()
+	var rng *mathx.RNG
+	if a.NoiseStd > 0 {
+		rng = mathx.NewRNG(a.noiseSeed(img))
+	}
 	for i := range d {
 		v := d[i] * a.Gain
-		if a.NoiseStd > 0 {
-			v += a.rng.NormScaled(0, a.NoiseStd)
+		if rng != nil {
+			v += rng.NormScaled(0, a.NoiseStd)
 		}
 		v = mathx.Clamp01(v)
 		if a.Quantize {
@@ -73,6 +86,32 @@ func (a *Acquisition) Apply(img *tensor.Tensor) *tensor.Tensor {
 		d[i] = v
 	}
 	return out
+}
+
+// noiseSeed hashes the base seed, the image shape and every pixel's bit
+// pattern into the seed of this capture's private noise stream. Identical
+// (seed, image) pairs always map to the same stream; images that differ
+// in a single bit decorrelate completely. The mix is one multiply-xor
+// round per 64-bit word plus a SplitMix64 finalizer — this runs once per
+// served TM-II request, so it is word-wise rather than byte-wise.
+func (a *Acquisition) noiseSeed(img *tensor.Tensor) uint64 {
+	h := a.seed ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	for _, dim := range img.Shape() {
+		mix(uint64(dim))
+	}
+	for _, v := range img.Data() {
+		mix(math.Float64bits(v))
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
 }
 
 // VJP implements filters.Filter. Gain is differentiated exactly;

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/filters"
 	"repro/internal/mathx"
@@ -40,6 +41,29 @@ func (tm ThreatModel) String() string {
 	default:
 		return fmt.Sprintf("ThreatModel(%d)", int(tm))
 	}
+}
+
+// ParseThreatModel converts a user-supplied string — a CLI flag, an HTTP
+// request field — into a ThreatModel. It accepts the numeric forms "1",
+// "2", "3", the short names "tm1".."tm3" and the paper's roman labels
+// "tm-i".."tm-iii" (case-insensitively), and returns an error instead of
+// letting a bad value travel to the panic inside Deliver/AttackerModel.
+func ParseThreatModel(s string) (ThreatModel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "tm1", "tm-1", "tm-i", "i":
+		return TM1, nil
+	case "2", "tm2", "tm-2", "tm-ii", "ii":
+		return TM2, nil
+	case "3", "tm3", "tm-3", "tm-iii", "iii":
+		return TM3, nil
+	}
+	return 0, fmt.Errorf("pipeline: unknown threat model %q (want 1, 2, 3, tm1..tm3 or TM-I..TM-III)", s)
+}
+
+// Valid reports whether tm is one of the three defined threat models, so
+// callers can reject bad values before they reach Deliver's panic.
+func (tm ThreatModel) Valid() bool {
+	return tm == TM1 || tm == TM2 || tm == TM3
 }
 
 // Pipeline is the deployed inference system: acquisition, pre-processing

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// maxBodyBytes bounds request bodies; a 3×96×96 float64 batch of 64 images
+// serialized as JSON stays far below this.
+const maxBodyBytes = 64 << 20
+
+// imagePayload is the wire form of one CHW image.
+type imagePayload struct {
+	// Pixels is the row-major flattened image in [0, 1].
+	Pixels []float64 `json:"pixels"`
+	// Shape is the CHW shape, e.g. [3, 32, 32].
+	Shape []int `json:"shape"`
+}
+
+// tensor validates the payload and converts it to a tensor.
+func (p imagePayload) tensor() (*tensor.Tensor, error) {
+	if len(p.Shape) == 0 {
+		return nil, errors.New("image needs a shape, e.g. [3, 32, 32]")
+	}
+	n := 1
+	for _, d := range p.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("image shape %v has a non-positive dimension", p.Shape)
+		}
+		n *= d
+	}
+	if n != len(p.Pixels) {
+		return nil, fmt.Errorf("image shape %v wants %d pixels, got %d", p.Shape, n, len(p.Pixels))
+	}
+	return tensor.FromSlice(p.Pixels, p.Shape...), nil
+}
+
+// predictRequest is the /v1/predict body: one image, an optional threat
+// model ("1".."3", "tm2", "TM-II", … — empty selects the server default)
+// and whether to echo the full probability vector.
+type predictRequest struct {
+	imagePayload
+	TM          string `json:"tm,omitempty"`
+	ReturnProbs bool   `json:"probs,omitempty"`
+}
+
+// predictBatchRequest is the /v1/predict_batch body.
+type predictBatchRequest struct {
+	Images      []imagePayload `json:"images"`
+	TM          string         `json:"tm,omitempty"`
+	ReturnProbs bool           `json:"probs,omitempty"`
+}
+
+// predictResponse is the wire form of one Prediction.
+type predictResponse struct {
+	Class int       `json:"class"`
+	Label string    `json:"label,omitempty"`
+	Prob  float64   `json:"prob"`
+	TM    string    `json:"tm"`
+	Probs []float64 `json:"probs,omitempty"`
+}
+
+func toResponse(p Prediction, withProbs bool) predictResponse {
+	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String()}
+	if withProbs {
+		r.Probs = p.Probs
+	}
+	return r
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
+//	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …], "tm": "3"}
+//	GET  /v1/healthz        liveness + configuration echo
+//	GET  /v1/stats          serving counters (Stats)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req predictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	tm, ok := s.parseTM(w, req.TM)
+	if !ok {
+		return
+	}
+	img, err := req.tensor()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pred, err := s.Predict(r.Context(), img, tm)
+	if err != nil {
+		writePredictError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(pred, req.ReturnProbs))
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req predictBatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Images) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch needs at least one image"))
+		return
+	}
+	tm, ok := s.parseTM(w, req.TM)
+	if !ok {
+		return
+	}
+	imgs := make([]*tensor.Tensor, len(req.Images))
+	for i, p := range req.Images {
+		img, err := p.tensor()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("image %d: %w", i, err))
+			return
+		}
+		imgs[i] = img
+	}
+	preds, err := s.PredictBatch(r.Context(), imgs, tm)
+	if err != nil {
+		writePredictError(w, err)
+		return
+	}
+	results := make([]predictResponse, len(preds))
+	for i, p := range preds {
+		results[i] = toResponse(p, req.ReturnProbs)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	select {
+	case <-s.done:
+		writeError(w, http.StatusServiceUnavailable, ErrServerClosed)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "ok",
+			"workers":    s.opts.Workers,
+			"max_batch":  s.opts.MaxBatch,
+			"default_tm": s.opts.DefaultTM.String(),
+			"in_shape":   s.inShape,
+		})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// parseTM resolves the optional wire threat model; empty selects the
+// server default. On failure it writes a 400 and returns ok == false.
+func (s *Server) parseTM(w http.ResponseWriter, spec string) (pipeline.ThreatModel, bool) {
+	if spec == "" {
+		return s.opts.DefaultTM, true
+	}
+	tm, err := pipeline.ParseThreatModel(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, false
+	}
+	return tm, true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+		return false
+	}
+	return true
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writePredictError maps Predict errors onto HTTP statuses: shutdown is a
+// 503 the load balancer should retry elsewhere, a cancelled request is the
+// client's own timeout, everything else is a 400-class input problem.
+func writePredictError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrServerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gtsrb"
+	"repro/internal/pipeline"
+)
+
+func startHTTP(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	pipe := servePipeline(t)
+	s := New(pipe, Options{
+		Workers: 2, MaxBatch: 8, MaxWait: time.Millisecond,
+		ClassName: gtsrb.ClassName,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func imgPayload(class int) map[string]any {
+	img := gtsrb.Canonical(class, 16)
+	return map[string]any{"pixels": img.Data(), "shape": img.Shape()}
+}
+
+func TestHTTPPredict(t *testing.T) {
+	s, ts := startHTTP(t)
+	pipe := servePipeline(t)
+
+	body := imgPayload(gtsrb.ClassStop)
+	body["tm"] = "tm3"
+	body["probs"] = true
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var got predictResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("bad JSON %q: %v", raw, err)
+	}
+	want := pipe.Probs(gtsrb.Canonical(gtsrb.ClassStop, 16), pipeline.TM3)
+	if len(got.Probs) != len(want) {
+		t.Fatalf("probs len %d, want %d", len(got.Probs), len(want))
+	}
+	for i, v := range want {
+		if got.Probs[i] != v {
+			t.Fatalf("served prob[%d] = %v, direct %v", i, got.Probs[i], v)
+		}
+	}
+	if got.TM != "TM-III" || got.Prob != want[got.Class] {
+		t.Fatalf("response %+v inconsistent", got)
+	}
+	if got.Label == "" {
+		t.Fatal("ClassName labeling not applied")
+	}
+
+	// Without "probs" the vector is omitted.
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/predict", imgPayload(gtsrb.ClassStop))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp2.StatusCode)
+	}
+	var lean map[string]any
+	if err := json.Unmarshal(raw2, &lean); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := lean["probs"]; present {
+		t.Fatal("probs echoed without being requested")
+	}
+	_ = s
+}
+
+func TestHTTPPredictBatch(t *testing.T) {
+	_, ts := startHTTP(t)
+	body := map[string]any{
+		"images": []map[string]any{imgPayload(gtsrb.ClassStop), imgPayload(gtsrb.ClassSpeed60)},
+		"tm":     "2",
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict_batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict_batch status %d: %s", resp.StatusCode, raw)
+	}
+	var got struct {
+		Results []predictResponse `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(got.Results))
+	}
+	for i, r := range got.Results {
+		if r.TM != "TM-II" || r.Prob <= 0 {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := startHTTP(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"bad tm", "/v1/predict", func() map[string]any { b := imgPayload(0); b["tm"] = "tm9"; return b }(), http.StatusBadRequest},
+		{"shape mismatch", "/v1/predict", map[string]any{"pixels": []float64{1, 2, 3}, "shape": []int{3}}, http.StatusBadRequest},
+		{"pixel count mismatch", "/v1/predict", map[string]any{"pixels": []float64{1}, "shape": []int{3, 16, 16}}, http.StatusBadRequest},
+		{"missing shape", "/v1/predict", map[string]any{"pixels": []float64{1}}, http.StatusBadRequest},
+		{"empty batch", "/v1/predict_batch", map[string]any{"images": []any{}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, raw := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, raw)
+			continue
+		}
+		var e map[string]string
+		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body %q not structured", c.name, raw)
+		}
+	}
+
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+
+	// Wrong methods.
+	for path, method := range map[string]string{
+		"/v1/predict": http.MethodGet,
+		"/v1/healthz": http.MethodPost,
+		"/v1/stats":   http.MethodPost,
+	} {
+		req, _ := http.NewRequest(method, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPHealthzAndStats(t *testing.T) {
+	_, ts := startHTTP(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, health)
+	}
+
+	// Drive a little traffic, then read the counters back.
+	for i := 0; i < 3; i++ {
+		r, raw := postJSON(t, ts.URL+"/v1/predict", imgPayload(i))
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("warmup predict %d: %d %s", i, r.StatusCode, raw)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests < 3 || st.Batches == 0 || st.MeanBatchOccupancy < 1 {
+		t.Fatalf("stats after traffic = %+v", st)
+	}
+	if st.MaxBatch != 8 || st.Workers != 2 {
+		t.Fatalf("stats config echo = %+v", st)
+	}
+}
+
+// Example of the one-liner smoke the CI workflow runs against a live
+// fademl-serve process.
+func TestHTTPSmokeLine(t *testing.T) {
+	_, ts := startHTTP(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", imgPayload(gtsrb.ClassStop))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("smoke: %d %s", resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("smoke: invalid JSON: %v", err)
+	}
+	if _, ok := out["class"]; !ok {
+		t.Fatalf("smoke: no class field in %s", raw)
+	}
+}

@@ -1,0 +1,481 @@
+// Package serve is the online inference layer of the reproduction: a
+// concurrent prediction service with dynamic micro-batching in front of
+// the paper's Fig. 2 pipeline.
+//
+// Architecture (queue → micro-batch → clone pool):
+//
+//	clients ──► coalescing queue ──► batcher ──► worker pool
+//	             (chan *pending)     (flush on     (one weight-sharing
+//	                                  full or       Network.Clone per
+//	                                  linger)       worker, one batched
+//	                                                forward per batch)
+//
+// Single-image requests from concurrent clients are coalesced: the batcher
+// drains the queue into a batch of up to MaxBatch requests, waiting at
+// most MaxWait after the first request before flushing, and hands the
+// batch to a worker that delivers every image under its threat model
+// (pipeline.Deliver) and scores the whole batch through one
+// nn.Network.ProbsBatch forward. Because batched rows are bit-identical to
+// single-image calls and TM-II acquisition is a pure function of
+// (seed, image), a served prediction is bit-identical to a direct
+// pipeline.Probs call for the same image — batching is purely a
+// throughput optimization.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// ErrServerClosed is returned by Predict/PredictBatch after Close.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Options configures a Server. The zero value selects sensible defaults.
+type Options struct {
+	// Workers is the clone-pool size (goroutines running batched
+	// inference, each on its own weight-sharing Network.Clone).
+	// <= 0 selects runtime.NumCPU().
+	Workers int
+	// MaxBatch is the flush-on-full threshold: a batch is dispatched as
+	// soon as this many requests have coalesced. <= 0 selects 16.
+	// 1 disables micro-batching (request-at-a-time serving).
+	MaxBatch int
+	// MaxWait is the flush-on-linger bound: a batch is dispatched at most
+	// this long after its first request arrived, full or not.
+	// <= 0 selects 2ms.
+	MaxWait time.Duration
+	// DefaultTM is the threat model used when a request does not name one
+	// (Predict with tm == 0). Zero selects TM2, the full capture + filter
+	// path every benign input takes through the deployed system.
+	DefaultTM pipeline.ThreatModel
+	// ClassName, when set, labels predictions (e.g. gtsrb.ClassName).
+	ClassName func(int) string
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.DefaultTM == 0 {
+		o.DefaultTM = pipeline.TM2
+	}
+	return o
+}
+
+// Prediction is the per-request result: the deployed pipeline's view of
+// one image under one threat model.
+type Prediction struct {
+	// Class is the argmax class index.
+	Class int
+	// Label is ClassName(Class) when Options.ClassName is set.
+	Label string
+	// Prob is the softmax probability of Class.
+	Prob float64
+	// Probs is the full probability vector (caller-owned).
+	Probs []float64
+	// TM is the threat model the image was delivered under.
+	TM pipeline.ThreatModel
+}
+
+// Stats is a snapshot of the server's serving counters.
+type Stats struct {
+	// Requests is the number of accepted prediction requests.
+	Requests uint64 `json:"requests"`
+	// Batches is the number of micro-batches dispatched to workers.
+	Batches uint64 `json:"batches"`
+	// MeanBatchOccupancy is Requests-completed / Batches — > 1 means
+	// coalescing is happening.
+	MeanBatchOccupancy float64 `json:"mean_batch_occupancy"`
+	// P50LatencyMs / P99LatencyMs are enqueue-to-reply percentiles over a
+	// sliding window of recent requests.
+	P50LatencyMs float64 `json:"p50_latency_ms"`
+	P99LatencyMs float64 `json:"p99_latency_ms"`
+	// Workers, MaxBatch and MaxWaitMs echo the effective configuration.
+	Workers   int     `json:"workers"`
+	MaxBatch  int     `json:"max_batch"`
+	MaxWaitMs float64 `json:"max_wait_ms"`
+}
+
+// latWindow is the sliding-window size for latency percentiles.
+const latWindow = 2048
+
+// pending is one enqueued request awaiting a worker.
+type pending struct {
+	img *tensor.Tensor
+	tm  pipeline.ThreatModel
+	// ctx is the requesting client's context: a worker sheds the slot
+	// without spending a forward on it once the client has given up.
+	ctx  context.Context
+	enq  time.Time
+	done chan reply
+}
+
+type reply struct {
+	pred Prediction
+	err  error
+}
+
+// answer delivers the reply exactly once; extra calls (the worker panic
+// path re-replying an already-answered slot) are dropped.
+func (p *pending) answer(r reply) {
+	select {
+	case p.done <- r:
+	default:
+	}
+}
+
+// Server is a concurrent micro-batching inference service over one
+// deployed pipeline. Construct with New, serve via Predict/PredictBatch
+// (or the HTTP Handler), stop with Close.
+type Server struct {
+	opts    Options
+	inShape []int
+
+	queue   chan *pending
+	batches chan []*pending
+	done    chan struct{}
+	// drained closes once the batcher and every worker have exited —
+	// after that, every reply that will ever be sent is already sitting
+	// in its (buffered) pending.done channel.
+	drained chan struct{}
+
+	closeOnce   sync.Once
+	drainedOnce sync.Once
+	wg          sync.WaitGroup
+
+	requests      atomic.Uint64
+	batchCount    atomic.Uint64
+	batchedImages atomic.Uint64
+
+	latMu    sync.Mutex
+	lat      [latWindow]float64 // ring of recent latencies in ms
+	latIdx   int
+	latCount int
+}
+
+// New builds and starts a server over the deployed pipeline p. Each worker
+// runs on its own weight-sharing clone of p.Net, so the caller's pipeline
+// remains free for direct use. Panics on a nil pipeline (matching
+// pipeline.New); bad option values are replaced by defaults.
+func New(p *pipeline.Pipeline, opts Options) *Server {
+	if p == nil {
+		panic("serve: nil pipeline")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		inShape: p.Net.InputShape(),
+		queue:   make(chan *pending, 4*opts.MaxBatch),
+		batches: make(chan []*pending, opts.Workers),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		wp := pipeline.New(p.Net.Clone(), p.Filter, p.Acq)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for batch := range s.batches {
+				s.process(wp, batch)
+			}
+		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.batcher()
+	}()
+	return s
+}
+
+// Close stops the server: queued requests and later Predict calls fail
+// with ErrServerClosed; batches already handed to workers complete and
+// reply normally (their waiting clients get their predictions, not an
+// error). Close blocks until the batcher and all workers exit and is
+// safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+	s.drainedOnce.Do(func() { close(s.drained) })
+}
+
+// Predict scores one CHW image under tm (0 selects Options.DefaultTM)
+// through the micro-batching path. The returned Prediction is
+// bit-identical to a direct pipeline.Probs call for the same image and
+// threat model. Safe for concurrent use from any number of goroutines —
+// concurrency is what fills batches.
+func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
+	if tm == 0 {
+		tm = s.opts.DefaultTM
+	}
+	if err := s.validate(img, tm); err != nil {
+		return Prediction{}, err
+	}
+	p := &pending{img: img, tm: tm, ctx: ctx, enq: time.Now(), done: make(chan reply, 1)}
+	select {
+	case s.queue <- p:
+		s.requests.Add(1)
+	case <-s.done:
+		return Prediction{}, ErrServerClosed
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+	select {
+	case r := <-p.done:
+		return r.pred, r.err
+	case <-s.done:
+		// The server is shutting down; the batch holding this request may
+		// still be in flight on a worker. Wait for the pool to drain (a
+		// bounded wait — workers finish their current batch and exit),
+		// then take the reply if one was produced.
+		<-s.drained
+		select {
+		case r := <-p.done:
+			return r.pred, r.err
+		default:
+			return Prediction{}, ErrServerClosed
+		}
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// PredictBatch scores a client-supplied batch. The images are enqueued
+// individually so they coalesce with other clients' traffic (a batch
+// larger than MaxBatch simply spans several micro-batches). Results are
+// positional; the first error wins.
+func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pipeline.ThreatModel) ([]Prediction, error) {
+	if tm == 0 {
+		tm = s.opts.DefaultTM
+	}
+	for _, img := range imgs {
+		if err := s.validate(img, tm); err != nil {
+			return nil, err
+		}
+	}
+	ps := make([]*pending, len(imgs))
+	now := time.Now()
+	for i, img := range imgs {
+		p := &pending{img: img, tm: tm, ctx: ctx, enq: now, done: make(chan reply, 1)}
+		select {
+		case s.queue <- p:
+			s.requests.Add(1)
+		case <-s.done:
+			s.abandon(ps[:i])
+			return nil, ErrServerClosed
+		case <-ctx.Done():
+			s.abandon(ps[:i])
+			return nil, ctx.Err()
+		}
+		ps[i] = p
+	}
+	out := make([]Prediction, len(ps))
+	for i, p := range ps {
+		select {
+		case r := <-p.done:
+			if r.err != nil {
+				return nil, r.err
+			}
+			out[i] = r.pred
+		case <-s.done:
+			<-s.drained
+			select {
+			case r := <-p.done:
+				if r.err != nil {
+					return nil, r.err
+				}
+				out[i] = r.pred
+			default:
+				return nil, ErrServerClosed
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// abandon drains any replies already produced for requests the caller is
+// walking away from, so worker sends never block (done is buffered) and
+// the GC can collect the slots.
+func (s *Server) abandon(ps []*pending) {
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.done:
+		default:
+		}
+	}
+}
+
+// validate rejects malformed input at the API boundary so shape panics
+// never reach a worker goroutine.
+func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel) error {
+	if !tm.Valid() {
+		return fmt.Errorf("serve: invalid threat model %d", int(tm))
+	}
+	if img == nil {
+		return errors.New("serve: nil image")
+	}
+	got := img.Shape()
+	if len(got) != len(s.inShape) {
+		return fmt.Errorf("serve: image shape %v, want %v", got, s.inShape)
+	}
+	for i := range got {
+		if got[i] != s.inShape[i] {
+			return fmt.Errorf("serve: image shape %v, want %v", got, s.inShape)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:  s.requests.Load(),
+		Batches:   s.batchCount.Load(),
+		Workers:   s.opts.Workers,
+		MaxBatch:  s.opts.MaxBatch,
+		MaxWaitMs: float64(s.opts.MaxWait) / float64(time.Millisecond),
+	}
+	if st.Batches > 0 {
+		st.MeanBatchOccupancy = float64(s.batchedImages.Load()) / float64(st.Batches)
+	}
+	s.latMu.Lock()
+	n := s.latCount
+	if n > latWindow {
+		n = latWindow
+	}
+	window := append([]float64(nil), s.lat[:n]...)
+	s.latMu.Unlock()
+	if len(window) > 0 {
+		st.P50LatencyMs = mathx.Percentile(window, 50)
+		st.P99LatencyMs = mathx.Percentile(window, 99)
+	}
+	return st
+}
+
+// batcher coalesces queued requests into micro-batches: flush when
+// MaxBatch requests have gathered (flush-on-full) or MaxWait after the
+// first request of the batch arrived (flush-on-linger), whichever is
+// first. It is the sole sender on s.batches and closes it on shutdown.
+func (s *Server) batcher() {
+	defer close(s.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.done:
+			return
+		}
+		batch := append(make([]*pending, 0, s.opts.MaxBatch), first)
+		timer.Reset(s.opts.MaxWait)
+	fill:
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			case <-s.done:
+				// Shutdown: the gathered requests are answered by the
+				// waiters' own s.done select; nothing to dispatch.
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		select {
+		case s.batches <- batch:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// process scores one micro-batch on a worker's private pipeline: deliver
+// every image under its own threat model, one batched network forward,
+// one reply per request. A panic (impossible for validated input, but a
+// server must not die with a stuck client) is converted into an error
+// reply for every slot in the batch.
+func (s *Server) process(wp *pipeline.Pipeline, batch []*pending) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: inference failed: %v", r)
+			for _, p := range batch {
+				p.answer(reply{err: err})
+			}
+		}
+	}()
+	// Shed slots whose client already gave up (canceled context, expired
+	// deadline): under overload, spending a delivery + forward on a reply
+	// nobody reads would starve the requests that are still live.
+	live := batch[:0]
+	for _, p := range batch {
+		if p.ctx != nil && p.ctx.Err() != nil {
+			p.answer(reply{err: p.ctx.Err()})
+			continue
+		}
+		live = append(live, p)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
+	delivered := make([]*tensor.Tensor, len(batch))
+	for i, p := range batch {
+		delivered[i] = wp.Deliver(p.img, p.tm)
+	}
+	rows := wp.Net.ProbsBatch(delivered)
+	now := time.Now()
+	// Counters update before the replies go out so a client that reads
+	// Stats right after its response sees its own batch accounted for.
+	s.batchCount.Add(1)
+	s.batchedImages.Add(uint64(len(batch)))
+	for i, p := range batch {
+		best := mathx.ArgMax(rows[i])
+		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm}
+		if s.opts.ClassName != nil {
+			pred.Label = s.opts.ClassName(best)
+		}
+		s.recordLatency(now.Sub(p.enq))
+		p.answer(reply{pred: pred})
+	}
+}
+
+// recordLatency appends one enqueue-to-reply measurement to the sliding
+// percentile window.
+func (s *Server) recordLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.latMu.Lock()
+	s.lat[s.latIdx] = ms
+	s.latIdx = (s.latIdx + 1) % latWindow
+	s.latCount++
+	s.latMu.Unlock()
+}
