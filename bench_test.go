@@ -52,7 +52,7 @@ func BenchmarkFig5(b *testing.B) {
 	b.ResetTimer()
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunFig5(env, nil)
+		res, err := RunFig5(context.Background(), env, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +68,7 @@ func BenchmarkFig6(b *testing.B) {
 	b.ResetTimer()
 	var drop float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunFig6(env, nil)
+		res, err := RunFig6(context.Background(), env, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func BenchmarkFig7(b *testing.B) {
 	b.ResetTimer()
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunFig7(env, opt)
+		res, err := RunFig7(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func BenchmarkFig9(b *testing.B) {
 	b.ResetTimer()
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		res, err := RunFig9(env, opt)
+		res, err := RunFig9(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkAblationEta(b *testing.B) {
 				Filter: filter,
 				Eta:    eta,
 			}
-			res, err := fa.Generate(cls, clean, goal)
+			res, err := fa.Generate(context.Background(), cls, clean, goal)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -187,7 +187,7 @@ func BenchmarkAblationAttackBudget(b *testing.B) {
 		minEps = 0
 		for _, eps := range budgets {
 			atk := &attacks.BIM{Epsilon: eps, Alpha: eps / 10, Steps: 40, EarlyStop: true}
-			res, err := atk.Generate(cls, clean, goal)
+			res, err := atk.Generate(context.Background(), cls, clean, goal)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -295,7 +295,7 @@ func BenchmarkAttackFGSM(b *testing.B) {
 	atk := &attacks.FGSM{Epsilon: 0.05}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := atk.Generate(cls, clean, goal); err != nil {
+		if _, err := atk.Generate(context.Background(), cls, clean, goal); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -313,7 +313,7 @@ func BenchmarkAttackOnePixel(b *testing.B) {
 	atk := &attacks.OnePixel{Pixels: 1, Population: 10, Generations: 5, Seed: 7}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := atk.Generate(cls, clean, goal); err != nil {
+		if _, err := atk.Generate(context.Background(), cls, clean, goal); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -330,7 +330,7 @@ func BenchmarkAttackFAdeMLBIM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fa := attacks.NewFAdeML(&attacks.BIM{Epsilon: 0.25, Alpha: 0.02, Steps: 60, EarlyStop: true}, filters.NewLAP(8))
-		if _, err := fa.Generate(cls, clean, goal); err != nil {
+		if _, err := fa.Generate(context.Background(), cls, clean, goal); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,16 +7,22 @@
 //
 // Usage:
 //
-//	fademl-analyze [-profile default] [-filter LAP:32] [-attacks lbfgs,fgsm,bim] [-tm 3]
+//	fademl-analyze [-profile default] [-filter LAP:32] [-tm 3]
+//	               [-attacks 'lbfgs,fgsm,bim(eps=0.1,steps=40)']
+//
+// The -attacks flag takes a comma-separated list of attack specs; commas
+// inside a spec's parameter list are handled. Ctrl-C cancels the sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
-	"strings"
+	"syscall"
 
 	fademl "repro"
 	"repro/internal/analysis"
@@ -27,7 +33,7 @@ func main() {
 	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32 or LAR:3")
-	attackList := flag.String("attacks", "lbfgs,fgsm,bim", "comma-separated attack names")
+	attackList := flag.String("attacks", "lbfgs,fgsm,bim", "comma-separated attack specs, e.g. 'fgsm,pgd(eps=0.03,steps=40)'")
 	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	flag.Parse()
@@ -59,6 +65,8 @@ func main() {
 		acq = fademl.NewAcquisition(1.0, 1.0/255, true, 97)
 	}
 	pipe := fademl.NewPipeline(env.Net, filter, acq)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	filterName := "none"
 	if filter != nil {
 		filterName = filter.Name()
@@ -67,18 +75,29 @@ func main() {
 	fmt.Printf("\nSection III analysis — filter %s, %v, profile %s\n\n",
 		filterName, tm, p.Name)
 	var comparisons []analysis.Comparison
-	for _, name := range strings.Split(*attackList, ",") {
-		name = strings.TrimSpace(name)
-		atk, err := fademl.NewAttack(name)
+sweep:
+	for _, spec := range fademl.SplitAttackSpecs(*attackList) {
+		atk, err := fademl.ParseAttack(spec)
 		if err != nil {
-			log.Fatal(err)
+			usageError(err)
 		}
 		for _, sc := range fademl.PaperScenarios {
-			out, err := fademl.Execute(fademl.Run{
+			if ctx.Err() != nil {
+				// Ctrl-C: under the v2 contract a cancelled Execute returns
+				// a truncated best-so-far outcome, not an error — stop the
+				// sweep here instead of aggregating post-cancel cells.
+				fmt.Println("\nsweep interrupted — summarizing completed cells only")
+				break sweep
+			}
+			out, err := fademl.Execute(ctx, fademl.Run{
 				Pipeline: pipe, Attack: atk, FilterAware: false, TM: tm,
 			}, sc.CleanImage(env.Profile.Size), sc.Source, sc.Target)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if out.AttackerResult.Truncated {
+				fmt.Printf("%s [TRUNCATED]\n", out.Comparison.String())
+				continue
 			}
 			comparisons = append(comparisons, out.Comparison)
 			fmt.Println(out.Comparison.String())

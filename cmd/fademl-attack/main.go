@@ -4,19 +4,30 @@
 // the clean image, adversarial image, amplified noise and the DNN's
 // filtered view.
 //
+// The -attack flag takes an attack spec string — a bare library name or a
+// parameterized form like 'pgd(eps=0.03,steps=40)' (quote it for the
+// shell). -max-queries/-max-iters/-timeout cap the attack's work; a
+// budget-cut (or Ctrl-C-interrupted) run still reports its best-so-far
+// adversarial example, marked TRUNCATED.
+//
 // Usage:
 //
-//	fademl-attack [-profile default] [-scenario 1..5] [-attack bim]
-//	              [-filter LAP:32|LAR:3|none] [-aware] [-tm 2|3] [-out DIR]
+//	fademl-attack [-profile default] [-scenario 1..5]
+//	              [-attack 'bim(eps=0.1,steps=40)'] [-aware] [-tm 2|3]
+//	              [-filter LAP:32|LAR:3|none] [-max-queries N] [-max-iters N]
+//	              [-timeout 30s] [-progress] [-out DIR]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strings"
+	"syscall"
+	"time"
 
 	fademl "repro"
 	"repro/internal/imageio"
@@ -26,16 +37,20 @@ func main() {
 	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	scenarioID := flag.Int("scenario", 1, "paper scenario 1..5")
-	attackName := flag.String("attack", "bim", "attack name (see -list)")
+	attackSpec := flag.String("attack", "bim", "attack spec, e.g. bim or 'pgd(eps=0.03,steps=40)' (see -list)")
 	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32, LAR:3, none")
 	aware := flag.Bool("aware", true, "run the attack filter-aware (FAdeML)")
 	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
+	maxQueries := flag.Int("max-queries", 0, "attack budget: classifier evaluations (0 = unlimited)")
+	maxIters := flag.Int("max-iters", 0, "attack budget: optimizer iterations (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "attack budget: wall-clock cap (0 = unlimited)")
+	progress := flag.Bool("progress", false, "log per-iteration attack progress")
 	outDir := flag.String("out", "attack-out", "output directory for PNGs (empty to skip)")
-	list := flag.Bool("list", false, "list available attacks and exit")
+	list := flag.Bool("list", false, "list available attacks with their spec parameters and exit")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("attacks:", strings.Join(fademl.AttackNames(), ", "))
+		listAttacks()
 		return
 	}
 	if *scenarioID < 1 || *scenarioID > len(fademl.PaperScenarios) {
@@ -43,8 +58,9 @@ func main() {
 	}
 	sc := fademl.PaperScenarios[*scenarioID-1]
 
-	// Flag validation happens before any model loads: a bad -tm or -filter
-	// spec is a usage error, not a panic from inside the pipeline.
+	// Flag validation happens before any model loads: a bad -tm, -filter
+	// or -attack spec is a usage error, not a panic from inside the
+	// pipeline.
 	tm, err := fademl.ParseThreatModel(*tmFlag)
 	if err != nil {
 		usageError(err)
@@ -53,6 +69,15 @@ func main() {
 		usageError(fmt.Errorf("threat model %v has no filtered delivery; use 2 or 3", tm))
 	}
 	filter, err := fademl.ParseFilter(*filterSpec)
+	if err != nil {
+		usageError(err)
+	}
+	if *aware && *attackSpec == "bim" {
+		// The default filter-aware attacker compensates for smoothing
+		// attenuation with a larger budget than the library default.
+		*attackSpec = "bim(eps=0.25,alpha=0.02,steps=60)"
+	}
+	atk, err := fademl.ParseAttack(*attackSpec)
 	if err != nil {
 		usageError(err)
 	}
@@ -70,38 +95,51 @@ func main() {
 	}
 	pipe := fademl.NewPipeline(env.Net, filter, acq)
 
-	atk, err := fademl.NewAttack(*attackName)
-	if err != nil {
-		log.Fatal(err)
+	// Ctrl-C truncates the attack at the next iteration boundary; the
+	// best-so-far example is still measured and written out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	budget := fademl.Budget{MaxQueries: *maxQueries, MaxIters: *maxIters}
+	if *timeout > 0 {
+		budget.Deadline = time.Now().Add(*timeout)
 	}
-	if *aware && *attackName == "bim" {
-		// The filter-aware attacker compensates for smoothing attenuation.
-		atk = fademl.NewBIM(0.25, 0.02, 60)
+	run := fademl.Run{
+		Pipeline: pipe, Attack: atk, FilterAware: *aware, TM: tm, Budget: budget,
+	}
+	if *progress {
+		run.Observer = func(pr fademl.Progress) {
+			log.Printf("%s: iteration %d, %d queries", pr.Attack, pr.Iterations, pr.Queries)
+		}
 	}
 
 	clean := sc.CleanImage(env.Profile.Size)
-	out, err := fademl.Execute(fademl.Run{
-		Pipeline: pipe, Attack: atk, FilterAware: *aware, TM: tm,
-	}, clean, sc.Source, sc.Target)
+	start := time.Now()
+	out, err := fademl.Execute(ctx, run, clean, sc.Source, sc.Target)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := out.AttackerResult
 	fmt.Printf("\n%s\n", sc)
+	fmt.Printf("attack %s: %d iterations, %d queries in %.1fs\n",
+		atk.Name(), res.Iterations, res.Queries, time.Since(start).Seconds())
+	if res.Truncated {
+		fmt.Println("run TRUNCATED (budget exhausted or interrupted) — reporting best-so-far example")
+	}
 	fmt.Println(out.Comparison.String())
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		noiseViz := out.AttackerResult.Noise.Clone()
+		noiseViz := res.Noise.Clone()
 		noiseViz.ScaleInPlace(8)
 		noiseViz.AddScalar(0.5)
 		noiseViz.Clamp01()
 		for name, img := range map[string]*fademl.Tensor{
 			"clean.png":    clean,
-			"adv.png":      out.AttackerResult.Adversarial,
+			"adv.png":      res.Adversarial,
 			"noise8x.png":  noiseViz,
-			"filtered.png": pipe.Deliver(out.AttackerResult.Adversarial, tm),
+			"filtered.png": pipe.Deliver(res.Adversarial, tm),
 		} {
 			path := filepath.Join(*outDir, name)
 			if err := imageio.SavePNG(img, path); err != nil {
@@ -110,6 +148,24 @@ func main() {
 			fmt.Println("wrote", path)
 		}
 	}
+}
+
+// listAttacks prints every registry attack with its spec parameters.
+func listAttacks() {
+	fmt.Println("attacks (configure via 'name(key=value,...)'):")
+	for _, name := range fademl.AttackNames() {
+		atk, err := fademl.NewAttack(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %s\n", atk.Name())
+		if cfg, ok := atk.(fademl.ConfigurableAttack); ok {
+			for _, p := range cfg.Params() {
+				fmt.Printf("      %-10s %s (default %s)\n", p.Name, p.Doc, p.Get())
+			}
+		}
+	}
+	fmt.Println("\nexample: -attack 'pgd(eps=0.03,steps=40)'")
 }
 
 func usageError(err error) {

@@ -93,7 +93,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 			atk := &attacks.OnePixel{Pixels: 1, Population: 10, Generations: 5, Seed: 7}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := atk.Generate(cls, clean, goal); err != nil {
+				if _, err := atk.Generate(context.Background(), cls, clean, goal); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -111,7 +111,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 			b.ReportAllocs()
 			var rate float64
 			for i := 0; i < b.N; i++ {
-				res, err := fademl.RunFig7(env, sweep)
+				res, err := fademl.RunFig7(context.Background(), env, sweep)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -123,7 +123,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 			b.ReportAllocs()
 			var rate float64
 			for i := 0; i < b.N; i++ {
-				res, err := fademl.RunFig9(env, sweep)
+				res, err := fademl.RunFig9(context.Background(), env, sweep)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	fademl "repro"
@@ -33,6 +36,8 @@ func main() {
 	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,serve,serve_unbatched,fig7,fig9", "comma-separated benchmark subset for -bench-json")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *benchJSON != "" {
 		// The benchmark trajectory defaults to the tiny profile (the one
@@ -70,7 +75,7 @@ func main() {
 
 	if want("5") {
 		run := time.Now()
-		res, err := fademl.RunFig5(env, nil)
+		res, err := fademl.RunFig5(ctx, env, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,7 +84,7 @@ func main() {
 	}
 	if want("6") {
 		run := time.Now()
-		res, err := fademl.RunFig6(env, nil)
+		res, err := fademl.RunFig6(ctx, env, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -88,7 +93,7 @@ func main() {
 	}
 	if want("7") {
 		run := time.Now()
-		res, err := fademl.RunFig7(env, fademl.SweepOptions{
+		res, err := fademl.RunFig7(ctx, env, fademl.SweepOptions{
 			IncludeCurves:  *curves,
 			CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
 		})
@@ -101,7 +106,7 @@ func main() {
 	}
 	if want("9") {
 		run := time.Now()
-		res, err := fademl.RunFig9(env, fademl.SweepOptions{
+		res, err := fademl.RunFig9(ctx, env, fademl.SweepOptions{
 			IncludeCurves:  *curves,
 			CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
 		})
@@ -113,7 +118,7 @@ func main() {
 	}
 	if want("abl") {
 		run := time.Now()
-		if err := runAblations(env); err != nil {
+		if err := runAblations(ctx, env); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("ablations done  (%.0fs)\n\n", time.Since(run).Seconds())
@@ -122,14 +127,14 @@ func main() {
 }
 
 // runAblations prints the design-choice sweeps of DESIGN.md.
-func runAblations(env *fademl.Env) error {
+func runAblations(ctx context.Context, env *fademl.Env) error {
 	fmt.Println("Ablation — clean accuracy vs filter strength (inverted-U):")
 	for _, p := range experiments.RunFilterStrengthAblation(env) {
 		fmt.Printf("  %-9s taps=%-3d top1=%5.1f%% top5=%5.1f%%\n",
 			p.FilterName, p.Taps, 100*p.Top1, 100*p.Top5)
 	}
 	fmt.Println("\nAblation — FAdeML η noise scaling through LAP(8):")
-	etaPts, err := experiments.RunEtaAblation(env, filters.NewLAP(8), nil)
+	etaPts, err := experiments.RunEtaAblation(ctx, env, filters.NewLAP(8), nil)
 	if err != nil {
 		return err
 	}
@@ -138,7 +143,7 @@ func runAblations(env *fademl.Env) error {
 			p.Eta, p.Survived, p.Confidence, p.NoiseLInf)
 	}
 	fmt.Println("\nAblation — BIM ε budget vs scenario-1 payload:")
-	budPts, err := experiments.RunBudgetAblation(env, nil)
+	budPts, err := experiments.RunBudgetAblation(ctx, env, nil)
 	if err != nil {
 		return err
 	}

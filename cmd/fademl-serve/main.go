@@ -9,13 +9,24 @@
 //
 //	fademl-serve [-addr :8080] [-profile tiny] [-filter LAP:32] [-tm 2]
 //	             [-workers N] [-max-batch 16] [-max-wait 2ms]
+//	             [-attack-workers 1] [-attack-max-queries 5000] [-attack-timeout 30s]
 //
 // Endpoints:
 //
 //	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …]}
+//	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
+//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "cases": [...]}
 //	GET  /v1/healthz        liveness + configuration
 //	GET  /v1/stats          requests, batches, mean batch occupancy, p50/p99 latency
+//
+// The robustness endpoints craft adversarial examples against the served
+// pipeline under a hard server-side budget (-attack-max-queries /
+// -attack-timeout) on a bounded pool of crafting slots
+// (-attack-workers; -1 disables the endpoints). A request that exhausts
+// the budget still answers with its best-so-far example, marked
+// "truncated". Omitted pixels render the canonical source-class sign;
+// omitted cases default to the paper's five scenario payloads.
 //
 // The process drains gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests complete, then the batching service shuts
@@ -49,6 +60,9 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "inference worker pool size (one network clone each)")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch flush-on-full threshold (1 = no batching)")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "micro-batch flush-on-linger bound")
+	attackWorkers := flag.Int("attack-workers", 1, "concurrent server-side attack crafting slots (-1 disables /v1/attack and /v1/evaluate)")
+	attackMaxQueries := flag.Int("attack-max-queries", 5000, "hard per-request attack budget in classifier evaluations")
+	attackTimeout := flag.Duration("attack-timeout", 30*time.Second, "hard per-request attack wall-clock cap")
 	flag.Parse()
 
 	// Validate user input at the flag boundary: a bad spec is a usage
@@ -78,12 +92,21 @@ func main() {
 	acq := fademl.NewAcquisition(1.0, 1.0/255, true, *acqSeed)
 	pipe := fademl.NewPipeline(env.Net, filter, acq)
 
+	evalCases := make([]fademl.EvalCase, len(fademl.PaperScenarios))
+	for i, sc := range fademl.PaperScenarios {
+		evalCases[i] = fademl.EvalCase{Source: sc.Source, Target: sc.Target}
+	}
 	srv := fademl.NewServer(pipe, fademl.ServeOptions{
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
-		MaxWait:   *maxWait,
-		DefaultTM: tm,
-		ClassName: gtsrb.ClassName,
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		MaxWait:       *maxWait,
+		DefaultTM:     tm,
+		ClassName:     gtsrb.ClassName,
+		AttackWorkers: *attackWorkers,
+		AttackBudget:  fademl.Budget{MaxQueries: *attackMaxQueries},
+		AttackTimeout: *attackTimeout,
+		Render:        gtsrb.Canonical,
+		EvalCases:     evalCases,
 	})
 
 	httpSrv := &http.Server{

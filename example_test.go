@@ -38,12 +38,25 @@ func ExampleFilterChain() {
 	// Output: Grayscale→Normalize(0.5,0.25)→LAR(3)
 }
 
-// Building attacks from the library registry.
+// Building attacks from the library registry. Name() is the canonical
+// spec string: ParseAttack(atk.Name()) rebuilds the same configuration.
 func ExampleNewAttack() {
 	atk, err := fademl.NewAttack("bim")
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println(atk.Name())
-	// Output: BIM(0.0314,16)
+	// Output: bim(eps=0.03137254901960784,alpha=0.00392156862745098,steps=16,early=true)
+}
+
+// Building a parameterized attack from a spec string — the same syntax
+// the -attack CLI flags and the serving API accept. Knobs not named keep
+// their defaults.
+func ExampleParseAttack() {
+	atk, err := fademl.ParseAttack("pgd(eps=0.05,steps=10,restarts=1)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(atk.Name())
+	// Output: pgd(eps=0.05,alpha=0.00392156862745098,steps=10,restarts=1,seed=1)
 }

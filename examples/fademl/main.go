@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,7 +32,7 @@ func main() {
 	// pipelines see the evolving adversarial example.
 	filter := filters.NewLAP(32)
 	fa := attacks.NewFAdeML(attacks.NewBIM(), filter)
-	res, trace, err := fa.GenerateWithTrace(cls, clean, goal, 16, 0.008, 0.08)
+	res, trace, err := fa.GenerateWithTrace(context.Background(), cls, clean, goal, 16, 0.008, 0.08)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 	for _, r := range filters.PaperLARRadii {
 		grid = append(grid, filters.NewLAR(r))
 	}
-	blindRes, err := attacks.NewBIM().Generate(cls, clean, goal)
+	blindRes, err := attacks.NewBIM().Generate(context.Background(), cls, clean, goal)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 		bPred, bConf := pipe.Predict(blindRes.Adversarial, fademl.TM3)
 
 		aw := attacks.NewFAdeML(&attacks.BIM{Epsilon: 0.25, Alpha: 0.02, Steps: 60, EarlyStop: true}, f)
-		awRes, err := aw.Generate(cls, clean, goal)
+		awRes, err := aw.Generate(context.Background(), cls, clean, goal)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 	fmt.Printf("\nsweeping filters for %s (top-5 accuracy over %d test images)\n\n",
 		sc, env.Profile.AttackEvalSamples)
 
-	res, err := fademl.RunFig7(env, fademl.SweepOptions{
+	res, err := fademl.RunFig7(context.Background(), env, fademl.SweepOptions{
 		Scenarios:      []fademl.Scenario{sc},
 		AttackNames:    []string{"bim"},
 		IncludeCurves:  true,

@@ -1,11 +1,14 @@
 // Quickstart: train a small model on the synthetic GTSRB, run a classical
 // FGSM attack, and watch a LAP smoothing filter neutralize it — then run
-// the same attack filter-aware (FAdeML) and watch it survive.
+// the same attack filter-aware (FAdeML) and watch it survive, and finally
+// re-run it under a hard query budget to see the v2 API's truncation
+// contract in action.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +17,11 @@ import (
 )
 
 func main() {
+	// Every attack execution is context-aware: cancelling ctx (or
+	// exhausting a Run.Budget) truncates the optimization at the next
+	// iteration boundary and returns the best-so-far example.
+	ctx := context.Background()
+
 	// 1. Dataset + trained model (default profile: ~1 minute to train on
 	//    one core; weights are cached under testdata/cache, so repeat
 	//    runs start in seconds).
@@ -35,10 +43,16 @@ func main() {
 	fmt.Printf("scenario: %s (%s → %s)\n\n", sc.Name, sc.SourceName(), sc.TargetName())
 
 	// 4. Classical, filter-blind BIM attack (Section III of the paper):
-	//    a modest budget fools the bare DNN under TM-I.
-	blind, err := fademl.Execute(fademl.Run{
+	//    a modest budget fools the bare DNN under TM-I. Attacks are
+	//    declarative spec strings — the same syntax the CLI tools and the
+	//    serving API accept.
+	blindAtk, err := fademl.ParseAttack("bim(eps=0.06,alpha=0.006,steps=30)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blind, err := fademl.Execute(ctx, fademl.Run{
 		Pipeline:    pipe,
-		Attack:      fademl.NewBIM(0.06, 0.006, 30),
+		Attack:      blindAtk,
 		FilterAware: false,
 		TM:          fademl.TM3,
 	}, clean, sc.Source, sc.Target)
@@ -51,9 +65,13 @@ func main() {
 	// 5. The same attack, filter-aware (Section IV: FAdeML). The attacker
 	//    models the smoothing filter and spends a larger budget — the
 	//    filter attenuates whatever perturbation reaches the DNN.
-	aware, err := fademl.Execute(fademl.Run{
+	awareAtk, err := fademl.ParseAttack("bim(eps=0.25,alpha=0.02,steps=60)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, err := fademl.Execute(ctx, fademl.Run{
 		Pipeline:    pipe,
-		Attack:      fademl.NewBIM(0.25, 0.02, 60),
+		Attack:      awareAtk,
 		FilterAware: true,
 		TM:          fademl.TM3,
 	}, clean, sc.Source, sc.Target)
@@ -62,6 +80,25 @@ func main() {
 	}
 	fmt.Println("filter-aware attack (FAdeML):")
 	fmt.Println("  " + aware.Comparison.String())
+
+	// 6. The same filter-aware run under a hard budget: 40 classifier
+	//    evaluations is far less than the ~120 the full run spends, so
+	//    the attack is cut short and flagged Truncated — but it still
+	//    returns its best-so-far adversarial example instead of erroring.
+	budgeted, err := fademl.Execute(ctx, fademl.Run{
+		Pipeline:    pipe,
+		Attack:      awareAtk,
+		FilterAware: true,
+		TM:          fademl.TM3,
+		Budget:      fademl.Budget{MaxQueries: 40},
+	}, clean, sc.Source, sc.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budgeted FAdeML run (MaxQueries=40): %d queries, %d iterations, truncated=%v\n",
+		budgeted.AttackerResult.Queries, budgeted.AttackerResult.Iterations,
+		budgeted.AttackerResult.Truncated)
+	fmt.Println("  " + budgeted.Comparison.String())
 
 	fmt.Println()
 	switch {

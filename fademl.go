@@ -22,24 +22,32 @@
 //     cmd/fademl-serve).
 //
 // This package re-exports the surface a downstream user needs so examples
-// and tools read naturally:
+// and tools read naturally. Attacks are declarative spec strings, and
+// every execution is context-aware, budgeted and cancellable:
 //
 //	env, _ := fademl.NewEnv(fademl.ProfileTiny(), "", nil)
 //	p := fademl.NewPipeline(env.Net, fademl.NewLAP(32), nil)
-//	atk, _ := fademl.NewAttack("bim")
-//	out, _ := fademl.Execute(fademl.Run{Pipeline: p, Attack: atk,
-//	    FilterAware: true, TM: fademl.TM3}, img, src, dst)
+//	atk, _ := fademl.ParseAttack("bim(eps=0.1,steps=40)")
+//	out, _ := fademl.Execute(ctx, fademl.Run{
+//	    Pipeline: p, Attack: atk, FilterAware: true, TM: fademl.TM3,
+//	    Budget: fademl.Budget{MaxQueries: 500},
+//	}, img, src, dst)
+//	if out.AttackerResult.Truncated { /* budget hit; best-so-far result */ }
 //
 // Serving the same pipeline online — concurrent clients coalesce into
-// batched forwards, each response bit-identical to a direct Probs call:
+// batched forwards, each response bit-identical to a direct Probs call,
+// and the robustness endpoints craft and evaluate attacks server-side
+// under a hard budget:
 //
 //	srv := fademl.NewServer(p, fademl.ServeOptions{MaxBatch: 16})
 //	defer srv.Close()
 //	pred, _ := srv.Predict(ctx, img, fademl.TM2)
-//	http.ListenAndServe(":8080", srv.Handler()) // or: cmd/fademl-serve
+//	http.ListenAndServe(":8080", srv.Handler()) // /v1/predict, /v1/attack,
+//	                                            // /v1/evaluate, ... (or: cmd/fademl-serve)
 package fademl
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/analysis"
@@ -82,8 +90,18 @@ type (
 	Attack = attacks.Attack
 	// Goal selects the attack payload (source and target classes).
 	Goal = attacks.Goal
-	// Result is an attack outcome.
+	// Result is an attack outcome (Truncated marks budget-cut runs).
 	Result = attacks.Result
+	// Budget caps an attack run's work (queries, iterations, deadline).
+	Budget = attacks.Budget
+	// Observer receives per-iteration attack progress callbacks.
+	Observer = attacks.Observer
+	// Progress is one observer checkpoint.
+	Progress = attacks.Progress
+	// Param describes one spec-settable attack knob.
+	Param = attacks.Param
+	// ConfigurableAttack is an attack exposing Params()/Set knobs.
+	ConfigurableAttack = attacks.Configurable
 	// Classifier is the attacker's differentiable model interface.
 	Classifier = attacks.Classifier
 	// Pipeline is the deployed inference system of the paper's Fig. 2.
@@ -114,6 +132,13 @@ type (
 	Prediction = serve.Prediction
 	// ServeStats is a snapshot of a Server's counters.
 	ServeStats = serve.Stats
+	// EvalCase is one source→target scenario for the serving layer's
+	// robustness endpoints.
+	EvalCase = serve.EvalCase
+	// ServeAttackRequest describes one server-side crafting job.
+	ServeAttackRequest = serve.AttackRequest
+	// ServeEvaluateRequest describes a server-side fooling-rate sweep.
+	ServeEvaluateRequest = serve.EvaluateRequest
 )
 
 // Threat models of the paper's Fig. 2.
@@ -180,8 +205,30 @@ func FilterChain(fs ...Filter) Filter { return filters.Chain(fs) }
 // Attacks.
 
 // NewAttack builds a default-configured attack from the library by name:
-// lbfgs, fgsm, bim, pgd, cw, deepfool, jsma, onepixel.
+// lbfgs, fgsm, bim, mim, pgd, cw, deepfool, jsma, onepixel, spsa.
 func NewAttack(name string) (Attack, error) { return attacks.New(name) }
+
+// ParseAttack builds a configured attack from a spec string such as
+// "pgd(eps=0.03,steps=40)" — the same syntax the -attack CLI flags,
+// experiment sweeps and the serving API accept. For every registry
+// attack, ParseAttack(atk.Name()) round-trips.
+func ParseAttack(spec string) (Attack, error) { return attacks.Parse(spec) }
+
+// SplitAttackSpecs splits a comma-separated list of attack specs at top
+// level, so parameter lists inside parentheses survive intact.
+func SplitAttackSpecs(list string) []string { return attacks.SplitSpecs(list) }
+
+// WithBudget attaches an attack work budget to a context: any Generate
+// or Execute under it truncates at iteration granularity once the budget
+// is spent, returning the best-so-far result flagged Truncated.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return attacks.WithBudget(ctx, b)
+}
+
+// WithObserver attaches a per-iteration progress observer to a context.
+func WithObserver(ctx context.Context, o Observer) context.Context {
+	return attacks.WithObserver(ctx, o)
+}
 
 // NewFGSM builds a fast-gradient-sign attack with an explicit L∞ budget.
 func NewFGSM(epsilon float64) Attack { return &attacks.FGSM{Epsilon: epsilon} }
@@ -251,8 +298,11 @@ func NewServer(p *Pipeline, opts ServeOptions) *Server { return serve.New(p, opt
 
 // Execute crafts an adversarial example for the scenario source→target and
 // measures it against the deployed pipeline under the run's threat model.
-func Execute(run Run, clean *Tensor, source, target int) (*Outcome, error) {
-	return core.Execute(run, clean, source, target)
+// Cancelling ctx or exhausting Run.Budget truncates the attack at
+// iteration granularity; the outcome then carries the best-so-far
+// adversarial example flagged via AttackerResult.Truncated.
+func Execute(ctx context.Context, run Run, clean *Tensor, source, target int) (*Outcome, error) {
+	return core.Execute(ctx, run, clean, source, target)
 }
 
 // Dataset and environment helpers.
@@ -279,24 +329,26 @@ func NewEnv(p Profile, cacheDir string, log io.Writer) (*Env, error) {
 	return experiments.NewEnv(p, cacheDir, log)
 }
 
-// Figure runners (see EXPERIMENTS.md for the paper mapping).
+// Figure runners (see EXPERIMENTS.md for the paper mapping). All of them
+// honour ctx: cancellation aborts the sweep with the context error.
+// attackNames entries may be registry names or parameterized spec strings.
 
 // RunFig5 regenerates Fig. 5 (attacks under Threat Model I).
-func RunFig5(env *Env, attackNames []string) (*experiments.Fig5Result, error) {
-	return experiments.RunFig5(env, attackNames)
+func RunFig5(ctx context.Context, env *Env, attackNames []string) (*experiments.Fig5Result, error) {
+	return experiments.RunFig5(ctx, env, attackNames)
 }
 
 // RunFig6 regenerates Fig. 6 (top-5 accuracy under attack, no filter).
-func RunFig6(env *Env, attackNames []string) (*experiments.Fig6Result, error) {
-	return experiments.RunFig6(env, attackNames)
+func RunFig6(ctx context.Context, env *Env, attackNames []string) (*experiments.Fig6Result, error) {
+	return experiments.RunFig6(ctx, env, attackNames)
 }
 
 // RunFig7 regenerates Fig. 7 (filter-blind attacks neutralized by LAP/LAR).
-func RunFig7(env *Env, opt SweepOptions) (*experiments.Fig7Result, error) {
-	return experiments.RunFig7(env, opt)
+func RunFig7(ctx context.Context, env *Env, opt SweepOptions) (*experiments.Fig7Result, error) {
+	return experiments.RunFig7(ctx, env, opt)
 }
 
 // RunFig9 regenerates Fig. 9 (FAdeML attacks surviving LAP/LAR).
-func RunFig9(env *Env, opt SweepOptions) (*experiments.Fig7Result, error) {
-	return experiments.RunFig9(env, opt)
+func RunFig9(ctx context.Context, env *Env, opt SweepOptions) (*experiments.Fig7Result, error) {
+	return experiments.RunFig9(ctx, env, opt)
 }

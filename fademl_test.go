@@ -119,6 +119,93 @@ func TestFacadeParsers(t *testing.T) {
 	}
 }
 
+func TestFacadeAttackSpecs(t *testing.T) {
+	// ParseAttack round-trips canonical names for the whole registry.
+	for _, name := range AttackNames() {
+		atk, err := NewAttack(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := ParseAttack(atk.Name())
+		if err != nil {
+			t.Fatalf("ParseAttack(%q): %v", atk.Name(), err)
+		}
+		if rebuilt.Name() != atk.Name() {
+			t.Errorf("round trip drifted: %q -> %q", atk.Name(), rebuilt.Name())
+		}
+	}
+	if _, err := ParseAttack("pgd(eps=nope)"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	got := SplitAttackSpecs("pgd(eps=0.03,steps=40), fgsm")
+	if len(got) != 2 || got[0] != "pgd(eps=0.03,steps=40)" || got[1] != "fgsm" {
+		t.Errorf("SplitAttackSpecs = %q", got)
+	}
+}
+
+func TestFacadeBudgetedExecute(t *testing.T) {
+	net, err := nn.TinyCNN(3, 16, 4, mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(net, NewLAP(8), nil)
+	atk, err := ParseAttack("bim(eps=0.1,alpha=0.01,steps=100,early=false)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iterations int
+	out, err := Execute(context.Background(), Run{
+		Pipeline: pipe,
+		Attack:   atk,
+		TM:       TM3,
+		Budget:   Budget{MaxIters: 3},
+		Observer: func(p Progress) { iterations = p.Iterations },
+	}, CanonicalSign(14, 16), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AttackerResult.Truncated {
+		t.Fatal("3-iteration budget on a 100-step attack did not truncate")
+	}
+	if out.AttackerResult.Iterations != 3 || iterations != 3 {
+		t.Fatalf("iterations = %d (observer saw %d), want 3",
+			out.AttackerResult.Iterations, iterations)
+	}
+}
+
+func TestFacadeServerAttack(t *testing.T) {
+	net, err := nn.TinyCNN(3, 16, 4, mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(net, NewLAP(8), nil)
+	srv := NewServer(pipe, ServeOptions{
+		Workers: 1, MaxBatch: 2, MaxWait: time.Millisecond,
+		AttackBudget: Budget{MaxQueries: 50},
+		Render:       CanonicalSign,
+	})
+	defer srv.Close()
+	out, err := srv.Attack(context.Background(), ServeAttackRequest{
+		Spec: "fgsm(eps=0.05)", Source: 2, Target: 1, TM: TM3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AttackerResult.Queries <= 0 {
+		t.Fatalf("served attack reported %d queries", out.AttackerResult.Queries)
+	}
+	eval, err := srv.Evaluate(context.Background(), ServeEvaluateRequest{
+		Specs: []string{"fgsm(eps=0.05)"},
+		Cases: []EvalCase{{Source: 2, Target: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eval.Cells) != 1 || len(eval.Summaries) != 1 {
+		t.Fatalf("evaluate = %+v", eval)
+	}
+}
+
 func TestFacadeServer(t *testing.T) {
 	net, err := nn.TinyCNN(3, 16, 4, mathx.NewRNG(5))
 	if err != nil {

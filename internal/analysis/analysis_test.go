@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -96,7 +97,7 @@ func TestCompareNeutralizationFlow(t *testing.T) {
 	// Filter-blind attack.
 	c := attacks.NetClassifier{Net: net}
 	res, err := (&attacks.BIM{Epsilon: 0.08, Alpha: 0.01, Steps: 40, EarlyStop: true}).
-		Generate(c, clean, attacks.Goal{Source: 0, Target: 1})
+		Generate(context.Background(), c, clean, attacks.Goal{Source: 0, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestCompareSurvivalFlow(t *testing.T) {
 
 	c := attacks.NetClassifier{Net: net}
 	fademl := attacks.NewFAdeML(&attacks.BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 60, EarlyStop: true}, filter)
-	res, err := fademl.Generate(c, clean, attacks.Goal{Source: 0, Target: 1})
+	res, err := fademl.Generate(context.Background(), c, clean, attacks.Goal{Source: 0, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

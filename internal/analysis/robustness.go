@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -22,11 +23,13 @@ type RobustnessPoint struct {
 // RobustnessCurve sweeps an epsilon-parameterized attack family over a set
 // of (image, goal) pairs and records the success rate per budget — the
 // standard robustness-evaluation curve, usable against a bare classifier
-// or a FilteredClassifier (giving filtered-pipeline robustness).
+// or a FilteredClassifier (giving filtered-pipeline robustness). ctx
+// cancellation aborts the sweep with the context error; per-point attack
+// budgets can be attached via attacks.WithBudget.
 //
 // mkAttack builds the attack for a given epsilon (e.g. a BIM with
 // proportional step size).
-func RobustnessCurve(c attacks.Classifier, imgs []*tensor.Tensor, goals []attacks.Goal,
+func RobustnessCurve(ctx context.Context, c attacks.Classifier, imgs []*tensor.Tensor, goals []attacks.Goal,
 	epsilons []float64, mkAttack func(eps float64) attacks.Attack) ([]RobustnessPoint, error) {
 	if len(imgs) == 0 || len(imgs) != len(goals) {
 		return nil, fmt.Errorf("analysis: robustness needs matching images and goals (%d vs %d)",
@@ -41,7 +44,10 @@ func RobustnessCurve(c attacks.Classifier, imgs []*tensor.Tensor, goals []attack
 		successes := 0
 		confSum := 0.0
 		for i, img := range imgs {
-			res, err := atk.Generate(c, img, goals[i])
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := atk.Generate(ctx, c, img, goals[i])
 			if err != nil {
 				return nil, fmt.Errorf("analysis: robustness at eps=%v image %d: %w", eps, i, err)
 			}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/attacks"
@@ -21,7 +22,7 @@ func TestRobustnessCurveMonotone(t *testing.T) {
 		{Source: 1, Target: attacks.Untargeted},
 	}
 	eps := []float64{0.01, 0.05, 0.15}
-	points, err := RobustnessCurve(c, imgs, goals, eps, func(e float64) attacks.Attack {
+	points, err := RobustnessCurve(context.Background(), c, imgs, goals, eps, func(e float64) attacks.Attack {
 		return &attacks.BIM{Epsilon: e, Alpha: e / 8, Steps: 20, EarlyStop: true}
 	})
 	if err != nil {
@@ -53,11 +54,11 @@ func TestRobustnessCurveThroughFilter(t *testing.T) {
 	mk := func(e float64) attacks.Attack {
 		return &attacks.BIM{Epsilon: e, Alpha: e / 8, Steps: 20, EarlyStop: true}
 	}
-	pBare, err := RobustnessCurve(bare, imgs, goals, eps, mk)
+	pBare, err := RobustnessCurve(context.Background(), bare, imgs, goals, eps, mk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pFilt, err := RobustnessCurve(filtered, imgs, goals, eps, mk)
+	pFilt, err := RobustnessCurve(context.Background(), filtered, imgs, goals, eps, mk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,13 +74,13 @@ func TestRobustnessCurveValidation(t *testing.T) {
 	c := attacks.NetClassifier{Net: net}
 	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
 	mk := func(e float64) attacks.Attack { return &attacks.FGSM{Epsilon: e} }
-	if _, err := RobustnessCurve(c, nil, nil, []float64{0.1}, mk); err == nil {
+	if _, err := RobustnessCurve(context.Background(), c, nil, nil, []float64{0.1}, mk); err == nil {
 		t.Error("empty image set accepted")
 	}
-	if _, err := RobustnessCurve(c, []*tensor.Tensor{img}, nil, []float64{0.1}, mk); err == nil {
+	if _, err := RobustnessCurve(context.Background(), c, []*tensor.Tensor{img}, nil, []float64{0.1}, mk); err == nil {
 		t.Error("mismatched goals accepted")
 	}
-	if _, err := RobustnessCurve(c, []*tensor.Tensor{img},
+	if _, err := RobustnessCurve(context.Background(), c, []*tensor.Tensor{img},
 		[]attacks.Goal{{Source: 0, Target: attacks.Untargeted}}, nil, mk); err == nil {
 		t.Error("empty epsilon list accepted")
 	}

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestFGSMUntargetedEvades(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassTurnRight)
 	requireCorrect(t, c, img, label)
 	atk := &FGSM{Epsilon: 0.08}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFGSMRespectsBudgetAndRange(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassSpeed60)
 	atk := &FGSM{Epsilon: 0.02}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: 0})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFGSMRespectsBudgetAndRange(t *testing.T) {
 func TestFGSMInvalidEpsilon(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
-	if _, err := (&FGSM{Epsilon: 0}).Generate(c, img, Goal{Source: label, Target: 1}); err == nil {
+	if _, err := (&FGSM{Epsilon: 0}).Generate(context.Background(), c, img, Goal{Source: label, Target: 1}); err == nil {
 		t.Fatal("FGSM with epsilon 0 accepted")
 	}
 }
@@ -109,7 +110,7 @@ func TestBIMTargetedMisclassification(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassStop)
 	requireCorrect(t, c, img, label)
 	atk := &BIM{Epsilon: 0.10, Alpha: 0.01, Steps: 40, EarlyStop: true}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: 1}) // stop -> 60km/h
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: 1}) // stop -> 60km/h
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestBIMEarlyStopSavesIterations(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassTurnLeft)
 	eager := &BIM{Epsilon: 0.1, Alpha: 0.02, Steps: 60, EarlyStop: true}
-	res, err := eager.Generate(c, img, Goal{Source: label, Target: fixtureLabel[gtsrb.ClassTurnRight]})
+	res, err := eager.Generate(context.Background(), c, img, Goal{Source: label, Target: fixtureLabel[gtsrb.ClassTurnRight]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestPGDTargeted(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassTurnRight)
 	requireCorrect(t, c, img, label)
 	atk := &PGD{Epsilon: 0.1, Alpha: 0.015, Steps: 30, Restarts: 2, Seed: 5}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: fixtureLabel[gtsrb.ClassTurnLeft]})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: fixtureLabel[gtsrb.ClassTurnLeft]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestLBFGSAttackSucceedsWithSmallNoise(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassStop)
 	requireCorrect(t, c, img, label)
 	atk := &LBFGS{InitialC: 10, CSteps: 8, MaxIter: 40}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: 1})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestLBFGSAttackSucceedsWithSmallNoise(t *testing.T) {
 func TestLBFGSRejectsUntargeted(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
-	if _, err := NewLBFGS().Generate(c, img, Goal{Source: label, Target: Untargeted}); err == nil {
+	if _, err := NewLBFGS().Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted}); err == nil {
 		t.Fatal("L-BFGS accepted untargeted goal")
 	}
 }
@@ -185,7 +186,7 @@ func TestCWAttackTargeted(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassStop)
 	requireCorrect(t, c, img, label)
 	atk := &CW{Kappa: 0, Steps: 150, LR: 0.05, InitialC: 5, BinarySearch: 3}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: 1})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestCWAttackTargeted(t *testing.T) {
 func TestCWRejectsUntargeted(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
-	if _, err := NewCW().Generate(c, img, Goal{Source: label, Target: Untargeted}); err == nil {
+	if _, err := NewCW().Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted}); err == nil {
 		t.Fatal("C&W accepted untargeted goal")
 	}
 }
@@ -209,7 +210,7 @@ func TestDeepFoolEvades(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassSpeed60)
 	requireCorrect(t, c, img, label)
-	res, err := NewDeepFool().Generate(c, img, Goal{Source: label, Target: Untargeted})
+	res, err := NewDeepFool().Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestDeepFoolEvades(t *testing.T) {
 func TestDeepFoolRejectsTargeted(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
-	if _, err := NewDeepFool().Generate(c, img, Goal{Source: label, Target: 1}); err == nil {
+	if _, err := NewDeepFool().Generate(context.Background(), c, img, Goal{Source: label, Target: 1}); err == nil {
 		t.Fatal("DeepFool accepted targeted goal")
 	}
 }
@@ -235,7 +236,7 @@ func TestJSMASparseAttack(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassTurnLeft)
 	requireCorrect(t, c, img, label)
 	atk := &JSMA{Theta: 0.4, MaxPixelFrac: 0.15}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: fixtureLabel[gtsrb.ClassTurnRight]})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: fixtureLabel[gtsrb.ClassTurnRight]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestOnePixelBlackBox(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassSpeed60)
 	atk := &OnePixel{Pixels: 3, Population: 24, Generations: 12, Seed: 3}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,11 +322,11 @@ func TestOnePixelBatchedMatchesPerImageScoring(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassStop)
 	atk := &OnePixel{Pixels: 2, Population: 12, Generations: 6, Seed: 11}
 
-	batched, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted})
+	batched, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := atk.Generate(unbatchedClassifier{c}, img, Goal{Source: label, Target: Untargeted})
+	single, err := atk.Generate(context.Background(), unbatchedClassifier{c}, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}

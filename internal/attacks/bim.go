@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/tensor"
@@ -26,10 +27,23 @@ func NewBIM() *BIM {
 }
 
 // Name implements Attack.
-func (b *BIM) Name() string { return fmt.Sprintf("BIM(%.3g,%d)", b.Epsilon, b.Steps) }
+func (b *BIM) Name() string { return specName("bim", b.Params()) }
+
+// Params implements Configurable.
+func (b *BIM) Params() []Param {
+	return []Param{
+		floatParam("eps", "total L∞ budget", &b.Epsilon),
+		floatParam("alpha", "per-step size", &b.Alpha),
+		intParam("steps", "iteration count", &b.Steps),
+		boolParam("early", "stop once the goal is achieved", &b.EarlyStop),
+	}
+}
+
+// Set implements Configurable.
+func (b *BIM) Set(name, value string) error { return setParam(b.Params(), name, value) }
 
 // Generate implements Attack.
-func (b *BIM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+func (b *BIM) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
@@ -37,10 +51,10 @@ func (b *BIM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, erro
 		return nil, fmt.Errorf("attacks: BIM parameters must be positive (eps=%v alpha=%v steps=%d)",
 			b.Epsilon, b.Alpha, b.Steps)
 	}
+	e := begin(ctx, b.Name())
 	adv := x.Clone()
-	queries := 0
 	iters := 0
-	for i := 0; i < b.Steps; i++ {
+	for i := 0; i < b.Steps && !e.halt(); i++ {
 		iters = i + 1
 		var grad *tensor.Tensor
 		var step float64
@@ -51,17 +65,19 @@ func (b *BIM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, erro
 			_, grad = CELossGrad(c, adv, goal.Source)
 			step = +b.Alpha
 		}
-		queries++
+		e.query(1)
 		adv.AddScaled(step, tensor.SignOf(grad))
 		clampBall(adv, x, b.Epsilon)
 		clampUnit(adv)
 		if b.EarlyStop {
 			pred, _ := Predict(c, adv)
-			queries++
+			e.query(1)
 			if goal.achieved(pred) {
+				e.iterDone()
 				break
 			}
 		}
+		e.iterDone()
 	}
-	return finishResult(c, x, adv, goal, iters, queries), nil
+	return e.finish(c, x, adv, goal, iters), nil
 }

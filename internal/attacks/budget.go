@@ -1,0 +1,166 @@
+package attacks
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Budget caps the work one Generate call may spend. The zero value means
+// unlimited. Limits are enforced at iteration granularity: an attack
+// checks them between optimizer iterations, so a single iteration may
+// overshoot MaxQueries by its own per-iteration query cost before the
+// run stops.
+type Budget struct {
+	// MaxQueries bounds classifier evaluations (forward or gradient);
+	// 0 means unlimited.
+	MaxQueries int
+	// MaxIters bounds optimizer iterations; 0 means unlimited.
+	MaxIters int
+	// Deadline is an absolute wall-clock cutoff; the zero time means none.
+	// Context deadlines are honoured too — Deadline exists so a caller can
+	// cap attack time tighter than the request context it already holds.
+	Deadline time.Time
+}
+
+// Unlimited reports whether the budget imposes no limit at all.
+func (b Budget) Unlimited() bool {
+	return b.MaxQueries <= 0 && b.MaxIters <= 0 && b.Deadline.IsZero()
+}
+
+// Progress is one observer checkpoint, emitted after every completed
+// optimizer iteration.
+type Progress struct {
+	// Attack is the emitting attack's Name().
+	Attack string
+	// Iterations and Queries are the totals spent so far in this run.
+	Iterations int
+	Queries    int
+}
+
+// Observer receives progress callbacks at iteration granularity. It runs
+// synchronously on the attack goroutine — keep it cheap.
+type Observer func(Progress)
+
+// budgetKey and observerKey carry the attack execution controls through a
+// context so the Attack interface stays a two-method contract.
+type budgetKey struct{}
+type observerKey struct{}
+
+// WithBudget attaches a work budget to ctx; every attack Generate call
+// under that context enforces it.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom extracts the attached budget (zero value when none).
+func BudgetFrom(ctx context.Context) Budget {
+	if ctx == nil {
+		return Budget{}
+	}
+	b, _ := ctx.Value(budgetKey{}).(Budget)
+	return b
+}
+
+// WithObserver attaches a progress observer to ctx.
+func WithObserver(ctx context.Context, o Observer) context.Context {
+	return context.WithValue(ctx, observerKey{}, o)
+}
+
+// ObserverFrom extracts the attached observer (nil when none).
+func ObserverFrom(ctx context.Context) Observer {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(observerKey{}).(Observer)
+	return o
+}
+
+// exec tracks one Generate run's shared bookkeeping: query and iteration
+// accounting, budget/cancellation checks, observer notifications and the
+// Truncated flag. Every attack creates one at entry and funnels all
+// classifier-evaluation counting through it, which is what makes the
+// Result query invariant hold uniformly across the library.
+type exec struct {
+	ctx       context.Context
+	budget    Budget
+	obs       Observer
+	name      string
+	queries   int
+	iters     int
+	truncated bool
+}
+
+// begin opens the run bookkeeping for one Generate call.
+func begin(ctx context.Context, name string) *exec {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &exec{ctx: ctx, budget: BudgetFrom(ctx), obs: ObserverFrom(ctx), name: name}
+}
+
+// query records n classifier evaluations.
+func (e *exec) query(n int) { e.queries += n }
+
+// halt reports whether the run must stop now: context cancelled, budget
+// exhausted or deadline passed. Once true it stays true, and the final
+// Result carries Truncated. Attacks call it at iteration boundaries; it
+// is deliberately free of side effects on the optimization state, so a
+// run under no pressure is bit-identical to one that never checked.
+func (e *exec) halt() bool {
+	if e.truncated {
+		return true
+	}
+	switch {
+	case e.ctx.Err() != nil:
+	case e.budget.MaxQueries > 0 && e.queries >= e.budget.MaxQueries:
+	case e.budget.MaxIters > 0 && e.iters >= e.budget.MaxIters:
+	case !e.budget.Deadline.IsZero() && !time.Now().Before(e.budget.Deadline):
+	default:
+		return false
+	}
+	e.truncated = true
+	return true
+}
+
+// iterDone records one completed optimizer iteration and notifies the
+// observer, if any.
+func (e *exec) iterDone() {
+	e.iters++
+	if e.obs != nil {
+		e.obs(Progress{Attack: e.name, Iterations: e.iters, Queries: e.queries})
+	}
+}
+
+// iterBatch records n completed optimizer iterations at once — used by
+// attacks that delegate their inner loop to a solver — with a single
+// observer notification.
+func (e *exec) iterBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	e.iters += n
+	if e.obs != nil {
+		e.obs(Progress{Attack: e.name, Iterations: e.iters, Queries: e.queries})
+	}
+}
+
+// finish fills the prediction bookkeeping common to all attacks. The
+// final Predict is itself one classifier evaluation and is counted.
+// iters is passed explicitly because some attacks (PGD restarts) report
+// the winning restart's iteration count rather than the run total.
+func (e *exec) finish(c Classifier, original, adv *tensor.Tensor, goal Goal, iters int) *Result {
+	pred, conf := Predict(c, adv)
+	e.query(1)
+	return &Result{
+		Adversarial: adv,
+		Noise:       tensor.Sub(adv, original),
+		Success:     goal.achieved(pred),
+		PredClass:   pred,
+		Confidence:  conf,
+		Iterations:  iters,
+		Queries:     e.queries,
+		Truncated:   e.truncated,
+	}
+}

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,10 +36,24 @@ func NewCW() *CW {
 }
 
 // Name implements Attack.
-func (a *CW) Name() string { return fmt.Sprintf("C&W(κ=%.2g)", a.Kappa) }
+func (a *CW) Name() string { return specName("cw", a.Params()) }
+
+// Params implements Configurable.
+func (a *CW) Params() []Param {
+	return []Param{
+		floatParam("kappa", "confidence margin κ", &a.Kappa),
+		intParam("steps", "optimizer iterations per c value", &a.Steps),
+		floatParam("lr", "optimizer learning rate", &a.LR),
+		floatParam("c", "initial margin weight for the c search", &a.InitialC),
+		intParam("search", "binary-search depth over c", &a.BinarySearch),
+	}
+}
+
+// Set implements Configurable.
+func (a *CW) Set(name, value string) error { return setParam(a.Params(), name, value) }
 
 // Generate implements Attack. The C&W formulation is targeted.
-func (a *CW) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+func (a *CW) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
@@ -58,18 +73,18 @@ func (a *CW) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error
 		w0[i] = math.Atanh(2*v - 1)
 	}
 
-	queries := 0
+	e := begin(ctx, a.Name())
 	iters := 0
 	cLo, cHi := 0.0, math.Inf(1)
 	cVal := a.InitialC
 	var bestAdv *tensor.Tensor
 	bestDist := math.Inf(1)
 
-	for round := 0; round < a.BinarySearch; round++ {
+	for round := 0; round < a.BinarySearch && !e.halt(); round++ {
 		w := append([]float64(nil), w0...)
 		vel := make([]float64, n)
 		successAtC := false
-		for it := 0; it < a.Steps; it++ {
+		for it := 0; it < a.Steps && !e.halt(); it++ {
 			iters++
 			// Forward map w -> adv image.
 			adv := tensor.New(x.Shape()...)
@@ -79,7 +94,7 @@ func (a *CW) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error
 			}
 			// Margin loss gradient on logits.
 			var margin float64
-			logits, grad := c.GradFromLogits(adv, func(z []float64) []float64 {
+			_, grad := c.GradFromLogits(adv, func(z []float64) []float64 {
 				bestOther, bestIdx := math.Inf(-1), -1
 				for i, v := range z {
 					if i != goal.Target && v > bestOther {
@@ -94,8 +109,7 @@ func (a *CW) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error
 				}
 				return d
 			})
-			queries++
-			_ = logits
+			e.query(1)
 			// Total gradient in w space: distortion term + margin term,
 			// chained through dx/dw = (1 - tanh²(w))/2.
 			gd := grad.Data()
@@ -115,6 +129,7 @@ func (a *CW) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error
 					bestAdv = adv.Clone()
 				}
 			}
+			e.iterDone()
 		}
 		// Binary search on c: success → try smaller (less distortion
 		// pressure is not the point here — c multiplies the margin term,
@@ -136,5 +151,5 @@ func (a *CW) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error
 		// caller gets honest "no success" bookkeeping.
 		bestAdv = x.Clone()
 	}
-	return finishResult(c, x, bestAdv, goal, iters, queries), nil
+	return e.finish(c, x, bestAdv, goal, iters), nil
 }

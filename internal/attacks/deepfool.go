@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,24 +29,35 @@ func NewDeepFool() *DeepFool {
 }
 
 // Name implements Attack.
-func (d *DeepFool) Name() string { return fmt.Sprintf("DeepFool(%d)", d.MaxIter) }
+func (d *DeepFool) Name() string { return specName("deepfool", d.Params()) }
+
+// Params implements Configurable.
+func (d *DeepFool) Params() []Param {
+	return []Param{
+		intParam("iters", "maximum linearization iterations", &d.MaxIter),
+		floatParam("overshoot", "boundary-crossing inflation", &d.Overshoot),
+		intParam("candidates", "runner-up classes searched (0 = all)", &d.Candidates),
+	}
+}
+
+// Set implements Configurable.
+func (d *DeepFool) Set(name, value string) error { return setParam(d.Params(), name, value) }
 
 // Generate implements Attack. DeepFool is untargeted: the goal's Target
 // must be Untargeted, and success means leaving the source class.
-func (d *DeepFool) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+func (d *DeepFool) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+	if err := goal.Validate(c); err != nil {
+		return nil, err
+	}
 	if goal.IsTargeted() {
 		return nil, fmt.Errorf("attacks: DeepFool is untargeted; use Goal.Target = Untargeted")
-	}
-	n := c.NumClasses()
-	if goal.Source < 0 || goal.Source >= n {
-		return nil, fmt.Errorf("attacks: goal source class %d outside [0,%d)", goal.Source, n)
 	}
 	if d.MaxIter <= 0 {
 		return nil, fmt.Errorf("attacks: DeepFool MaxIter must be positive")
 	}
 
+	e := begin(ctx, d.Name())
 	adv := x.Clone()
-	queries := 0
 	iters := 0
 	// classGrad extracts the gradient of a single logit.
 	classGrad := func(img *tensor.Tensor, class int) ([]float64, *tensor.Tensor) {
@@ -54,11 +66,11 @@ func (d *DeepFool) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 			dz[class] = 1
 			return dz
 		})
-		queries++
+		e.query(1)
 		return logits, g
 	}
 
-	for it := 0; it < d.MaxIter; it++ {
+	for it := 0; it < d.MaxIter && !e.halt(); it++ {
 		iters = it + 1
 		logits, gradSrc := classGrad(adv, goal.Source)
 		pred := 0
@@ -68,6 +80,7 @@ func (d *DeepFool) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 			}
 		}
 		if pred != goal.Source {
+			e.iterDone()
 			break
 		}
 		// Candidate classes: nearest runner-up logits.
@@ -107,6 +120,7 @@ func (d *DeepFool) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 			}
 		}
 		if bestW == nil {
+			e.iterDone()
 			break
 		}
 		// Step just past the boundary: r = |f|/‖w‖² · w.
@@ -114,6 +128,7 @@ func (d *DeepFool) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 		scale := (math.Abs(bestF) + 1e-6) / (wNorm * wNorm)
 		adv.AddScaled((1+d.Overshoot)*scale, bestW)
 		clampUnit(adv)
+		e.iterDone()
 	}
-	return finishResult(c, x, adv, goal, iters, queries), nil
+	return e.finish(c, x, adv, goal, iters), nil
 }

@@ -14,7 +14,10 @@ import (
 // overfits to that draw; EOT averages across draws instead.
 //
 // EOT wraps a Classifier, not an Attack: any gradient attack pointed at
-// the EOT classifier becomes transformation-robust.
+// the EOT classifier becomes transformation-robust. Budgets and
+// cancellation therefore apply through the wrapping attack's own
+// iteration checks, and per the Result query invariant each EOT call
+// counts as one query regardless of Draws.
 type EOT struct {
 	// Model builds the k-th stochastic view of the pipeline (e.g. a
 	// FilteredClassifier over an acquisition stage seeded with k).

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/filters"
@@ -41,7 +42,8 @@ func NewFAdeML(base Attack, filter filters.Filter) *FAdeML {
 	return &FAdeML{Base: base, Filter: filter, Eta: 1}
 }
 
-// Name implements Attack.
+// Name implements Attack. The wrapper is not a registry entry (it needs a
+// filter), so its name is a display form, not a Parse spec.
 func (f *FAdeML) Name() string {
 	return fmt.Sprintf("FAdeML[%s|%s]", f.Base.Name(), f.Filter.Name())
 }
@@ -49,16 +51,22 @@ func (f *FAdeML) Name() string {
 // Generate implements Attack: it runs the base attack against the
 // filter-composed classifier, then rescales the noise by Eta and reports
 // success through the same filtered view (the attacker-side estimate of
-// Threat Model II/III behaviour).
-func (f *FAdeML) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+// Threat Model II/III behaviour). Context, budget and observer flow
+// through unchanged to the base attack; queries are counted against the
+// filtered classifier per the Result invariant (the η<1 path adds exactly
+// one evaluation for the rescaled image's prediction).
+func (f *FAdeML) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if f.Base == nil || f.Filter == nil {
 		return nil, fmt.Errorf("attacks: FAdeML needs both a base attack and a filter")
 	}
 	if f.Eta <= 0 || f.Eta > 1 {
 		return nil, fmt.Errorf("attacks: FAdeML eta %v outside (0, 1]", f.Eta)
 	}
+	if err := goal.Validate(c); err != nil {
+		return nil, err
+	}
 	fc := FilteredClassifier{Inner: c, Pre: f.Filter}
-	res, err := f.Base.Generate(fc, x, goal)
+	res, err := f.Base.Generate(ctx, fc, x, goal)
 	if err != nil {
 		return nil, fmt.Errorf("attacks: FAdeML base attack: %w", err)
 	}
@@ -66,9 +74,17 @@ func (f *FAdeML) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, e
 		adv := x.Clone()
 		adv.AddScaled(f.Eta, res.Noise)
 		clampUnit(adv)
-		rescaled := finishResult(fc, x, adv, goal, res.Iterations, res.Queries)
-		rescaled.Queries += res.Queries
-		return rescaled, nil
+		pred, conf := Predict(fc, adv)
+		return &Result{
+			Adversarial: adv,
+			Noise:       tensor.Sub(adv, x),
+			Success:     goal.achieved(pred),
+			PredClass:   pred,
+			Confidence:  conf,
+			Iterations:  res.Iterations,
+			Queries:     res.Queries + 1,
+			Truncated:   res.Truncated,
+		}, nil
 	}
 	return res, nil
 }
@@ -103,8 +119,10 @@ func Eq2Cost(probsI, probsII []float64, k int) float64 {
 // and filtered (TM II/III) views of the current adversarial example.
 //
 // steps and alpha control the iteration count and step size; epsilon is
-// the L∞ budget. The returned trace has one entry per iteration.
-func (f *FAdeML) GenerateWithTrace(c Classifier, x *tensor.Tensor, goal Goal, steps int, alpha, epsilon float64) (*Result, *CostTrace, error) {
+// the L∞ budget. The returned trace has one entry per completed
+// iteration; ctx cancellation and budgets truncate the loop like any
+// Generate call, flagging the Result.
+func (f *FAdeML) GenerateWithTrace(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal, steps int, alpha, epsilon float64) (*Result, *CostTrace, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, nil, err
 	}
@@ -115,23 +133,26 @@ func (f *FAdeML) GenerateWithTrace(c Classifier, x *tensor.Tensor, goal Goal, st
 		return nil, nil, fmt.Errorf("attacks: trace parameters must be positive")
 	}
 	fc := FilteredClassifier{Inner: c, Pre: f.Filter}
+	e := begin(ctx, f.Name())
 	adv := x.Clone()
 	trace := &CostTrace{}
-	queries := 0
-	for i := 0; i < steps; i++ {
+	iters := 0
+	for i := 0; i < steps && !e.halt(); i++ {
+		iters = i + 1
 		// Gradient of the targeted loss through the filter (δ/δ f(cost)).
 		_, grad := CELossGrad(fc, adv, goal.Target)
-		queries++
+		e.query(1)
 		adv.AddScaled(-alpha*f.etaOrOne(), tensor.SignOf(grad))
 		clampBall(adv, x, epsilon)
 		clampUnit(adv)
 		// Eq. 2 checkpoint: TM I (direct) vs TM II/III (filtered) views.
 		probsI := Probs(c, adv)
 		probsII := Probs(fc, adv)
-		queries += 2
+		e.query(2)
 		trace.Steps = append(trace.Steps, Eq2Cost(probsI, probsII, 5))
+		e.iterDone()
 	}
-	res := finishResult(fc, x, adv, goal, steps, queries)
+	res := e.finish(fc, x, adv, goal, iters)
 	return res, trace, nil
 }
 

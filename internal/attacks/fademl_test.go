@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestFilterNeutralizesClassicAttack(t *testing.T) {
 	requireCorrect(t, c, img, label)
 
 	atk := &BIM{Epsilon: 0.06, Alpha: 0.008, Steps: 30, EarlyStop: true}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: 1})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFAdeMLSurvivesFilter(t *testing.T) {
 	filter := filters.NewLAP(8)
 	base := &BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 60, EarlyStop: true}
 	fademl := NewFAdeML(base, filter)
-	res, err := fademl.Generate(c, img, Goal{Source: label, Target: 1})
+	res, err := fademl.Generate(context.Background(), c, img, Goal{Source: label, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +76,13 @@ func TestFAdeMLValidation(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
 	goal := Goal{Source: label, Target: 1}
-	if _, err := (&FAdeML{Base: nil, Filter: filters.NewLAP(4), Eta: 1}).Generate(c, img, goal); err == nil {
+	if _, err := (&FAdeML{Base: nil, Filter: filters.NewLAP(4), Eta: 1}).Generate(context.Background(), c, img, goal); err == nil {
 		t.Fatal("nil base accepted")
 	}
-	if _, err := (&FAdeML{Base: NewFGSM(), Filter: nil, Eta: 1}).Generate(c, img, goal); err == nil {
+	if _, err := (&FAdeML{Base: NewFGSM(), Filter: nil, Eta: 1}).Generate(context.Background(), c, img, goal); err == nil {
 		t.Fatal("nil filter accepted")
 	}
-	if _, err := (&FAdeML{Base: NewFGSM(), Filter: filters.NewLAP(4), Eta: 2}).Generate(c, img, goal); err == nil {
+	if _, err := (&FAdeML{Base: NewFGSM(), Filter: filters.NewLAP(4), Eta: 2}).Generate(context.Background(), c, img, goal); err == nil {
 		t.Fatal("eta > 1 accepted")
 	}
 }
@@ -93,11 +94,11 @@ func TestFAdeMLEtaScalesNoise(t *testing.T) {
 	base := &FGSM{Epsilon: 0.08}
 	full := &FAdeML{Base: base, Filter: filters.NewLAP(4), Eta: 1}
 	half := &FAdeML{Base: base, Filter: filters.NewLAP(4), Eta: 0.5}
-	resFull, err := full.Generate(c, img, goal)
+	resFull, err := full.Generate(context.Background(), c, img, goal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resHalf, err := half.Generate(c, img, goal)
+	resHalf, err := half.Generate(context.Background(), c, img, goal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestGenerateWithTraceRecordsEq2(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
 	fademl := NewFAdeML(NewBIM(), filters.NewLAP(8))
-	res, trace, err := fademl.GenerateWithTrace(c, img, Goal{Source: label, Target: 1}, 12, 0.01, 0.1)
+	res, trace, err := fademl.GenerateWithTrace(context.Background(), c, img, Goal{Source: label, Target: 1}, 12, 0.01, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,10 +158,10 @@ func TestGenerateWithTraceValidation(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassStop)
 	f := NewFAdeML(NewBIM(), filters.NewLAP(4))
-	if _, _, err := f.GenerateWithTrace(c, img, Goal{Source: label, Target: Untargeted}, 5, 0.01, 0.1); err == nil {
+	if _, _, err := f.GenerateWithTrace(context.Background(), c, img, Goal{Source: label, Target: Untargeted}, 5, 0.01, 0.1); err == nil {
 		t.Fatal("untargeted trace accepted")
 	}
-	if _, _, err := f.GenerateWithTrace(c, img, Goal{Source: label, Target: 1}, 0, 0.01, 0.1); err == nil {
+	if _, _, err := f.GenerateWithTrace(context.Background(), c, img, Goal{Source: label, Target: 1}, 0, 0.01, 0.1); err == nil {
 		t.Fatal("zero steps accepted")
 	}
 }
@@ -203,11 +204,11 @@ func TestFAdeMLNoiseIsLowerFrequency(t *testing.T) {
 	goal := Goal{Source: label, Target: 1}
 	filter := filters.NewLAP(8)
 
-	blind, err := (&BIM{Epsilon: 0.08, Alpha: 0.01, Steps: 30}).Generate(c, img, goal)
+	blind, err := (&BIM{Epsilon: 0.08, Alpha: 0.01, Steps: 30}).Generate(context.Background(), c, img, goal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aware, err := NewFAdeML(&BIM{Epsilon: 0.08, Alpha: 0.01, Steps: 30}, filter).Generate(c, img, goal)
+	aware, err := NewFAdeML(&BIM{Epsilon: 0.08, Alpha: 0.01, Steps: 30}, filter).Generate(context.Background(), c, img, goal)
 	if err != nil {
 		t.Fatal(err)
 	}

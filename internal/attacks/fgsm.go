@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/tensor"
@@ -19,27 +20,44 @@ type FGSM struct {
 func NewFGSM() *FGSM { return &FGSM{Epsilon: 8.0 / 255} }
 
 // Name implements Attack.
-func (f *FGSM) Name() string { return fmt.Sprintf("FGSM(%.3g)", f.Epsilon) }
+func (f *FGSM) Name() string { return specName("fgsm", f.Params()) }
+
+// Params implements Configurable.
+func (f *FGSM) Params() []Param {
+	return []Param{
+		floatParam("eps", "L∞ step size in [0,1] pixel units", &f.Epsilon),
+	}
+}
+
+// Set implements Configurable.
+func (f *FGSM) Set(name, value string) error { return setParam(f.Params(), name, value) }
 
 // Generate implements Attack.
-func (f *FGSM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+func (f *FGSM) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
 	if f.Epsilon <= 0 {
 		return nil, fmt.Errorf("attacks: FGSM epsilon %v must be positive", f.Epsilon)
 	}
-	var grad *tensor.Tensor
-	var step float64
-	if goal.IsTargeted() {
-		_, grad = CELossGrad(c, x, goal.Target)
-		step = -f.Epsilon // descend toward the target class
-	} else {
-		_, grad = CELossGrad(c, x, goal.Source)
-		step = +f.Epsilon // ascend away from the source class
-	}
+	e := begin(ctx, f.Name())
 	adv := x.Clone()
-	adv.AddScaled(step, tensor.SignOf(grad))
-	clampUnit(adv)
-	return finishResult(c, x, adv, goal, 1, 1), nil
+	iters := 0
+	if !e.halt() {
+		var grad *tensor.Tensor
+		var step float64
+		if goal.IsTargeted() {
+			_, grad = CELossGrad(c, x, goal.Target)
+			step = -f.Epsilon // descend toward the target class
+		} else {
+			_, grad = CELossGrad(c, x, goal.Source)
+			step = +f.Epsilon // ascend away from the source class
+		}
+		e.query(1)
+		adv.AddScaled(step, tensor.SignOf(grad))
+		clampUnit(adv)
+		e.iterDone()
+		iters = 1
+	}
+	return e.finish(c, x, adv, goal, iters), nil
 }

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gtsrb"
@@ -40,7 +41,7 @@ func TestAttackInvariants(t *testing.T) {
 				t.Fatal(err)
 			}
 			before := clean.Clone()
-			res, err := atk.Generate(c, clean, goal)
+			res, err := atk.Generate(context.Background(), c, clean, goal)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -91,11 +92,11 @@ func TestAttacksDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		a2, _ := New(name)
-		r1, err := a1.Generate(c, clean, goal)
+		r1, err := a1.Generate(context.Background(), c, clean, goal)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := a2.Generate(c, clean, goal)
+		r2, err := a2.Generate(context.Background(), c, clean, goal)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,10 +23,21 @@ type JSMA struct {
 func NewJSMA() *JSMA { return &JSMA{Theta: 0.2, MaxPixelFrac: 0.10} }
 
 // Name implements Attack.
-func (j *JSMA) Name() string { return fmt.Sprintf("JSMA(%.2g)", j.Theta) }
+func (j *JSMA) Name() string { return specName("jsma", j.Params()) }
+
+// Params implements Configurable.
+func (j *JSMA) Params() []Param {
+	return []Param{
+		floatParam("theta", "per-step pixel change", &j.Theta),
+		floatParam("frac", "fraction of features that may be modified", &j.MaxPixelFrac),
+	}
+}
+
+// Set implements Configurable.
+func (j *JSMA) Set(name, value string) error { return setParam(j.Params(), name, value) }
 
 // Generate implements Attack. JSMA is targeted.
-func (j *JSMA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+func (j *JSMA) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
@@ -36,6 +48,7 @@ func (j *JSMA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 		return nil, fmt.Errorf("attacks: JSMA theta and budget must be non-zero")
 	}
 
+	e := begin(ctx, j.Name())
 	adv := x.Clone()
 	n := adv.Len()
 	budget := int(float64(n) * j.MaxPixelFrac)
@@ -43,14 +56,14 @@ func (j *JSMA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 		budget = 1
 	}
 	modified := make(map[int]bool)
-	queries := 0
 	iters := 0
 
-	for step := 0; step < budget; step++ {
+	for step := 0; step < budget && !e.halt(); step++ {
 		iters = step + 1
 		pred, _ := Predict(c, adv)
-		queries++
+		e.query(1)
 		if goal.achieved(pred) {
+			e.iterDone()
 			break
 		}
 		// dZ_target/dx and d(sum of other logits)/dx in two backward passes.
@@ -68,7 +81,7 @@ func (j *JSMA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 			}
 			return d
 		})
-		queries += 2
+		e.query(2)
 
 		// Saliency: want target gradient positive and others negative
 		// (for positive theta). Pick the best unmodified, unsaturated pixel.
@@ -108,6 +121,7 @@ func (j *JSMA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 				}
 			}
 			if bestIdx < 0 {
+				e.iterDone()
 				break
 			}
 			if gt[bestIdx] > 0 {
@@ -119,6 +133,7 @@ func (j *JSMA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 			ad[bestIdx] = math.Min(1, math.Max(0, ad[bestIdx]+j.Theta))
 		}
 		modified[bestIdx] = true
+		e.iterDone()
 	}
-	return finishResult(c, x, adv, goal, iters, queries), nil
+	return e.finish(c, x, adv, goal, iters), nil
 }

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lbfgs"
@@ -33,11 +34,25 @@ func NewLBFGS() *LBFGS {
 }
 
 // Name implements Attack.
-func (l *LBFGS) Name() string { return fmt.Sprintf("L-BFGS(%d)", l.MaxIter) }
+func (l *LBFGS) Name() string { return specName("lbfgs", l.Params()) }
+
+// Params implements Configurable.
+func (l *LBFGS) Params() []Param {
+	return []Param{
+		floatParam("c", "starting distortion weight", &l.InitialC),
+		intParam("csteps", "distortion-weight halvings searched", &l.CSteps),
+		intParam("iters", "L-BFGS iterations per c value", &l.MaxIter),
+	}
+}
+
+// Set implements Configurable.
+func (l *LBFGS) Set(name, value string) error { return setParam(l.Params(), name, value) }
 
 // Generate implements Attack. Untargeted goals are not supported: the
 // formulation needs a target class (the paper's scenarios are targeted).
-func (l *LBFGS) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+// Cancellation and budget reach down into the solver at L-BFGS-iteration
+// granularity via the optimizer's Stop hook.
+func (l *LBFGS) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
@@ -56,15 +71,15 @@ func (l *LBFGS) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, er
 	}
 	xd := x.Data()
 
-	queries := 0
+	e := begin(ctx, l.Name())
 	iters := 0
 	cWeight := l.InitialC
 	var lastAdv *tensor.Tensor
-	for step := 0; step < l.CSteps; step++ {
+	for step := 0; step < l.CSteps && !e.halt(); step++ {
 		obj := func(z []float64, grad []float64) float64 {
 			img := tensor.FromSlice(z, x.Shape()...)
 			ceLoss, ceGrad := CELossGrad(c, img, goal.Target)
-			queries++
+			e.query(1)
 			dist := 0.0
 			gd := ceGrad.Data()
 			for i := range z {
@@ -79,21 +94,27 @@ func (l *LBFGS) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, er
 			Lower:   lower,
 			Upper:   upper,
 			GradTol: 1e-7,
+			Stop:    e.halt,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("attacks: L-BFGS solve failed: %w", err)
 		}
 		iters += res.Iters
+		e.iterBatch(res.Iters)
 		adv := tensor.FromSlice(append([]float64(nil), res.X...), x.Shape()...)
 		clampUnit(adv)
 		lastAdv = adv
 		pred, _ := Predict(c, adv)
-		queries++
+		e.query(1)
 		if goal.achieved(pred) {
-			return finishResult(c, x, adv, goal, iters, queries), nil
+			return e.finish(c, x, adv, goal, iters), nil
 		}
 		cWeight /= 2 // relax the distortion penalty and retry
 	}
+	if lastAdv == nil {
+		// Halted before the first solve began; report the clean image.
+		lastAdv = x.Clone()
+	}
 	// No success at any tested c; report the final attempt.
-	return finishResult(c, x, lastAdv, goal, iters, queries), nil
+	return e.finish(c, x, lastAdv, goal, iters), nil
 }

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/tensor"
@@ -29,21 +30,35 @@ func NewMIM() *MIM {
 }
 
 // Name implements Attack.
-func (m *MIM) Name() string { return fmt.Sprintf("MIM(%.3g,%d)", m.Epsilon, m.Steps) }
+func (m *MIM) Name() string { return specName("mim", m.Params()) }
+
+// Params implements Configurable.
+func (m *MIM) Params() []Param {
+	return []Param{
+		floatParam("eps", "total L∞ budget", &m.Epsilon),
+		floatParam("alpha", "per-step size", &m.Alpha),
+		intParam("steps", "iteration count", &m.Steps),
+		floatParam("decay", "momentum factor μ", &m.Decay),
+		boolParam("early", "stop once the goal is achieved", &m.EarlyStop),
+	}
+}
+
+// Set implements Configurable.
+func (m *MIM) Set(name, value string) error { return setParam(m.Params(), name, value) }
 
 // Generate implements Attack.
-func (m *MIM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+func (m *MIM) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
 	if m.Epsilon <= 0 || m.Alpha <= 0 || m.Steps <= 0 || m.Decay < 0 {
 		return nil, fmt.Errorf("attacks: MIM parameters must be positive (decay non-negative)")
 	}
+	e := begin(ctx, m.Name())
 	adv := x.Clone()
 	momentum := tensor.New(x.Shape()...)
-	queries := 0
 	iters := 0
-	for i := 0; i < m.Steps; i++ {
+	for i := 0; i < m.Steps && !e.halt(); i++ {
 		iters = i + 1
 		var grad *tensor.Tensor
 		var dir float64
@@ -54,7 +69,7 @@ func (m *MIM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, erro
 			_, grad = CELossGrad(c, adv, goal.Source)
 			dir = +1
 		}
-		queries++
+		e.query(1)
 		// g_{t+1} = μ·g_t + grad/‖grad‖₁
 		l1 := grad.L1Norm()
 		if l1 > 0 {
@@ -66,11 +81,13 @@ func (m *MIM) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, erro
 		clampUnit(adv)
 		if m.EarlyStop {
 			pred, _ := Predict(c, adv)
-			queries++
+			e.query(1)
 			if goal.achieved(pred) {
+				e.iterDone()
 				break
 			}
 		}
+		e.iterDone()
 	}
-	return finishResult(c, x, adv, goal, iters, queries), nil
+	return e.finish(c, x, adv, goal, iters), nil
 }

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gtsrb"
@@ -12,7 +13,7 @@ func TestMIMTargeted(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassStop)
 	requireCorrect(t, c, img, label)
 	atk := &MIM{Epsilon: 0.10, Alpha: 0.01, Steps: 40, Decay: 1.0, EarlyStop: true}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: 1})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestMIMUntargeted(t *testing.T) {
 	c := testClassifier(t)
 	img, label := canonical(t, gtsrb.ClassTurnRight)
 	res, err := (&MIM{Epsilon: 0.08, Alpha: 0.008, Steps: 30, Decay: 1.0, EarlyStop: true}).
-		Generate(c, img, Goal{Source: label, Target: Untargeted})
+		Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestMIMValidation(t *testing.T) {
 		"zero steps":  {Epsilon: 0.1, Alpha: 0.01, Steps: 0, Decay: 1},
 		"negative mu": {Epsilon: 0.1, Alpha: 0.01, Steps: 5, Decay: -1},
 	} {
-		if _, err := atk.Generate(c, img, goal); err == nil {
+		if _, err := atk.Generate(context.Background(), c, img, goal); err == nil {
 			t.Errorf("%s accepted", name)
 		}
 	}
@@ -72,7 +73,7 @@ func TestUniversalTargetedPerturbation(t *testing.T) {
 		gtsrb.Canonical(gtsrb.ClassTurnRight, 16),
 	}
 	u := &Universal{Epsilon: 0.15, StepSize: 0.02, Epochs: 12, TargetRate: 0.99}
-	res, err := u.Craft(c, imgs, Goal{Source: 0, Target: 1})
+	res, err := u.Craft(context.Background(), c, imgs, Goal{Source: 0, Target: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestUniversalUntargeted(t *testing.T) {
 		gtsrb.Canonical(gtsrb.ClassTurnRight, 16),
 	}
 	u := &Universal{Epsilon: 0.2, StepSize: 0.03, Epochs: 10, TargetRate: 0.75}
-	res, err := u.Craft(c, imgs, Goal{Source: 0, Target: Untargeted})
+	res, err := u.Craft(context.Background(), c, imgs, Goal{Source: 0, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,17 +106,17 @@ func TestUniversalUntargeted(t *testing.T) {
 func TestUniversalValidation(t *testing.T) {
 	c := testClassifier(t)
 	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
-	if _, err := NewUniversal().Craft(c, nil, Goal{Target: 1}); err == nil {
+	if _, err := NewUniversal().Craft(context.Background(), c, nil, Goal{Target: 1}); err == nil {
 		t.Error("empty crafting set accepted")
 	}
-	if _, err := (&Universal{Epsilon: 0, StepSize: 0.01, Epochs: 1}).Craft(c, []*tensor.Tensor{img}, Goal{Target: 1}); err == nil {
+	if _, err := (&Universal{Epsilon: 0, StepSize: 0.01, Epochs: 1}).Craft(context.Background(), c, []*tensor.Tensor{img}, Goal{Target: 1}); err == nil {
 		t.Error("zero epsilon accepted")
 	}
-	if _, err := NewUniversal().Craft(c, []*tensor.Tensor{img}, Goal{Target: 99}); err == nil {
+	if _, err := NewUniversal().Craft(context.Background(), c, []*tensor.Tensor{img}, Goal{Target: 99}); err == nil {
 		t.Error("out-of-range target accepted")
 	}
 	mixed := []*tensor.Tensor{img, gtsrb.Canonical(gtsrb.ClassStop, 24)}
-	if _, err := NewUniversal().Craft(c, mixed, Goal{Target: 1}); err == nil {
+	if _, err := NewUniversal().Craft(context.Background(), c, mixed, Goal{Target: 1}); err == nil {
 		t.Error("mixed-shape crafting set accepted")
 	}
 }

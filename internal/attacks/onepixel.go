@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mathx"
@@ -35,13 +36,27 @@ func NewOnePixel() *OnePixel {
 }
 
 // Name implements Attack.
-func (o *OnePixel) Name() string { return fmt.Sprintf("OnePixel(%d)", o.Pixels) }
+func (o *OnePixel) Name() string { return specName("onepixel", o.Params()) }
+
+// Params implements Configurable.
+func (o *OnePixel) Params() []Param {
+	return []Param{
+		intParam("pixels", "pixels the attack may replace", &o.Pixels),
+		intParam("pop", "differential-evolution population size", &o.Population),
+		intParam("gens", "differential-evolution generations", &o.Generations),
+		seedParam("seed", "evolution seed", &o.Seed),
+	}
+}
+
+// Set implements Configurable.
+func (o *OnePixel) Set(name, value string) error { return setParam(o.Params(), name, value) }
 
 // candidate is one DE individual: Pixels × (y, x, r, g, b) in [0,1] genes.
 type opCandidate []float64
 
 // Generate implements Attack. Works for targeted and untargeted goals.
-func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+// Budget granularity is one DE generation (Population queries per check).
+func (o *OnePixel) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
@@ -56,8 +71,8 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 		return nil, fmt.Errorf("attacks: OnePixel supports 1- or 3-channel images, got %d", ch)
 	}
 	genes := o.Pixels * (2 + ch)
+	e := begin(ctx, o.Name())
 	rng := mathx.NewRNG(o.Seed)
-	queries := 0
 
 	// forEachPixel decodes each of cand's pixel genes to its clamped image
 	// coordinate exactly once, so the perturb and restore passes below can
@@ -102,7 +117,7 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 			writePixels(slots[i], cand)
 		}
 		probs := ProbsBatch(c, slots[:len(cands)])
-		queries += len(cands)
+		e.query(len(cands))
 		for i := range cands {
 			if goal.IsTargeted() {
 				fit[i] = probs[i][goal.Target]
@@ -113,6 +128,12 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 		for i, cand := range cands {
 			restorePixels(slots[i], cand)
 		}
+	}
+
+	if e.halt() {
+		// Cancelled before the population was ever scored: best-so-far is
+		// the unperturbed image.
+		return e.finish(c, x, x.Clone(), goal, 0), nil
 	}
 
 	pop := make([]opCandidate, o.Population)
@@ -129,7 +150,9 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 	for i := range trials {
 		trials[i] = make(opCandidate, genes)
 	}
-	for gen := 0; gen < o.Generations; gen++ {
+	gens := 0
+	for gen := 0; gen < o.Generations && !e.halt(); gen++ {
+		gens = gen + 1
 		for i := range pop {
 			// DE/rand/1 mutation with F=0.5 and full crossover, donors
 			// drawn from the generation-start population.
@@ -145,9 +168,10 @@ func (o *OnePixel) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result,
 				fit[i] = fitDst[i]
 			}
 		}
+		e.iterDone()
 	}
 	best := mathx.ArgMax(fit)
 	adv := x.Clone()
 	writePixels(adv, pop[best])
-	return finishResult(c, x, adv, goal, o.Generations, queries), nil
+	return e.finish(c, x, adv, goal, gens), nil
 }

@@ -1,0 +1,140 @@
+package attacks
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Param describes one tunable attack knob: its spec key, documentation,
+// and closures reading and writing the underlying field. The closures
+// make the contract reflection-free — each attack binds descriptors to
+// its own struct fields.
+type Param struct {
+	// Name is the spec key, e.g. "eps" in "pgd(eps=0.03)".
+	Name string
+	// Doc is a one-line description for listings and ATTACKS.md.
+	Doc string
+	// Get renders the current value in the canonical spec syntax.
+	Get func() string
+	// Set parses a spec value and assigns it.
+	Set func(string) error
+}
+
+// Configurable is the uniform parameterization contract: an attack
+// exposes its knobs as Params descriptors and accepts spec-syntax
+// assignments through Set. Every registry attack implements it, which is
+// what lets Parse build configured instances from "name(k=v,...)" specs
+// and Name() render round-trippable canonical specs.
+type Configurable interface {
+	Attack
+	// Params lists the attack's knobs in canonical spec order.
+	Params() []Param
+	// Set assigns one knob by spec key.
+	Set(name, value string) error
+}
+
+// setParam is the shared Set implementation: resolve the descriptor by
+// key and delegate to its setter.
+func setParam(ps []Param, name, value string) error {
+	for _, p := range ps {
+		if p.Name == name {
+			if err := p.Set(value); err != nil {
+				return fmt.Errorf("attacks: param %s: %w", name, err)
+			}
+			return nil
+		}
+	}
+	known := make([]string, len(ps))
+	for i, p := range ps {
+		known[i] = p.Name
+	}
+	return fmt.Errorf("attacks: unknown param %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// specName renders the canonical "name(k=v,...)" spec for an attack.
+// Values are formatted with full float64 round-trip precision, so
+// Parse(specName(...)) reconstructs exactly the same configuration.
+func specName(name string, ps []Param) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('(')
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.Name)
+		sb.WriteByte('=')
+		sb.WriteString(p.Get())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// formatFloat renders v with the shortest representation that parses
+// back to the identical float64.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// floatParam binds a float64 field.
+func floatParam(name, doc string, field *float64) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return formatFloat(*field) },
+		Set: func(v string) error {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("want a number, got %q", v)
+			}
+			*field = f
+			return nil
+		},
+	}
+}
+
+// intParam binds an int field.
+func intParam(name, doc string, field *int) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return strconv.Itoa(*field) },
+		Set: func(v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("want an integer, got %q", v)
+			}
+			*field = n
+			return nil
+		},
+	}
+}
+
+// seedParam binds a uint64 RNG-seed field.
+func seedParam(name, doc string, field *uint64) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return strconv.FormatUint(*field, 10) },
+		Set: func(v string) error {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("want an unsigned integer, got %q", v)
+			}
+			*field = n
+			return nil
+		},
+	}
+}
+
+// boolParam binds a bool field.
+func boolParam(name, doc string, field *bool) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return strconv.FormatBool(*field) },
+		Set: func(v string) error {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return fmt.Errorf("want true or false, got %q", v)
+			}
+			*field = b
+			return nil
+		},
+	}
+}

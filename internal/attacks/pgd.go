@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mathx"
@@ -26,29 +27,43 @@ func NewPGD() *PGD {
 }
 
 // Name implements Attack.
-func (p *PGD) Name() string {
-	return fmt.Sprintf("PGD(%.3g,%d,%d)", p.Epsilon, p.Steps, p.Restarts)
+func (p *PGD) Name() string { return specName("pgd", p.Params()) }
+
+// Params implements Configurable.
+func (p *PGD) Params() []Param {
+	return []Param{
+		floatParam("eps", "total L∞ budget", &p.Epsilon),
+		floatParam("alpha", "per-step size", &p.Alpha),
+		intParam("steps", "iterations per restart", &p.Steps),
+		intParam("restarts", "random restarts", &p.Restarts),
+		seedParam("seed", "random-start seed", &p.Seed),
+	}
 }
 
-// Generate implements Attack.
-func (p *PGD) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+// Set implements Configurable.
+func (p *PGD) Set(name, value string) error { return setParam(p.Params(), name, value) }
+
+// Generate implements Attack. Result.Iterations reports the winning
+// restart's step count; budget iteration limits apply to the run total
+// across restarts.
+func (p *PGD) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
 	if p.Epsilon <= 0 || p.Alpha <= 0 || p.Steps <= 0 || p.Restarts <= 0 {
 		return nil, fmt.Errorf("attacks: PGD parameters must be positive")
 	}
+	e := begin(ctx, p.Name())
 	rng := mathx.NewRNG(p.Seed)
 	var best *Result
-	queries := 0
-	for r := 0; r < p.Restarts; r++ {
+	for r := 0; r < p.Restarts && !e.halt(); r++ {
 		adv := x.Clone()
 		// Random start inside the ball.
 		for i, v := range adv.Data() {
 			adv.Data()[i] = mathx.Clamp01(v + rng.Range(-p.Epsilon, p.Epsilon))
 		}
 		iters := 0
-		for i := 0; i < p.Steps; i++ {
+		for i := 0; i < p.Steps && !e.halt(); i++ {
 			iters = i + 1
 			var grad *tensor.Tensor
 			var step float64
@@ -59,13 +74,13 @@ func (p *PGD) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, erro
 				_, grad = CELossGrad(c, adv, goal.Source)
 				step = +p.Alpha
 			}
-			queries++
+			e.query(1)
 			adv.AddScaled(step, tensor.SignOf(grad))
 			clampBall(adv, x, p.Epsilon)
 			clampUnit(adv)
+			e.iterDone()
 		}
-		res := finishResult(c, x, adv, goal, iters, queries)
-		queries = res.Queries
+		res := e.finish(c, x, adv, goal, iters)
 		if best == nil || (res.Success && !best.Success) ||
 			(res.Success == best.Success && res.Confidence > best.Confidence) {
 			best = res
@@ -74,6 +89,11 @@ func (p *PGD) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, erro
 			break // strong enough; save budget
 		}
 	}
-	best.Queries = queries
+	if best == nil {
+		// Halted before the first restart began; report the clean image.
+		return e.finish(c, x, x.Clone(), goal, 0), nil
+	}
+	best.Queries = e.queries
+	best.Truncated = e.truncated
 	return best, nil
 }

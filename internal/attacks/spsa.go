@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,29 +35,43 @@ func NewSPSA() *SPSA {
 }
 
 // Name implements Attack.
-func (s *SPSA) Name() string {
-	return fmt.Sprintf("SPSA(%.3g,%dx%d)", s.Epsilon, s.Steps, s.Samples)
+func (s *SPSA) Name() string { return specName("spsa", s.Params()) }
+
+// Params implements Configurable.
+func (s *SPSA) Params() []Param {
+	return []Param{
+		floatParam("eps", "total L∞ budget", &s.Epsilon),
+		floatParam("alpha", "per-step size", &s.Alpha),
+		intParam("steps", "optimization steps", &s.Steps),
+		intParam("samples", "direction pairs per gradient estimate", &s.Samples),
+		floatParam("delta", "finite-difference probe radius", &s.Delta),
+		seedParam("seed", "random-direction seed", &s.Seed),
+	}
 }
 
-// Generate implements Attack.
-func (s *SPSA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
+// Set implements Configurable.
+func (s *SPSA) Set(name, value string) error { return setParam(s.Params(), name, value) }
+
+// Generate implements Attack. Budget granularity is one optimization
+// step (2×Samples forward queries per check).
+func (s *SPSA) Generate(ctx context.Context, c Classifier, x *tensor.Tensor, goal Goal) (*Result, error) {
 	if err := goal.Validate(c); err != nil {
 		return nil, err
 	}
 	if s.Epsilon <= 0 || s.Alpha <= 0 || s.Steps <= 0 || s.Samples <= 0 || s.Delta <= 0 {
 		return nil, fmt.Errorf("attacks: SPSA parameters must be positive")
 	}
+	e := begin(ctx, s.Name())
 	rng := mathx.NewRNG(s.Seed)
 	n := x.Len()
 	adv := x.Clone()
-	queries := 0
 	iters := 0
 
 	// margin returns the quantity to *descend*: targeted → loss of the
 	// target class; untargeted → negative loss of the source class.
 	margin := func(img *tensor.Tensor) float64 {
 		logits := c.Logits(img)
-		queries++
+		e.query(1)
 		logp := logSoftmax(logits)
 		if goal.IsTargeted() {
 			return -logp[goal.Target]
@@ -67,7 +82,7 @@ func (s *SPSA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 	dir := tensor.New(x.Shape()...)
 	probe := tensor.New(x.Shape()...)
 	grad := tensor.New(x.Shape()...)
-	for i := 0; i < s.Steps; i++ {
+	for i := 0; i < s.Steps && !e.halt(); i++ {
 		iters = i + 1
 		grad.Zero()
 		for k := 0; k < s.Samples; k++ {
@@ -97,12 +112,14 @@ func (s *SPSA) Generate(c Classifier, x *tensor.Tensor, goal Goal) (*Result, err
 		clampBall(adv, x, s.Epsilon)
 		clampUnit(adv)
 		pred, _ := Predict(c, adv)
-		queries++
+		e.query(1)
 		if goal.achieved(pred) {
+			e.iterDone()
 			break
 		}
+		e.iterDone()
 	}
-	return finishResult(c, x, adv, goal, iters, queries), nil
+	return e.finish(c, x, adv, goal, iters), nil
 }
 
 // logSoftmax is a local stable log-softmax (avoids importing nn here).

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/filters"
@@ -14,7 +15,7 @@ func TestSPSAUntargetedEvades(t *testing.T) {
 	img, label := canonical(t, gtsrb.ClassTurnRight)
 	requireCorrect(t, c, img, label)
 	atk := &SPSA{Epsilon: 0.08, Alpha: 0.01, Steps: 30, Samples: 24, Delta: 0.02, Seed: 5}
-	res, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted})
+	res, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestSPSAIsBlackBox(t *testing.T) {
 	c := gradlessClassifier{inner: testClassifier(t)}
 	img, label := canonical(t, gtsrb.ClassTurnLeft)
 	atk := &SPSA{Epsilon: 0.08, Alpha: 0.012, Steps: 20, Samples: 16, Delta: 0.02, Seed: 7}
-	if _, err := atk.Generate(c, img, Goal{Source: label, Target: Untargeted}); err != nil {
+	if _, err := atk.Generate(context.Background(), c, img, Goal{Source: label, Target: Untargeted}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -54,7 +55,7 @@ func TestSPSAValidation(t *testing.T) {
 		"zero samples": {Epsilon: 0.1, Alpha: 0.01, Steps: 5, Samples: 0, Delta: 0.01},
 		"zero delta":   {Epsilon: 0.1, Alpha: 0.01, Steps: 5, Samples: 4, Delta: 0},
 	} {
-		if _, err := atk.Generate(c, img, goal); err == nil {
+		if _, err := atk.Generate(context.Background(), c, img, goal); err == nil {
 			t.Errorf("%s accepted", name)
 		}
 	}
@@ -91,7 +92,7 @@ func TestEOTAttackThroughNoisyAcquisition(t *testing.T) {
 		return FilteredClassifier{Inner: base, Pre: filters.Chain{acq}}
 	}, 3)
 	atk := &BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 40, EarlyStop: true}
-	res, err := atk.Generate(eot, img, goal)
+	res, err := atk.Generate(context.Background(), eot, img, goal)
 	if err != nil {
 		t.Fatal(err)
 	}

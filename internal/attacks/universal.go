@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/tensor"
@@ -16,6 +17,11 @@ type UniversalResult struct {
 	FoolingRate float64
 	// Epochs actually run before reaching the desired rate.
 	Epochs int
+	// Queries counts classifier evaluations, per the Result invariant.
+	Queries int
+	// Truncated reports the crafting loop was cut short by context
+	// cancellation or budget exhaustion; Noise is the best-so-far pattern.
+	Truncated bool
 }
 
 // Universal crafts a universal adversarial perturbation in the spirit of
@@ -40,13 +46,16 @@ func NewUniversal() *Universal {
 }
 
 // Name identifies the procedure.
-func (u *Universal) Name() string { return fmt.Sprintf("Universal(%.3g)", u.Epsilon) }
+func (u *Universal) Name() string { return fmt.Sprintf("universal(eps=%s)", formatFloat(u.Epsilon)) }
 
 // Craft builds a universal perturbation over the crafting images. goal
 // semantics: targeted goals push every image toward goal.Target;
 // untargeted goals push each image away from its own current prediction
-// (goal.Source is ignored per-image).
-func (u *Universal) Craft(c Classifier, imgs []*tensor.Tensor, goal Goal) (*UniversalResult, error) {
+// (goal.Source is ignored per-image, so only the target side of the goal
+// is validated). Cancellation and budget are honoured at per-image
+// granularity; a truncated run returns the best-so-far noise pattern
+// flagged Truncated.
+func (u *Universal) Craft(ctx context.Context, c Classifier, imgs []*tensor.Tensor, goal Goal) (*UniversalResult, error) {
 	if len(imgs) == 0 {
 		return nil, fmt.Errorf("attacks: Universal.Craft needs a non-empty crafting set")
 	}
@@ -58,13 +67,18 @@ func (u *Universal) Craft(c Classifier, imgs []*tensor.Tensor, goal Goal) (*Univ
 			return nil, fmt.Errorf("attacks: Universal target class %d out of range", goal.Target)
 		}
 	}
+	e := begin(ctx, u.Name())
 	noise := tensor.New(imgs[0].Shape()...)
 	result := &UniversalResult{}
-	for epoch := 0; epoch < u.Epochs; epoch++ {
+epochs:
+	for epoch := 0; epoch < u.Epochs && !e.halt(); epoch++ {
 		result.Epochs = epoch + 1
 		for _, img := range imgs {
 			if !img.SameShape(imgs[0]) {
 				return nil, fmt.Errorf("attacks: Universal crafting set has mixed shapes")
+			}
+			if e.halt() {
+				break epochs
 			}
 			perturbed := tensor.Add(img, noise)
 			perturbed.Clamp01()
@@ -72,35 +86,43 @@ func (u *Universal) Craft(c Classifier, imgs []*tensor.Tensor, goal Goal) (*Univ
 			var dir float64
 			if goal.IsTargeted() {
 				pred, _ := Predict(c, perturbed)
+				e.query(1)
 				if pred == goal.Target {
 					continue // already fooled; spend budget elsewhere
 				}
 				_, grad = CELossGrad(c, perturbed, goal.Target)
+				e.query(1)
 				dir = -1
 			} else {
 				pred, _ := Predict(c, perturbed)
+				e.query(1)
 				_, grad = CELossGrad(c, perturbed, pred)
+				e.query(1)
 				dir = +1
 			}
 			noise.AddScaled(dir*u.StepSize, tensor.SignOf(grad))
 			noise.Clamp(-u.Epsilon, u.Epsilon)
 		}
-		result.FoolingRate = u.foolingRate(c, imgs, noise, goal)
+		result.FoolingRate = u.foolingRate(c, imgs, noise, goal, e)
+		e.iterDone()
 		if result.FoolingRate >= u.TargetRate {
 			break
 		}
 	}
 	result.Noise = noise
+	result.Queries = e.queries
+	result.Truncated = e.truncated
 	return result, nil
 }
 
-func (u *Universal) foolingRate(c Classifier, imgs []*tensor.Tensor, noise *tensor.Tensor, goal Goal) float64 {
+func (u *Universal) foolingRate(c Classifier, imgs []*tensor.Tensor, noise *tensor.Tensor, goal Goal, e *exec) float64 {
 	fooled := 0
 	for _, img := range imgs {
 		cleanPred, _ := Predict(c, img)
 		perturbed := tensor.Add(img, noise)
 		perturbed.Clamp01()
 		advPred, _ := Predict(c, perturbed)
+		e.query(2)
 		if goal.IsTargeted() {
 			if advPred == goal.Target {
 				fooled++

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -36,6 +37,12 @@ type Run struct {
 	// TM is the threat model governing where the adversarial image enters
 	// the pipeline (TM2 or TM3 for filtered delivery).
 	TM pipeline.ThreatModel
+	// Budget caps the attack's work; the zero value is unlimited. A run
+	// that exhausts it (or whose ctx is cancelled) completes with the
+	// best-so-far adversarial example, flagged via AttackerResult.Truncated.
+	Budget attacks.Budget
+	// Observer, when set, receives per-iteration attack progress.
+	Observer attacks.Observer
 }
 
 // Validate checks the run configuration.
@@ -64,9 +71,21 @@ type Outcome struct {
 
 // Execute crafts an adversarial example from the clean image for the
 // scenario source→target and measures it against the deployed pipeline.
-func Execute(run Run, clean *tensor.Tensor, source, target int) (*Outcome, error) {
+// ctx cancellation and Run.Budget truncate the attack at iteration
+// granularity — the outcome still carries the best-so-far adversarial
+// example and its deployed-side measurement, flagged Truncated.
+func Execute(ctx context.Context, run Run, clean *tensor.Tensor, source, target int) (*Outcome, error) {
 	if err := run.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !run.Budget.Unlimited() {
+		ctx = attacks.WithBudget(ctx, run.Budget)
+	}
+	if run.Observer != nil {
+		ctx = attacks.WithObserver(ctx, run.Observer)
 	}
 	base := attacks.NetClassifier{Net: run.Pipeline.Net}
 	var atk attacks.Attack = run.Attack
@@ -76,7 +95,7 @@ func Execute(run Run, clean *tensor.Tensor, source, target int) (*Outcome, error
 		atk = fademl
 		attackName = fademl.Name()
 	}
-	res, err := atk.Generate(base, clean, attacks.Goal{Source: source, Target: target})
+	res, err := atk.Generate(ctx, base, clean, attacks.Goal{Source: source, Target: target})
 	if err != nil {
 		return nil, fmt.Errorf("core: attack %s: %w", attackName, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -97,11 +98,11 @@ func TestSectionIIIvsSectionIV(t *testing.T) {
 		return &attacks.BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 60, EarlyStop: true}
 	}
 
-	blind, err := Execute(Run{Pipeline: p, Attack: mkAttack(), FilterAware: false, TM: pipeline.TM3}, clean, 0, 1)
+	blind, err := Execute(context.Background(), Run{Pipeline: p, Attack: mkAttack(), FilterAware: false, TM: pipeline.TM3}, clean, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aware, err := Execute(Run{Pipeline: p, Attack: mkAttack(), FilterAware: true, TM: pipeline.TM3}, clean, 0, 1)
+	aware, err := Execute(context.Background(), Run{Pipeline: p, Attack: mkAttack(), FilterAware: true, TM: pipeline.TM3}, clean, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestExecuteTM2IncludesAcquisition(t *testing.T) {
 	p := pipeline.New(net, filters.NewLAP(8), pipeline.DefaultAcquisition(3))
 	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
 	atk := &attacks.BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 60, EarlyStop: true}
-	out, err := Execute(Run{Pipeline: p, Attack: atk, FilterAware: true, TM: pipeline.TM2}, clean, 0, 1)
+	out, err := Execute(context.Background(), Run{Pipeline: p, Attack: atk, FilterAware: true, TM: pipeline.TM2}, clean, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestExecutePropagatesAttackErrors(t *testing.T) {
 	p := pipeline.New(net, filters.NewLAP(4), nil)
 	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
 	// DeepFool rejects targeted goals -> Execute must surface the error.
-	_, err := Execute(Run{Pipeline: p, Attack: attacks.NewDeepFool(), TM: pipeline.TM3}, clean, 0, 1)
+	_, err := Execute(context.Background(), Run{Pipeline: p, Attack: attacks.NewDeepFool(), TM: pipeline.TM3}, clean, 0, 1)
 	if err == nil {
 		t.Fatal("attack error swallowed")
 	}
@@ -154,7 +155,7 @@ func TestExecutePropagatesAttackErrors(t *testing.T) {
 
 func TestExecuteInvalidRun(t *testing.T) {
 	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
-	if _, err := Execute(Run{}, clean, 0, 1); err == nil {
+	if _, err := Execute(context.Background(), Run{}, clean, 0, 1); err == nil {
 		t.Fatal("invalid run accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -63,7 +64,7 @@ type EtaPoint struct {
 // RunEtaAblation sweeps the Eq. 3 noise-scaling factor for a FAdeML-BIM
 // attack on scenario 1 through the given filter, measuring survival via a
 // deployed pipeline.
-func RunEtaAblation(env *Env, filter filters.Filter, etas []float64) ([]EtaPoint, error) {
+func RunEtaAblation(ctx context.Context, env *Env, filter filters.Filter, etas []float64) ([]EtaPoint, error) {
 	if len(etas) == 0 {
 		etas = []float64{0.25, 0.5, 0.75, 1.0}
 	}
@@ -78,7 +79,7 @@ func RunEtaAblation(env *Env, filter filters.Filter, etas []float64) ([]EtaPoint
 			Filter: filter,
 			Eta:    eta,
 		}
-		res, err := fa.Generate(cls, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
+		res, err := fa.Generate(ctx, cls, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
 		if err != nil {
 			return nil, fmt.Errorf("eta ablation at %v: %w", eta, err)
 		}
@@ -102,7 +103,7 @@ type BudgetPoint struct {
 
 // RunBudgetAblation sweeps the BIM ε budget against the bare network on
 // scenario 1 — the knob behind Fig. 5/6.
-func RunBudgetAblation(env *Env, budgets []float64) ([]BudgetPoint, error) {
+func RunBudgetAblation(ctx context.Context, env *Env, budgets []float64) ([]BudgetPoint, error) {
 	if len(budgets) == 0 {
 		budgets = []float64{0.02, 0.04, 0.06, 0.08, 0.12, 0.16}
 	}
@@ -112,7 +113,7 @@ func RunBudgetAblation(env *Env, budgets []float64) ([]BudgetPoint, error) {
 	var out []BudgetPoint
 	for _, eps := range budgets {
 		atk := &attacks.BIM{Epsilon: eps, Alpha: eps / 10, Steps: 40, EarlyStop: true}
-		res, err := atk.Generate(cls, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
+		res, err := atk.Generate(ctx, cls, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
 		if err != nil {
 			return nil, fmt.Errorf("budget ablation at %v: %w", eps, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/filters"
@@ -34,7 +35,7 @@ func TestFilterStrengthAblation(t *testing.T) {
 
 func TestEtaAblation(t *testing.T) {
 	env := tinyEnv(t)
-	points, err := RunEtaAblation(env, filters.NewLAP(8), []float64{0.5, 1.0})
+	points, err := RunEtaAblation(context.Background(), env, filters.NewLAP(8), []float64{0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestEtaAblation(t *testing.T) {
 
 func TestBudgetAblation(t *testing.T) {
 	env := tinyEnv(t)
-	points, err := RunBudgetAblation(env, []float64{0.02, 0.08, 0.16})
+	points, err := RunBudgetAblation(context.Background(), env, []float64{0.02, 0.08, 0.16})
 	if err != nil {
 		t.Fatal(err)
 	}

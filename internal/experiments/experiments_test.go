@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -94,7 +95,7 @@ func TestEnvTrainsToUsefulAccuracy(t *testing.T) {
 
 func TestFig5Smoke(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := RunFig5(env, []string{"fgsm", "bim"})
+	res, err := RunFig5(context.Background(), env, []string{"fgsm", "bim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFig5Smoke(t *testing.T) {
 
 func TestFig6Smoke(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := RunFig6(env, []string{"fgsm"})
+	res, err := RunFig6(context.Background(), env, []string{"fgsm"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestFig7Smoke(t *testing.T) {
 		IncludeCurves:  true,
 		CurveScenarios: []Scenario{PaperScenarios[0]},
 	}
-	res, err := RunFig7(env, opt)
+	res, err := RunFig7(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFig9Smoke(t *testing.T) {
 		LAPSizes:    []int{8},
 		LARRadii:    []int{2},
 	}
-	res, err := RunFig9(env, opt)
+	res, err := RunFig9(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +209,11 @@ func TestFig7VsFig9Headline(t *testing.T) {
 		LAPSizes:    []int{8, 32},
 		LARRadii:    []int{2},
 	}
-	blind, err := RunFig7(env, opt)
+	blind, err := RunFig7(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aware, err := RunFig9(env, opt)
+	aware, err := RunFig9(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

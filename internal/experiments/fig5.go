@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -26,7 +27,10 @@ func buildAttack(name string) (attacks.Attack, error) {
 	case "cw":
 		return &attacks.CW{Kappa: 0, Steps: 100, LR: 0.05, InitialC: 5, BinarySearch: 3}, nil
 	default:
-		return attacks.New(name)
+		// Anything else resolves as an attack spec string, so scenario and
+		// sweep configurations can name parameterized attacks like
+		// "pgd(eps=0.06,steps=10)" wherever a library name is accepted.
+		return attacks.Parse(name)
 	}
 }
 
@@ -98,7 +102,7 @@ type Fig5Result struct {
 // TM-I outcome. The attack × scenario grid cells are independent, so they
 // fan out over the parallel worker pool; rows land in the same
 // attack-major order a serial loop would produce.
-func RunFig5(env *Env, attackNames []string) (*Fig5Result, error) {
+func RunFig5(ctx context.Context, env *Env, attackNames []string) (*Fig5Result, error) {
 	if attackNames == nil {
 		attackNames = attacks.PaperAttacks
 	}
@@ -120,6 +124,10 @@ func RunFig5(env *Env, attackNames []string) (*Fig5Result, error) {
 
 	nets := env.workerNets(gridWorkers(tasks))
 	parallel.ForWorker(len(nets), tasks, func(worker, t int) {
+		if err := ctx.Err(); err != nil {
+			errs[t] = err
+			return
+		}
 		name := attackNames[t/nS]
 		sc := PaperScenarios[t%nS]
 		c := attacks.NetClassifier{Net: nets[worker]}
@@ -130,7 +138,7 @@ func RunFig5(env *Env, attackNames []string) (*Fig5Result, error) {
 		}
 		clean := cleanImgs[t%nS]
 		cleanPred, cleanConf := cleanPreds[t%nS], cleanConfs[t%nS]
-		out, err := atk.Generate(c, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
+		out, err := atk.Generate(ctx, c, clean, attacks.Goal{Source: sc.Source, Target: sc.Target})
 		if err != nil {
 			errs[t] = fmt.Errorf("fig5 %s on %s: %w", name, sc, err)
 			return
@@ -195,12 +203,16 @@ func (r *Fig5Result) Table() string {
 // (attacks re-seed from their configured Seed on every Generate call, so
 // sharing atk across workers is deterministic and race-free); results are
 // index-addressed, keeping them identical to a serial run.
-func adversarialFor(env *Env, ds *gtsrb.Dataset, atk attacks.Attack, sc Scenario) ([]*tensor.Tensor, error) {
+func adversarialFor(ctx context.Context, env *Env, ds *gtsrb.Dataset, atk attacks.Attack, sc Scenario) ([]*tensor.Tensor, error) {
 	n := ds.Len()
 	out := make([]*tensor.Tensor, n)
 	errs := make([]error, n)
 	nets := env.workerNets(gridWorkers(n))
 	parallel.ForWorker(len(nets), n, func(worker, i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		img, label := ds.Sample(i)
 		goal := attacks.Goal{Source: label, Target: sc.Target}
 		if label == sc.Target {
@@ -212,7 +224,7 @@ func adversarialFor(env *Env, ds *gtsrb.Dataset, atk attacks.Attack, sc Scenario
 				return
 			}
 		}
-		res, err := atk.Generate(attacks.NetClassifier{Net: nets[worker]}, img, goal)
+		res, err := atk.Generate(ctx, attacks.NetClassifier{Net: nets[worker]}, img, goal)
 		if err != nil {
 			errs[i] = err
 			return

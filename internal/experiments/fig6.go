@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -48,7 +49,7 @@ func buildFig6Attack(name string) (attacks.Attack, error) {
 
 // RunFig6 measures top-5 accuracy under each attack × scenario over the
 // profile's attack-eval subset (nil attackNames = the paper trio).
-func RunFig6(env *Env, attackNames []string) (*Fig6Result, error) {
+func RunFig6(ctx context.Context, env *Env, attackNames []string) (*Fig6Result, error) {
 	if attackNames == nil {
 		attackNames = attacks.PaperAttacks
 	}
@@ -64,7 +65,7 @@ func RunFig6(env *Env, attackNames []string) (*Fig6Result, error) {
 			return nil, err
 		}
 		for _, sc := range PaperScenarios {
-			advs, err := adversarialFor(env, ds, atk, sc)
+			advs, err := adversarialFor(ctx, env, ds, atk, sc)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s on %s: %w", name, sc, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -102,9 +103,9 @@ type Fig7Result struct {
 
 // RunFig7 executes the Fig. 7 grid: filter-blind attacks, filtered
 // delivery (Threat Model III).
-func RunFig7(env *Env, opt SweepOptions) (*Fig7Result, error) {
+func RunFig7(ctx context.Context, env *Env, opt SweepOptions) (*Fig7Result, error) {
 	opt.fill()
-	return runFilterSweep(env, opt, false)
+	return runFilterSweep(ctx, env, opt, false)
 }
 
 // runFilterSweep is shared between Fig. 7 (filterAware=false) and Fig. 9
@@ -117,7 +118,7 @@ func RunFig7(env *Env, opt SweepOptions) (*Fig7Result, error) {
 // for Fig. 9 each cell runs its own filter-aware generation, which is
 // where the bulk of the wall time goes). Cells are index-addressed, so
 // the result is cell-for-cell identical to a serial sweep.
-func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, error) {
+func runFilterSweep(ctx context.Context, env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, error) {
 	res := &Fig7Result{ProfileName: env.Profile.Name, FilterAware: filterAware}
 	grid := opt.filterGrid()
 
@@ -136,6 +137,10 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 		errs := make([]error, len(blind))
 		nets := env.workerNets(gridWorkers(len(blind)))
 		parallel.ForWorker(len(nets), len(blind), func(worker, t int) {
+			if err := ctx.Err(); err != nil {
+				errs[t] = err
+				return
+			}
 			name := opt.AttackNames[t/nS]
 			sc := opt.Scenarios[t%nS]
 			atk, err := buildAttack(name)
@@ -143,7 +148,7 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 				errs[t] = err
 				return
 			}
-			out, err := atk.Generate(attacks.NetClassifier{Net: nets[worker]},
+			out, err := atk.Generate(ctx, attacks.NetClassifier{Net: nets[worker]},
 				sc.CleanImage(env.Profile.Size), attacks.Goal{Source: sc.Source, Target: sc.Target})
 			if err != nil {
 				errs[t] = fmt.Errorf("fig7 %s on %s: %w", name, sc, err)
@@ -161,6 +166,10 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 	errs := make([]error, len(panels))
 	nets := env.workerNets(gridWorkers(len(panels)))
 	parallel.ForWorker(len(nets), len(panels), func(worker, t int) {
+		if err := ctx.Err(); err != nil {
+			errs[t] = err
+			return
+		}
 		ai, rem := t/(nS*nF), t%(nS*nF)
 		si, fi := rem/nF, rem%nF
 		name, sc, f := opt.AttackNames[ai], opt.Scenarios[si], real[fi]
@@ -173,7 +182,7 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 				errs[t] = err
 				return
 			}
-			out, err := attacks.NewFAdeML(atk, f).Generate(attacks.NetClassifier{Net: net},
+			out, err := attacks.NewFAdeML(atk, f).Generate(ctx, attacks.NetClassifier{Net: net},
 				sc.CleanImage(env.Profile.Size), attacks.Goal{Source: sc.Source, Target: sc.Target})
 			if err != nil {
 				errs[t] = fmt.Errorf("fig9 %s|%s on %s: %w", name, f.Name(), sc, err)
@@ -214,7 +223,7 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 					if err != nil {
 						return nil, err
 					}
-					blindAdvs, err = adversarialFor(env, ds, atk, sc)
+					blindAdvs, err = adversarialFor(ctx, env, ds, atk, sc)
 					if err != nil {
 						return nil, fmt.Errorf("fig7 curves %s on %s: %w", name, sc, err)
 					}
@@ -235,7 +244,7 @@ func runFilterSweep(env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, 
 						if _, isIdentity := f.(filters.Identity); !isIdentity {
 							gen = attacks.NewFAdeML(atk, f)
 						}
-						advs, err := adversarialFor(env, ds, gen, sc)
+						advs, err := adversarialFor(ctx, env, ds, gen, sc)
 						if err != nil {
 							return nil, fmt.Errorf("fig9 curves %s|%s on %s: %w", name, f.Name(), sc, err)
 						}

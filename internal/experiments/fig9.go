@@ -1,5 +1,7 @@
 package experiments
 
+import "context"
+
 // RunFig9 executes the Fig. 9 grid: the same scenarios, attacks and
 // LAP/LAR filter sweep as Fig. 7, but with every attack wrapped in FAdeML
 // so its optimization models the deployed filter (Section IV). The
@@ -12,7 +14,7 @@ package experiments
 // configurations (each filter yields a different optimum), so Fig. 9's
 // curve sweep regenerates per filter; budget accordingly via
 // SweepOptions.CurveScenarios.
-func RunFig9(env *Env, opt SweepOptions) (*Fig7Result, error) {
+func RunFig9(ctx context.Context, env *Env, opt SweepOptions) (*Fig7Result, error) {
 	opt.fill()
-	return runFilterSweep(env, opt, true)
+	return runFilterSweep(ctx, env, opt, true)
 }

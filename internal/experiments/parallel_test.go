@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -37,14 +38,14 @@ func TestFig7ParallelMatchesSerial(t *testing.T) {
 	var serial, parallelRes *Fig7Result
 	runAtWorkers(t, 1, func() {
 		var err error
-		serial, err = RunFig7(env, opt)
+		serial, err = RunFig7(context.Background(), env, opt)
 		if err != nil {
 			t.Fatalf("serial RunFig7: %v", err)
 		}
 	})
 	runAtWorkers(t, 4, func() {
 		var err error
-		parallelRes, err = RunFig7(env, opt)
+		parallelRes, err = RunFig7(context.Background(), env, opt)
 		if err != nil {
 			t.Fatalf("parallel RunFig7: %v", err)
 		}
@@ -85,14 +86,14 @@ func TestFig9ParallelMatchesSerial(t *testing.T) {
 	var serial, parallelRes *Fig7Result
 	runAtWorkers(t, 1, func() {
 		var err error
-		serial, err = RunFig9(env, opt)
+		serial, err = RunFig9(context.Background(), env, opt)
 		if err != nil {
 			t.Fatalf("serial RunFig9: %v", err)
 		}
 	})
 	runAtWorkers(t, 4, func() {
 		var err error
-		parallelRes, err = RunFig9(env, opt)
+		parallelRes, err = RunFig9(context.Background(), env, opt)
 		if err != nil {
 			t.Fatalf("parallel RunFig9: %v", err)
 		}

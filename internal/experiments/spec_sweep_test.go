@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSweepAcceptsSpecStrings pins the v2 contract that experiment
+// configurations take the same attack spec strings as the CLI and the
+// serving API: a parameterized spec flows through buildAttack into a
+// figure runner.
+func TestSweepAcceptsSpecStrings(t *testing.T) {
+	env := tinyEnv(t)
+	res, err := RunFig5(context.Background(), env, []string{"pgd(eps=0.06,steps=5,restarts=1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !strings.Contains(row.AttackName, "pgd(eps=0.06") {
+			t.Fatalf("row attack label %q lost the spec", row.AttackName)
+		}
+	}
+	if _, err := RunFig5(context.Background(), env, []string{"pgd(bogus=1)"}); err == nil {
+		t.Fatal("malformed spec accepted by the sweep")
+	}
+}
+
+// TestSweepCancellation checks a cancelled context aborts a figure run
+// with the context error rather than producing partial results.
+func TestSweepCancellation(t *testing.T) {
+	env := tinyEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFig5(ctx, env, []string{"fgsm"}); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}

@@ -33,6 +33,11 @@ type Config struct {
 	ArmijoC float64
 	// MaxLineSearch bounds backtracking steps per iteration (default 30).
 	MaxLineSearch int
+	// Stop, when non-nil, is polled at the start of every outer iteration;
+	// returning true halts the minimization with Status Stopped, keeping
+	// the best point found so far. It is how callers thread context
+	// cancellation and work budgets into the solver.
+	Stop func() bool
 }
 
 func (c *Config) defaults(n int) error {
@@ -72,6 +77,9 @@ const (
 	// LineSearchFailed means no acceptable step was found; X holds the
 	// best point so far.
 	LineSearchFailed
+	// Stopped means Config.Stop requested an early halt; X holds the best
+	// point so far.
+	Stopped
 )
 
 func (s Status) String() string {
@@ -82,6 +90,8 @@ func (s Status) String() string {
 		return "max-iterations"
 	case LineSearchFailed:
 		return "line-search-failed"
+	case Stopped:
+		return "stopped"
 	default:
 		return "unknown"
 	}
@@ -134,6 +144,10 @@ func Minimize(obj Objective, x0 []float64, cfg Config) (Result, error) {
 
 	res := Result{X: x, F: f}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			res.Status = Stopped
+			break
+		}
 		res.Iters = iter + 1
 		if projGradInf(x, g, cfg.Lower, cfg.Upper) < cfg.GradTol {
 			res.Status = Converged

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Robustness-as-a-service: the serving layer exposes the attack API v2
+// next to plain inference. /v1/attack crafts one adversarial example
+// against the deployed pipeline and /v1/evaluate sweeps fooling rates
+// over attack spec × threat model — both under a hard server-side budget
+// (Options.AttackBudget / AttackTimeout), cancellable through the request
+// context, and capped at Options.AttackWorkers concurrent crafting jobs
+// so attack traffic cannot starve the prediction pool.
+
+// maxEvalCells bounds one /v1/evaluate request's attack × tm × case grid.
+const maxEvalCells = 256
+
+// ErrAttacksDisabled is returned when Options.AttackWorkers < 0 disabled
+// the robustness endpoints.
+var ErrAttacksDisabled = errors.New("serve: attack endpoints disabled")
+
+// attacker is one crafting slot: a private weight-sharing pipeline clone
+// an attack optimizes against without touching the prediction pool.
+type attacker struct {
+	pipe *pipeline.Pipeline
+}
+
+// AttackRequest describes one server-side crafting job.
+type AttackRequest struct {
+	// Spec is the attack spec string, e.g. "pgd(eps=0.03,steps=40)".
+	Spec string
+	// Image is the clean image; nil renders the canonical Source sign via
+	// Options.Render.
+	Image *tensor.Tensor
+	// Source and Target are the scenario classes (Target may be
+	// attacks.Untargeted).
+	Source, Target int
+	// TM is the threat model for the deployed-side measurement; 0 selects
+	// the server default (TM3 when the default is the unfiltered TM1).
+	TM pipeline.ThreatModel
+	// FilterAware wraps the attack in FAdeML so it models the deployed
+	// pre-processing (and acquisition under TM2).
+	FilterAware bool
+}
+
+// Attack crafts one adversarial example against the deployed pipeline
+// under the server-side budget and measures it under TM-I and the
+// request's threat model. The request context cancels crafting at
+// iteration granularity; a budget-cut run still returns its best-so-far
+// example with Outcome.AttackerResult.Truncated set.
+func (s *Server) Attack(ctx context.Context, req AttackRequest) (*core.Outcome, error) {
+	if s.attackers == nil {
+		return nil, ErrAttacksDisabled
+	}
+	tm, err := s.attackTM(req.TM)
+	if err != nil {
+		return nil, err
+	}
+	atk, err := attacks.Parse(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	img, err := s.caseImage(req.Image, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	a, release, err := s.acquireAttacker(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := s.attackContext(ctx)
+	defer cancel()
+	return core.Execute(ctx, core.Run{
+		Pipeline:    a.pipe,
+		Attack:      atk,
+		FilterAware: req.FilterAware,
+		TM:          tm,
+		Budget:      s.opts.AttackBudget,
+	}, img, req.Source, req.Target)
+}
+
+// EvalCase is one source→target scenario of an evaluation sweep.
+type EvalCase struct {
+	Source int
+	Target int
+	// Image optionally overrides the rendered canonical source sign.
+	Image *tensor.Tensor
+}
+
+// EvaluateRequest describes a fooling-rate sweep: every attack spec ×
+// threat model × case cell crafts one adversarial example and measures
+// it through the deployed pipeline.
+type EvaluateRequest struct {
+	// Specs are attack spec strings.
+	Specs []string
+	// TMs are the threat models to deliver under (default: the server's
+	// attack threat model).
+	TMs []pipeline.ThreatModel
+	// Cases are the scenarios (default: Options.EvalCases).
+	Cases []EvalCase
+	// FilterAware crafts filter-aware (FAdeML) instead of filter-blind.
+	FilterAware bool
+}
+
+// EvalCell is one measured grid cell.
+type EvalCell struct {
+	// Attack is the crafting attack's canonical Name().
+	Attack string `json:"attack"`
+	// TM is the delivery threat model of the deployed measurement.
+	TM pipeline.ThreatModel `json:"-"`
+	// Source and Target are the case classes.
+	Source int `json:"source"`
+	Target int `json:"target"`
+	// TM1Pred/Conf is the unfiltered view of the adversarial example;
+	// DeployedPred/Conf the view through the pipeline under TM.
+	TM1Pred      int     `json:"tm1_pred"`
+	TM1Conf      float64 `json:"tm1_conf"`
+	DeployedPred int     `json:"deployed_pred"`
+	DeployedConf float64 `json:"deployed_conf"`
+	// Fooled reports goal achievement on the deployed view: the targeted
+	// class was forced (or, untargeted, the source class was left).
+	Fooled bool `json:"fooled"`
+	// Truncated and Queries echo the crafting run's budget accounting.
+	Truncated bool `json:"truncated"`
+	Queries   int  `json:"queries"`
+}
+
+// EvalSummary aggregates one attack × threat model series.
+type EvalSummary struct {
+	Attack string               `json:"attack"`
+	TM     pipeline.ThreatModel `json:"-"`
+	// FoolingRate is fooled cells / cells.
+	FoolingRate float64 `json:"fooling_rate"`
+	// Truncated counts budget-cut crafting runs in the series.
+	Truncated int `json:"truncated"`
+	Cells     int `json:"cells"`
+}
+
+// EvaluateResult is the sweep outcome.
+type EvaluateResult struct {
+	Cells     []EvalCell
+	Summaries []EvalSummary
+}
+
+// Evaluate runs the fooling-rate sweep. Crafting happens on the attack
+// worker slots under the per-cell server budget; the deployed-side
+// measurements stream through the micro-batching prediction pool, so an
+// evaluation coalesces with live prediction traffic. Cancelling ctx
+// aborts the sweep between cells with the context error.
+func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateResult, error) {
+	if s.attackers == nil {
+		return nil, ErrAttacksDisabled
+	}
+	if len(req.Specs) == 0 {
+		return nil, errors.New("serve: evaluate needs at least one attack spec")
+	}
+	tms := req.TMs
+	if len(tms) == 0 {
+		tm, err := s.attackTM(0)
+		if err != nil {
+			return nil, err
+		}
+		tms = []pipeline.ThreatModel{tm}
+	}
+	for _, tm := range tms {
+		if _, err := s.attackTM(tm); err != nil {
+			return nil, err
+		}
+	}
+	cases := req.Cases
+	if len(cases) == 0 {
+		cases = s.opts.EvalCases
+	}
+	if len(cases) == 0 {
+		return nil, errors.New("serve: evaluate needs cases (none in the request, none configured)")
+	}
+	if cells := len(req.Specs) * len(tms) * len(cases); cells > maxEvalCells {
+		return nil, fmt.Errorf("serve: evaluate grid of %d cells exceeds the %d-cell cap", cells, maxEvalCells)
+	}
+
+	res := &EvaluateResult{}
+	for _, spec := range req.Specs {
+		for _, tm := range tms {
+			summary := EvalSummary{TM: tm}
+			for _, ec := range cases {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				cell, err := s.evaluateCell(ctx, spec, tm, ec, req.FilterAware)
+				if err != nil {
+					return nil, fmt.Errorf("serve: evaluate %s under %v on %d→%d: %w",
+						spec, tm, ec.Source, ec.Target, err)
+				}
+				summary.Attack = cell.Attack
+				summary.Cells++
+				if cell.Fooled {
+					summary.FoolingRate++
+				}
+				if cell.Truncated {
+					summary.Truncated++
+				}
+				res.Cells = append(res.Cells, *cell)
+			}
+			summary.FoolingRate /= float64(summary.Cells)
+			res.Summaries = append(res.Summaries, summary)
+		}
+	}
+	return res, nil
+}
+
+// evaluateCell crafts and measures one grid cell.
+func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.ThreatModel, ec EvalCase, aware bool) (*EvalCell, error) {
+	atk, err := attacks.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	img, err := s.caseImage(ec.Image, ec.Source)
+	if err != nil {
+		return nil, err
+	}
+	a, release, err := s.acquireAttacker(ctx)
+	if err != nil {
+		return nil, err
+	}
+	craftCtx, cancel := s.attackContext(ctx)
+	craftCtx = attacks.WithBudget(craftCtx, s.opts.AttackBudget)
+	gen := atk
+	if aware {
+		gen = attacks.NewFAdeML(atk, a.pipe.AttackerModel(tm))
+	}
+	goal := attacks.Goal{Source: ec.Source, Target: ec.Target}
+	cls := attacks.NetClassifier{Net: a.pipe.Net}
+	out, err := gen.Generate(craftCtx, cls, img, goal)
+	cancel()
+	release()
+	if err != nil {
+		return nil, err
+	}
+	// Deployed-side measurement through the micro-batching pool: the
+	// TM-I (unfiltered) and filtered views of the crafted example.
+	tm1, err := s.Predict(ctx, out.Adversarial, pipeline.TM1)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := s.Predict(ctx, out.Adversarial, tm)
+	if err != nil {
+		return nil, err
+	}
+	fooled := dep.Class != ec.Source
+	if goal.IsTargeted() {
+		fooled = dep.Class == ec.Target
+	}
+	return &EvalCell{
+		Attack:       atk.Name(),
+		TM:           tm,
+		Source:       ec.Source,
+		Target:       ec.Target,
+		TM1Pred:      tm1.Class,
+		TM1Conf:      tm1.Prob,
+		DeployedPred: dep.Class,
+		DeployedConf: dep.Prob,
+		Fooled:       fooled,
+		Truncated:    out.Truncated,
+		Queries:      out.Queries,
+	}, nil
+}
+
+// attackTM resolves a requested threat model for attack execution: only
+// the filtered delivery models TM2/TM3 are measurable by core.Execute,
+// so 0 falls back to the server default when that is one of them and to
+// TM3 otherwise.
+func (s *Server) attackTM(tm pipeline.ThreatModel) (pipeline.ThreatModel, error) {
+	if tm == 0 {
+		if s.opts.DefaultTM == pipeline.TM2 || s.opts.DefaultTM == pipeline.TM3 {
+			return s.opts.DefaultTM, nil
+		}
+		return pipeline.TM3, nil
+	}
+	if tm != pipeline.TM2 && tm != pipeline.TM3 {
+		return 0, fmt.Errorf("serve: attack threat model must be TM2 or TM3, got %v", tm)
+	}
+	return tm, nil
+}
+
+// caseImage resolves a case's clean image: an explicit image (validated
+// against the model input shape) or the rendered canonical source sign.
+func (s *Server) caseImage(img *tensor.Tensor, source int) (*tensor.Tensor, error) {
+	if img == nil {
+		if s.opts.Render == nil {
+			return nil, errors.New("serve: no image supplied and no canonical renderer configured")
+		}
+		img = s.opts.Render(source, s.inShape[1])
+		if img == nil {
+			return nil, fmt.Errorf("serve: no canonical image for class %d", source)
+		}
+	}
+	if err := s.validate(img, pipeline.TM1); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// acquireAttacker checks one crafting slot out of the pool, blocking
+// until a slot frees, the caller gives up, or the server closes.
+func (s *Server) acquireAttacker(ctx context.Context) (*attacker, func(), error) {
+	if s.attackers == nil {
+		return nil, nil, ErrAttacksDisabled
+	}
+	select {
+	case a := <-s.attackers:
+		return a, func() { s.attackers <- a }, nil
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case <-s.done:
+		return nil, nil, ErrServerClosed
+	}
+}
+
+// attackContext derives the crafting context: the caller's cancellation,
+// the server-side wall-clock cap, and shutdown abort. The returned cancel
+// releases the watcher goroutine.
+func (s *Server) attackContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	cancelTimeout := context.CancelFunc(func() {})
+	if s.opts.AttackTimeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, s.opts.AttackTimeout)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-s.done:
+			cancel()
+		case <-stopWatch:
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, func() {
+		close(stopWatch)
+		cancel()
+		cancelTimeout()
+	}
+}

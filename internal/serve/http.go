@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"repro/internal/attacks"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -78,15 +80,221 @@ func toResponse(p Prediction, withProbs bool) predictResponse {
 //
 //	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …], "tm": "3"}
+//	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
+//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "cases": [{"source":14,"target":1}]}
 //	GET  /v1/healthz        liveness + configuration echo
 //	GET  /v1/stats          serving counters (Stats)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/attack", s.handleAttack)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// attackHTTPRequest is the /v1/attack body. Pixels/Shape are optional:
+// when absent the canonical source-class sign is rendered server-side.
+type attackHTTPRequest struct {
+	imagePayload
+	Attack string `json:"attack"`
+	Source int    `json:"source"`
+	// Target defaults to untargeted when the field is omitted.
+	Target *int   `json:"target"`
+	TM     string `json:"tm,omitempty"`
+	Aware  bool   `json:"aware,omitempty"`
+	// ReturnAdv echoes the crafted adversarial image in the response.
+	ReturnAdv bool `json:"adv,omitempty"`
+}
+
+// attackHTTPResponse flattens a core.Outcome onto the wire.
+type attackHTTPResponse struct {
+	Attack       string    `json:"attack"`
+	Success      bool      `json:"success"`
+	Truncated    bool      `json:"truncated"`
+	Queries      int       `json:"queries"`
+	Iterations   int       `json:"iterations"`
+	AttackerPred int       `json:"attacker_pred"`
+	AttackerConf float64   `json:"attacker_conf"`
+	CleanPred    int       `json:"clean_pred"`
+	TM1Pred      int       `json:"tm1_pred"`
+	TM1Conf      float64   `json:"tm1_conf"`
+	DeployedTM   string    `json:"deployed_tm"`
+	DeployedPred int       `json:"deployed_pred"`
+	DeployedConf float64   `json:"deployed_conf"`
+	Cost         float64   `json:"cost"`
+	Neutralized  bool      `json:"neutralized"`
+	Survived     bool      `json:"survived"`
+	NoiseLInf    float64   `json:"noise_linf"`
+	NoiseL2      float64   `json:"noise_l2"`
+	AdvPixels    []float64 `json:"adv_pixels,omitempty"`
+	AdvShape     []int     `json:"adv_shape,omitempty"`
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req attackHTTPRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var tm pipeline.ThreatModel
+	if req.TM != "" {
+		var ok bool
+		if tm, ok = s.parseTM(w, req.TM); !ok {
+			return
+		}
+	}
+	var img *tensor.Tensor
+	if len(req.Pixels) > 0 || len(req.Shape) > 0 {
+		var err error
+		if img, err = req.tensor(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	target := attackTargetOrUntargeted(req.Target)
+	out, err := s.Attack(r.Context(), AttackRequest{
+		Spec:        req.Attack,
+		Image:       img,
+		Source:      req.Source,
+		Target:      target,
+		TM:          tm,
+		FilterAware: req.Aware,
+	})
+	if err != nil {
+		writeAttackError(w, err)
+		return
+	}
+	res := out.AttackerResult
+	cmp := out.Comparison
+	resp := attackHTTPResponse{
+		Attack:       cmp.AttackName,
+		Success:      res.Success,
+		Truncated:    res.Truncated,
+		Queries:      res.Queries,
+		Iterations:   res.Iterations,
+		AttackerPred: res.PredClass,
+		AttackerConf: res.Confidence,
+		CleanPred:    cmp.CleanPred,
+		TM1Pred:      cmp.TM1Pred,
+		TM1Conf:      cmp.TM1Conf,
+		DeployedTM:   cmp.TMX.String(),
+		DeployedPred: cmp.TMXPred,
+		DeployedConf: cmp.TMXConf,
+		Cost:         cmp.Cost,
+		Neutralized:  cmp.Neutralized,
+		Survived:     cmp.SurvivedFilter,
+		NoiseLInf:    res.Noise.LInfNorm(),
+		NoiseL2:      res.Noise.L2Norm(),
+	}
+	if req.ReturnAdv {
+		resp.AdvPixels = res.Adversarial.Data()
+		resp.AdvShape = res.Adversarial.Shape()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evalHTTPCase is one wire-form evaluation scenario.
+type evalHTTPCase struct {
+	Source int  `json:"source"`
+	Target *int `json:"target"`
+	// Pixels/Shape optionally carry an explicit clean image.
+	Pixels []float64 `json:"pixels,omitempty"`
+	Shape  []int     `json:"shape,omitempty"`
+}
+
+// evalHTTPRequest is the /v1/evaluate body.
+type evalHTTPRequest struct {
+	Attacks []string       `json:"attacks"`
+	TMs     []string       `json:"tms,omitempty"`
+	Cases   []evalHTTPCase `json:"cases,omitempty"`
+	Aware   bool           `json:"aware,omitempty"`
+}
+
+// evalHTTPCell adds the wire threat-model label to an EvalCell.
+type evalHTTPCell struct {
+	EvalCell
+	TM string `json:"tm"`
+}
+
+// evalHTTPSummary adds the wire threat-model label to an EvalSummary.
+type evalHTTPSummary struct {
+	EvalSummary
+	TM string `json:"tm"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req evalHTTPRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var tms []pipeline.ThreatModel
+	for _, spec := range req.TMs {
+		tm, ok := s.parseTM(w, spec)
+		if !ok {
+			return
+		}
+		tms = append(tms, tm)
+	}
+	var cases []EvalCase
+	for i, c := range req.Cases {
+		ec := EvalCase{Source: c.Source, Target: attackTargetOrUntargeted(c.Target)}
+		if len(c.Pixels) > 0 || len(c.Shape) > 0 {
+			img, err := imagePayload{Pixels: c.Pixels, Shape: c.Shape}.tensor()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("case %d: %w", i, err))
+				return
+			}
+			ec.Image = img
+		}
+		cases = append(cases, ec)
+	}
+	out, err := s.Evaluate(r.Context(), EvaluateRequest{
+		Specs:       req.Attacks,
+		TMs:         tms,
+		Cases:       cases,
+		FilterAware: req.Aware,
+	})
+	if err != nil {
+		writeAttackError(w, err)
+		return
+	}
+	cells := make([]evalHTTPCell, len(out.Cells))
+	for i, c := range out.Cells {
+		cells[i] = evalHTTPCell{EvalCell: c, TM: c.TM.String()}
+	}
+	summaries := make([]evalHTTPSummary, len(out.Summaries))
+	for i, sm := range out.Summaries {
+		summaries[i] = evalHTTPSummary{EvalSummary: sm, TM: sm.TM.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cells": cells, "summaries": summaries})
+}
+
+// attackTargetOrUntargeted maps an omitted wire target to Untargeted.
+func attackTargetOrUntargeted(t *int) int {
+	if t == nil {
+		return attacks.Untargeted
+	}
+	return *t
+}
+
+// writeAttackError maps attack/evaluate errors onto HTTP statuses.
+func writeAttackError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrAttacksDisabled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -160,11 +368,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ErrServerClosed)
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":     "ok",
-			"workers":    s.opts.Workers,
-			"max_batch":  s.opts.MaxBatch,
-			"default_tm": s.opts.DefaultTM.String(),
-			"in_shape":   s.inShape,
+			"status":             "ok",
+			"workers":            s.opts.Workers,
+			"max_batch":          s.opts.MaxBatch,
+			"default_tm":         s.opts.DefaultTM.String(),
+			"in_shape":           s.inShape,
+			"attack_workers":     s.opts.AttackWorkers,
+			"attack_max_queries": s.opts.AttackBudget.MaxQueries,
+			"attack_timeout_ms":  float64(s.opts.AttackTimeout) / float64(time.Millisecond),
 		})
 	}
 }

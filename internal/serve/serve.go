@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/attacks"
 	"repro/internal/mathx"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
@@ -59,6 +60,26 @@ type Options struct {
 	DefaultTM pipeline.ThreatModel
 	// ClassName, when set, labels predictions (e.g. gtsrb.ClassName).
 	ClassName func(int) string
+
+	// Robustness endpoints (Attack/Evaluate, /v1/attack, /v1/evaluate).
+
+	// AttackWorkers caps concurrent server-side crafting jobs, each on its
+	// own pipeline clone. 0 selects 1; negative disables the endpoints.
+	AttackWorkers int
+	// AttackBudget is the hard per-crafting-run work cap. The zero value
+	// selects MaxQueries 5000 — a server must never run an unbounded
+	// client-supplied optimization.
+	AttackBudget attacks.Budget
+	// AttackTimeout is the per-crafting-run wall-clock cap (<= 0 selects
+	// 30s).
+	AttackTimeout time.Duration
+	// Render produces the canonical class image at a given size for
+	// requests that name a source class without supplying pixels
+	// (e.g. gtsrb.Canonical). Nil requires explicit images.
+	Render func(class, size int) *tensor.Tensor
+	// EvalCases is the default scenario list for Evaluate requests that
+	// carry none (e.g. the paper's five payloads).
+	EvalCases []EvalCase
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -75,8 +96,20 @@ func (o Options) withDefaults() Options {
 	if o.DefaultTM == 0 {
 		o.DefaultTM = pipeline.TM2
 	}
+	if o.AttackWorkers == 0 {
+		o.AttackWorkers = 1
+	}
+	if o.AttackBudget.Unlimited() {
+		o.AttackBudget = Budget{MaxQueries: 5000}
+	}
+	if o.AttackTimeout <= 0 {
+		o.AttackTimeout = 30 * time.Second
+	}
 	return o
 }
+
+// Budget re-exports the attack work cap for Options literals.
+type Budget = attacks.Budget
 
 // Prediction is the per-request result: the deployed pipeline's view of
 // one image under one threat model.
@@ -149,7 +182,10 @@ type Server struct {
 
 	queue   chan *pending
 	batches chan []*pending
-	done    chan struct{}
+	// attackers holds the idle crafting slots for the robustness
+	// endpoints (nil when disabled).
+	attackers chan *attacker
+	done      chan struct{}
 	// drained closes once the batcher and every worker have exited —
 	// after that, every reply that will ever be sent is already sitting
 	// in its (buffered) pending.done channel.
@@ -185,6 +221,12 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 		batches: make(chan []*pending, opts.Workers),
 		done:    make(chan struct{}),
 		drained: make(chan struct{}),
+	}
+	if opts.AttackWorkers > 0 {
+		s.attackers = make(chan *attacker, opts.AttackWorkers)
+		for i := 0; i < opts.AttackWorkers; i++ {
+			s.attackers <- &attacker{pipe: pipeline.New(p.Net.Clone(), p.Filter, p.Acq)}
+		}
 	}
 	for w := 0; w < opts.Workers; w++ {
 		wp := pipeline.New(p.Net.Clone(), p.Filter, p.Acq)
