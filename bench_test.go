@@ -265,6 +265,33 @@ func BenchmarkLAR3VJP(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterApplyBatch measures the batched filter path the serving
+// micro-batches and panel sweeps run: a 16-image ApplyBatch (fanned over
+// the parallel pool) vs the serial per-image loop it replaces.
+func BenchmarkFilterApplyBatch(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	batch := make([]*tensor.Tensor, 16)
+	for i := range batch {
+		batch[i] = tensor.RandU(rng, 0, 1, 3, 32, 32)
+	}
+	for _, spec := range []string{"median(r=1)", "lap(np=32)", "nlm(h=0.1,patch=1,window=3)"} {
+		f, err := filters.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				filters.SerialBatch(f, batch)
+			}
+		})
+		b.Run(spec+"/batched", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.ApplyBatch(batch)
+			}
+		})
+	}
+}
+
 // BenchmarkMatMul measures the 128×128 matmul underlying conv via im2col.
 func BenchmarkMatMul(b *testing.B) {
 	rng := mathx.NewRNG(2)

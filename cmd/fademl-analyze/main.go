@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	fademl-analyze [-profile default] [-filter LAP:32] [-tm 3]
+//	fademl-analyze [-profile default] [-filter 'lap(np=32)'] [-tm 3]
 //	               [-attacks 'lbfgs,fgsm,bim(eps=0.1,steps=40)']
 //
 // The -attacks flag takes a comma-separated list of attack specs; commas
-// inside a spec's parameter list are handled. Ctrl-C cancels the sweep.
+// inside a spec's parameter list are handled. The -filter flag takes a
+// filter spec ('median(r=2)', 'chain(median(r=1),histeq(bins=64))', a
+// legacy LAP:32, or none). Ctrl-C cancels the sweep.
 package main
 
 import (
@@ -32,7 +34,7 @@ import (
 func main() {
 	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
-	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32 or LAR:3")
+	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)' or 'chain(median(r=1),lar(r=2))'")
 	attackList := flag.String("attacks", "lbfgs,fgsm,bim", "comma-separated attack specs, e.g. 'fgsm,pgd(eps=0.03,steps=40)'")
 	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")

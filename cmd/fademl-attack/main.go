@@ -14,7 +14,7 @@
 //
 //	fademl-attack [-profile default] [-scenario 1..5]
 //	              [-attack 'bim(eps=0.1,steps=40)'] [-aware] [-tm 2|3]
-//	              [-filter LAP:32|LAR:3|none] [-max-queries N] [-max-iters N]
+//	              [-filter 'lap(np=32)'|'chain(...)'|none] [-max-queries N] [-max-iters N]
 //	              [-timeout 30s] [-progress] [-out DIR]
 package main
 
@@ -38,7 +38,7 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	scenarioID := flag.Int("scenario", 1, "paper scenario 1..5")
 	attackSpec := flag.String("attack", "bim", "attack spec, e.g. bim or 'pgd(eps=0.03,steps=40)' (see -list)")
-	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32, LAR:3, none")
+	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)', 'chain(median(r=1),lar(r=2))', none")
 	aware := flag.Bool("aware", true, "run the attack filter-aware (FAdeML)")
 	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
 	maxQueries := flag.Int("max-queries", 0, "attack budget: classifier evaluations (0 = unlimited)")
@@ -46,7 +46,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "attack budget: wall-clock cap (0 = unlimited)")
 	progress := flag.Bool("progress", false, "log per-iteration attack progress")
 	outDir := flag.String("out", "attack-out", "output directory for PNGs (empty to skip)")
-	list := flag.Bool("list", false, "list available attacks with their spec parameters and exit")
+	list := flag.Bool("list", false, "list available attacks and filters with their spec parameters and exit")
 	flag.Parse()
 
 	if *list {
@@ -150,7 +150,8 @@ func main() {
 	}
 }
 
-// listAttacks prints every registry attack with its spec parameters.
+// listAttacks prints every registry attack and filter with its spec
+// parameters.
 func listAttacks() {
 	fmt.Println("attacks (configure via 'name(key=value,...)'):")
 	for _, name := range fademl.AttackNames() {
@@ -165,7 +166,20 @@ func listAttacks() {
 			}
 		}
 	}
-	fmt.Println("\nexample: -attack 'pgd(eps=0.03,steps=40)'")
+	fmt.Println("\nfilters (configure via 'name(key=value,...)'; compose via 'chain(a,b)'):")
+	for _, name := range fademl.FilterNames() {
+		f, err := fademl.NewNamedFilter(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %s\n", f.Name())
+		if cfg, ok := f.(fademl.ConfigurableFilter); ok {
+			for _, p := range cfg.Params() {
+				fmt.Printf("      %-10s %s (default %s)\n", p.Name, p.Doc, p.Get())
+			}
+		}
+	}
+	fmt.Println("\nexamples: -attack 'pgd(eps=0.03,steps=40)' -filter 'chain(median(r=1),lap(np=32))'")
 }
 
 func usageError(err error) {

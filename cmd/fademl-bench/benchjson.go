@@ -12,6 +12,7 @@ import (
 
 	fademl "repro"
 	"repro/internal/attacks"
+	"repro/internal/filters"
 	"repro/internal/gtsrb"
 	"repro/internal/mathx"
 	"repro/internal/nn"
@@ -147,9 +148,22 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		if name == "" {
 			continue
 		}
+		if name == "filters" {
+			// The filter micro-benchmarks emit one entry per registered
+			// filter (per-image ns/op + batched speedup) instead of a
+			// single testing.Benchmark run.
+			fmt.Fprintln(os.Stderr, "benchmarking filters...")
+			results := filterBenchResults()
+			report.Benchmarks = append(report.Benchmarks, results...)
+			for _, r := range results {
+				fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op serial, %.2fx batched\n",
+					r.Name, r.NsPerOp, r.Metrics["batched_speedup"])
+			}
+			continue
+		}
 		fn, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, serve, serve_unbatched, fig7, fig9)", name)
+			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, serve, serve_unbatched, fig7, fig9, filters)", name)
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		r := testing.Benchmark(fn)
@@ -176,6 +190,66 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// filterBatchSize is the batch the filter micro-benchmarks time — the
+// serving layer's default micro-batch.
+const filterBatchSize = 16
+
+// timeOp measures fn's wall time per call: one warmup, then enough
+// repetitions to accumulate ~30ms of work.
+func timeOp(fn func()) float64 {
+	fn() // warmup (builds stencil tap tables etc.)
+	start := time.Now()
+	fn()
+	once := time.Since(start)
+	reps := 1
+	if once > 0 {
+		if r := int(30 * time.Millisecond / once); r > reps {
+			reps = r
+		}
+	}
+	if reps > 1000 {
+		reps = 1000
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// filterBenchResults measures every registered filter (plus a
+// representative chain) on 32×32 RGB images: serial per-image Apply
+// ns/op, the 16-image ApplyBatch ns/op, and the batched speedup — the
+// per-filter trajectory PERFORMANCE.md tracks for the Defense API v2.
+func filterBenchResults() []benchResult {
+	rng := mathx.NewRNG(7)
+	batch := make([]*tensor.Tensor, filterBatchSize)
+	for i := range batch {
+		batch[i] = tensor.RandU(rng, 0, 1, 3, 32, 32)
+	}
+	specs := append(filters.Names(), "chain(median(r=1),histeq(bins=64))")
+	var out []benchResult
+	for _, spec := range specs {
+		f, err := filters.Parse(spec)
+		if err != nil {
+			continue
+		}
+		serialNs := timeOp(func() { filters.SerialBatch(f, batch) })
+		batchNs := timeOp(func() { f.ApplyBatch(batch) })
+		res := benchResult{
+			Name:       "filter_" + strings.ToLower(strings.SplitN(spec, "(", 2)[0]),
+			Iterations: filterBatchSize,
+			NsPerOp:    serialNs / filterBatchSize,
+			Metrics: map[string]float64{
+				"batch16_ns_per_op": batchNs,
+				"batched_speedup":   serialNs / batchNs,
+			},
+		}
+		out = append(out, res)
+	}
+	return out
 }
 
 // benchServe is the shared body of the serve / serve_unbatched runners:

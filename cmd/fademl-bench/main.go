@@ -7,6 +7,7 @@
 // Usage:
 //
 //	fademl-bench [-profile default] [-fig all|5|6|7|9|abl] [-curves]
+//	             [-filters 'chain(median(r=1),lap(np=8)),lar(r=2)']
 package main
 
 import (
@@ -31,9 +32,10 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	fig := flag.String("fig", "all", "which figure to regenerate: all, 5, 6, 7 or 9")
 	curves := flag.Bool("curves", true, "include the accuracy-vs-filter curves in Figs. 7/9")
+	filterList := flag.String("filters", "", "comma-separated filter specs replacing the LAP/LAR grid in Figs. 7/9, e.g. 'median(r=2),chain(lap(np=8),bitdepth(bits=5))'")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark trajectory (wall/bytes/allocs for the figure and substrate benchmarks) as JSON to this file and exit; see PERFORMANCE.md for the schema")
-	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,serve,serve_unbatched,fig7,fig9", "comma-separated benchmark subset for -bench-json")
+	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,serve,serve_unbatched,fig7,fig9,filters", "comma-separated benchmark subset for -bench-json")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,6 +96,7 @@ func main() {
 	if want("7") {
 		run := time.Now()
 		res, err := fademl.RunFig7(ctx, env, fademl.SweepOptions{
+			FilterSpecs:    fademl.SplitFilterSpecs(*filterList),
 			IncludeCurves:  *curves,
 			CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
 		})
@@ -107,6 +110,7 @@ func main() {
 	if want("9") {
 		run := time.Now()
 		res, err := fademl.RunFig9(ctx, env, fademl.SweepOptions{
+			FilterSpecs:    fademl.SplitFilterSpecs(*filterList),
 			IncludeCurves:  *curves,
 			CurveScenarios: []fademl.Scenario{fademl.PaperScenarios[0]},
 		})
@@ -130,7 +134,7 @@ func main() {
 func runAblations(ctx context.Context, env *fademl.Env) error {
 	fmt.Println("Ablation — clean accuracy vs filter strength (inverted-U):")
 	for _, p := range experiments.RunFilterStrengthAblation(env) {
-		fmt.Printf("  %-9s taps=%-3d top1=%5.1f%% top5=%5.1f%%\n",
+		fmt.Printf("  %-12s taps=%-3d top1=%5.1f%% top5=%5.1f%%\n",
 			p.FilterName, p.Taps, 100*p.Top1, 100*p.Top5)
 	}
 	fmt.Println("\nAblation — FAdeML η noise scaling through LAP(8):")

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	fademl-serve [-addr :8080] [-profile tiny] [-filter LAP:32] [-tm 2]
+//	fademl-serve [-addr :8080] [-profile tiny] [-filter 'lap(np=32)'] [-tm 2]
 //	             [-workers N] [-max-batch 16] [-max-wait 2ms]
 //	             [-attack-workers 1] [-attack-max-queries 5000] [-attack-timeout 30s]
 //
@@ -15,10 +15,18 @@
 //
 //	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …]}
+//	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
-//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "cases": [...]}
+//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [...]}
 //	GET  /v1/healthz        liveness + configuration
 //	GET  /v1/stats          requests, batches, mean batch occupancy, p50/p99 latency
+//
+// The -filter flag takes a filter spec — a registry name, a
+// parameterized form like 'median(r=2)', a chain
+// 'chain(median(r=1),histeq(bins=64))', or "none" (the legacy LAP:32
+// forms still work). /v1/defend filters request images through any such
+// spec, and /v1/evaluate sweeps fooling rates over attack spec × filter
+// spec × threat model.
 //
 // The robustness endpoints craft adversarial examples against the served
 // pipeline under a hard server-side budget (-attack-max-queries /
@@ -54,7 +62,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	profileName := flag.String("profile", "tiny", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
-	filterSpec := flag.String("filter", "LAP:32", "deployed pre-processing filter, e.g. LAP:32, LAR:3, none")
+	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)', 'chain(median(r=1),lar(r=2))', none")
 	tmSpec := flag.String("tm", "2", "default threat model for requests that name none: 1, 2 or 3")
 	acqSeed := flag.Uint64("acq-seed", 97, "acquisition sensor-noise seed (TM-II capture stage)")
 	workers := flag.Int("workers", runtime.NumCPU(), "inference worker pool size (one network clone each)")

@@ -2,9 +2,16 @@
 // profile's VGGNet, reports clean accuracy and writes the weights to the
 // cache (and optionally to an explicit path).
 //
+// The optional -filter flag takes a filter spec ('lap(np=32)',
+// 'chain(median(r=1),lar(r=2))', a legacy LAP:32 form, or none) and
+// additionally reports clean test accuracy through that pre-processing —
+// the quick way to check a candidate defense's accuracy cost (the
+// paper's inverted-U) before deploying it.
+//
 // Usage:
 //
 //	fademl-train [-profile tiny|default|paper] [-cache DIR] [-out FILE]
+//	             [-filter 'lap(np=32)']
 package main
 
 import (
@@ -14,14 +21,25 @@ import (
 	"os"
 
 	fademl "repro"
+	"repro/internal/tensor"
+	"repro/internal/train"
 )
 
 func main() {
 	profileName := flag.String("profile", "default", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory (empty to disable)")
 	out := flag.String("out", "", "optional explicit weights output path")
+	filterSpec := flag.String("filter", "", "also report clean accuracy through this filter spec, e.g. 'lap(np=32)' or 'chain(median(r=1),lar(r=2))'")
 	flag.Parse()
 
+	// Flag validation happens before any model trains: a bad -filter spec
+	// is a usage error, not a wasted training run.
+	filter, err := fademl.ParseFilter(*filterSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fademl-train: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	p, err := fademl.ParseProfile(*profileName)
 	if err != nil {
 		log.Fatal(err)
@@ -32,6 +50,14 @@ func main() {
 	}
 	fmt.Printf("profile %s: %d train / %d test images, clean top-1 %.2f%%, top-5 %.2f%%\n",
 		p.Name, env.TrainSet.Len(), env.TestSet.Len(), 100*env.CleanTop1, 100*env.CleanTop5)
+	if filter != nil {
+		m := train.EvaluateBatchWorkers(env.Net, env.TestSet,
+			func(imgs []*tensor.Tensor, _ []int) []*tensor.Tensor {
+				return filter.ApplyBatch(imgs)
+			}, 0)
+		fmt.Printf("through %s: top-1 %.2f%%, top-5 %.2f%% (accuracy cost %.2f points top-1)\n",
+			filter.Name(), 100*m.Top1, 100*m.Top5, 100*(env.CleanTop1-m.Top1))
+	}
 	if *out != "" {
 		if err := env.Net.SaveWeightsFile(*out); err != nil {
 			log.Fatal(err)

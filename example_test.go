@@ -35,7 +35,7 @@ func ExampleFilterChain() {
 		fademl.NewLAR(3),
 	)
 	fmt.Println(chain.Name())
-	// Output: Grayscale→Normalize(0.5,0.25)→LAR(3)
+	// Output: chain(grayscale,normalize(mean=0.5,std=0.25),lar(r=3))
 }
 
 // Building attacks from the library registry. Name() is the canonical

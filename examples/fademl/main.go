@@ -45,7 +45,7 @@ func main() {
 
 	// Part 2: blind vs aware across the paper's full filter sweep.
 	fmt.Println("\nblind vs FAdeML across the LAP/LAR sweep (filtered prediction):")
-	fmt.Printf("  %-9s  %-28s  %-28s\n", "filter", "filter-blind BIM", "FAdeML-BIM")
+	fmt.Printf("  %-12s  %-28s  %-28s\n", "filter", "filter-blind BIM", "FAdeML-BIM")
 	grid := []fademl.Filter{}
 	for _, np := range filters.PaperLAPSizes {
 		grid = append(grid, filters.NewLAP(np))
@@ -67,7 +67,7 @@ func main() {
 			log.Fatal(err)
 		}
 		aPred, aConf := pipe.Predict(awRes.Adversarial, fademl.TM3)
-		fmt.Printf("  %-9s  %-28s  %-28s\n", f.Name(),
+		fmt.Printf("  %-12s  %-28s  %-28s\n", f.Name(),
 			fmt.Sprintf("%s @ %.0f%%", fademl.ClassName(bPred), 100*bConf),
 			fmt.Sprintf("%s @ %.0f%%", fademl.ClassName(aPred), 100*aConf))
 	}

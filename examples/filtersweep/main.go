@@ -47,7 +47,7 @@ func main() {
 			for j := 0; j < int(curve.Top5[i]*40); j++ {
 				bar += "█"
 			}
-			fmt.Printf("  %-9s %5.1f%% %s\n", name, 100*curve.Top5[i], bar)
+			fmt.Printf("  %-12s %5.1f%% %s\n", name, 100*curve.Top5[i], bar)
 		}
 	}
 	fmt.Printf("\nneutralization rate over panels: %.0f%%\n", 100*res.NeutralizationRate())

@@ -1,32 +1,45 @@
 // Package fademl is the public facade of the FAdeML reproduction: a
 // from-scratch Go implementation of "FAdeML: Understanding the Impact of
 // Pre-Processing Noise Filtering on Adversarial Machine Learning"
-// (Khalid et al., DATE 2019).
+// (Khalid et al., DATE 2019), grown into a concurrent
+// adversarial-robustness service.
+//
+// ARCHITECTURE.md is the one-page system map — layers, concurrency
+// model, and the invariants each layer guarantees. FILTERS.md documents
+// the defense library and its spec syntax; ATTACKS.md documents the
+// attack library, budgets and truncation; PERFORMANCE.md tracks the
+// performance trajectory PR by PR.
 //
 // The library provides, all on the standard library alone:
 //
 //   - a float64 tensor/neural-network substrate with the paper's VGGNet
 //     topology (internal/tensor, internal/nn, internal/train);
 //   - a procedural 43-class GTSRB substitute (internal/gtsrb);
-//   - the paper's pre-processing noise filters LAP and LAR with exact
-//     adjoints for differentiation, plus Gaussian and median extensions
-//     (internal/filters);
-//   - an adversarial attack library — L-BFGS, FGSM, BIM, PGD, DeepFool,
-//     C&W, JSMA, one-pixel — and the FAdeML filter-aware wrapper
-//     (internal/attacks);
+//   - the defense library: the paper's LAP/LAR noise filters with exact
+//     adjoints, the classical smoothers (Gaussian, median, box,
+//     bilateral, non-local means), the Section I-C pre-processing stages
+//     (grayscale, normalization, histogram equalization) and the classic
+//     adversarial defenses (JPEG-like DCT quantization, bit-depth
+//     squeezing, total-variation denoising) — all parameterized,
+//     batchable and chainable via spec strings (internal/filters);
+//   - an adversarial attack library — L-BFGS, FGSM, BIM, MIM, PGD,
+//     DeepFool, C&W, JSMA, one-pixel, SPSA — and the FAdeML filter-aware
+//     wrapper (internal/attacks);
 //   - the threat-model pipeline of the paper's Fig. 2 and the Section III
 //     analysis methodology (internal/pipeline, internal/analysis);
 //   - experiment runners regenerating Figs. 5/6/7/9 (internal/experiments);
-//   - an online inference service with dynamic micro-batching over a
-//     pool of weight-sharing network clones (internal/serve,
+//   - an online inference service with dynamic micro-batching, plus
+//     robustness- and defense-as-a-service endpoints (internal/serve,
 //     cmd/fademl-serve).
 //
 // This package re-exports the surface a downstream user needs so examples
-// and tools read naturally. Attacks are declarative spec strings, and
-// every execution is context-aware, budgeted and cancellable:
+// and tools read naturally. Attacks AND filters are declarative spec
+// strings, and every attack execution is context-aware, budgeted and
+// cancellable:
 //
 //	env, _ := fademl.NewEnv(fademl.ProfileTiny(), "", nil)
-//	p := fademl.NewPipeline(env.Net, fademl.NewLAP(32), nil)
+//	flt, _ := fademl.ParseFilter("chain(median(r=1),lap(np=32))")
+//	p := fademl.NewPipeline(env.Net, flt, nil)
 //	atk, _ := fademl.ParseAttack("bim(eps=0.1,steps=40)")
 //	out, _ := fademl.Execute(ctx, fademl.Run{
 //	    Pipeline: p, Attack: atk, FilterAware: true, TM: fademl.TM3,
@@ -35,15 +48,17 @@
 //	if out.AttackerResult.Truncated { /* budget hit; best-so-far result */ }
 //
 // Serving the same pipeline online — concurrent clients coalesce into
-// batched forwards, each response bit-identical to a direct Probs call,
-// and the robustness endpoints craft and evaluate attacks server-side
-// under a hard budget:
+// batched forwards (the filter stage runs batched too), each response
+// bit-identical to a direct Probs call, and the robustness/defense
+// endpoints craft attacks and sweep filters server-side under a hard
+// budget:
 //
 //	srv := fademl.NewServer(p, fademl.ServeOptions{MaxBatch: 16})
 //	defer srv.Close()
 //	pred, _ := srv.Predict(ctx, img, fademl.TM2)
-//	http.ListenAndServe(":8080", srv.Handler()) // /v1/predict, /v1/attack,
-//	                                            // /v1/evaluate, ... (or: cmd/fademl-serve)
+//	http.ListenAndServe(":8080", srv.Handler()) // /v1/predict, /v1/defend,
+//	                                            // /v1/attack, /v1/evaluate,
+//	                                            // ... (or: cmd/fademl-serve)
 package fademl
 
 import (
@@ -102,6 +117,10 @@ type (
 	Param = attacks.Param
 	// ConfigurableAttack is an attack exposing Params()/Set knobs.
 	ConfigurableAttack = attacks.Configurable
+	// FilterParam describes one spec-settable filter knob.
+	FilterParam = filters.Param
+	// ConfigurableFilter is a filter exposing Params()/Set knobs.
+	ConfigurableFilter = filters.Configurable
 	// Classifier is the attacker's differentiable model interface.
 	Classifier = attacks.Classifier
 	// Pipeline is the deployed inference system of the paper's Fig. 2.
@@ -137,8 +156,13 @@ type (
 	EvalCase = serve.EvalCase
 	// ServeAttackRequest describes one server-side crafting job.
 	ServeAttackRequest = serve.AttackRequest
-	// ServeEvaluateRequest describes a server-side fooling-rate sweep.
+	// ServeEvaluateRequest describes a server-side fooling-rate sweep
+	// over attack spec × filter spec × threat model.
 	ServeEvaluateRequest = serve.EvaluateRequest
+	// ServeDefendRequest describes one server-side filtering job.
+	ServeDefendRequest = serve.DefendRequest
+	// ServeDefendResult is the outcome of a server-side filtering job.
+	ServeDefendResult = serve.DefendResult
 )
 
 // Threat models of the paper's Fig. 2.
@@ -199,8 +223,34 @@ func NewNormalize(mean, std float64) Filter { return filters.NewNormalize(mean, 
 // NewHistEq builds the histogram-equalization stage (BPDA backward pass).
 func NewHistEq(bins int) Filter { return filters.NewHistEq(bins) }
 
+// NewJPEG builds the JPEG-like DCT-quantization defense (quality 1..100).
+func NewJPEG(quality int) Filter { return filters.NewJPEG(quality) }
+
+// NewBitDepth builds the bit-depth squeezing defense (bits 1..16).
+func NewBitDepth(bits int) Filter { return filters.NewBitDepth(bits) }
+
+// NewTVDenoise builds the total-variation denoising defense with an
+// exact unrolled VJP.
+func NewTVDenoise(lambda float64, iters int) Filter { return filters.NewTVDenoise(lambda, iters) }
+
+// NewNLM builds the non-local means denoising defense with an exact VJP.
+func NewNLM(h float64, patch, window int) Filter { return filters.NewNLM(h, patch, window) }
+
 // FilterChain composes filters left to right.
 func FilterChain(fs ...Filter) Filter { return filters.Chain(fs) }
+
+// NewNamedFilter builds a default-configured filter from the registry by
+// name: bilateral, bitdepth, box, gaussian, grayscale, histeq, jpeg,
+// lap, lar, median, nlm, normalize, tv.
+func NewNamedFilter(name string) (Filter, error) { return filters.New(name) }
+
+// FilterNames lists the registered filter names.
+func FilterNames() []string { return filters.Names() }
+
+// SplitFilterSpecs splits a comma-separated list of filter specs at top
+// level, so parameter lists and chain stages inside parentheses survive
+// intact.
+func SplitFilterSpecs(list string) []string { return filters.SplitSpecs(list) }
 
 // Attacks.
 
@@ -281,9 +331,15 @@ func NewAcquisition(gain, noiseStd float64, quantize bool, seed uint64) *Acquisi
 // CLI flags and request fields with it instead of panicking in Deliver.
 func ParseThreatModel(s string) (ThreatModel, error) { return pipeline.ParseThreatModel(s) }
 
-// ParseFilter converts a KIND:PARAM spec (LAP:32, LAR:3, MEDIAN:1,
-// GAUSS:2, BOX:2; "none" or "" for no filtering) into a Filter, with
-// parameter validation at the flag boundary.
+// ParseFilter builds a configured filter from a spec string such as
+// "median(r=2)", "gaussian(sigma=1.5)" or a paren-aware chain
+// "chain(median(r=1),histeq(bins=64))" — the same syntax the -filter CLI
+// flags, sweep configurations and the serving API accept. "none" and ""
+// select no filtering and return (nil, nil), which NewPipeline treats as
+// the identity. The legacy KIND:PARAM forms (LAP:32, LAR:3, …) are still
+// accepted. For every registry filter, ParseFilter(f.Name()) round-trips.
+// Unknown params and out-of-range values are usage-style errors, never
+// panics. See FILTERS.md for the full grammar and parameter tables.
 func ParseFilter(spec string) (Filter, error) { return filters.Parse(spec) }
 
 // Serving.

@@ -26,7 +26,7 @@ func TestFacadeFilters(t *testing.T) {
 		}
 	}
 	chain := FilterChain(NewLAP(4), NewLAR(1))
-	if !strings.Contains(chain.Name(), "LAP(4)") || !strings.Contains(chain.Name(), "LAR(1)") {
+	if !strings.Contains(chain.Name(), "lap(np=4)") || !strings.Contains(chain.Name(), "lar(r=1)") {
 		t.Errorf("chain name = %q", chain.Name())
 	}
 }

@@ -128,10 +128,15 @@ func (c Comparison) String() string {
 // a pure function of (seed, image) — is pure per sample, so evaluation
 // fans out over the worker pool with results identical to a serial run.
 func PipelineAccuracy(p *pipeline.Pipeline, ds train.Dataset, tm pipeline.ThreatModel, perturb func(img *tensor.Tensor, i int) *tensor.Tensor) train.Metrics {
-	return train.EvaluateWorkers(p.Net, ds, func(img *tensor.Tensor, i int) *tensor.Tensor {
+	return train.EvaluateBatchWorkers(p.Net, ds, func(imgs []*tensor.Tensor, idx []int) []*tensor.Tensor {
 		if perturb != nil {
-			img = perturb(img, i)
+			perturbed := make([]*tensor.Tensor, len(imgs))
+			for j, img := range imgs {
+				perturbed[j] = perturb(img, idx[j])
+			}
+			imgs = perturbed
 		}
-		return p.Deliver(img, tm)
+		// Delivery runs batched so the filter stage uses ApplyBatch.
+		return p.DeliverBatch(imgs, tm)
 	}, 0)
 }

@@ -118,7 +118,7 @@ func TestCompareNeutralizationFlow(t *testing.T) {
 		t.Fatalf("blind attack should not survive: %+v", cmp)
 	}
 	line := cmp.String()
-	if !strings.Contains(line, "NEUTRALIZED") || !strings.Contains(line, "LAP(8)") {
+	if !strings.Contains(line, "NEUTRALIZED") || !strings.Contains(line, "lap(np=8)") {
 		t.Fatalf("report line missing fields: %q", line)
 	}
 }

@@ -67,7 +67,7 @@ func TestFAdeMLSurvivesFilter(t *testing.T) {
 func TestFAdeMLName(t *testing.T) {
 	f := NewFAdeML(NewBIM(), filters.NewLAP(8))
 	name := f.Name()
-	if !strings.Contains(name, "FAdeML") || !strings.Contains(name, "LAP(8)") {
+	if !strings.Contains(name, "FAdeML") || !strings.Contains(name, "lap(np=8)") {
 		t.Fatalf("FAdeML name %q lacks components", name)
 	}
 }

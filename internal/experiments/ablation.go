@@ -39,8 +39,8 @@ func RunFilterStrengthAblation(env *Env) []FilterStrengthPoint {
 	var out []FilterStrengthPoint
 	nets := env.workerNets(gridWorkers(ds.Len()))
 	for _, f := range grid {
-		m := train.EvaluateOn(nets, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
-			return f.Apply(img)
+		m := train.EvaluateOnBatch(nets, ds, func(imgs []*tensor.Tensor, _ []int) []*tensor.Tensor {
+			return f.ApplyBatch(imgs)
 		})
 		taps := 1
 		if s, ok := f.(interface{ Taps() int }); ok {
@@ -140,8 +140,8 @@ func RunFootprintAblation(env *Env, radii []int) []FootprintPoint {
 	ds := env.evalSubset()
 	nets := env.workerNets(gridWorkers(ds.Len()))
 	eval := func(f filters.Filter) float64 {
-		return train.EvaluateOn(nets, ds, func(img *tensor.Tensor, _ int) *tensor.Tensor {
-			return f.Apply(img)
+		return train.EvaluateOnBatch(nets, ds, func(imgs []*tensor.Tensor, _ []int) []*tensor.Tensor {
+			return f.ApplyBatch(imgs)
 		}).Top5
 	}
 	out := make([]FootprintPoint, len(radii))

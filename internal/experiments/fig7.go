@@ -24,6 +24,12 @@ type SweepOptions struct {
 	// ({4,8,16,32,64} and {1..5}).
 	LAPSizes []int
 	LARRadii []int
+	// FilterSpecs, when set, replaces the LAP/LAR grid with arbitrary
+	// filter specs ("median(r=2)", "chain(median(r=1),histeq(bins=64))",
+	// "none" for the unfiltered baseline) — the defense-side counterpart
+	// of AttackNames. Specs are parsed with filters.Parse; a bad spec
+	// fails the sweep up front.
+	FilterSpecs []string
 	// IncludeCurves enables the accuracy-vs-filter curves (the expensive
 	// part: every test image in the attack subset is attacked).
 	IncludeCurves bool
@@ -50,9 +56,24 @@ func (o *SweepOptions) fill() {
 	}
 }
 
-// filterGrid builds the sweep's filter configurations: the identity
-// baseline, the LAP sweep and the LAR sweep.
-func (o *SweepOptions) filterGrid() []filters.Filter {
+// filterGrid builds the sweep's filter configurations: explicit
+// FilterSpecs when given, otherwise the identity baseline plus the LAP
+// and LAR sweeps.
+func (o *SweepOptions) filterGrid() ([]filters.Filter, error) {
+	if len(o.FilterSpecs) > 0 {
+		grid := make([]filters.Filter, len(o.FilterSpecs))
+		for i, spec := range o.FilterSpecs {
+			f, err := filters.Parse(spec)
+			if err != nil {
+				return nil, fmt.Errorf("sweep filter %d: %w", i+1, err)
+			}
+			if f == nil {
+				f = filters.Identity{}
+			}
+			grid[i] = f
+		}
+		return grid, nil
+	}
 	grid := []filters.Filter{filters.Identity{}}
 	for _, np := range o.LAPSizes {
 		grid = append(grid, filters.NewLAP(np))
@@ -60,7 +81,7 @@ func (o *SweepOptions) filterGrid() []filters.Filter {
 	for _, r := range o.LARRadii {
 		grid = append(grid, filters.NewLAR(r))
 	}
-	return grid
+	return grid, nil
 }
 
 // Fig7Panel is one canonical-image cell of Fig. 7: a filter-blind attack
@@ -120,7 +141,10 @@ func RunFig7(ctx context.Context, env *Env, opt SweepOptions) (*Fig7Result, erro
 // the result is cell-for-cell identical to a serial sweep.
 func runFilterSweep(ctx context.Context, env *Env, opt SweepOptions, filterAware bool) (*Fig7Result, error) {
 	res := &Fig7Result{ProfileName: env.Profile.Name, FilterAware: filterAware}
-	grid := opt.filterGrid()
+	grid, err := opt.filterGrid()
+	if err != nil {
+		return nil, err
+	}
 
 	// Panels only cover real filters, never the identity baseline.
 	var real []filters.Filter
@@ -251,9 +275,11 @@ func runFilterSweep(ctx context.Context, env *Env, opt SweepOptions, filterAware
 						eval = newSliceDataset(advs, ds)
 					}
 					p := pipeline.New(env.Net, f, nil)
-					m := train.EvaluateOn(env.workerNets(gridWorkers(eval.Len())), eval,
-						func(img *tensor.Tensor, _ int) *tensor.Tensor {
-							return p.Deliver(img, pipeline.TM3)
+					// Panel-view evaluation delivers each mini-batch through
+					// the batched filter path (Filter.ApplyBatch).
+					m := train.EvaluateOnBatch(env.workerNets(gridWorkers(eval.Len())), eval,
+						func(imgs []*tensor.Tensor, _ []int) []*tensor.Tensor {
+							return p.DeliverBatch(imgs, pipeline.TM3)
 						})
 					curve.FilterNames = append(curve.FilterNames, f.Name())
 					curve.Top5 = append(curve.Top5, m.Top5)

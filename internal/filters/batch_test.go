@@ -1,0 +1,125 @@
+package filters
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// registryAndChain returns one default instance of every registered
+// filter plus a representative chain — the set the batched-equivalence
+// and concurrency tests sweep.
+func registryAndChain(t *testing.T) []Filter {
+	t.Helper()
+	var fs []Filter
+	for _, name := range Names() {
+		f, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = append(fs, f)
+	}
+	return append(fs, Chain{NewMedian(1), NewHistEq(64), NewLAP(4)}, Identity{})
+}
+
+// TestApplyBatchBitIdentity pins the ApplyBatch contract for every
+// registered filter: out[i] must be bit-identical to Apply(imgs[i]),
+// whatever worker count the process-wide pool is at.
+func TestApplyBatchBitIdentity(t *testing.T) {
+	rng := mathx.NewRNG(31)
+	imgs := make([]*tensor.Tensor, 7)
+	for i := range imgs {
+		imgs[i] = tensor.RandU(rng, 0, 1, 3, 10, 10)
+	}
+	for _, workers := range []int{1, 4} {
+		old := parallel.Workers()
+		parallel.SetWorkers(workers)
+		for _, f := range registryAndChain(t) {
+			got := f.ApplyBatch(imgs)
+			if len(got) != len(imgs) {
+				t.Fatalf("%s: ApplyBatch returned %d outputs for %d inputs", f.Name(), len(got), len(imgs))
+			}
+			for i, img := range imgs {
+				if !tensor.EqualWithin(got[i], f.Apply(img), 0) {
+					t.Errorf("%s (workers=%d): ApplyBatch[%d] != Apply", f.Name(), workers, i)
+				}
+			}
+		}
+		parallel.SetWorkers(old)
+	}
+}
+
+// TestApplyBatchEdgeSizes covers the degenerate batch shapes every
+// implementation must handle: empty and single-image batches.
+func TestApplyBatchEdgeSizes(t *testing.T) {
+	rng := mathx.NewRNG(32)
+	img := tensor.RandU(rng, 0, 1, 3, 6, 6)
+	for _, f := range registryAndChain(t) {
+		if got := f.ApplyBatch(nil); len(got) != 0 {
+			t.Errorf("%s: ApplyBatch(nil) returned %d outputs", f.Name(), len(got))
+		}
+		got := f.ApplyBatch([]*tensor.Tensor{img})
+		if len(got) != 1 || !tensor.EqualWithin(got[0], f.Apply(img), 0) {
+			t.Errorf("%s: single-image ApplyBatch != Apply", f.Name())
+		}
+	}
+}
+
+// TestApplyBatchConcurrent is the -race witness for the serving layer's
+// usage: many goroutines calling ApplyBatch on a SHARED filter instance
+// concurrently, each result bit-identical to a serial Apply.
+func TestApplyBatchConcurrent(t *testing.T) {
+	rng := mathx.NewRNG(33)
+	imgs := make([]*tensor.Tensor, 5)
+	for i := range imgs {
+		imgs[i] = tensor.RandU(rng, 0, 1, 3, 8, 8)
+	}
+	for _, f := range registryAndChain(t) {
+		want := SerialBatch(f, imgs)
+		var wg sync.WaitGroup
+		errs := make([]error, 6)
+		for g := 0; g < len(errs); g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for iter := 0; iter < 3; iter++ {
+					got := f.ApplyBatch(imgs)
+					for i := range imgs {
+						if !tensor.EqualWithin(got[i], want[i], 0) {
+							errs[g] = fmt.Errorf("%s: concurrent ApplyBatch[%d] diverged", f.Name(), i)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// TestChainApplyBatchStagewise pins that a chain's batched path (stage
+// by stage over the whole batch) equals its per-image path.
+func TestChainApplyBatchStagewise(t *testing.T) {
+	rng := mathx.NewRNG(34)
+	imgs := []*tensor.Tensor{
+		tensor.RandU(rng, 0, 1, 3, 9, 9),
+		tensor.RandU(rng, 0, 1, 3, 9, 9),
+		tensor.RandU(rng, 0, 1, 3, 9, 9),
+	}
+	chain := Chain{NewLAP(8), NewBitDepth(4), NewGaussian(0.8)}
+	got := chain.ApplyBatch(imgs)
+	for i, img := range imgs {
+		if !tensor.EqualWithin(got[i], chain.Apply(img), 0) {
+			t.Fatalf("chain ApplyBatch[%d] != Apply", i)
+		}
+	}
+}

@@ -34,9 +34,25 @@ func NewBilateral(radius int, sigmaSpace, sigmaColor float64) *Bilateral {
 	return &Bilateral{Radius: radius, SigmaSpace: sigmaSpace, SigmaColor: sigmaColor}
 }
 
-// Name implements Filter.
-func (b *Bilateral) Name() string {
-	return fmt.Sprintf("Bilateral(%d,%.2g,%.2g)", b.Radius, b.SigmaSpace, b.SigmaColor)
+// Name implements Filter: the canonical spec, e.g. "bilateral(r=2,ss=2,sc=0.1)".
+func (b *Bilateral) Name() string { return specName("bilateral", b.Params()) }
+
+// Params implements Configurable.
+func (b *Bilateral) Params() []Param {
+	return []Param{
+		intParam("r", "spatial window half-width in pixels", &b.Radius, intAtLeast(1), nil),
+		floatParam("ss", "spatial Gaussian sigma in pixels", &b.SigmaSpace, floatPositive(), nil),
+		floatParam("sc", "photometric (color) Gaussian sigma in intensity units", &b.SigmaColor, floatPositive(), nil),
+	}
+}
+
+// Set implements Configurable.
+func (b *Bilateral) Set(name, value string) error { return setParam(b.Params(), name, value) }
+
+// ApplyBatch implements Filter with one task per image over the
+// internal/parallel pool.
+func (b *Bilateral) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	return parallelBatch(b, imgs)
 }
 
 // Apply implements Filter with replicate border handling.

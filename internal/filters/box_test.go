@@ -9,7 +9,7 @@ import (
 
 func TestBoxTapCount(t *testing.T) {
 	for r, want := range map[int]int{1: 9, 2: 25, 3: 49} {
-		f := NewBox(r).(*stencil)
+		f := NewBox(r).(*Box)
 		if f.Taps() != want {
 			t.Errorf("Box(%d) taps = %d, want %d", r, f.Taps(), want)
 		}

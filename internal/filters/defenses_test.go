@@ -1,0 +1,239 @@
+package filters
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Tests for the four Defense API v2 transforms: JPEG-like DCT
+// quantization, bit-depth squeezing, TV denoising and non-local means.
+
+// fdCheck compares f.VJP against central finite differences of the
+// scalar functional L(x) = ⟨f(x), probe⟩ at a handful of pixels.
+func fdCheck(t *testing.T, f Filter, x, probe *tensor.Tensor, idxs []int, tol float64) {
+	t.Helper()
+	grad := f.VJP(x, probe)
+	const h = 1e-6
+	for _, i := range idxs {
+		d := x.Data()
+		orig := d[i]
+		d[i] = orig + h
+		lp := tensor.Dot(f.Apply(x), probe)
+		d[i] = orig - h
+		lm := tensor.Dot(f.Apply(x), probe)
+		d[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if !mathx.EqualWithin(grad.Data()[i], numeric, tol) {
+			t.Errorf("%s VJP[%d] = %v, finite diff %v", f.Name(), i, grad.Data()[i], numeric)
+		}
+	}
+}
+
+// TestTVVJPMatchesFiniteDifference pins the headline property of the TV
+// implementation: the unrolled reverse-mode VJP is EXACT, so it must
+// match finite differences of the full nonlinear forward pass.
+func TestTVVJPMatchesFiniteDifference(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	x := tensor.RandU(rng, 0.2, 0.8, 1, 6, 6)
+	probe := tensor.RandN(rng, 1, 6, 6)
+	for _, f := range []Filter{NewTVDenoise(0.15, 5), NewTVDenoise(0.4, 12)} {
+		fdCheck(t, f, x, probe, []int{0, 5, 14, 21, 35}, 1e-4)
+	}
+}
+
+// TestNLMVJPMatchesFiniteDifference pins that the NLM VJP carries the
+// weight-derivative term: the exponential weights are smooth in the
+// input, so the exact VJP must match finite differences.
+func TestNLMVJPMatchesFiniteDifference(t *testing.T) {
+	rng := mathx.NewRNG(42)
+	x := tensor.RandU(rng, 0.2, 0.8, 1, 6, 6)
+	probe := tensor.RandN(rng, 1, 6, 6)
+	for _, f := range []Filter{NewNLM(0.2, 1, 2), NewNLM(0.35, 0, 2)} {
+		fdCheck(t, f, x, probe, []int{0, 7, 14, 22, 35}, 1e-4)
+	}
+}
+
+// TestQuantizerVJPSemantics pins the BPDA straight-through contract for
+// the two piecewise-constant defenses: the TRUE derivative is zero
+// almost everywhere (finite differences at generic points see a locally
+// constant function), which is exactly why the VJP passes the upstream
+// gradient through unchanged instead.
+func TestQuantizerVJPSemantics(t *testing.T) {
+	rng := mathx.NewRNG(43)
+	x := tensor.RandU(rng, 0.1, 0.9, 1, 8, 8)
+	u := tensor.RandN(rng, 1, 8, 8)
+	for _, f := range []Filter{NewJPEG(50), NewBitDepth(4)} {
+		// Straight-through identity on the backward pass.
+		if !tensor.EqualWithin(f.VJP(x, u), u, 0) {
+			t.Errorf("%s: VJP is not the straight-through identity", f.Name())
+		}
+		// Piecewise-constant forward: a sub-quantization-step finite
+		// difference does not move the output at a generic point.
+		base := f.Apply(x)
+		d := x.Data()
+		orig := d[17]
+		d[17] = orig + 1e-9
+		moved := f.Apply(x)
+		d[17] = orig
+		if !tensor.EqualWithin(base, moved, 0) {
+			t.Errorf("%s: output moved under a 1e-9 perturbation; not piecewise constant?", f.Name())
+		}
+	}
+}
+
+func TestBitDepthKnownValues(t *testing.T) {
+	img := tensor.FromSlice([]float64{0, 0.1, 0.49, 0.51, 0.9, 1}, 1, 2, 3)
+	out := NewBitDepth(1).Apply(img) // two levels: 0 and 1
+	want := []float64{0, 0, 0, 1, 1, 1}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Errorf("bitdepth(1)[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// 8-bit squeeze on exact 8-bit values is the identity.
+	img2 := tensor.FromSlice([]float64{0, 1.0 / 255, 128.0 / 255, 1}, 1, 2, 2)
+	if !tensor.EqualWithin(NewBitDepth(8).Apply(img2), img2, 1e-12) {
+		t.Error("bitdepth(8) moved exact 8-bit values")
+	}
+}
+
+func TestJPEGConstantBlockSurvives(t *testing.T) {
+	// The DC coefficient of a constant block is preserved up to one
+	// quantization step, so a flat image must come back close to itself.
+	img := tensor.Full(0.5, 3, 16, 16)
+	out := NewJPEG(50).Apply(img)
+	if !tensor.EqualWithin(out, img, 0.05) {
+		t.Fatalf("jpeg(50) distorted a constant image by more than one quant step")
+	}
+}
+
+func TestJPEGRemovesHighFrequencyNoise(t *testing.T) {
+	rng := mathx.NewRNG(44)
+	clean := tensor.Full(0.5, 1, 16, 16)
+	noisy := clean.Clone()
+	for i := range noisy.Data() {
+		noisy.Data()[i] = mathx.Clamp01(noisy.Data()[i] + rng.NormScaled(0, 0.04))
+	}
+	before := tensor.Sub(noisy, clean).L2Norm()
+	after := tensor.Sub(NewJPEG(10).Apply(noisy), clean).L2Norm()
+	if after >= before/2 {
+		t.Fatalf("jpeg(10) barely denoised: %v -> %v", before, after)
+	}
+}
+
+func TestJPEGQualityOrdersDistortion(t *testing.T) {
+	rng := mathx.NewRNG(45)
+	img := tensor.RandU(rng, 0, 1, 1, 16, 16)
+	d10 := tensor.Sub(NewJPEG(10).Apply(img), img).L2Norm()
+	d90 := tensor.Sub(NewJPEG(90).Apply(img), img).L2Norm()
+	if d10 <= d90 {
+		t.Fatalf("quality 10 distortion %v not above quality 90 %v", d10, d90)
+	}
+}
+
+func TestTVReducesNoiseKeepsRange(t *testing.T) {
+	rng := mathx.NewRNG(46)
+	img := tensor.RandU(rng, 0, 1, 1, 16, 16)
+	out := NewTVDenoise(0.3, 20).Apply(img)
+	if v := mathx.Variance(out.Data()); v >= mathx.Variance(img.Data()) {
+		t.Fatalf("tv did not reduce variance: %v", v)
+	}
+	if out.Min() < -1e-9 || out.Max() > 1+1e-9 {
+		t.Fatalf("tv escaped [0,1]: [%v, %v]", out.Min(), out.Max())
+	}
+}
+
+func TestTVPreservesEdgesBetterThanBox(t *testing.T) {
+	// A hard vertical edge: TV's edge-aware diffusion must keep it
+	// sharper than a plain box average of comparable smoothing.
+	size := 12
+	img := tensor.New(1, size, size)
+	for y := 0; y < size; y++ {
+		for x := size / 2; x < size; x++ {
+			img.Set(1, 0, y, x)
+		}
+	}
+	tv := NewTVDenoise(0.3, 20).Apply(img)
+	box := NewBox(1).Apply(img)
+	mid := size / 2
+	tvJump := tv.At(0, 5, mid) - tv.At(0, 5, mid-1)
+	boxJump := box.At(0, 5, mid) - box.At(0, 5, mid-1)
+	if tvJump <= boxJump {
+		t.Fatalf("tv edge jump %v not above box %v", tvJump, boxJump)
+	}
+}
+
+func TestNLMStaysInConvexHull(t *testing.T) {
+	// NLM output is a convex combination of input pixels, so it can
+	// never escape the input range (maximum principle).
+	rng := mathx.NewRNG(47)
+	img := tensor.RandU(rng, 0.3, 0.7, 3, 8, 8)
+	out := NewNLM(0.1, 1, 3).Apply(img)
+	if out.Min() < img.Min()-1e-12 || out.Max() > img.Max()+1e-12 {
+		t.Fatalf("nlm escaped the input hull: [%v, %v] vs [%v, %v]",
+			out.Min(), out.Max(), img.Min(), img.Max())
+	}
+}
+
+func TestNLMDenoisesSelfSimilarStructure(t *testing.T) {
+	// A periodic stripe pattern plus noise: NLM averages self-similar
+	// patches across the image, beating the purely local LAP at equal
+	// support.
+	rng := mathx.NewRNG(48)
+	size := 16
+	clean := tensor.New(1, size, size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			clean.Set(0.25+0.5*float64((x/2)%2), 0, y, x)
+		}
+	}
+	noisy := clean.Clone()
+	for i := range noisy.Data() {
+		noisy.Data()[i] = mathx.Clamp01(noisy.Data()[i] + rng.NormScaled(0, 0.05))
+	}
+	before := tensor.Sub(noisy, clean).L2Norm()
+	after := tensor.Sub(NewNLM(0.15, 1, 4).Apply(noisy), clean).L2Norm()
+	if after >= before {
+		t.Fatalf("nlm did not denoise: %v -> %v", before, after)
+	}
+}
+
+func TestDefenseConstructorValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"jpeg(0)":      func() { NewJPEG(0) },
+		"jpeg(101)":    func() { NewJPEG(101) },
+		"bitdepth(0)":  func() { NewBitDepth(0) },
+		"bitdepth(17)": func() { NewBitDepth(17) },
+		"tv(-1)":       func() { NewTVDenoise(-1, 5) },
+		"tv(iters=0)":  func() { NewTVDenoise(0.1, 0) },
+		"nlm(h=0)":     func() { NewNLM(0, 1, 3) },
+		"nlm(w=0)":     func() { NewNLM(0.1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTVStepStability pins the adaptive step size: even aggressive
+// lambdas keep the unrolled descent monotone (no oscillation blow-up).
+func TestTVStepStability(t *testing.T) {
+	rng := mathx.NewRNG(49)
+	img := tensor.RandU(rng, 0, 1, 1, 10, 10)
+	for _, lambda := range []float64{0.05, 0.5, 2} {
+		out := NewTVDenoise(lambda, 40).Apply(img)
+		for _, v := range out.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < -1 || v > 2 {
+				t.Fatalf("tv(lambda=%v) unstable: %v", lambda, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package filters_test
+
+import (
+	"fmt"
+
+	"repro/internal/filters"
+	"repro/internal/tensor"
+)
+
+// Building a configured filter from a spec string — the same syntax the
+// -filter CLI flags, sweep configurations and the serving API accept.
+// Name() is the canonical spec: Parse(f.Name()) rebuilds the same
+// configuration.
+func ExampleParse() {
+	f, err := filters.Parse("median(r=2)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f.Name())
+
+	// Knobs not named keep their registry defaults.
+	g, err := filters.Parse("bilateral(sc=0.2)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Name())
+
+	// Out-of-range values are usage errors, never silent clamps.
+	_, err = filters.Parse("median(r=0)")
+	fmt.Println(err != nil)
+	// Output:
+	// median(r=2)
+	// bilateral(r=2,ss=2,sc=0.2)
+	// true
+}
+
+// Composing a pre-processing chain: stages run left to right, commas
+// split at paren depth zero, and the chain's Name() round-trips.
+func ExampleParse_chain() {
+	f, err := filters.Parse("chain(median(r=1),histeq(bins=64))")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f.Name())
+
+	img := tensor.Full(0.5, 3, 8, 8)
+	out := f.Apply(img)
+	fmt.Println(out.SameShape(img))
+	// Output:
+	// chain(median(r=1),histeq(bins=64))
+	// true
+}
+
+// Chains can also be composed programmatically from constructed filters;
+// Chain{a, b} computes b(a(x)).
+func ExampleChain() {
+	chain := filters.Chain{filters.NewLAP(4), filters.NewLAR(1)}
+	fmt.Println(chain.Name())
+	// Output: chain(lap(np=4),lar(r=1))
+}
+
+// Filtering a whole batch: ApplyBatch returns one output per input, each
+// bit-identical to a per-image Apply call — heavyweight filters fan the
+// batch out over the process-wide worker pool.
+func ExampleFilter_applyBatch() {
+	f, err := filters.Parse("lap(np=8)")
+	if err != nil {
+		panic(err)
+	}
+	batch := []*tensor.Tensor{
+		tensor.Full(0.25, 3, 8, 8),
+		tensor.Full(0.75, 3, 8, 8),
+	}
+	outs := f.ApplyBatch(batch)
+	same := true
+	for i, out := range outs {
+		if !tensor.EqualWithin(out, f.Apply(batch[i]), 0) {
+			same = false
+		}
+	}
+	fmt.Println(len(outs), same)
+	// Output: 2 true
+}

@@ -1,17 +1,28 @@
-// Package filters implements the pre-processing noise filters at the heart
-// of the FAdeML paper: LAP (local average over the np nearest neighbour
-// pixels, np ∈ {4, 8, 16, 32, 64}) and LAR (local average over the
-// Euclidean disk of radius r ∈ {1..5}), plus Gaussian blur and a median
-// filter as library extensions.
+// Package filters implements the pre-processing noise-filter defenses at
+// the heart of the FAdeML paper — LAP (local average over the np nearest
+// neighbour pixels, np ∈ {4, 8, 16, 32, 64}) and LAR (local average over
+// the Euclidean disk of radius r ∈ {1..5}) — plus the classical defense
+// library grown around them: Gaussian, median, box and bilateral
+// smoothing, the Section I-C pre-processing stages (grayscale,
+// normalization, histogram equalization), and the classic adversarial-
+// defense transforms JPEG-like DCT quantization, bit-depth squeezing,
+// total-variation denoising and non-local means.
 //
-// Every filter exposes Apply (the forward pass the inference pipeline runs)
-// and VJP — the vector-Jacobian product that backpropagates a gradient
-// through the filter. VJP is what makes the FAdeML attack possible: the
-// attacker folds the filter into the differentiable pipeline and optimizes
-// the perturbation through it. For the linear average filters the VJP is
-// the exact adjoint; for the non-differentiable median filter it is the
-// BPDA identity approximation (Athalye et al.'s "backward pass
-// differentiable approximation"), documented on the type.
+// Every filter exposes Apply (the forward pass the inference pipeline
+// runs), ApplyBatch (the batched form the serving layer and the
+// experiment engine drive; bit-identical to per-image Apply) and VJP —
+// the vector-Jacobian product that backpropagates a gradient through the
+// filter. VJP is what makes the FAdeML attack possible: the attacker
+// folds the filter into the differentiable pipeline and optimizes the
+// perturbation through it. Linear filters use the exact adjoint;
+// non-differentiable ones use the BPDA straight-through approximation
+// (Athalye et al.), documented per type and in FILTERS.md.
+//
+// Filters are declarative: Parse("median(r=2)") builds a configured
+// instance, Name() renders the canonical round-trippable spec, and
+// chains compose as "chain(median(r=1),histeq(bins=64))" — the same
+// syntax the -filter CLI flags and the serving API accept. See
+// FILTERS.md for the full reference.
 package filters
 
 import (
@@ -22,10 +33,18 @@ import (
 
 // Filter is one pre-processing stage operating on CHW image tensors.
 type Filter interface {
-	// Name returns a short identifier such as "LAP(32)" or "LAR(3)".
+	// Name returns the canonical spec of the filter, such as
+	// "lap(np=32)" or "chain(median(r=1),histeq(bins=64))" — for every
+	// registry filter, Parse(Name()) reconstructs an identically
+	// configured instance.
 	Name() string
 	// Apply returns the filtered image as a new tensor (input unchanged).
 	Apply(img *tensor.Tensor) *tensor.Tensor
+	// ApplyBatch filters every image, returning one new tensor per input
+	// with out[i] bit-identical to Apply(imgs[i]). Implementations with a
+	// dedicated batched path fan out over the internal/parallel pool;
+	// SerialBatch is the loop fallback.
+	ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor
 	// VJP returns dLoss/dInput given x (the filter input at which the
 	// Jacobian is taken) and upstream = dLoss/dOutput. Linear filters
 	// ignore x.
@@ -41,6 +60,9 @@ func (Identity) Name() string { return "none" }
 // Apply implements Filter.
 func (Identity) Apply(img *tensor.Tensor) *tensor.Tensor { return img.Clone() }
 
+// ApplyBatch implements Filter.
+func (f Identity) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor { return SerialBatch(f, imgs) }
+
 // VJP implements Filter.
 func (Identity) VJP(_, upstream *tensor.Tensor) *tensor.Tensor { return upstream.Clone() }
 
@@ -49,16 +71,17 @@ func (Identity) VJP(_, upstream *tensor.Tensor) *tensor.Tensor { return upstream
 // Jacobian at the correct intermediate input.
 type Chain []Filter
 
-// Name implements Filter.
+// Name implements Filter: the canonical "chain(a,b,...)" spec (or "none"
+// for an empty chain), round-trippable through Parse when every stage is.
 func (c Chain) Name() string {
 	if len(c) == 0 {
 		return "none"
 	}
-	s := c[0].Name()
+	s := "chain(" + c[0].Name()
 	for _, f := range c[1:] {
-		s += "→" + f.Name()
+		s += "," + f.Name()
 	}
-	return s
+	return s + ")"
 }
 
 // Apply implements Filter.
@@ -69,6 +92,20 @@ func (c Chain) Apply(img *tensor.Tensor) *tensor.Tensor {
 	}
 	if out == img {
 		out = img.Clone()
+	}
+	return out
+}
+
+// ApplyBatch implements Filter stage-wise: each stage filters the whole
+// batch before the next begins, so every stage's own batched path is
+// used. Results are bit-identical to per-image Apply.
+func (c Chain) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	if len(c) == 0 {
+		return SerialBatch(Identity{}, imgs)
+	}
+	out := imgs
+	for _, f := range c {
+		out = f.ApplyBatch(out)
 	}
 	return out
 }

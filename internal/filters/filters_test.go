@@ -11,7 +11,7 @@ import (
 
 func TestLAPTapCounts(t *testing.T) {
 	for _, np := range PaperLAPSizes {
-		f := NewLAP(np).(*stencil)
+		f := NewLAP(np).(*LAP)
 		if got := f.Taps(); got != np+1 {
 			t.Errorf("LAP(%d) has %d taps, want %d (center + np)", np, got, np+1)
 		}
@@ -19,7 +19,7 @@ func TestLAPTapCounts(t *testing.T) {
 }
 
 func TestLAP4IsVonNeumannCross(t *testing.T) {
-	f := NewLAP(4).(*stencil)
+	f := NewLAP(4).(*LAP).st
 	want := map[offset]bool{{0, 0}: true, {-1, 0}: true, {1, 0}: true, {0, -1}: true, {0, 1}: true}
 	for _, o := range f.offsets {
 		if !want[o] {
@@ -33,11 +33,11 @@ func TestLAP4IsVonNeumannCross(t *testing.T) {
 }
 
 func TestLAP8IsMooreNeighborhood(t *testing.T) {
-	f := NewLAP(8).(*stencil)
+	f := NewLAP(8).(*LAP)
 	if f.Taps() != 9 {
 		t.Fatalf("LAP(8) taps = %d", f.Taps())
 	}
-	for _, o := range f.offsets {
+	for _, o := range f.st.offsets {
 		if o.dy < -1 || o.dy > 1 || o.dx < -1 || o.dx > 1 {
 			t.Fatalf("LAP(8) reaches outside 3x3: %v", o)
 		}
@@ -47,7 +47,7 @@ func TestLAP8IsMooreNeighborhood(t *testing.T) {
 func TestLARDiskSizes(t *testing.T) {
 	want := map[int]int{1: 5, 2: 13, 3: 29, 4: 49, 5: 81}
 	for _, r := range PaperLARRadii {
-		f := NewLAR(r).(*stencil)
+		f := NewLAR(r).(*LAR)
 		if got := f.Taps(); got != want[r] {
 			t.Errorf("LAR(%d) has %d taps, want %d", r, got, want[r])
 		}
@@ -234,7 +234,7 @@ func TestChainComposition(t *testing.T) {
 	if !tensor.EqualWithin(chain.Apply(img), want, 1e-12) {
 		t.Fatal("Chain.Apply is not b(a(x))")
 	}
-	if chain.Name() != "LAP(4)→LAR(1)" {
+	if chain.Name() != "chain(lap(np=4),lar(r=1))" {
 		t.Fatalf("Chain name = %q", chain.Name())
 	}
 }
@@ -309,9 +309,9 @@ func TestMedianVJPIsBPDAIdentity(t *testing.T) {
 
 func TestGaussianWeightsSumToOne(t *testing.T) {
 	for _, sigma := range []float64{0.5, 1, 2} {
-		f := NewGaussian(sigma).(*stencil)
+		f := NewGaussian(sigma).(*Gaussian)
 		sum := 0.0
-		for _, w := range f.weights {
+		for _, w := range f.st.weights {
 			sum += w
 		}
 		if !mathx.EqualWithin(sum, 1, 1e-12) {

@@ -1,0 +1,70 @@
+package filters
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The golden equivalence fixture pins the Defense API v2 redesign: every
+// pre-existing filter's Apply and VJP output, captured from the
+// pre-redesign implementations for the paper configurations (LAP
+// {4..64}, LAR {1..5}) and the library extensions, must be reproduced
+// bit-for-bit by the parameterized filters Parse builds today.
+
+type goldenFilterCase struct {
+	Spec   string    `json:"spec"`
+	Output []float64 `json:"output"`
+	VJP    []float64 `json:"vjp"`
+}
+
+type goldenFilterFile struct {
+	Shape    []int              `json:"shape"`
+	Input    []float64          `json:"input"`
+	Upstream []float64          `json:"upstream"`
+	Cases    []goldenFilterCase `json:"cases"`
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_filters.json")
+	if err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	var g goldenFilterFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("golden fixture corrupt: %v", err)
+	}
+	img := tensor.FromSlice(g.Input, g.Shape...)
+	up := tensor.FromSlice(g.Upstream, g.Shape...)
+	for _, c := range g.Cases {
+		f, err := Parse(c.Spec)
+		if err != nil {
+			t.Errorf("golden spec %q no longer parses: %v", c.Spec, err)
+			continue
+		}
+		if got := f.Apply(img).Data(); !bitIdentical(got, c.Output) {
+			t.Errorf("%s: Apply diverged from the pre-redesign output", c.Spec)
+		}
+		if got := f.VJP(img, up).Data(); !bitIdentical(got, c.VJP) {
+			t.Errorf("%s: VJP diverged from the pre-redesign output", c.Spec)
+		}
+		// The batched path must reproduce the same golden bits.
+		if got := f.ApplyBatch([]*tensor.Tensor{img, img})[1].Data(); !bitIdentical(got, c.Output) {
+			t.Errorf("%s: ApplyBatch diverged from the pre-redesign output", c.Spec)
+		}
+	}
+}
+
+func bitIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

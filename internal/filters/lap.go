@@ -1,36 +1,77 @@
 package filters
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
 
 // PaperLAPSizes are the neighbour counts evaluated in the paper's Fig. 7/9
 // sweeps (np = 4, 8, 16, 32, 64).
 var PaperLAPSizes = []int{4, 8, 16, 32, 64}
 
-// NewLAP builds the paper's "local average with neighbourhood pixels"
-// filter: each output pixel is the mean of the center pixel and its np
-// nearest neighbours (Euclidean distance, deterministic tie-breaking),
-// with replicate border handling.
+// LAP is the paper's "local average with neighbourhood pixels" filter:
+// each output pixel is the mean of the center pixel and its np nearest
+// neighbours (Euclidean distance, deterministic tie-breaking), with
+// replicate border handling.
 //
 // np=4 is the von Neumann cross, np=8 the full 3×3 Moore neighbourhood;
 // larger np grow the neighbourhood outward by distance, matching the
-// paper's np ∈ {4, 8, 16, 32, 64} sweep.
+// paper's np ∈ {4, 8, 16, 32, 64} sweep. It is a linear stencil, so its
+// VJP is the exact adjoint.
+type LAP struct {
+	np int
+	st *stencil
+}
+
+// NewLAP builds a LAP filter over the np nearest neighbour pixels.
 func NewLAP(np int) Filter {
 	if np <= 0 {
 		panic(fmt.Sprintf("filters: LAP neighbourhood %d must be positive", np))
 	}
+	f := &LAP{np: np}
+	f.rebuild()
+	return f
+}
+
+// rebuild reconstructs the stencil after a parameter change.
+func (f *LAP) rebuild() {
 	// Search radius large enough to contain np neighbours: the disk of
-	// radius R holds ~πR² pixels, so R = ceil(sqrt(np)) + 2 is generous.
+	// radius R holds ~πR² pixels, so growing from 2 terminates quickly.
 	radius := 2
-	for {
-		if len(sortedNeighborhood(radius)) >= np {
-			break
-		}
+	for len(sortedNeighborhood(radius)) < f.np {
 		radius++
 	}
-	neigh := sortedNeighborhood(radius)[:np]
+	neigh := sortedNeighborhood(radius)[:f.np]
 	offs := append([]offset{{0, 0}}, neigh...)
-	return newStencil(fmt.Sprintf("LAP(%d)", np), offs, uniformWeights(len(offs)))
+	f.st = newStencil(f.Name(), offs, uniformWeights(len(offs)))
 }
+
+// Name implements Filter: the canonical spec, e.g. "lap(np=32)".
+func (f *LAP) Name() string { return specName("lap", f.Params()) }
+
+// Taps returns the stencil tap count (np + 1 for the center).
+func (f *LAP) Taps() int { return f.st.Taps() }
+
+// Apply implements Filter.
+func (f *LAP) Apply(img *tensor.Tensor) *tensor.Tensor { return f.st.Apply(img) }
+
+// ApplyBatch implements Filter over the parallel pool.
+func (f *LAP) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor { return f.st.ApplyBatch(imgs) }
+
+// VJP implements Filter (exact adjoint).
+func (f *LAP) VJP(x, upstream *tensor.Tensor) *tensor.Tensor { return f.st.VJP(x, upstream) }
+
+// Params implements Configurable.
+func (f *LAP) Params() []Param {
+	return []Param{
+		intParam("np", "neighbours averaged with the center (paper sweep: 4, 8, 16, 32, 64)",
+			&f.np, intAtLeast(1), f.rebuild),
+	}
+}
+
+// Set implements Configurable.
+func (f *LAP) Set(name, value string) error { return setParam(f.Params(), name, value) }
 
 // NewPaperLAPs returns the five LAP configurations of the paper's sweep.
 func NewPaperLAPs() []Filter {

@@ -1,0 +1,54 @@
+package filters
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The filter library: a registry mapping canonical filter names to
+// default-configured constructors, so tools, experiments and the serving
+// layer can select defenses by name — the defense-side counterpart of the
+// attack registry.
+
+// Constructor builds a fresh filter instance with default parameters.
+type Constructor func() Filter
+
+var library = map[string]Constructor{
+	// The paper's filters.
+	"lap": func() Filter { return NewLAP(32) },
+	"lar": func() Filter { return NewLAR(3) },
+	// Classical smoothing extensions.
+	"median":    func() Filter { return NewMedian(1) },
+	"gaussian":  func() Filter { return NewGaussian(1) },
+	"box":       func() Filter { return NewBox(2) },
+	"bilateral": func() Filter { return NewBilateral(2, 2, 0.1) },
+	// Section I-C pre-processing stages.
+	"grayscale": func() Filter { return Grayscale{} },
+	"normalize": func() Filter { return NewNormalize(0.5, 0.25) },
+	"histeq":    func() Filter { return NewHistEq(256) },
+	// Classic adversarial-defense transforms (Defense API v2).
+	"jpeg":     func() Filter { return NewJPEG(50) },
+	"bitdepth": func() Filter { return NewBitDepth(5) },
+	"tv":       func() Filter { return NewTVDenoise(0.15, 15) },
+	"nlm":      func() Filter { return NewNLM(0.1, 1, 3) },
+}
+
+// New builds a default-configured filter by library name.
+func New(name string) (Filter, error) {
+	ctor, ok := library[name]
+	if !ok {
+		return nil, fmt.Errorf("filters: unknown filter %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names returns the registered filter names in sorted order. "none" and
+// "chain(...)" are grammar, not registry entries.
+func Names() []string {
+	out := make([]string, 0, len(library))
+	for name := range library {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

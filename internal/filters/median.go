@@ -25,8 +25,8 @@ func NewMedian(radius int) *Median {
 	return &Median{Radius: radius}
 }
 
-// Name implements Filter.
-func (m *Median) Name() string { return fmt.Sprintf("Median(%d)", m.Radius) }
+// Name implements Filter: the canonical spec, e.g. "median(r=1)".
+func (m *Median) Name() string { return specName("median", m.Params()) }
 
 // Apply implements Filter with replicate border handling.
 func (m *Median) Apply(img *tensor.Tensor) *tensor.Tensor {
@@ -55,6 +55,13 @@ func (m *Median) Apply(img *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ApplyBatch implements Filter with one task per image over the
+// internal/parallel pool (the sort-per-pixel forward is the most
+// expensive classical filter in the library).
+func (m *Median) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	return parallelBatch(m, imgs)
+}
+
 // VJP implements Filter using the BPDA identity: the upstream gradient is
 // passed through unchanged. This is an approximation (the true median
 // Jacobian is a sparse selection matrix), adequate for attack optimization
@@ -62,3 +69,14 @@ func (m *Median) Apply(img *tensor.Tensor) *tensor.Tensor {
 func (m *Median) VJP(_, upstream *tensor.Tensor) *tensor.Tensor {
 	return upstream.Clone()
 }
+
+// Params implements Configurable.
+func (m *Median) Params() []Param {
+	return []Param{
+		intParam("r", "window half-width in pixels; the window is (2r+1)²",
+			&m.Radius, intAtLeast(1), nil),
+	}
+}
+
+// Set implements Configurable.
+func (m *Median) Set(name, value string) error { return setParam(m.Params(), name, value) }

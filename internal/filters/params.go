@@ -1,0 +1,163 @@
+package filters
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Param describes one tunable filter knob: its spec key, documentation,
+// and closures reading and writing the underlying field. The closures
+// make the contract reflection-free — each filter binds descriptors to
+// its own struct fields, exactly like the attack API v2 contract.
+type Param struct {
+	// Name is the spec key, e.g. "r" in "median(r=2)".
+	Name string
+	// Doc is a one-line description for listings and FILTERS.md.
+	Doc string
+	// Get renders the current value in the canonical spec syntax.
+	Get func() string
+	// Set parses a spec value, validates it and assigns it. Out-of-range
+	// values are rejected with an error — never clamped, never a panic.
+	Set func(string) error
+}
+
+// Configurable is the uniform parameterization contract: a filter
+// exposes its knobs as Params descriptors and accepts spec-syntax
+// assignments through Set. Every registry filter with parameters
+// implements it, which is what lets Parse build configured instances
+// from "name(k=v,...)" specs and Name() render round-trippable
+// canonical specs.
+type Configurable interface {
+	Filter
+	// Params lists the filter's knobs in canonical spec order.
+	Params() []Param
+	// Set assigns one knob by spec key.
+	Set(name, value string) error
+}
+
+// setParam is the shared Set implementation: resolve the descriptor by
+// key and delegate to its setter.
+func setParam(ps []Param, name, value string) error {
+	for _, p := range ps {
+		if p.Name == name {
+			if err := p.Set(value); err != nil {
+				return fmt.Errorf("filters: param %s: %w", name, err)
+			}
+			return nil
+		}
+	}
+	known := make([]string, len(ps))
+	for i, p := range ps {
+		known[i] = p.Name
+	}
+	return fmt.Errorf("filters: unknown param %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// specName renders the canonical "name(k=v,...)" spec for a filter.
+// Values are formatted with full float64 round-trip precision, so
+// Parse(specName(...)) reconstructs exactly the same configuration.
+// A filter without parameters renders as its bare name.
+func specName(name string, ps []Param) string {
+	if len(ps) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('(')
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.Name)
+		sb.WriteByte('=')
+		sb.WriteString(p.Get())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// formatFloat renders v with the shortest representation that parses
+// back to the identical float64.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// intParam binds an int field. check validates the parsed value before
+// assignment; rebuild (optional) runs after assignment so filters with
+// derived state (stencil tap tables) reconstruct it.
+func intParam(name, doc string, field *int, check func(int) error, rebuild func()) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return strconv.Itoa(*field) },
+		Set: func(v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("want an integer, got %q", v)
+			}
+			if check != nil {
+				if err := check(n); err != nil {
+					return err
+				}
+			}
+			*field = n
+			if rebuild != nil {
+				rebuild()
+			}
+			return nil
+		},
+	}
+}
+
+// floatParam binds a float64 field, with the same validation/rebuild
+// contract as intParam.
+func floatParam(name, doc string, field *float64, check func(float64) error, rebuild func()) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return formatFloat(*field) },
+		Set: func(v string) error {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("want a number, got %q", v)
+			}
+			if check != nil {
+				if err := check(f); err != nil {
+					return err
+				}
+			}
+			*field = f
+			if rebuild != nil {
+				rebuild()
+			}
+			return nil
+		},
+	}
+}
+
+// intAtLeast validates n >= min.
+func intAtLeast(min int) func(int) error {
+	return func(n int) error {
+		if n < min {
+			return fmt.Errorf("must be at least %d, got %d", min, n)
+		}
+		return nil
+	}
+}
+
+// intInRange validates lo <= n <= hi.
+func intInRange(lo, hi int) func(int) error {
+	return func(n int) error {
+		if n < lo || n > hi {
+			return fmt.Errorf("must be in [%d, %d], got %d", lo, hi, n)
+		}
+		return nil
+	}
+}
+
+// floatPositive validates v > 0.
+func floatPositive() func(float64) error {
+	return func(v float64) error {
+		if !(v > 0) {
+			return fmt.Errorf("must be positive, got %v", formatFloat(v))
+		}
+		return nil
+	}
+}

@@ -6,41 +6,171 @@ import (
 	"strings"
 )
 
-// Parse converts a user-supplied filter spec — the -filter CLI flag, a
-// serving-config field — into a Filter. The grammar is KIND:PARAM with
-// KIND in LAP, LAR, MEDIAN, GAUSS, BOX (case-insensitive); "none" and ""
-// select no filtering and return (nil, nil), which pipeline.New treats as
-// Identity. Parameters are validated here so a bad spec surfaces as an
-// error at the flag boundary instead of a constructor panic mid-run.
+// Parse converts a user-supplied filter spec — the -filter CLI flags, a
+// serving-request field — into a Filter. The grammar mirrors the attack
+// spec syntax:
+//
+//	""  |  "none"                      → (nil, nil); pipeline.New treats
+//	                                     nil as Identity
+//	"median"                           → default-configured registry filter
+//	"median(r=2)"                      → registry filter with knobs set
+//	"chain(median(r=1),histeq(bins=64))" → left-to-right composition;
+//	                                     commas split at paren depth zero
+//
+// Filter.Name() renders the canonical spec, and Parse(f.Name())
+// round-trips for every registry filter and for chains of them.
+//
+// The legacy KIND:PARAM forms of the first releases (LAP:32, LAR:3,
+// MEDIAN:1, GAUSS:2, BOX:2) are still accepted and map onto the
+// equivalent canonical configuration.
+//
+// Unknown filters, unknown params and out-of-range values (median(r=0),
+// a negative Gaussian sigma) all surface as usage-style errors here, at
+// the flag/request boundary — never as a constructor panic mid-run and
+// never silently clamped.
 func Parse(spec string) (Filter, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || strings.EqualFold(spec, "none") {
 		return nil, nil
 	}
-	parts := strings.SplitN(spec, ":", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("filter spec %q: want KIND:PARAM, e.g. LAP:32 or none", spec)
+	if i := strings.IndexByte(spec, ':'); i >= 0 && !strings.ContainsAny(spec, "()=") {
+		return parseLegacy(spec, spec[:i], spec[i+1:])
 	}
-	kind := strings.ToUpper(strings.TrimSpace(parts[0]))
-	v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	name, args, err := splitSpec(spec)
 	if err != nil {
-		return nil, fmt.Errorf("filter spec %q: parameter %q is not an integer", spec, parts[1])
+		return nil, err
 	}
-	if v <= 0 {
-		return nil, fmt.Errorf("filter spec %q: parameter must be positive", spec)
+	if name == "chain" {
+		return parseChain(spec, args)
 	}
-	switch kind {
+	f, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	if args == "" {
+		return f, nil
+	}
+	cfg, ok := f.(Configurable)
+	if !ok {
+		return nil, fmt.Errorf("filters: %s accepts no parameters", name)
+	}
+	for _, kv := range splitTopLevel(args) {
+		key, value, found := strings.Cut(kv, "=")
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		if !found || key == "" || value == "" {
+			return nil, fmt.Errorf("filters: spec %q: want key=value, got %q", spec, strings.TrimSpace(kv))
+		}
+		if err := cfg.Set(key, value); err != nil {
+			return nil, fmt.Errorf("filters: spec %q: %w", spec, err)
+		}
+	}
+	return f, nil
+}
+
+// parseChain builds a Chain from the comma-separated stage list of a
+// "chain(...)" spec, parsing each stage recursively.
+func parseChain(spec, args string) (Filter, error) {
+	if strings.TrimSpace(args) == "" {
+		return nil, fmt.Errorf("filters: spec %q: chain needs at least one stage", spec)
+	}
+	var chain Chain
+	for i, stage := range splitTopLevel(args) {
+		f, err := Parse(stage)
+		if err != nil {
+			return nil, fmt.Errorf("filters: spec %q: stage %d: %w", spec, i+1, err)
+		}
+		if f == nil {
+			return nil, fmt.Errorf("filters: spec %q: stage %d is empty (drop it instead of chaining \"none\")", spec, i+1)
+		}
+		chain = append(chain, f)
+	}
+	return chain, nil
+}
+
+// parseLegacy maps the pre-v2 KIND:PARAM syntax onto the registry.
+func parseLegacy(spec, kind, param string) (Filter, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(param))
+	if err != nil {
+		return nil, fmt.Errorf("filter spec %q: parameter %q is not an integer", spec, param)
+	}
+	var name, key string
+	switch strings.ToUpper(strings.TrimSpace(kind)) {
 	case "LAP":
-		return NewLAP(v), nil
+		name, key = "lap", "np"
 	case "LAR":
-		return NewLAR(v), nil
+		name, key = "lar", "r"
 	case "MEDIAN":
-		return NewMedian(v), nil
+		name, key = "median", "r"
 	case "GAUSS":
-		return NewGaussian(float64(v)), nil
+		name, key = "gaussian", "sigma"
 	case "BOX":
-		return NewBox(v), nil
+		name, key = "box", "r"
 	default:
-		return nil, fmt.Errorf("filter spec %q: unknown kind %q (LAP|LAR|MEDIAN|GAUSS|BOX|none)", spec, parts[0])
+		return nil, fmt.Errorf("filter spec %q: unknown kind %q (LAP|LAR|MEDIAN|GAUSS|BOX|none)", spec, kind)
 	}
+	f, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.(Configurable).Set(key, strconv.Itoa(v)); err != nil {
+		return nil, fmt.Errorf("filter spec %q: %w", spec, err)
+	}
+	return f, nil
+}
+
+// splitSpec separates "name(args)" into its parts, validating the shape.
+func splitSpec(spec string) (name, args string, err error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return "", "", fmt.Errorf("filters: empty filter spec")
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if strings.ContainsAny(s, "),=:") {
+			return "", "", fmt.Errorf("filters: malformed filter spec %q", spec)
+		}
+		return strings.ToLower(s), "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("filters: filter spec %q: missing closing parenthesis", spec)
+	}
+	name = strings.ToLower(strings.TrimSpace(s[:open]))
+	if name == "" {
+		return "", "", fmt.Errorf("filters: filter spec %q has no name", spec)
+	}
+	return name, strings.TrimSpace(s[open+1 : len(s)-1]), nil
+}
+
+// splitTopLevel splits a comma-separated list at paren depth zero, so
+// nested specs like chain stages and parameter groups survive intact.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// SplitSpecs splits a comma-separated list of filter specs at top level,
+// so "chain(median(r=1),histeq(bins=64)),lap(np=8)" yields two entries.
+// Empty elements are dropped; whitespace is trimmed.
+func SplitSpecs(list string) []string {
+	var out []string
+	for _, s := range splitTopLevel(list) {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }

@@ -19,8 +19,12 @@ import (
 // It is linear, so its VJP is the exact adjoint.
 type Grayscale struct{}
 
-// Name implements Filter.
-func (Grayscale) Name() string { return "Grayscale" }
+// Name implements Filter: the canonical spec "grayscale" (no knobs).
+func (Grayscale) Name() string { return "grayscale" }
+
+// ApplyBatch implements Filter via the serial fallback (one pass over the
+// pixels; fan-out overhead would dominate).
+func (g Grayscale) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor { return SerialBatch(g, imgs) }
 
 var lumaWeights = [3]float64{0.299, 0.587, 0.114}
 
@@ -83,10 +87,22 @@ func NewNormalize(mean, std float64) *Normalize {
 	return &Normalize{TargetMean: mean, TargetStd: std, Eps: 1e-8}
 }
 
-// Name implements Filter.
-func (n *Normalize) Name() string {
-	return fmt.Sprintf("Normalize(%.2g,%.2g)", n.TargetMean, n.TargetStd)
+// Name implements Filter: the canonical spec, e.g. "normalize(mean=0.5,std=0.25)".
+func (n *Normalize) Name() string { return specName("normalize", n.Params()) }
+
+// Params implements Configurable.
+func (n *Normalize) Params() []Param {
+	return []Param{
+		floatParam("mean", "target per-image mean", &n.TargetMean, nil, nil),
+		floatParam("std", "target per-image standard deviation", &n.TargetStd, floatPositive(), nil),
+	}
 }
+
+// Set implements Configurable.
+func (n *Normalize) Set(name, value string) error { return setParam(n.Params(), name, value) }
+
+// ApplyBatch implements Filter via the serial fallback.
+func (n *Normalize) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor { return SerialBatch(n, imgs) }
 
 func (n *Normalize) stats(img *tensor.Tensor) (mean, std float64) {
 	mean = img.Mean()
@@ -139,8 +155,22 @@ func NewHistEq(bins int) *HistEq {
 	return &HistEq{Bins: bins}
 }
 
-// Name implements Filter.
-func (h *HistEq) Name() string { return fmt.Sprintf("HistEq(%d)", h.Bins) }
+// Name implements Filter: the canonical spec, e.g. "histeq(bins=256)".
+func (h *HistEq) Name() string { return specName("histeq", h.Params()) }
+
+// Params implements Configurable.
+func (h *HistEq) Params() []Param {
+	return []Param{
+		intParam("bins", "histogram resolution over [0, 1] (256 matches 8-bit pipelines)",
+			&h.Bins, intAtLeast(2), nil),
+	}
+}
+
+// Set implements Configurable.
+func (h *HistEq) Set(name, value string) error { return setParam(h.Params(), name, value) }
+
+// ApplyBatch implements Filter via the serial fallback.
+func (h *HistEq) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor { return SerialBatch(h, imgs) }
 
 // Apply implements Filter: per channel, build a Bins-bucket histogram over
 // [0, 1], form its CDF, and remap each pixel to the CDF value of its bin.

@@ -100,6 +100,17 @@ func (s *stencil) Apply(img *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ApplyBatch implements Filter with one task per image over the
+// internal/parallel pool. The tap table is built (and cached) once up
+// front so concurrent workers never race to construct it.
+func (s *stencil) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	if len(imgs) > 1 {
+		_, h, w := checkCHW(s.name, imgs[0])
+		s.tapTable(h, w)
+	}
+	return parallelBatch(s, imgs)
+}
+
 // VJP implements Filter. The stencil is linear, so the VJP is the exact
 // adjoint: each output pixel scatters its upstream gradient back to the
 // (border-clamped) input pixels it read, with the same weights.

@@ -8,6 +8,23 @@ import (
 	"repro/internal/tensor"
 )
 
+// innerStencil unwraps the stencil backing a configurable filter type.
+func innerStencil(t *testing.T, f Filter) *stencil {
+	t.Helper()
+	switch v := f.(type) {
+	case *LAP:
+		return v.st
+	case *LAR:
+		return v.st
+	case *Gaussian:
+		return v.st
+	case *Box:
+		return v.st
+	}
+	t.Fatalf("%s is not stencil-backed", f.Name())
+	return nil
+}
+
 // naiveStencilApply is the pre-cache reference implementation: clamp
 // every tap per pixel. The cached tap-table fast path must match it
 // exactly on every image size.
@@ -35,10 +52,7 @@ func naiveStencilApply(s *stencil, img *tensor.Tensor) *tensor.Tensor {
 func TestTapTableMatchesNaiveAcrossSizes(t *testing.T) {
 	rng := mathx.NewRNG(11)
 	for _, f := range []Filter{NewLAP(4), NewLAP(64), NewLAR(1), NewLAR(5), NewGaussian(1.2)} {
-		s, ok := f.(*stencil)
-		if !ok {
-			t.Fatalf("%s is not a stencil", f.Name())
-		}
+		s := innerStencil(t, f)
 		// Mixed sizes through one filter instance exercise the per-size
 		// cache, including images smaller than the stencil radius.
 		for _, hw := range [][2]int{{8, 8}, {32, 32}, {16, 24}, {3, 3}} {

@@ -49,6 +49,18 @@ func For(workers, n int, fn func(i int)) {
 	ForWorker(workers, n, func(_, i int) { fn(i) })
 }
 
+// activeFanOuts counts ForWorker calls currently running with more than
+// one worker. Nested fan-out consumers (filters.ApplyBatch inside an
+// evaluation worker) consult Active to degrade to inline serial work
+// instead of oversubscribing the CPU with workers² goroutines.
+var activeFanOuts atomic.Int64
+
+// Active reports how many multi-worker fan-outs are in flight across
+// the process. The snapshot is advisory (racy by nature): callers use
+// it only to choose between a parallel and a bit-identical serial code
+// path, so staleness affects scheduling, never results.
+func Active() int { return int(activeFanOuts.Load()) }
+
 // ForWorker is For with the worker id (in [0, effective-worker-count))
 // passed alongside the task index, so callers can address per-worker
 // resources such as cloned networks. Worker 0 is the calling goroutine.
@@ -68,6 +80,8 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 		}
 		return
 	}
+	activeFanOuts.Add(1)
+	defer activeFanOuts.Add(-1)
 
 	var next atomic.Int64
 	var panicOnce sync.Once

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/filters"
 	"repro/internal/mathx"
 	"repro/internal/tensor"
 )
@@ -86,6 +87,13 @@ func (a *Acquisition) Apply(img *tensor.Tensor) *tensor.Tensor {
 		d[i] = v
 	}
 	return out
+}
+
+// ApplyBatch implements filters.Filter via the serial fallback: capture
+// is cheap relative to filtering and inference, and each image's noise
+// stream is independent of the others.
+func (a *Acquisition) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	return filters.SerialBatch(a, imgs)
 }
 
 // noiseSeed hashes the base seed, the image shape and every pixel's bit

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// TestDeliverBatchBitIdentity pins that the batched delivery path —
+// acquisition and filter both running ApplyBatch — reproduces per-image
+// Deliver bit-for-bit under every threat model.
+func TestDeliverBatchBitIdentity(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, filters.NewLAP(8), DefaultAcquisition(21))
+	rng := mathx.NewRNG(91)
+	xs := make([]*tensor.Tensor, 5)
+	for i := range xs {
+		xs[i] = tensor.RandU(rng, 0, 1, 3, 16, 16)
+	}
+	for _, tm := range []ThreatModel{TM1, TM2, TM3} {
+		got := p.DeliverBatch(xs, tm)
+		for i, x := range xs {
+			if !tensor.EqualWithin(got[i], p.Deliver(x, tm), 0) {
+				t.Errorf("%v: DeliverBatch[%d] != Deliver", tm, i)
+			}
+		}
+	}
+}
+
+// TestDeliverGroupedBitIdentity pins the mixed-threat-model path the
+// serving micro-batches take: per-index TMs, grouped filter batching,
+// per-slot results identical to individual Deliver calls.
+func TestDeliverGroupedBitIdentity(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, filters.NewLAR(2), DefaultAcquisition(5))
+	rng := mathx.NewRNG(92)
+	tms := []ThreatModel{TM3, TM1, TM2, TM3, TM2, TM1, TM3}
+	xs := make([]*tensor.Tensor, len(tms))
+	for i := range xs {
+		xs[i] = tensor.RandU(rng, 0, 1, 3, 16, 16)
+	}
+	got := p.DeliverGrouped(xs, tms)
+	for i := range xs {
+		if !tensor.EqualWithin(got[i], p.Deliver(xs[i], tms[i]), 0) {
+			t.Errorf("DeliverGrouped[%d] (%v) != Deliver", i, tms[i])
+		}
+	}
+}
+
+func TestDeliverGroupedValidation(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, nil, nil)
+	img := tensor.Full(0.5, 3, 16, 16)
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { p.DeliverGrouped([]*tensor.Tensor{img}, nil) },
+		"bad tm":          func() { p.DeliverGrouped([]*tensor.Tensor{img}, []ThreatModel{99}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestProbsViewsMatchesProbs re-pins the ProbsViews contract on the new
+// grouped delivery path.
+func TestProbsViewsMatchesProbs(t *testing.T) {
+	net := pipelineNet(t)
+	p := New(net, filters.NewLAP(4), DefaultAcquisition(3))
+	rng := mathx.NewRNG(93)
+	x := tensor.RandU(rng, 0, 1, 3, 16, 16)
+	tms := []ThreatModel{TM1, TM3, TM2, TM3}
+	views := p.ProbsViews(x, tms...)
+	for i, tm := range tms {
+		want := p.Probs(x, tm)
+		for j := range want {
+			if views[i][j] != want[j] {
+				t.Fatalf("ProbsViews[%d] (%v) diverged from Probs", i, tm)
+			}
+		}
+	}
+}

@@ -92,21 +92,91 @@ func New(net *nn.Network, filter filters.Filter, acq *Acquisition) *Pipeline {
 // Deliver returns the tensor that reaches the DNN when the attacker-
 // controlled image x enters the pipeline under the given threat model.
 func (p *Pipeline) Deliver(x *tensor.Tensor, tm ThreatModel) *tensor.Tensor {
-	switch tm {
-	case TM1:
+	if tm == TM1 {
 		// Post-filter buffer access: the DNN sees x as-is.
 		return x.Clone()
+	}
+	return DeliverThrough(x, p.Filter, p.Acq, tm)
+}
+
+// DeliverThrough computes the filtered delivery of x for an arbitrary
+// (filter, acquisition) pair — the TM2/TM3 semantics of Deliver without
+// a Pipeline instance, so callers overriding the deployed pre-processing
+// (the serving layer's evaluate filters axis) share this one definition
+// of the delivery order. filter must be non-nil; acq may be nil.
+func DeliverThrough(x *tensor.Tensor, filter filters.Filter, acq *Acquisition, tm ThreatModel) *tensor.Tensor {
+	switch tm {
 	case TM2:
 		img := x
-		if p.Acq != nil {
-			img = p.Acq.Apply(img)
+		if acq != nil {
+			img = acq.Apply(img)
 		}
-		return p.Filter.Apply(img)
+		return filter.Apply(img)
 	case TM3:
-		return p.Filter.Apply(x)
+		return filter.Apply(x)
 	default:
 		panic(fmt.Sprintf("pipeline: unknown threat model %d", int(tm)))
 	}
+}
+
+// DeliverBatch delivers every image under tm, routing the filter (and
+// acquisition) stage through Filter.ApplyBatch so filters with a batched
+// implementation fan out over the worker pool. Element i is
+// bit-identical to Deliver(xs[i], tm).
+func (p *Pipeline) DeliverBatch(xs []*tensor.Tensor, tm ThreatModel) []*tensor.Tensor {
+	switch tm {
+	case TM1:
+		out := make([]*tensor.Tensor, len(xs))
+		for i, x := range xs {
+			out[i] = x.Clone()
+		}
+		return out
+	case TM2:
+		imgs := xs
+		if p.Acq != nil {
+			imgs = p.Acq.ApplyBatch(imgs)
+		}
+		return p.Filter.ApplyBatch(imgs)
+	case TM3:
+		return p.Filter.ApplyBatch(xs)
+	default:
+		panic(fmt.Sprintf("pipeline: unknown threat model %d", int(tm)))
+	}
+}
+
+// DeliverGrouped delivers xs[i] under tms[i] (the slices must have equal
+// length), grouping same-threat-model entries so each group's filter
+// stage runs as one ApplyBatch — the serving layer's micro-batches mix
+// threat models, and this keeps their filtering batched. Element i is
+// bit-identical to Deliver(xs[i], tms[i]).
+func (p *Pipeline) DeliverGrouped(xs []*tensor.Tensor, tms []ThreatModel) []*tensor.Tensor {
+	if len(xs) != len(tms) {
+		panic(fmt.Sprintf("pipeline: DeliverGrouped got %d images and %d threat models", len(xs), len(tms)))
+	}
+	delivered := make([]*tensor.Tensor, len(xs))
+	for _, tm := range []ThreatModel{TM1, TM2, TM3} {
+		var idx []int
+		var group []*tensor.Tensor
+		for i := range xs {
+			if tms[i] == tm {
+				idx = append(idx, i)
+				group = append(group, xs[i])
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		outs := p.DeliverBatch(group, tm)
+		for j, i := range idx {
+			delivered[i] = outs[j]
+		}
+	}
+	for i, d := range delivered {
+		if d == nil {
+			panic(fmt.Sprintf("pipeline: unknown threat model %d", int(tms[i])))
+		}
+	}
+	return delivered
 }
 
 // Probs runs the pipeline under a threat model and returns softmax
@@ -115,26 +185,23 @@ func (p *Pipeline) Probs(x *tensor.Tensor, tm ThreatModel) []float64 {
 	return p.Net.Probs(p.Deliver(x, tm))
 }
 
-// ProbsBatch delivers every image under tm and scores the whole batch
-// through one batched network forward. Row i is bit-identical to
-// Probs(xs[i], tm).
+// ProbsBatch delivers every image under tm (batched through DeliverBatch)
+// and scores the whole batch through one batched network forward. Row i
+// is bit-identical to Probs(xs[i], tm).
 func (p *Pipeline) ProbsBatch(xs []*tensor.Tensor, tm ThreatModel) [][]float64 {
-	delivered := make([]*tensor.Tensor, len(xs))
-	for i, x := range xs {
-		delivered[i] = p.Deliver(x, tm)
-	}
-	return p.Net.ProbsBatch(delivered)
+	return p.Net.ProbsBatch(p.DeliverBatch(xs, tm))
 }
 
 // ProbsViews scores one image delivered under several threat models in a
 // single batched forward — the Fig. 7/9 panel cells use it to get the
 // TM-I and TM-III views of an adversarial image in one network pass.
+// Delivery is grouped per threat model through the batched filter path.
 func (p *Pipeline) ProbsViews(x *tensor.Tensor, tms ...ThreatModel) [][]float64 {
-	delivered := make([]*tensor.Tensor, len(tms))
-	for i, tm := range tms {
-		delivered[i] = p.Deliver(x, tm)
+	xs := make([]*tensor.Tensor, len(tms))
+	for i := range tms {
+		xs[i] = x
 	}
-	return p.Net.ProbsBatch(delivered)
+	return p.Net.ProbsBatch(p.DeliverGrouped(xs, tms))
 }
 
 // Predict runs the pipeline under a threat model and returns the top

@@ -168,16 +168,16 @@ func TestAttackerModelComposition(t *testing.T) {
 	if name := p.AttackerModel(TM1).Name(); name != "none" {
 		t.Errorf("TM1 attacker model = %q", name)
 	}
-	if name := p.AttackerModel(TM3).Name(); name != "LAP(4)" {
+	if name := p.AttackerModel(TM3).Name(); name != "lap(np=4)" {
 		t.Errorf("TM3 attacker model = %q", name)
 	}
 	tm2name := p.AttackerModel(TM2).Name()
-	if !strings.Contains(tm2name, "Acq") || !strings.Contains(tm2name, "LAP(4)") {
+	if !strings.Contains(tm2name, "Acq") || !strings.Contains(tm2name, "lap(np=4)") {
 		t.Errorf("TM2 attacker model = %q", tm2name)
 	}
 	// Without acquisition, TM2 model reduces to the filter.
 	p2 := New(net, filter, nil)
-	if name := p2.AttackerModel(TM2).Name(); name != "LAP(4)" {
+	if name := p2.AttackerModel(TM2).Name(); name != "lap(np=4)" {
 		t.Errorf("TM2 without acq = %q", name)
 	}
 }

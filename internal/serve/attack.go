@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attacks"
 	"repro/internal/core"
+	"repro/internal/filters"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -14,12 +15,13 @@ import (
 // Robustness-as-a-service: the serving layer exposes the attack API v2
 // next to plain inference. /v1/attack crafts one adversarial example
 // against the deployed pipeline and /v1/evaluate sweeps fooling rates
-// over attack spec × threat model — both under a hard server-side budget
+// over attack spec × filter spec × threat model — both under a hard server-side budget
 // (Options.AttackBudget / AttackTimeout), cancellable through the request
 // context, and capped at Options.AttackWorkers concurrent crafting jobs
 // so attack traffic cannot starve the prediction pool.
 
-// maxEvalCells bounds one /v1/evaluate request's attack × tm × case grid.
+// maxEvalCells bounds one /v1/evaluate request's attack × tm × filter ×
+// case grid.
 const maxEvalCells = 256
 
 // ErrAttacksDisabled is returned when Options.AttackWorkers < 0 disabled
@@ -96,14 +98,21 @@ type EvalCase struct {
 }
 
 // EvaluateRequest describes a fooling-rate sweep: every attack spec ×
-// threat model × case cell crafts one adversarial example and measures
-// it through the deployed pipeline.
+// threat model × filter spec × case cell crafts one adversarial example
+// and measures it through the deployed pipeline.
 type EvaluateRequest struct {
 	// Specs are attack spec strings.
 	Specs []string
 	// TMs are the threat models to deliver under (default: the server's
 	// attack threat model).
 	TMs []pipeline.ThreatModel
+	// Filters are filter spec strings overriding the deployed
+	// pre-processing per series ("none" measures the unfiltered
+	// deployment; "chain(...)" composes). Empty sweeps the deployed
+	// filter only. Filter-blind crafting (FilterAware false) runs once
+	// per attack × case and is shared across this axis — cells of the
+	// same example echo the same Queries/Truncated accounting.
+	Filters []string
 	// Cases are the scenarios (default: Options.EvalCases).
 	Cases []EvalCase
 	// FilterAware crafts filter-aware (FAdeML) instead of filter-blind.
@@ -116,6 +125,9 @@ type EvalCell struct {
 	Attack string `json:"attack"`
 	// TM is the delivery threat model of the deployed measurement.
 	TM pipeline.ThreatModel `json:"-"`
+	// Filter is the canonical Name() of the pre-processing the cell was
+	// measured through (the deployed filter unless overridden).
+	Filter string `json:"filter"`
 	// Source and Target are the case classes.
 	Source int `json:"source"`
 	Target int `json:"target"`
@@ -133,10 +145,11 @@ type EvalCell struct {
 	Queries   int  `json:"queries"`
 }
 
-// EvalSummary aggregates one attack × threat model series.
+// EvalSummary aggregates one attack × threat model × filter series.
 type EvalSummary struct {
 	Attack string               `json:"attack"`
 	TM     pipeline.ThreatModel `json:"-"`
+	Filter string               `json:"filter"`
 	// FoolingRate is fooled cells / cells.
 	FoolingRate float64 `json:"fooling_rate"`
 	// Truncated counts budget-cut crafting runs in the series.
@@ -182,42 +195,136 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 	if len(cases) == 0 {
 		return nil, errors.New("serve: evaluate needs cases (none in the request, none configured)")
 	}
-	if cells := len(req.Specs) * len(tms) * len(cases); cells > maxEvalCells {
+	// The filters axis: each entry overrides the deployed pre-processing
+	// for one series; a nil entry keeps the deployment as-is.
+	flts := []filters.Filter{nil}
+	if len(req.Filters) > 0 {
+		flts = make([]filters.Filter, len(req.Filters))
+		for i, spec := range req.Filters {
+			f, err := filters.Parse(spec)
+			if err != nil {
+				return nil, err
+			}
+			if f == nil {
+				f = filters.Identity{}
+			}
+			flts[i] = f
+		}
+	}
+	if cells := len(req.Specs) * len(tms) * len(flts) * len(cases); cells > maxEvalCells {
 		return nil, fmt.Errorf("serve: evaluate grid of %d cells exceeds the %d-cell cap", cells, maxEvalCells)
 	}
 
 	res := &EvaluateResult{}
+	// A filter-blind crafted example depends only on (spec, case) — the
+	// measured filter and delivery model never enter the optimization —
+	// so one crafting run is shared across the tm × filter axes instead
+	// of re-spending the attack budget per series. Filter-aware crafting
+	// folds AttackerModel(tm) into the attack and is per-cell.
+	type craftKey struct {
+		spec    string
+		caseIdx int
+	}
+	crafted := map[craftKey]*craftedCell{}
 	for _, spec := range req.Specs {
 		for _, tm := range tms {
-			summary := EvalSummary{TM: tm}
-			for _, ec := range cases {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+			for _, flt := range flts {
+				summary := EvalSummary{TM: tm}
+				for ci, ec := range cases {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					var pre *craftedCell
+					if !req.FilterAware {
+						pre = crafted[craftKey{spec, ci}]
+					}
+					cell, cc, err := s.evaluateCell(ctx, spec, tm, flt, ec, req.FilterAware, pre)
+					if err != nil {
+						return nil, fmt.Errorf("serve: evaluate %s under %v on %d→%d: %w",
+							spec, tm, ec.Source, ec.Target, err)
+					}
+					if !req.FilterAware {
+						crafted[craftKey{spec, ci}] = cc
+					}
+					summary.Attack = cell.Attack
+					summary.Filter = cell.Filter
+					summary.Cells++
+					if cell.Fooled {
+						summary.FoolingRate++
+					}
+					if cell.Truncated {
+						summary.Truncated++
+					}
+					res.Cells = append(res.Cells, *cell)
 				}
-				cell, err := s.evaluateCell(ctx, spec, tm, ec, req.FilterAware)
-				if err != nil {
-					return nil, fmt.Errorf("serve: evaluate %s under %v on %d→%d: %w",
-						spec, tm, ec.Source, ec.Target, err)
-				}
-				summary.Attack = cell.Attack
-				summary.Cells++
-				if cell.Fooled {
-					summary.FoolingRate++
-				}
-				if cell.Truncated {
-					summary.Truncated++
-				}
-				res.Cells = append(res.Cells, *cell)
+				summary.FoolingRate /= float64(summary.Cells)
+				res.Summaries = append(res.Summaries, summary)
 			}
-			summary.FoolingRate /= float64(summary.Cells)
-			res.Summaries = append(res.Summaries, summary)
 		}
 	}
 	return res, nil
 }
 
-// evaluateCell crafts and measures one grid cell.
-func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.ThreatModel, ec EvalCase, aware bool) (*EvalCell, error) {
+// craftedCell carries the cell-invariant parts of one filter-blind
+// crafting run — the attack result, its canonical name and its TM-I
+// (unfiltered) measurement — so Evaluate shares them across the
+// tm × filter axes instead of re-crafting and re-measuring.
+type craftedCell struct {
+	name string
+	out  *attacks.Result
+	tm1  Prediction
+}
+
+// evaluateCell crafts (unless pre carries a reusable filter-blind
+// result) and measures one grid cell. flt overrides the deployed
+// pre-processing for this cell; nil keeps the deployment. The crafting
+// bundle is returned alongside the cell so Evaluate can share it across
+// the tm × filter axes.
+func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, pre *craftedCell) (*EvalCell, *craftedCell, error) {
+	if pre == nil {
+		cc, err := s.craftCell(ctx, spec, tm, flt, ec, aware)
+		if err != nil {
+			return nil, nil, err
+		}
+		pre = cc
+	}
+	out := pre.out
+	filterName := s.filter.Name()
+	var dep Prediction
+	var err error
+	if flt == nil {
+		dep, err = s.Predict(ctx, out.Adversarial, tm)
+	} else {
+		filterName = flt.Name()
+		dep, err = s.Predict(ctx, pipeline.DeliverThrough(out.Adversarial, flt, s.acq, tm), pipeline.TM1)
+		dep.TM = tm
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	fooled := dep.Class != ec.Source
+	if ec.Target != attacks.Untargeted {
+		fooled = dep.Class == ec.Target
+	}
+	return &EvalCell{
+		Attack:       pre.name,
+		TM:           tm,
+		Filter:       filterName,
+		Source:       ec.Source,
+		Target:       ec.Target,
+		TM1Pred:      pre.tm1.Class,
+		TM1Conf:      pre.tm1.Prob,
+		DeployedPred: dep.Class,
+		DeployedConf: dep.Prob,
+		Fooled:       fooled,
+		Truncated:    out.Truncated,
+		Queries:      out.Queries,
+	}, pre, nil
+}
+
+// craftCell runs one crafting job on an attacker slot and measures the
+// result's TM-I view through the prediction pool.
+func (s *Server) craftCell(ctx context.Context, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool) (*craftedCell, error) {
 	atk, err := attacks.Parse(spec)
 	if err != nil {
 		return nil, err
@@ -230,47 +337,37 @@ func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.Thre
 	if err != nil {
 		return nil, err
 	}
+	pipe := a.pipe
+	if flt != nil {
+		// Filter override: same attacker-slot network (the slot is held
+		// exclusively), different pre-processing in front of it.
+		pipe = pipeline.New(a.pipe.Net, flt, a.pipe.Acq)
+	}
 	craftCtx, cancel := s.attackContext(ctx)
 	craftCtx = attacks.WithBudget(craftCtx, s.opts.AttackBudget)
 	gen := atk
 	if aware {
-		gen = attacks.NewFAdeML(atk, a.pipe.AttackerModel(tm))
+		gen = attacks.NewFAdeML(atk, pipe.AttackerModel(tm))
 	}
 	goal := attacks.Goal{Source: ec.Source, Target: ec.Target}
-	cls := attacks.NetClassifier{Net: a.pipe.Net}
+	cls := attacks.NetClassifier{Net: pipe.Net}
 	out, err := gen.Generate(craftCtx, cls, img, goal)
 	cancel()
 	release()
 	if err != nil {
 		return nil, err
 	}
-	// Deployed-side measurement through the micro-batching pool: the
-	// TM-I (unfiltered) and filtered views of the crafted example.
+	// The TM-I (unfiltered) measurement streams through the
+	// micro-batching pool and is cell-invariant, so it is cached with
+	// the crafting result. The per-cell deployed-side measurement also
+	// uses the pool: with a filter override, delivery runs on this
+	// goroutine and Net(DeliverThrough(x, ...)) is exactly the TM-I
+	// view of the delivered tensor.
 	tm1, err := s.Predict(ctx, out.Adversarial, pipeline.TM1)
 	if err != nil {
 		return nil, err
 	}
-	dep, err := s.Predict(ctx, out.Adversarial, tm)
-	if err != nil {
-		return nil, err
-	}
-	fooled := dep.Class != ec.Source
-	if goal.IsTargeted() {
-		fooled = dep.Class == ec.Target
-	}
-	return &EvalCell{
-		Attack:       atk.Name(),
-		TM:           tm,
-		Source:       ec.Source,
-		Target:       ec.Target,
-		TM1Pred:      tm1.Class,
-		TM1Conf:      tm1.Prob,
-		DeployedPred: dep.Class,
-		DeployedConf: dep.Prob,
-		Fooled:       fooled,
-		Truncated:    out.Truncated,
-		Queries:      out.Queries,
-	}, nil
+	return &craftedCell{name: atk.Name(), out: out, tm1: tm1}, nil
 }
 
 // attackTM resolves a requested threat model for attack execution: only

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/filters"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Defense-as-a-service: the serving layer exposes the filter library next
+// to inference and the robustness endpoints. Defend (/v1/defend) runs one
+// image through a spec'd filter chain — the deployed filter by default —
+// and Evaluate's filters axis sweeps fooling rates over attack spec ×
+// filter spec × threat model (see attack.go).
+
+// DefendRequest describes one server-side filtering job.
+type DefendRequest struct {
+	// Image is the CHW image to filter (must match the model input shape).
+	Image *tensor.Tensor
+	// Spec is the filter spec, e.g. "median(r=2)" or
+	// "chain(median(r=1),histeq(bins=64))". Empty selects the deployed
+	// filter; "none" is the explicit no-op.
+	Spec string
+	// Predict also scores the filtered image through the micro-batching
+	// prediction pool (the deployed model's view of the defended input).
+	Predict bool
+}
+
+// DefendResult is the outcome of one Defend call.
+type DefendResult struct {
+	// Filter is the canonical Name() of the filter that ran.
+	Filter string
+	// Filtered is the filtered image (caller-owned).
+	Filtered *tensor.Tensor
+	// Prediction is the deployed model's classification of the filtered
+	// image; nil unless DefendRequest.Predict was set.
+	Prediction *Prediction
+}
+
+// Defend filters one image through a spec'd chain. Filtering runs on the
+// request goroutine (it is pure CPU work with no model state); the
+// optional prediction of the filtered image coalesces with live traffic
+// through the micro-batching pool.
+func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, error) {
+	select {
+	case <-s.done:
+		return nil, ErrServerClosed
+	default:
+	}
+	if req.Image == nil {
+		return nil, errors.New("serve: nil image")
+	}
+	if err := s.validate(req.Image, pipeline.TM1); err != nil {
+		return nil, err
+	}
+	f := s.filter
+	if req.Spec != "" {
+		parsed, err := filters.Parse(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if parsed == nil {
+			parsed = filters.Identity{}
+		}
+		f = parsed
+	}
+	res := &DefendResult{Filter: f.Name(), Filtered: f.Apply(req.Image)}
+	if req.Predict {
+		pred, err := s.Predict(ctx, res.Filtered, pipeline.TM1)
+		if err != nil {
+			return nil, err
+		}
+		res.Prediction = &pred
+	}
+	return res, nil
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// TestDefendMatchesDirectApply pins the core Defend guarantee: the
+// served filtering of an image is bit-identical to a direct
+// filters.Parse + Apply of the same spec.
+func TestDefendMatchesDirectApply(t *testing.T) {
+	s := New(servePipeline(t), Options{Workers: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	defer s.Close()
+	img := gtsrb.Canonical(3, 16)
+	for _, spec := range []string{
+		"median(r=1)",
+		"chain(median(r=1),histeq(bins=64))",
+		"bitdepth(bits=4)",
+		"none",
+	} {
+		out, err := s.Defend(context.Background(), DefendRequest{Image: img, Spec: spec})
+		if err != nil {
+			t.Fatalf("Defend(%q): %v", spec, err)
+		}
+		f, err := filters.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == nil {
+			f = filters.Identity{}
+		}
+		if out.Filter != f.Name() {
+			t.Errorf("Defend(%q) reported filter %q, want %q", spec, out.Filter, f.Name())
+		}
+		if !tensor.EqualWithin(out.Filtered, f.Apply(img), 0) {
+			t.Errorf("Defend(%q) diverged from a direct Apply", spec)
+		}
+	}
+}
+
+// TestDefendDefaultsToDeployedFilter pins that an empty spec selects the
+// deployed pipeline's filter.
+func TestDefendDefaultsToDeployedFilter(t *testing.T) {
+	pipe := servePipeline(t) // deploys lap(np=8)
+	s := New(pipe, Options{Workers: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	defer s.Close()
+	img := gtsrb.Canonical(2, 16)
+	out, err := s.Defend(context.Background(), DefendRequest{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Filter != pipe.Filter.Name() {
+		t.Fatalf("default Defend filter %q, want deployed %q", out.Filter, pipe.Filter.Name())
+	}
+	if !tensor.EqualWithin(out.Filtered, pipe.Filter.Apply(img), 0) {
+		t.Fatal("default Defend diverged from the deployed filter")
+	}
+}
+
+// TestDefendPredicts pins the predict path: the returned prediction is
+// the deployed model's unfiltered view of the already-filtered image.
+func TestDefendPredicts(t *testing.T) {
+	pipe := servePipeline(t)
+	s := New(pipe, Options{Workers: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	defer s.Close()
+	img := gtsrb.Canonical(7, 16)
+	out, err := s.Defend(context.Background(), DefendRequest{Image: img, Spec: "lar(r=1)", Predict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Prediction == nil {
+		t.Fatal("Predict requested but no prediction returned")
+	}
+	probs := pipe.Net.Probs(out.Filtered)
+	if out.Prediction.Probs[out.Prediction.Class] != probs[out.Prediction.Class] {
+		t.Fatal("Defend prediction diverged from a direct forward on the filtered image")
+	}
+}
+
+func TestDefendErrors(t *testing.T) {
+	s := New(servePipeline(t), Options{Workers: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	img := gtsrb.Canonical(1, 16)
+	if _, err := s.Defend(context.Background(), DefendRequest{Image: nil, Spec: "lap"}); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := s.Defend(context.Background(), DefendRequest{Image: tensor.Full(0.5, 3, 7, 7), Spec: "lap"}); err == nil {
+		t.Error("wrong-shape image accepted")
+	}
+	if _, err := s.Defend(context.Background(), DefendRequest{Image: img, Spec: "median(r=0)"}); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	s.Close()
+	if _, err := s.Defend(context.Background(), DefendRequest{Image: img, Spec: "lap"}); err != ErrServerClosed {
+		t.Errorf("closed server returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestEvaluateFiltersAxis pins the filters axis: one sweep over
+// attack × filter produces one series per filter with the overridden
+// filter measured, and the "none" series sees the unfiltered deployment
+// (for this fixture, deployed == TM-I view ⇒ the crafted attack fools).
+func TestEvaluateFiltersAxis(t *testing.T) {
+	s := attackServer(t, attacks.Budget{MaxQueries: 400})
+	defer s.Close()
+	res, err := s.Evaluate(context.Background(), EvaluateRequest{
+		Specs:   []string{"fgsm(eps=0.1)"},
+		TMs:     []pipeline.ThreatModel{pipeline.TM3},
+		Filters: []string{"none", "median(r=1)", "chain(lap(np=8),bitdepth(bits=5))"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFilters := []string{"none", "median(r=1)", "chain(lap(np=8),bitdepth(bits=5))"}
+	if len(res.Summaries) != len(wantFilters) {
+		t.Fatalf("got %d summaries, want %d", len(res.Summaries), len(wantFilters))
+	}
+	for i, sm := range res.Summaries {
+		if sm.Filter != wantFilters[i] {
+			t.Errorf("summary %d filter = %q, want %q", i, sm.Filter, wantFilters[i])
+		}
+		if sm.Cells != 1 {
+			t.Errorf("summary %d cells = %d, want 1", i, sm.Cells)
+		}
+	}
+	for _, cell := range res.Cells {
+		if cell.TM != pipeline.TM3 {
+			t.Errorf("cell TM = %v", cell.TM)
+		}
+	}
+	// The "none" series measures the raw adversarial image: deployed view
+	// equals the TM-I view by construction.
+	none := res.Cells[0]
+	if none.DeployedPred != none.TM1Pred {
+		t.Errorf("unfiltered series deployed pred %d != TM-I pred %d", none.DeployedPred, none.TM1Pred)
+	}
+}
+
+// TestEvaluateFiltersAxisCellCap pins that the filters axis participates
+// in the grid cap.
+func TestEvaluateFiltersAxisCellCap(t *testing.T) {
+	s := attackServer(t, attacks.Budget{MaxQueries: 10})
+	defer s.Close()
+	flts := make([]string, maxEvalCells+1)
+	for i := range flts {
+		flts[i] = "none"
+	}
+	_, err := s.Evaluate(context.Background(), EvaluateRequest{
+		Specs:   []string{"fgsm"},
+		Filters: flts,
+	})
+	if err == nil {
+		t.Fatal("oversize filter grid accepted")
+	}
+}
+
+// TestEvaluateFiltersAxisBadSpec pins up-front spec validation.
+func TestEvaluateFiltersAxisBadSpec(t *testing.T) {
+	s := attackServer(t, attacks.Budget{MaxQueries: 10})
+	defer s.Close()
+	_, err := s.Evaluate(context.Background(), EvaluateRequest{
+		Specs:   []string{"fgsm"},
+		Filters: []string{"median(r=0)"},
+	})
+	if err == nil {
+		t.Fatal("malformed filter spec accepted")
+	}
+}
+
+// TestDefendHTTP exercises POST /v1/defend end to end, including the
+// filter-name echo and the predict path.
+func TestDefendHTTP(t *testing.T) {
+	s := attackServer(t, attacks.Budget{MaxQueries: 50})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	body := imgPayload(3)
+	body["filter"] = "chain(median(r=1),histeq(bins=64))"
+	body["predict"] = true
+	resp, data := postJSON(t, ts.URL+"/v1/defend", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("defend status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Filter string    `json:"filter"`
+		Pixels []float64 `json:"pixels"`
+		Shape  []int     `json:"shape"`
+		Class  *int      `json:"class"`
+		Prob   *float64  `json:"prob"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Filter != "chain(median(r=1),histeq(bins=64))" {
+		t.Errorf("filter echo = %q", out.Filter)
+	}
+	if len(out.Pixels) != 3*16*16 || len(out.Shape) != 3 {
+		t.Errorf("filtered image missing: %d pixels, shape %v", len(out.Pixels), out.Shape)
+	}
+	if out.Class == nil || out.Prob == nil {
+		t.Error("predict=true returned no prediction")
+	}
+
+	// Malformed spec → 400.
+	bad := imgPayload(3)
+	bad["filter"] = "median(r=0)"
+	resp, _ = postJSON(t, ts.URL+"/v1/defend", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed spec status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEvaluateHTTPFiltersAxis exercises the filters field of
+// POST /v1/evaluate end to end.
+func TestEvaluateHTTPFiltersAxis(t *testing.T) {
+	s := attackServer(t, attacks.Budget{MaxQueries: 300})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	resp, data := postJSON(t, ts.URL+"/v1/evaluate", map[string]any{
+		"attacks": []string{"fgsm(eps=0.1)"},
+		"tms":     []string{"3"},
+		"filters": []string{"none", "lap(np=8)"},
+		"cases":   []map[string]any{{"source": 3, "target": 1}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Cells []struct {
+			Filter string `json:"filter"`
+			TM     string `json:"tm"`
+		} `json:"cells"`
+		Summaries []struct {
+			Filter      string  `json:"filter"`
+			FoolingRate float64 `json:"fooling_rate"`
+		} `json:"summaries"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 2 || len(out.Summaries) != 2 {
+		t.Fatalf("got %d cells / %d summaries, want 2 / 2", len(out.Cells), len(out.Summaries))
+	}
+	if out.Cells[0].Filter != "none" || out.Cells[1].Filter != "lap(np=8)" {
+		t.Errorf("cell filters = %q, %q", out.Cells[0].Filter, out.Cells[1].Filter)
+	}
+	if out.Cells[0].TM != "TM-III" {
+		t.Errorf("cell tm = %q", out.Cells[0].TM)
+	}
+}

@@ -80,19 +80,75 @@ func toResponse(p Prediction, withProbs bool) predictResponse {
 //
 //	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …], "tm": "3"}
+//	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
-//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "cases": [{"source":14,"target":1}]}
+//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [{"source":14,"target":1}]}
 //	GET  /v1/healthz        liveness + configuration echo
 //	GET  /v1/stats          serving counters (Stats)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/defend", s.handleDefend)
 	mux.HandleFunc("/v1/attack", s.handleAttack)
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// defendHTTPRequest is the /v1/defend body: one image and a filter spec
+// (empty selects the deployed filter; "none" is the explicit no-op).
+type defendHTTPRequest struct {
+	imagePayload
+	Filter string `json:"filter,omitempty"`
+	// Predict also classifies the filtered image.
+	Predict bool `json:"predict,omitempty"`
+	// ReturnPixels echoes the filtered image in the response (default
+	// true; set "return_pixels": false to save bandwidth when only
+	// predicting).
+	ReturnPixels *bool `json:"return_pixels,omitempty"`
+}
+
+// defendHTTPResponse is the /v1/defend reply.
+type defendHTTPResponse struct {
+	Filter string    `json:"filter"`
+	Pixels []float64 `json:"pixels,omitempty"`
+	Shape  []int     `json:"shape,omitempty"`
+	Class  *int      `json:"class,omitempty"`
+	Label  string    `json:"label,omitempty"`
+	Prob   *float64  `json:"prob,omitempty"`
+}
+
+func (s *Server) handleDefend(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req defendHTTPRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	img, err := req.tensor()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.Defend(r.Context(), DefendRequest{Image: img, Spec: req.Filter, Predict: req.Predict})
+	if err != nil {
+		writePredictError(w, err)
+		return
+	}
+	resp := defendHTTPResponse{Filter: out.Filter}
+	if req.ReturnPixels == nil || *req.ReturnPixels {
+		resp.Pixels = out.Filtered.Data()
+		resp.Shape = out.Filtered.Shape()
+	}
+	if out.Prediction != nil {
+		resp.Class = &out.Prediction.Class
+		resp.Label = out.Prediction.Label
+		resp.Prob = &out.Prediction.Prob
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // attackHTTPRequest is the /v1/attack body. Pixels/Shape are optional:
@@ -209,8 +265,11 @@ type evalHTTPCase struct {
 
 // evalHTTPRequest is the /v1/evaluate body.
 type evalHTTPRequest struct {
-	Attacks []string       `json:"attacks"`
-	TMs     []string       `json:"tms,omitempty"`
+	Attacks []string `json:"attacks"`
+	TMs     []string `json:"tms,omitempty"`
+	// Filters are filter specs overriding the deployed pre-processing
+	// per series; empty sweeps the deployed filter only.
+	Filters []string       `json:"filters,omitempty"`
 	Cases   []evalHTTPCase `json:"cases,omitempty"`
 	Aware   bool           `json:"aware,omitempty"`
 }
@@ -259,6 +318,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	out, err := s.Evaluate(r.Context(), EvaluateRequest{
 		Specs:       req.Attacks,
 		TMs:         tms,
+		Filters:     req.Filters,
 		Cases:       cases,
 		FilterAware: req.Aware,
 	})
@@ -376,6 +436,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"attack_workers":     s.opts.AttackWorkers,
 			"attack_max_queries": s.opts.AttackBudget.MaxQueries,
 			"attack_timeout_ms":  float64(s.opts.AttackTimeout) / float64(time.Millisecond),
+			"filter":             s.filter.Name(),
 		})
 	}
 }

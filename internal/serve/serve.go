@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/attacks"
+	"repro/internal/filters"
 	"repro/internal/mathx"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
@@ -179,6 +180,10 @@ func (p *pending) answer(r reply) {
 type Server struct {
 	opts    Options
 	inShape []int
+	// filter and acq echo the deployed pipeline's pre-processing stages
+	// for the defense endpoints (Defend, the Evaluate filters axis).
+	filter filters.Filter
+	acq    *pipeline.Acquisition
 
 	queue   chan *pending
 	batches chan []*pending
@@ -217,6 +222,8 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		inShape: p.Net.InputShape(),
+		filter:  p.Filter,
+		acq:     p.Acq,
 		queue:   make(chan *pending, 4*opts.MaxBatch),
 		batches: make(chan []*pending, opts.Workers),
 		done:    make(chan struct{}),
@@ -490,11 +497,15 @@ func (s *Server) process(wp *pipeline.Pipeline, batch []*pending) {
 	if len(batch) == 0 {
 		return
 	}
-	delivered := make([]*tensor.Tensor, len(batch))
+	// Delivery is grouped per threat model so the filter stage runs as one
+	// Filter.ApplyBatch per TM present in the micro-batch; results are
+	// bit-identical to per-image Deliver calls.
+	imgs := make([]*tensor.Tensor, len(batch))
+	tms := make([]pipeline.ThreatModel, len(batch))
 	for i, p := range batch {
-		delivered[i] = wp.Deliver(p.img, p.tm)
+		imgs[i], tms[i] = p.img, p.tm
 	}
-	rows := wp.Net.ProbsBatch(delivered)
+	rows := wp.Net.ProbsBatch(wp.DeliverGrouped(imgs, tms))
 	now := time.Now()
 	// Counters update before the replies go out so a client that reads
 	// Stats right after its response sees its own batch accounted for.

@@ -55,6 +55,29 @@ func (m Metrics) String() string {
 		m.N, 100*m.Top1, 100*m.Top5, 100*m.MeanConfidence)
 }
 
+// BatchTransform maps one evaluation mini-batch to the tensors actually
+// scored: imgs are the raw samples, idx their dataset indices (parallel
+// slices). It is the batched counterpart of the per-image transform hook
+// and is what routes evaluation through Filter.ApplyBatch /
+// Pipeline.DeliverBatch. The returned slice must have len(imgs) entries;
+// entry i replaces imgs[i]. Implementations must be pure per sample so
+// parallel evaluation stays bit-identical to serial.
+type BatchTransform func(imgs []*tensor.Tensor, idx []int) []*tensor.Tensor
+
+// perImage adapts a per-image transform to the batched contract.
+func perImage(transform func(*tensor.Tensor, int) *tensor.Tensor) BatchTransform {
+	if transform == nil {
+		return nil
+	}
+	return func(imgs []*tensor.Tensor, idx []int) []*tensor.Tensor {
+		out := make([]*tensor.Tensor, len(imgs))
+		for i, img := range imgs {
+			out[i] = transform(img, idx[i])
+		}
+		return out
+	}
+}
+
 // Evaluate runs the network over every sample of ds (optionally transformed)
 // and returns aggregate metrics. transform may be nil; otherwise each image
 // is passed through it before inference — the hook the experiment harness
@@ -69,6 +92,40 @@ func Evaluate(net *nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *
 	return EvaluateWorkers(net, ds, transform, 0)
 }
 
+// EvaluateBatch is Evaluate with a batched transform: each evaluation
+// mini-batch passes through transform as a whole, so filter stages run
+// their ApplyBatch path instead of image-at-a-time Apply.
+func EvaluateBatch(net *nn.Network, ds Dataset, transform BatchTransform) Metrics {
+	return EvaluateBatchWorkers(net, ds, transform, 0)
+}
+
+// EvaluateBatchWorkers is EvaluateBatch with an explicit worker count
+// (<= 0 selects parallel.Workers(); 1 runs serially).
+func EvaluateBatchWorkers(net *nn.Network, ds Dataset, transform BatchTransform, workers int) Metrics {
+	return EvaluateOnBatch(evalNets(net, ds, workers), ds, transform)
+}
+
+// evalNets builds the worker networks for one evaluation: net itself
+// plus weight-sharing clones.
+func evalNets(net *nn.Network, ds Dataset, workers int) []*nn.Network {
+	n := ds.Len()
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	nets := make([]*nn.Network, workers)
+	nets[0] = net
+	for w := 1; w < workers; w++ {
+		nets[w] = net.Clone()
+	}
+	return nets
+}
+
 // EvaluateWorkers is Evaluate with an explicit worker count (<= 0 selects
 // parallel.Workers(); 1 runs serially on the calling goroutine). Workers
 // beyond the first run on weight-sharing clones of net (nn.Network.Clone),
@@ -77,22 +134,10 @@ func Evaluate(net *nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *
 // EvaluateOn with a reused clone set — this convenience clones afresh
 // per call.
 func EvaluateWorkers(net *nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *tensor.Tensor, workers int) Metrics {
-	n := ds.Len()
-	if n == 0 {
+	if ds.Len() == 0 {
 		return Metrics{}
 	}
-	if workers <= 0 {
-		workers = parallel.Workers()
-	}
-	if workers > n {
-		workers = n
-	}
-	nets := make([]*nn.Network, workers)
-	nets[0] = net
-	for w := 1; w < workers; w++ {
-		nets[w] = net.Clone()
-	}
-	return EvaluateOn(nets, ds, transform)
+	return EvaluateOnBatch(evalNets(net, ds, workers), ds, perImage(transform))
 }
 
 // EvaluateOn evaluates using caller-supplied worker networks — nets[0]
@@ -102,8 +147,17 @@ func EvaluateWorkers(net *nn.Network, ds Dataset, transform func(*tensor.Tensor,
 // non-empty; len(nets) bounds the worker count, and each entry is only
 // ever used by one goroutine per call.
 func EvaluateOn(nets []*nn.Network, ds Dataset, transform func(*tensor.Tensor, int) *tensor.Tensor) Metrics {
+	return EvaluateOnBatch(nets, ds, perImage(transform))
+}
+
+// EvaluateOnBatch is EvaluateOn with a batched transform hook: each
+// worker mini-batch is handed to transform as a whole (raw samples plus
+// their dataset indices) before the batched forward pass — the path the
+// Fig. 7/9 curve sweeps use to run filter delivery through
+// Pipeline.DeliverBatch. transform may be nil (clean evaluation).
+func EvaluateOnBatch(nets []*nn.Network, ds Dataset, transform BatchTransform) Metrics {
 	if len(nets) == 0 {
-		panic("train: EvaluateOn needs at least one network")
+		panic("train: EvaluateOnBatch needs at least one network")
 	}
 	var m Metrics
 	n := ds.Len()
@@ -133,20 +187,28 @@ func EvaluateOn(nets []*nn.Network, ds Dataset, transform func(*tensor.Tensor, i
 		imgs[w] = make([]*tensor.Tensor, 0, evalBatchSize)
 		labels[w] = make([]int, 0, evalBatchSize)
 	}
+	idxs := make([][]int, workers)
+	for w := range idxs {
+		idxs[w] = make([]int, 0, evalBatchSize)
+	}
 	parallel.ForWorker(workers, chunks, func(worker, chunk int) {
 		lo := chunk * evalBatchSize
 		hi := lo + evalBatchSize
 		if hi > n {
 			hi = n
 		}
-		batch, lab := imgs[worker][:0], labels[worker][:0]
+		batch, lab, idx := imgs[worker][:0], labels[worker][:0], idxs[worker][:0]
 		for i := lo; i < hi; i++ {
 			img, label := ds.Sample(i)
-			if transform != nil {
-				img = transform(img, i)
-			}
 			batch = append(batch, img)
 			lab = append(lab, label)
+			idx = append(idx, i)
+		}
+		if transform != nil {
+			batch = transform(batch, idx)
+			if len(batch) != hi-lo {
+				panic("train: batch transform changed the batch length")
+			}
 		}
 		rows := nets[worker].ProbsBatch(batch)
 		for i := lo; i < hi; i++ {
