@@ -383,7 +383,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 		{"unbatched", 1},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			s := NewServer(pipe, ServeOptions{MaxBatch: cfg.maxBatch, MaxWait: 2 * time.Millisecond})
+			// Cache off (the workload repeats one image) and admission
+			// unbounded (32 clients per CPU is deliberate overload): the
+			// benchmark measures the batching path, not the survivability
+			// layer.
+			s := NewServer(pipe, ServeOptions{
+				MaxBatch: cfg.maxBatch, MaxWait: 2 * time.Millisecond,
+				CacheSize: -1, InteractiveLimit: -1,
+			})
 			defer s.Close()
 			ctx := context.Background()
 			b.SetParallelism(32)

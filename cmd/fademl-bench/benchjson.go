@@ -3,10 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -101,12 +105,20 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		},
 		// serve / serve_unbatched measure the micro-batching service under
 		// concurrent clients on the full TM-II path; the occupancy metric
-		// shows how much coalescing happened (1.0 = none possible).
+		// shows how much coalescing happened (1.0 = none possible). Both
+		// disable the result cache — the workload repeats one image, and a
+		// cache hit would bypass the batching path entirely.
 		"serve": func(b *testing.B) {
-			benchServe(b, env, clean, 16)
+			benchServe(b, env, clean, 16, -1)
 		},
 		"serve_unbatched": func(b *testing.B) {
-			benchServe(b, env, clean, 1)
+			benchServe(b, env, clean, 1, -1)
+		},
+		// serve_cached measures the same workload with the content-addressed
+		// cache on: after the first miss every request is a hit, so this is
+		// the hit path's ns/op.
+		"serve_cached": func(b *testing.B) {
+			benchServe(b, env, clean, 16, 0)
 		},
 		"fig7": func(b *testing.B) {
 			b.ReportAllocs()
@@ -148,6 +160,18 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		if name == "" {
 			continue
 		}
+		if name == "overload" {
+			// The tail-latency runner is a scenario, not a b.N loop: it
+			// reports predict p99 unloaded vs. overloaded (bulk lane at 2×
+			// capacity, one of two inference workers killed).
+			fmt.Fprintln(os.Stderr, "benchmarking overload...")
+			r := overloadBenchResult(env, clean)
+			report.Benchmarks = append(report.Benchmarks, r)
+			fmt.Fprintf(os.Stderr, "  overload: p99 %.2fms unloaded → %.2fms overloaded (%.1fx), %d bulk sheds\n",
+				r.Metrics["p99_unloaded_ms"], r.Metrics["p99_overloaded_ms"],
+				r.Metrics["overload_ratio"], int(r.Metrics["bulk_shed"]))
+			continue
+		}
 		if name == "filters" {
 			// The filter micro-benchmarks emit one entry per registered
 			// filter (per-image ns/op + batched speedup) instead of a
@@ -163,7 +187,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		}
 		fn, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, serve, serve_unbatched, fig7, fig9, filters)", name)
+			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, overload, fig7, fig9, filters)", name)
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		r := testing.Benchmark(fn)
@@ -252,14 +276,21 @@ func filterBenchResults() []benchResult {
 	return out
 }
 
-// benchServe is the shared body of the serve / serve_unbatched runners:
-// 32 concurrent clients per CPU against one Server on the TM-II path —
-// enough standing load to keep flush-on-full the dominant trigger.
-func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch int) {
+// benchServe is the shared body of the serve* runners: 32 concurrent
+// clients per CPU against one Server on the TM-II path — enough standing
+// load to keep flush-on-full the dominant trigger. cacheSize follows the
+// ServeOptions convention (0 default, -1 disabled).
+func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch, cacheSize int) {
 	b.ReportAllocs()
 	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
 	pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
-	s := fademl.NewServer(pipe, fademl.ServeOptions{MaxBatch: maxBatch, MaxWait: 2 * time.Millisecond})
+	// InteractiveLimit -1: the runner measures batching throughput with
+	// 32 standing clients per CPU — under the default admission bound
+	// (4×workers×MaxBatch) the unbatched variant would shed, not queue.
+	s := fademl.NewServer(pipe, fademl.ServeOptions{
+		MaxBatch: maxBatch, MaxWait: 2 * time.Millisecond,
+		CacheSize: cacheSize, InteractiveLimit: -1,
+	})
 	defer s.Close()
 	ctx := context.Background()
 	b.SetParallelism(32)
@@ -276,4 +307,85 @@ func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch int)
 	st := s.Stats()
 	b.ReportMetric(st.MeanBatchOccupancy, "mean_batch_occupancy")
 	b.ReportMetric(st.P99LatencyMs, "p99_latency_ms")
+	if cacheSize >= 0 {
+		b.ReportMetric(st.Cache.HitRate, "cache_hit_rate")
+	}
+}
+
+// overloadBenchResult measures serving survivability as a trajectory
+// point: interactive predict p99 alone, then with the bulk lane held at
+// 2× its admission capacity by live crafting jobs and one of the two
+// inference workers killed mid-run. The excess bulk load must shed.
+func overloadBenchResult(env *fademl.Env, img *fademl.Tensor) benchResult {
+	const bulkLimit = 2
+	chaos := &fademl.ServeChaos{}
+	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
+	s := fademl.NewServer(pipe, fademl.ServeOptions{
+		Workers: 2, MaxBatch: 8, MaxWait: 500 * time.Microsecond,
+		AttackWorkers: 2, BulkLimit: bulkLimit,
+		CacheSize: -1, Chaos: chaos,
+	})
+	defer s.Close()
+	ctx := context.Background()
+
+	const samples = 40
+	measure := func() time.Duration {
+		ds := make([]time.Duration, samples)
+		for i := range ds {
+			start := time.Now()
+			if _, err := s.Predict(ctx, img, fademl.TM2); err != nil {
+				return -1
+			}
+			ds[i] = time.Since(start)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[(samples-1)*99/100]
+	}
+
+	measure() // warm-up
+	unloaded := measure()
+
+	var stop atomic.Bool
+	var shed, completed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 2*bulkLimit; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				_, err := s.Attack(ctx, fademl.ServeAttackRequest{
+					Spec: "pgd(eps=0.05,steps=400)", Image: img, Source: 0,
+				})
+				if errors.Is(err, fademl.ErrServeOverloaded) {
+					shed.Add(1)
+					time.Sleep(time.Millisecond)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(time.Millisecond) {
+		if st := s.Stats().Bulk; st.Depth >= bulkLimit && shed.Load() > 0 {
+			break
+		}
+	}
+	chaos.KillWorkers(1)
+	loaded := measure()
+	stop.Store(true)
+	wg.Wait()
+
+	return benchResult{
+		Name:       "overload",
+		Iterations: samples,
+		NsPerOp:    float64(loaded.Nanoseconds()),
+		Metrics: map[string]float64{
+			"p99_unloaded_ms":   float64(unloaded.Nanoseconds()) / 1e6,
+			"p99_overloaded_ms": float64(loaded.Nanoseconds()) / 1e6,
+			"overload_ratio":    float64(loaded) / float64(unloaded),
+			"bulk_shed":         float64(shed.Load()),
+			"bulk_completed":    float64(completed.Load()),
+		},
+	}
 }

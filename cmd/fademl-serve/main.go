@@ -10,6 +10,13 @@
 //	fademl-serve [-addr :8080] [-profile tiny] [-filter 'lap(np=32)'] [-tm 2]
 //	             [-workers N] [-max-batch 16] [-max-wait 2ms]
 //	             [-attack-workers 1] [-attack-max-queries 5000] [-attack-timeout 30s]
+//	             [-predict-deadline 500ms] [-defend-deadline 2s] [-evaluate-timeout 2m]
+//	             [-interactive-limit 0] [-bulk-limit 0] [-result-cache 4096]
+//	             [-write-timeout 5m] [-drain-timeout 0] [-drain-grace 2s]
+//
+//	fademl-serve -front http://h1:8080,http://h2:8080,http://h3:8080
+//	             [-addr :8080] [-probe-interval 1s] [-eject-after 3]
+//	             [-front-retries 2] [-hedge 0]
 //
 // Endpoints:
 //
@@ -18,27 +25,26 @@
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
 //	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [...]}
-//	GET  /v1/healthz        liveness + configuration
-//	GET  /v1/stats          requests, batches, mean batch occupancy, p50/p99 latency
+//	GET  /v1/healthz        liveness (503 draining, "degraded" while shedding)
+//	GET  /v1/stats          requests, batches, lanes, cache, latency
+//	GET  /metrics           Prometheus text exposition
 //
-// The -filter flag takes a filter spec — a registry name, a
-// parameterized form like 'median(r=2)', a chain
-// 'chain(median(r=1),histeq(bins=64))', or "none" (the legacy LAP:32
-// forms still work). /v1/defend filters request images through any such
-// spec, and /v1/evaluate sweeps fooling rates over attack spec × filter
-// spec × threat model.
+// Survivability: requests pass bounded admission lanes — interactive
+// (predict/defend) and bulk (attack/evaluate) — and load beyond a lane's
+// limit is shed immediately with 429 + Retry-After instead of queuing.
+// Per-route deadlines (-predict-deadline, -defend-deadline,
+// -evaluate-timeout) bound how long any request holds resources; hits in
+// the content-addressed result cache (-result-cache entries; -1
+// disables) are answered bit-identically with no worker time. The
+// process drains gracefully on SIGINT/SIGTERM: healthz flips to 503 so
+// front doors stop routing here, new requests are refused, in-flight
+// requests complete, then the batching service shuts down.
 //
-// The robustness endpoints craft adversarial examples against the served
-// pipeline under a hard server-side budget (-attack-max-queries /
-// -attack-timeout) on a bounded pool of crafting slots
-// (-attack-workers; -1 disables the endpoints). A request that exhausts
-// the budget still answers with its best-so-far example, marked
-// "truncated". Omitted pixels render the canonical source-class sign;
-// omitted cases default to the paper's five scenario payloads.
-//
-// The process drains gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight requests complete, then the batching service shuts
-// down.
+// -front mode turns the binary into the multi-replica front door
+// instead: a consistent-hash router over the listed backends with
+// health-probe-driven ejection/readmission, bounded jittered retries on
+// transport failures only (never on a received response), and optional
+// hedging (-hedge > 0).
 package main
 
 import (
@@ -51,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,7 +78,33 @@ func main() {
 	attackWorkers := flag.Int("attack-workers", 1, "concurrent server-side attack crafting slots (-1 disables /v1/attack and /v1/evaluate)")
 	attackMaxQueries := flag.Int("attack-max-queries", 5000, "hard per-request attack budget in classifier evaluations")
 	attackTimeout := flag.Duration("attack-timeout", 30*time.Second, "hard per-request attack wall-clock cap")
+	predictDeadline := flag.Duration("predict-deadline", 500*time.Millisecond, "server-side /v1/predict deadline (0 disables)")
+	defendDeadline := flag.Duration("defend-deadline", 2*time.Second, "server-side /v1/defend deadline (0 disables)")
+	evaluateTimeout := flag.Duration("evaluate-timeout", 2*time.Minute, "server-side /v1/evaluate wall-clock cap (0 disables)")
+	interactiveLimit := flag.Int("interactive-limit", 0, "interactive lane admission bound (0 auto: 4×workers×max-batch; -1 unbounded)")
+	bulkLimit := flag.Int("bulk-limit", 0, "bulk lane admission bound (0 auto: 4×attack-workers; -1 unbounded)")
+	resultCache := flag.Int("result-cache", 0, "content-addressed result cache entries (0 auto: 4096; -1 disables)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP response write bound (must exceed the slowest route)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "max wait for in-flight requests on shutdown (0 auto: evaluate-timeout + 5s, at least 30s)")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second, "window between failing healthz and closing the listener, so front doors observe the 503 and stop routing")
+	frontOf := flag.String("front", "", "run as multi-replica front door over these comma-separated backend URLs instead of serving a model")
+	probeInterval := flag.Duration("probe-interval", time.Second, "front: health-check cadence")
+	ejectAfter := flag.Int("eject-after", 3, "front: consecutive probe failures that eject a replica")
+	frontRetries := flag.Int("front-retries", 2, "front: max retries on other replicas after a transport failure")
+	hedge := flag.Duration("hedge", 0, "front: duplicate a slow safe request to the next replica after this delay (0 disables)")
 	flag.Parse()
+
+	httpTimeouts := fademl.HTTPTimeouts{Write: *writeTimeout}
+
+	if *frontOf != "" {
+		runFront(*addr, strings.Split(*frontOf, ","), httpTimeouts, fademl.FrontOptions{
+			ProbeInterval: *probeInterval,
+			EjectAfter:    *ejectAfter,
+			MaxRetries:    *frontRetries,
+			Hedge:         *hedge,
+		})
+		return
+	}
 
 	// Validate user input at the flag boundary: a bad spec is a usage
 	// error with a message, never a panic from deep inside the pipeline.
@@ -105,28 +138,25 @@ func main() {
 		evalCases[i] = fademl.EvalCase{Source: sc.Source, Target: sc.Target}
 	}
 	srv := fademl.NewServer(pipe, fademl.ServeOptions{
-		Workers:       *workers,
-		MaxBatch:      *maxBatch,
-		MaxWait:       *maxWait,
-		DefaultTM:     tm,
-		ClassName:     gtsrb.ClassName,
-		AttackWorkers: *attackWorkers,
-		AttackBudget:  fademl.Budget{MaxQueries: *attackMaxQueries},
-		AttackTimeout: *attackTimeout,
-		Render:        gtsrb.Canonical,
-		EvalCases:     evalCases,
+		Workers:          *workers,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		DefaultTM:        tm,
+		ClassName:        gtsrb.ClassName,
+		AttackWorkers:    *attackWorkers,
+		AttackBudget:     fademl.Budget{MaxQueries: *attackMaxQueries},
+		AttackTimeout:    *attackTimeout,
+		Render:           gtsrb.Canonical,
+		EvalCases:        evalCases,
+		PredictDeadline:  *predictDeadline,
+		DefendDeadline:   *defendDeadline,
+		EvaluateTimeout:  *evaluateTimeout,
+		InteractiveLimit: *interactiveLimit,
+		BulkLimit:        *bulkLimit,
+		CacheSize:        *resultCache,
 	})
 
-	httpSrv := &http.Server{
-		Addr:    *addr,
-		Handler: srv.Handler(),
-		// A long-running service must not let slow clients pin connection
-		// goroutines forever (slowloris); prediction bodies are small, so
-		// tight read bounds are safe.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
+	httpSrv := fademl.NewHTTPServer(*addr, srv.Handler(), httpTimeouts)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -146,7 +176,25 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Print("fademl-serve: signal received, draining...")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain order matters: flip healthz to 503 and refuse new work
+		// first (front doors and load balancers stop routing here), then
+		// drain the listener (in-flight HTTP requests complete), then
+		// stop the batching service. The drain window must cover the
+		// slowest admitted route — an in-flight evaluate sweep — or
+		// shutdown cuts its connection mid-response.
+		srv.BeginDrain()
+		// Keep the listener open for a grace window: Shutdown kills idle
+		// keep-alive connections and refuses new ones immediately, so
+		// without it no probe would ever observe the 503.
+		time.Sleep(*drainGrace)
+		wait := *drainTimeout
+		if wait <= 0 {
+			wait = *evaluateTimeout + 5*time.Second
+			if min := 30 * time.Second; wait < min {
+				wait = min
+			}
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), wait)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("fademl-serve: shutdown: %v", err)
@@ -154,8 +202,50 @@ func main() {
 	}
 	srv.Close()
 	st := srv.Stats()
-	log.Printf("fademl-serve: done — %d requests in %d batches (mean occupancy %.2f, p50 %.2fms, p99 %.2fms)",
-		st.Requests, st.Batches, st.MeanBatchOccupancy, st.P50LatencyMs, st.P99LatencyMs)
+	log.Printf("fademl-serve: done — %d requests in %d batches (mean occupancy %.2f, p50 %.2fms, p99 %.2fms); "+
+		"lanes interactive %d/%d shed, bulk %d/%d shed; cache %.0f%% hit",
+		st.Requests, st.Batches, st.MeanBatchOccupancy, st.P50LatencyMs, st.P99LatencyMs,
+		st.Interactive.Shed, st.Interactive.Admitted, st.Bulk.Shed, st.Bulk.Admitted,
+		100*st.Cache.HitRate)
+}
+
+// runFront runs the binary as the multi-replica front door.
+func runFront(addr string, backends []string, t fademl.HTTPTimeouts, opts fademl.FrontOptions) {
+	for i := range backends {
+		backends[i] = strings.TrimRight(strings.TrimSpace(backends[i]), "/")
+	}
+	opts.Backends = backends
+	f, err := fademl.NewFront(opts)
+	if err != nil {
+		usageError(err)
+	}
+	httpSrv := fademl.NewHTTPServer(addr, f.Handler(), t)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("fademl-front: routing %d backends on %s (probe %v, eject after %d, retries %d, hedge %v)",
+		len(backends), addr, opts.ProbeInterval, opts.EjectAfter, opts.MaxRetries, opts.Hedge)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("fademl-front: signal received, draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("fademl-front: shutdown: %v", err)
+		}
+	}
+	f.Close()
+	for _, r := range f.Snapshot() {
+		log.Printf("fademl-front: %s healthy=%v proxied=%d errs=%d ejections=%d",
+			r.URL, r.Healthy, r.Proxied, r.Errs, r.Ejections)
+	}
 }
 
 func usageError(err error) {

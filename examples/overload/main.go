@@ -1,0 +1,422 @@
+// Command overload drives a fademl serving deployment past its
+// admission capacity on purpose and checks that it survives honestly:
+// excess load is shed with 429 + Retry-After (never queued unboundedly),
+// interactive latency for admitted requests stays bounded while the bulk
+// lane is saturated at ~2× capacity, cache and shed counters show up on
+// /metrics, and — in multi-replica mode — a killed replica is ejected,
+// traffic flows on, and the replica is readmitted when it recovers.
+//
+// Self-host a single deliberately small replica (default):
+//
+//	go run ./examples/overload
+//
+// Self-host a 3-replica cluster behind the consistent-hash front door,
+// killing and reviving one replica mid-overload:
+//
+//	go run ./examples/overload -replicas 3
+//
+// The process exits non-zero if any survivability property fails, so CI
+// can use it as the overload smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fademl "repro"
+	"repro/internal/gtsrb"
+)
+
+// lane capacity of the self-hosted replicas: small on purpose so a
+// laptop-scale run actually sheds.
+const (
+	interactiveLimit = 8
+	bulkLimit        = 2
+	batchStall       = 5 * time.Millisecond // injected per-batch stall: a "slow accelerator"
+)
+
+func main() {
+	replicas := flag.Int("replicas", 1, "self-hosted replicas (>1 adds the front door and a kill/revive cycle)")
+	clients := flag.Int("clients", 0, "concurrent interactive clients (0 auto: 2× aggregate lane capacity)")
+	duration := flag.Duration("duration", 3*time.Second, "overload phase length")
+	flag.Parse()
+
+	cluster, err := newCluster(*replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.shutdown()
+	if *clients <= 0 {
+		*clients = 2 * interactiveLimit * *replicas
+	}
+	bulkClients := 2 * bulkLimit * *replicas
+
+	size := cluster.size
+
+	// Unique image per request index: the content cache stays on (its
+	// counters are part of what this harness checks) without turning the
+	// whole run into cache hits.
+	payload := func(i int) []byte {
+		im := gtsrb.Canonical(i%gtsrb.NumClasses, size).Clone()
+		im.ScaleInPlace(1 - float64(i%9973)*1e-7)
+		b, _ := json.Marshal(map[string]any{"pixels": im.Data(), "shape": im.Shape(), "tm": "2"})
+		return b
+	}
+
+	// Phase 0: prove a cache hit end to end (same bytes twice).
+	warm := payload(0)
+	for i := 0; i < 2; i++ {
+		if code, _, err := post(cluster.base, warm); err != nil || code != http.StatusOK {
+			log.Fatalf("warm-up predict: code %d err %v", code, err)
+		}
+	}
+
+	// Phase 1: unloaded baseline, sequential.
+	fmt.Printf("overload: baseline (sequential, per-batch stall %v)...\n", batchStall)
+	var baseline []time.Duration
+	for i := 1; i <= 40; i++ {
+		start := time.Now()
+		code, _, err := post(cluster.base, payload(i))
+		if err != nil || code != http.StatusOK {
+			log.Fatalf("baseline predict %d: code %d err %v", i, code, err)
+		}
+		baseline = append(baseline, time.Since(start))
+	}
+	baseP99 := percentile(baseline, 0.99)
+	fmt.Printf("  predict p50 %v  p99 %v\n", percentile(baseline, 0.50), baseP99)
+
+	// Phase 2: overload. ~2× interactive capacity in closed-loop predict
+	// clients, 2× bulk capacity in attack clients, and — mid-phase — a
+	// killed inference worker (single replica) or a killed-and-revived
+	// replica (cluster mode).
+	fmt.Printf("overload: %d interactive + %d bulk clients for %v...\n", *clients, bulkClients, *duration)
+	var (
+		ok429, okPred, failed atomic.Uint64
+		missingRetryAfter     atomic.Uint64
+		bulkShed, bulkOK      atomic.Uint64
+		latMu                 sync.Mutex
+		latencies             []time.Duration
+	)
+	stopAt := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stopAt); i++ {
+				start := time.Now()
+				code, hdr, err := post(cluster.base, payload(1000+c*100000+i))
+				switch {
+				case err != nil:
+					failed.Add(1)
+				case code == http.StatusOK:
+					okPred.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, time.Since(start))
+					latMu.Unlock()
+				case code == http.StatusTooManyRequests:
+					ok429.Add(1)
+					if hdr.Get("Retry-After") == "" {
+						missingRetryAfter.Add(1)
+					}
+					time.Sleep(2 * time.Millisecond) // honour the shed: back off
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < bulkClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{
+				"attack": "pgd(eps=0.05,steps=400)", "source": c % gtsrb.NumClasses,
+			})
+			for time.Now().Before(stopAt) {
+				resp, err := http.Post(cluster.base+"/v1/attack", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					bulkShed.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				} else {
+					bulkOK.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Fault injection at one third of the phase; recovery at two thirds.
+	time.AfterFunc(*duration/3, cluster.injectFault)
+	time.AfterFunc(2**duration/3, cluster.recoverFault)
+	wg.Wait()
+
+	loadedP99 := percentile(latencies, 0.99)
+	fmt.Printf("  predict: %d ok, %d shed (429), %d failed — p99 %v\n", okPred.Load(), ok429.Load(), failed.Load(), loadedP99)
+	fmt.Printf("  attack:  %d ok, %d shed (429)\n", bulkOK.Load(), bulkShed.Load())
+
+	// Lane and cache counters live on the replicas; the front door's
+	// /metrics is its own routing telemetry. Scrape every backend and sum.
+	var sb strings.Builder
+	for _, b := range cluster.backends {
+		sb.WriteString(fetch(b + "/metrics"))
+	}
+	metrics := sb.String()
+	for _, name := range []string{
+		`fademl_lane_admitted_total{lane="interactive"}`,
+		`fademl_lane_shed_total{lane="interactive"}`,
+		`fademl_lane_admitted_total{lane="bulk"}`,
+		`fademl_lane_shed_total{lane="bulk"}`,
+		"fademl_cache_hits_total",
+		"fademl_cache_misses_total",
+	} {
+		fmt.Printf("  %s %g\n", name, metricValue(metrics, name))
+	}
+
+	// Survivability verdict.
+	bound := 5 * baseP99
+	if floor := 500 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	fail := false
+	check := func(cond bool, format string, args ...any) {
+		if !cond {
+			fail = true
+			fmt.Printf("FAIL: "+format+"\n", args...)
+		}
+	}
+	check(ok429.Load() > 0, "2× overload produced no interactive 429s")
+	check(missingRetryAfter.Load() == 0, "%d sheds lacked a Retry-After header", missingRetryAfter.Load())
+	check(bulkShed.Load() > 0, "2× bulk overload produced no bulk 429s")
+	check(failed.Load() == 0, "%d interactive requests failed outright", failed.Load())
+	check(okPred.Load() > 0 && loadedP99 <= bound,
+		"interactive p99 %v under overload exceeds bound %v (baseline %v)", loadedP99, bound, baseP99)
+	check(strings.Contains(metrics, `fademl_lane_shed_total{lane="interactive"}`), "/metrics missing interactive shed counter")
+	check(strings.Contains(metrics, "fademl_cache_hits_total"), "/metrics missing cache counters")
+	check(metricValue(metrics, `fademl_lane_shed_total{lane="interactive"}`) > 0, "interactive shed counter is zero on /metrics")
+	check(metricValue(metrics, "fademl_cache_hits_total") > 0, "cache hit counter is zero on /metrics despite a warm repeat")
+	cluster.verdict(check)
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("overload: all survivability checks passed")
+}
+
+// cluster is the self-hosted deployment under test: one replica, or N
+// replicas behind a front door with a killable member.
+type cluster struct {
+	base     string
+	backends []string // replica base URLs (lane/cache metrics live here)
+	size     int      // model input side length; payloads must match
+	servers  []*fademl.Server
+	https    []*http.Server
+	chaos    []*fademl.ServeChaos
+	front    *fademl.Front
+	killable *killSwitch
+	close    []func()
+}
+
+// killSwitch wraps a replica's handler; down means hijack-and-close
+// every connection — what a crashed process looks like on the wire —
+// while the listener survives so the replica can "come back".
+type killSwitch struct {
+	h    http.Handler
+	down atomic.Bool
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.down.Load() {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+func newCluster(n int) (*cluster, error) {
+	env, err := fademl.NewEnv(fademl.ProfileTiny(), "testdata/cache", os.Stdout)
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{size: env.Profile.Size}
+	backends := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		chaos := &fademl.ServeChaos{}
+		chaos.SetBatchDelay(batchStall)
+		acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+		pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
+		srv := fademl.NewServer(pipe, fademl.ServeOptions{
+			Workers: 2, MaxBatch: 8, MaxWait: time.Millisecond,
+			ClassName: gtsrb.ClassName, AttackWorkers: 1,
+			InteractiveLimit: interactiveLimit, BulkLimit: bulkLimit,
+			PredictDeadline: 5 * time.Second,
+			Render:          gtsrb.Canonical,
+			Chaos:           chaos,
+		})
+		var handler http.Handler = srv.Handler()
+		if n > 1 && i == 0 {
+			c.killable = &killSwitch{h: handler}
+			handler = c.killable
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := fademl.NewHTTPServer("", handler, fademl.HTTPTimeouts{})
+		go hs.Serve(ln)
+		c.servers = append(c.servers, srv)
+		c.https = append(c.https, hs)
+		c.chaos = append(c.chaos, chaos)
+		backends = append(backends, "http://"+ln.Addr().String())
+	}
+	c.backends = backends
+	if n == 1 {
+		c.base = backends[0]
+		return c, nil
+	}
+	// Probe cadence is deliberately not too aggressive: a 50ms probe
+	// timeout falsely ejects healthy-but-loaded replicas whose healthz
+	// answer queues behind the batch stall.
+	f, err := fademl.NewFront(fademl.FrontOptions{
+		Backends:      backends,
+		ProbeInterval: 200 * time.Millisecond,
+		EjectAfter:    3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.front = f
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := fademl.NewHTTPServer("", f.Handler(), fademl.HTTPTimeouts{})
+	go hs.Serve(ln)
+	c.https = append(c.https, hs)
+	c.base = "http://" + ln.Addr().String()
+	return c, nil
+}
+
+// injectFault kills something mid-overload: replica 0 in cluster mode,
+// one inference worker on the lone replica otherwise.
+func (c *cluster) injectFault() {
+	if c.killable != nil {
+		fmt.Println("  chaos: killing replica 0")
+		c.killable.down.Store(true)
+		return
+	}
+	fmt.Println("  chaos: killing 1 of 2 inference workers")
+	c.chaos[0].KillWorkers(1)
+}
+
+func (c *cluster) recoverFault() {
+	if c.killable != nil {
+		fmt.Println("  chaos: reviving replica 0")
+		c.killable.down.Store(false)
+	}
+}
+
+// verdict adds the cluster-mode assertions: the killed replica was
+// ejected and then readmitted.
+func (c *cluster) verdict(check func(bool, string, ...any)) {
+	if c.front == nil {
+		return
+	}
+	snap := c.front.Snapshot()
+	check(snap[0].Ejections > 0, "killed replica was never ejected: %+v", snap[0])
+	check(snap[0].Healthy, "revived replica was not readmitted: %+v", snap[0])
+	for _, r := range snap {
+		fmt.Printf("  replica %s healthy=%v proxied=%d errs=%d ejections=%d\n",
+			r.URL, r.Healthy, r.Proxied, r.Errs, r.Ejections)
+	}
+}
+
+// shutdown drains every replica the way production would: refuse new
+// work, drain the listener, stop the batcher.
+func (c *cluster) shutdown() {
+	if c.front != nil {
+		c.front.Close()
+	}
+	for _, srv := range c.servers {
+		srv.BeginDrain()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, hs := range c.https {
+		hs.Shutdown(ctx)
+	}
+	for _, srv := range c.servers {
+		srv.Close()
+	}
+}
+
+// post sends one predict request; returns status code and headers.
+func post(base string, body []byte) (int, http.Header, error) {
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header, nil
+}
+
+func fetch(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// metricValue sums a sample across Prometheus text output — which here
+// may be the concatenation of several replicas' scrapes.
+func metricValue(text, name string) float64 {
+	total, seen := 0.0, false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			fmt.Sscanf(line[len(name)+1:], "%g", &v)
+			total += v
+			seen = true
+		}
+	}
+	if !seen {
+		return -1
+	}
+	return total
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}

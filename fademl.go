@@ -64,12 +64,14 @@ package fademl
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/analysis"
 	"repro/internal/attacks"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/filters"
+	"repro/internal/front"
 	"repro/internal/gtsrb"
 	"repro/internal/nn"
 	"repro/internal/parallel"
@@ -163,6 +165,24 @@ type (
 	ServeDefendRequest = serve.DefendRequest
 	// ServeDefendResult is the outcome of a server-side filtering job.
 	ServeDefendResult = serve.DefendResult
+	// ServeChaos injects controlled faults into a Server: delayed
+	// batches, killed workers, failed batches.
+	ServeChaos = serve.Chaos
+	// LaneStats is one admission lane's snapshot (depth, limit, sheds).
+	LaneStats = serve.LaneStats
+	// CacheStats is the content-addressed result cache's snapshot.
+	CacheStats = serve.CacheStats
+	// HTTPTimeouts bounds the lifecycle phases of served HTTP
+	// connections (slow-loris hardening).
+	HTTPTimeouts = serve.HTTPTimeouts
+	// Front is the multi-replica front door: a consistent-hash router
+	// with health-driven ejection and bounded retries.
+	Front = front.Front
+	// FrontOptions configures a Front (backends, probing, retries,
+	// hedging).
+	FrontOptions = front.Options
+	// ReplicaHealth is one routed replica's health snapshot.
+	ReplicaHealth = front.ReplicaHealth
 )
 
 // Threat models of the paper's Fig. 2.
@@ -351,6 +371,32 @@ func ParseFilter(spec string) (Filter, error) { return filters.Parse(spec) }
 // cmd/fademl-serve) or call Predict/PredictBatch in-process; stop with
 // Close.
 func NewServer(p *Pipeline, opts ServeOptions) *Server { return serve.New(p, opts) }
+
+// Serving survivability errors, matchable with errors.Is: an admission
+// lane shed the request (429 on the wire) or the server is draining
+// ahead of shutdown (503).
+var (
+	ErrServeOverloaded = serve.ErrOverloaded
+	ErrServeDraining   = serve.ErrDraining
+)
+
+// NewFront starts the multi-replica front door: a consistent-hash
+// router over N fademl-serve backends with health-check-driven ejection
+// and readmission, bounded jittered retries on transport failure only,
+// and optional hedging. Serve HTTP with f.Handler() (see
+// cmd/fademl-serve -front) and stop with Close.
+func NewFront(opts FrontOptions) (*Front, error) { return front.New(opts) }
+
+// NewHTTPServer builds an http.Server hardened against slow clients:
+// every connection phase — header read, body read, response write,
+// keep-alive idle — is bounded (see HTTPTimeouts; the zero value
+// selects DefaultHTTPTimeouts).
+func NewHTTPServer(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	return serve.NewHTTPServer(addr, h, t)
+}
+
+// DefaultHTTPTimeouts is the hardened serving default for NewHTTPServer.
+func DefaultHTTPTimeouts() HTTPTimeouts { return serve.DefaultHTTPTimeouts() }
 
 // Execute crafts an adversarial example for the scenario source→target and
 // measures it against the deployed pipeline under the run's threat model.

@@ -1,0 +1,137 @@
+package front
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Health-driven membership.
+//
+// A replica is routed while healthy and skipped while ejected. The
+// prober GETs every replica's ProbePath each ProbeInterval: a 2xx
+// resets the failure streak and readmits an ejected replica; anything
+// else — transport error, 503 draining, 5xx — extends the streak, and
+// EjectAfter consecutive failures ejects. Proxy-path transport errors
+// feed the same streak, so a crashed replica usually leaves the rotation
+// before the prober's next tick. Readmission needs exactly one good
+// probe: a restarted backend rejoins within one probe interval with no
+// operator action.
+
+// probeLoop drives the health checks until Close.
+func (f *Front) probeLoop() {
+	defer f.probeWG.Done()
+	ticker := time.NewTicker(f.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		f.probeAll()
+		select {
+		case <-f.done:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (f *Front) probeAll() {
+	for _, rep := range f.replicas {
+		f.probe(rep)
+	}
+}
+
+// probe checks one replica and applies the ejection/readmission rules.
+func (f *Front) probe(rep *replica) {
+	timeout := f.opts.ProbeInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+f.opts.ProbePath, nil)
+	if err == nil {
+		resp, err := f.opts.Client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode >= 200 && resp.StatusCode < 300
+		}
+	}
+	if ok {
+		rep.fails.Store(0)
+		rep.healthy.Store(true) // readmission: one good probe suffices
+		return
+	}
+	if fails := rep.fails.Add(1); int(fails) >= f.opts.EjectAfter {
+		if rep.healthy.CompareAndSwap(true, false) {
+			rep.ejections.Add(1)
+		}
+	}
+}
+
+// ReplicaHealth is one replica's routing state snapshot.
+type ReplicaHealth struct {
+	URL string `json:"url"`
+	// Healthy reports whether the replica is in the routing rotation.
+	Healthy bool `json:"healthy"`
+	// Fails is the current consecutive-failure streak.
+	Fails int `json:"fails"`
+	// Ejections counts healthy→ejected transitions.
+	Ejections uint64 `json:"ejections"`
+	// Proxied counts responses served through this replica; Errs counts
+	// transport failures against it.
+	Proxied uint64 `json:"proxied"`
+	Errs    uint64 `json:"errs"`
+}
+
+// Snapshot returns the per-replica routing state.
+func (f *Front) Snapshot() []ReplicaHealth {
+	out := make([]ReplicaHealth, len(f.replicas))
+	for i, r := range f.replicas {
+		out[i] = ReplicaHealth{
+			URL:       r.url,
+			Healthy:   r.healthy.Load(),
+			Fails:     int(r.fails.Load()),
+			Ejections: r.ejections.Load(),
+			Proxied:   r.proxied.Load(),
+			Errs:      r.errs.Load(),
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the front door's state in the Prometheus text
+// exposition format: per-replica health/traffic and router totals.
+func (f *Front) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP fademl_front_requests_total Requests accepted by the front door.\n# TYPE fademl_front_requests_total counter\n")
+	fmt.Fprintf(w, "fademl_front_requests_total %d\n", f.requests.Load())
+	fmt.Fprintf(w, "# HELP fademl_front_retries_total Retry attempts after transport failures.\n# TYPE fademl_front_retries_total counter\n")
+	fmt.Fprintf(w, "fademl_front_retries_total %d\n", f.retries.Load())
+	fmt.Fprintf(w, "# HELP fademl_front_hedges_total Hedge attempts issued.\n# TYPE fademl_front_hedges_total counter\n")
+	fmt.Fprintf(w, "fademl_front_hedges_total %d\n", f.hedges.Load())
+	fmt.Fprintf(w, "# HELP fademl_front_failed_total Requests that exhausted every replica.\n# TYPE fademl_front_failed_total counter\n")
+	fmt.Fprintf(w, "fademl_front_failed_total %d\n", f.failed.Load())
+
+	fmt.Fprintf(w, "# HELP fademl_front_replica_healthy 1 while the replica is in the routing rotation.\n# TYPE fademl_front_replica_healthy gauge\n")
+	for _, r := range f.Snapshot() {
+		healthy := 0
+		if r.Healthy {
+			healthy = 1
+		}
+		fmt.Fprintf(w, "fademl_front_replica_healthy{replica=%q} %d\n", r.URL, healthy)
+	}
+	fmt.Fprintf(w, "# HELP fademl_front_replica_proxied_total Responses served through the replica.\n# TYPE fademl_front_replica_proxied_total counter\n")
+	for _, r := range f.Snapshot() {
+		fmt.Fprintf(w, "fademl_front_replica_proxied_total{replica=%q} %d\n", r.URL, r.Proxied)
+	}
+	fmt.Fprintf(w, "# HELP fademl_front_replica_errs_total Transport failures against the replica.\n# TYPE fademl_front_replica_errs_total counter\n")
+	for _, r := range f.Snapshot() {
+		fmt.Fprintf(w, "fademl_front_replica_errs_total{replica=%q} %d\n", r.URL, r.Errs)
+	}
+	fmt.Fprintf(w, "# HELP fademl_front_replica_ejections_total Healthy-to-ejected transitions.\n# TYPE fademl_front_replica_ejections_total counter\n")
+	for _, r := range f.Snapshot() {
+		fmt.Fprintf(w, "fademl_front_replica_ejections_total{replica=%q} %d\n", r.URL, r.Ejections)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestInteractiveLaneSheds: requests beyond InteractiveLimit must be
+// shed immediately with a retryable OverloadError, not queued.
+func TestInteractiveLaneSheds(t *testing.T) {
+	chaos := &Chaos{}
+	chaos.SetBatchDelay(200 * time.Millisecond) // hold admitted work in flight
+	s := New(servePipeline(t), Options{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Millisecond,
+		InteractiveLimit: 2, CacheSize: -1, Chaos: chaos,
+	})
+	defer s.Close()
+
+	imgs := testImages(3)
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := s.Predict(context.Background(), imgs[i], pipeline.TM1)
+			errc <- err
+		}(i)
+	}
+	waitUntil(t, 5*time.Second, "both requests admitted", func() bool {
+		return s.interactive.stats().Depth == 2
+	})
+
+	_, err := s.Predict(context.Background(), imgs[2], pipeline.TM1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third request got %v, want ErrOverloaded", err)
+	}
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("shed error is %T, want *OverloadError", err)
+	}
+	if ov.Lane != "interactive" || ov.RetryAfter <= 0 {
+		t.Fatalf("shed error %+v lacks lane/backoff", ov)
+	}
+	st := s.Stats()
+	if st.Interactive.Shed == 0 {
+		t.Fatal("shed not counted in lane stats")
+	}
+	if !s.interactive.shedding() {
+		t.Fatal("lane not reporting degraded after a shed")
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("admitted request failed: %v", err)
+		}
+	}
+	waitUntil(t, time.Second, "lane to drain", func() bool {
+		return s.interactive.stats().Depth == 0
+	})
+}
+
+// TestBulkLaneIndependent: a saturated bulk lane must shed attack work
+// while interactive prediction is still admitted — the starvation
+// boundary the two lanes exist for.
+func TestBulkLaneIndependent(t *testing.T) {
+	s := New(servePipeline(t), Options{
+		Workers: 1, MaxBatch: 4, MaxWait: time.Millisecond,
+		AttackWorkers: 1, BulkLimit: 1, CacheSize: -1,
+	})
+	defer s.Close()
+
+	// Saturate bulk by holding its only slot directly.
+	release, err := s.bulk.admit(1)
+	if err != nil {
+		t.Fatalf("bulk admit: %v", err)
+	}
+	defer release()
+
+	img := testImages(1)[0]
+	if _, err := s.Attack(context.Background(), AttackRequest{
+		Spec: "fgsm(eps=0.1)", Image: img, Source: 0,
+	}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("attack on a full bulk lane got %v, want ErrOverloaded", err)
+	}
+	if _, err := s.Predict(context.Background(), img, pipeline.TM1); err != nil {
+		t.Fatalf("predict during bulk saturation failed: %v", err)
+	}
+}
+
+// TestPredictDeadline: PredictDeadline must bound a request that a slow
+// worker would otherwise hold indefinitely.
+func TestPredictDeadline(t *testing.T) {
+	chaos := &Chaos{}
+	chaos.SetBatchDelay(500 * time.Millisecond)
+	s := New(servePipeline(t), Options{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Millisecond,
+		PredictDeadline: 10 * time.Millisecond, CacheSize: -1, Chaos: chaos,
+	})
+	defer s.Close()
+
+	start := time.Now()
+	_, err := s.Predict(context.Background(), testImages(1)[0], pipeline.TM1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 400*time.Millisecond {
+		t.Fatalf("deadline fired after %v, want ~10ms", d)
+	}
+}
+
+// TestReleaseIdempotent: the admit release closure must tolerate double
+// invocation without corrupting the depth gauge.
+func TestReleaseIdempotent(t *testing.T) {
+	l := &lane{name: "x", limit: 2, retryAfter: time.Second}
+	release, err := l.admit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release()
+	if d := l.stats().Depth; d != 0 {
+		t.Fatalf("depth %d after double release, want 0", d)
+	}
+}

@@ -61,6 +61,14 @@ func (s *Server) Attack(ctx context.Context, req AttackRequest) (*core.Outcome, 
 	if s.attackers == nil {
 		return nil, ErrAttacksDisabled
 	}
+	if err := s.refuseNew(); err != nil {
+		return nil, err
+	}
+	releaseLane, err := s.bulk.admit(1)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseLane()
 	tm, err := s.attackTM(req.TM)
 	if err != nil {
 		return nil, err
@@ -172,6 +180,16 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 	if s.attackers == nil {
 		return nil, ErrAttacksDisabled
 	}
+	if err := s.refuseNew(); err != nil {
+		return nil, err
+	}
+	releaseLane, err := s.bulk.admit(1)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseLane()
+	ctx, cancelRoute := routeContext(ctx, s.opts.EvaluateTimeout)
+	defer cancelRoute()
 	if len(req.Specs) == 0 {
 		return nil, errors.New("serve: evaluate needs at least one attack spec")
 	}
@@ -292,11 +310,14 @@ func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.Thre
 	filterName := s.filter.Name()
 	var dep Prediction
 	var err error
+	// Measurement traffic uses predictInternal: the sweep already holds a
+	// bulk-lane slot, so its predictions must not consume interactive
+	// admission (or be refused mid-sweep by a drain).
 	if flt == nil {
-		dep, err = s.Predict(ctx, out.Adversarial, tm)
+		dep, err = s.predictInternal(ctx, out.Adversarial, tm)
 	} else {
 		filterName = flt.Name()
-		dep, err = s.Predict(ctx, pipeline.DeliverThrough(out.Adversarial, flt, s.acq, tm), pipeline.TM1)
+		dep, err = s.predictInternal(ctx, pipeline.DeliverThrough(out.Adversarial, flt, s.acq, tm), pipeline.TM1)
 		dep.TM = tm
 	}
 	if err != nil {
@@ -363,7 +384,7 @@ func (s *Server) craftCell(ctx context.Context, spec string, tm pipeline.ThreatM
 	// uses the pool: with a filter override, delivery runs on this
 	// goroutine and Net(DeliverThrough(x, ...)) is exactly the TM-I
 	// view of the delivered tensor.
-	tm1, err := s.Predict(ctx, out.Adversarial, pipeline.TM1)
+	tm1, err := s.predictInternal(ctx, out.Adversarial, pipeline.TM1)
 	if err != nil {
 		return nil, err
 	}

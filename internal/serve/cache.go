@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Content-addressed result cache.
+//
+// Adversarial sweeps re-query near-identical images constantly — the
+// same canonical sign under the same threat model, the same crafted
+// example measured across a filter grid — so the serving layer keys
+// prediction and defend results by the content of the request: a SHA-256
+// over the image bytes, the threat model, and (for Defend) the resolved
+// filter spec. Because a served prediction is a pure, deterministic
+// function of that key (acquisition noise is a pure function of
+// (seed, image), filters are deterministic, and the model is frozen), a
+// cache hit is bit-identical to a recomputed response. Hits bypass lane
+// admission entirely: they cost no worker time, so they are answered
+// even while the lane is shedding.
+//
+// The cache is a mutex-guarded LRU bounded in entries
+// (Options.CacheSize); hit/miss counters feed Stats and /metrics.
+
+// cacheKey is the SHA-256 content address of one request.
+type cacheKey [sha256.Size]byte
+
+// contentCache is a bounded LRU keyed by content address. A nil
+// *contentCache is the disabled cache: lookups miss without counting and
+// stores are dropped.
+type contentCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheItem struct {
+	key cacheKey
+	val any
+}
+
+func newContentCache(max int) *contentCache {
+	if max <= 0 {
+		return nil
+	}
+	return &contentCache{max: max, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+func (c *contentCache) get(k cacheKey) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).val, true
+}
+
+func (c *contentCache) put(k cacheKey, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheItem).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheItem{key: k, val: v})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+func (c *contentCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the cache snapshot embedded in Stats and /metrics.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	// Capacity is the entry bound (0 = caching disabled).
+	Capacity int `json:"capacity"`
+	// HitRate is Hits / (Hits + Misses), 0 when no lookups happened.
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (c *contentCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Entries:  c.len(),
+		Capacity: c.max,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}
+
+// hashTensor feeds a tensor's shape and raw float64 bits into h in
+// bounded chunks (no per-image allocation proportional to the image).
+func hashTensor(h hash.Hash, t *tensor.Tensor) {
+	var buf [4096]byte
+	n := 0
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[n:], v)
+		n += 8
+		if n == len(buf) {
+			h.Write(buf[:])
+			n = 0
+		}
+	}
+	for i := 0; i < t.Dims(); i++ {
+		put(uint64(t.Dim(i)))
+	}
+	for _, v := range t.Data() {
+		put(math.Float64bits(v))
+	}
+	if n > 0 {
+		h.Write(buf[:n])
+	}
+}
+
+// predCacheKey addresses one (image, threat model) prediction.
+func predCacheKey(img *tensor.Tensor, tm pipeline.ThreatModel) cacheKey {
+	h := sha256.New()
+	h.Write([]byte{'p', byte(tm)})
+	hashTensor(h, img)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// defendCacheKey addresses one (image, filter spec, predict?) Defend call.
+func defendCacheKey(img *tensor.Tensor, filterName string, predict bool) cacheKey {
+	h := sha256.New()
+	p := byte(0)
+	if predict {
+		p = 1
+	}
+	h.Write([]byte{'d', p})
+	h.Write([]byte(filterName))
+	h.Write([]byte{0})
+	hashTensor(h, img)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// copyPrediction returns a caller-owned copy of a Prediction so neither
+// side can mutate the other's probability vector.
+func copyPrediction(p Prediction) Prediction {
+	p.Probs = append([]float64(nil), p.Probs...)
+	return p
+}
+
+// lookupPrediction checks the prediction cache; ok means pred is a
+// caller-owned, bit-identical copy of an earlier response.
+func (s *Server) lookupPrediction(img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, cacheKey, bool) {
+	if s.cache == nil {
+		return Prediction{}, cacheKey{}, false
+	}
+	k := predCacheKey(img, tm)
+	if v, ok := s.cache.get(k); ok {
+		return copyPrediction(v.(Prediction)), k, true
+	}
+	return Prediction{}, k, false
+}
+
+// storePrediction caches a copy of a freshly computed prediction.
+func (s *Server) storePrediction(k cacheKey, p Prediction) {
+	if s.cache == nil {
+		return
+	}
+	s.cache.put(k, copyPrediction(p))
+}
+
+// cachedDefend is the stored form of a Defend result.
+type cachedDefend struct {
+	filter   string
+	filtered *tensor.Tensor
+	pred     *Prediction
+}
+
+// copyDefend converts a cache entry into a caller-owned DefendResult.
+func (d cachedDefend) result() *DefendResult {
+	res := &DefendResult{Filter: d.filter, Filtered: d.filtered.Clone()}
+	if d.pred != nil {
+		p := copyPrediction(*d.pred)
+		res.Prediction = &p
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection.
+//
+// The survivability guarantees of this layer — bounded interactive
+// latency under overload, no lost in-flight requests on drain, recovery
+// after partial failure — are only guarantees if something exercises the
+// failure paths. Chaos is that something: a small hook struct the test
+// harness (and examples/overload) threads through Options to stall
+// batches, kill inference workers mid-stream, and fail batches with
+// synthetic panics. All hooks are nil-safe and free when unset; a
+// production server simply leaves Options.Chaos nil.
+
+// Chaos injects controlled faults into the serving path. The zero value
+// injects nothing; arm faults with the setter methods (safe from any
+// goroutine, including while the server is running).
+type Chaos struct {
+	// batchDelayNs stalls every worker batch by this long before
+	// processing — simulates a slow accelerator or a noisy neighbour.
+	batchDelayNs atomic.Int64
+	// killWorkers is the number of inference workers still to kill; a
+	// worker that draws a kill re-enqueues its batch and exits.
+	killWorkers atomic.Int32
+	// failBatches is the number of batches still to fail with a synthetic
+	// panic (the recover path converts it to per-request errors).
+	failBatches atomic.Int32
+}
+
+// SetBatchDelay stalls every subsequent worker batch by d (0 disarms).
+func (c *Chaos) SetBatchDelay(d time.Duration) { c.batchDelayNs.Store(int64(d)) }
+
+// KillWorkers arms the death of the next n inference workers: each
+// victim hands its batch back to the queue and exits its goroutine,
+// permanently shrinking the pool — the "worker crashed" scenario.
+func (c *Chaos) KillWorkers(n int) { c.killWorkers.Add(int32(n)) }
+
+// FailBatches arms synthetic panics for the next n batches; every
+// request in an affected batch is answered with an inference error.
+func (c *Chaos) FailBatches(n int) { c.failBatches.Add(int32(n)) }
+
+// batchDelay returns the armed per-batch stall (nil-safe).
+func (c *Chaos) batchDelay() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.batchDelayNs.Load())
+}
+
+// takeKill consumes one worker kill if armed (nil-safe).
+func (c *Chaos) takeKill() bool {
+	if c == nil {
+		return false
+	}
+	for {
+		n := c.killWorkers.Load()
+		if n <= 0 {
+			return false
+		}
+		if c.killWorkers.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// takeFail consumes one batch failure if armed (nil-safe).
+func (c *Chaos) takeFail() bool {
+	if c == nil {
+		return false
+	}
+	for {
+		n := c.failBatches.Load()
+		if n <= 0 {
+			return false
+		}
+		if c.failBatches.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// requeue hands a dying worker's batch back to the request queue so its
+// requests migrate to a surviving worker instead of being lost. Only the
+// batcher may send on s.batches (it closes the channel on shutdown), so
+// the slots re-enter through s.queue, which is never closed. If the
+// server is shutting down the waiters' own s.done selects answer them.
+func (s *Server) requeue(batch []*pending) {
+	go func() {
+		for _, p := range batch {
+			select {
+			case s.queue <- p:
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}

@@ -42,13 +42,11 @@ type DefendResult struct {
 // Defend filters one image through a spec'd chain. Filtering runs on the
 // request goroutine (it is pure CPU work with no model state); the
 // optional prediction of the filtered image coalesces with live traffic
-// through the micro-batching pool.
+// through the micro-batching pool. Defend rides the interactive admission
+// lane under Options.DefendDeadline, and results are content-addressed:
+// a repeat (image, filter spec, predict) query is answered from cache
+// without filtering or admission.
 func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, error) {
-	select {
-	case <-s.done:
-		return nil, ErrServerClosed
-	default:
-	}
 	if req.Image == nil {
 		return nil, errors.New("serve: nil image")
 	}
@@ -66,13 +64,40 @@ func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, 
 		}
 		f = parsed
 	}
+	var key cacheKey
+	if s.cache != nil {
+		key = defendCacheKey(req.Image, f.Name(), req.Predict)
+		if v, ok := s.cache.get(key); ok {
+			return v.(cachedDefend).result(), nil
+		}
+	}
+	if err := s.refuseNew(); err != nil {
+		return nil, err
+	}
+	releaseLane, err := s.interactive.admit(1)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseLane()
+	ctx, cancel := routeContext(ctx, s.opts.DefendDeadline)
+	defer cancel()
 	res := &DefendResult{Filter: f.Name(), Filtered: f.Apply(req.Image)}
 	if req.Predict {
-		pred, err := s.Predict(ctx, res.Filtered, pipeline.TM1)
+		// The slot held above already accounts for this request;
+		// predictInternal skips a second admission pass.
+		pred, err := s.predictInternal(ctx, res.Filtered, pipeline.TM1)
 		if err != nil {
 			return nil, err
 		}
 		res.Prediction = &pred
+	}
+	if s.cache != nil {
+		entry := cachedDefend{filter: res.Filter, filtered: res.Filtered.Clone()}
+		if res.Prediction != nil {
+			p := copyPrediction(*res.Prediction)
+			entry.pred = &p
+		}
+		s.cache.put(key, entry)
 	}
 	return res, nil
 }

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// TestGracefulDrainUnderLoad is the drain acceptance check: with an
+// evaluate sweep and interactive predicts in flight, BeginDrain must
+// (1) refuse new work with ErrDraining, (2) let every in-flight request
+// run to completion — nothing hung, nothing dropped — and (3) leave
+// Close to return cleanly afterwards. Run under -race in CI.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	chaos := &Chaos{}
+	chaos.SetBatchDelay(30 * time.Millisecond) // keep predicts in flight long enough to drain around
+	s := New(servePipeline(t), Options{
+		Workers: 2, MaxBatch: 2, MaxWait: time.Millisecond,
+		AttackWorkers: 1, CacheSize: -1, Chaos: chaos,
+	})
+
+	imgs := testImages(8)
+
+	// One bulk evaluate in flight...
+	evalDone := make(chan error, 1)
+	go func() {
+		_, err := s.Evaluate(context.Background(), EvaluateRequest{
+			Specs: []string{"pgd(eps=0.05,steps=60)"},
+			Cases: []EvalCase{{Source: 0, Target: 1, Image: imgs[0]}},
+		})
+		evalDone <- err
+	}()
+	// ...and several interactive predicts in flight.
+	predDone := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			_, err := s.Predict(context.Background(), imgs[1+i], pipeline.TM1)
+			predDone <- err
+		}(i)
+	}
+	waitUntil(t, 5*time.Second, "load in flight", func() bool {
+		return s.bulk.stats().Depth >= 1 && s.interactive.stats().Depth == 4
+	})
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	// New work of either class is refused immediately...
+	if _, err := s.Predict(context.Background(), imgs[6], pipeline.TM1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new predict during drain got %v, want ErrDraining", err)
+	}
+	if _, err := s.Attack(context.Background(), AttackRequest{Spec: "fgsm(eps=0.1)", Image: imgs[7], Source: 0}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new attack during drain got %v, want ErrDraining", err)
+	}
+	// ...while everything in flight completes successfully.
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-predDone:
+			if err != nil {
+				t.Fatalf("in-flight predict dropped during drain: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("in-flight predict hung during drain")
+		}
+	}
+	select {
+	case err := <-evalDone:
+		if err != nil {
+			t.Fatalf("in-flight evaluate dropped during drain: %v", err)
+		}
+	case <-deadline:
+		t.Fatal("in-flight evaluate hung during drain")
+	}
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung after drain")
+	}
+	if _, err := s.Predict(context.Background(), imgs[1], pipeline.TM1); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("predict after Close got %v, want ErrServerClosed", err)
+	}
+}
+
+// TestDrainIsIdempotentAndObservable: BeginDrain twice is safe, and the
+// draining flag shows up in Stats.
+func TestDrainIsIdempotentAndObservable(t *testing.T) {
+	s := New(servePipeline(t), Options{Workers: 1, MaxBatch: 1, MaxWait: time.Millisecond})
+	defer s.Close()
+	if s.Stats().Draining {
+		t.Fatal("fresh server reports draining")
+	}
+	s.BeginDrain()
+	s.BeginDrain()
+	if !s.Stats().Draining {
+		t.Fatal("Stats().Draining false after BeginDrain")
+	}
+}

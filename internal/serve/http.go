@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/attacks"
@@ -83,17 +84,25 @@ func toResponse(p Prediction, withProbs bool) predictResponse {
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
 //	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [{"source":14,"target":1}]}
-//	GET  /v1/healthz        liveness + configuration echo
+//	GET  /v1/healthz        liveness + degraded/draining + configuration echo
 //	GET  /v1/stats          serving counters (Stats)
+//	GET  /metrics           Prometheus text exposition (lanes, cache, latency)
+//
+// Every /v1 route is instrumented: per-route latency histograms and
+// status-class counters feed /metrics. Error responses are structured
+// JSON with a machine-readable "code": admission sheds are 429 with a
+// Retry-After header, drain/shutdown refusals 503, server-side deadline
+// hits 504.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
-	mux.HandleFunc("/v1/defend", s.handleDefend)
-	mux.HandleFunc("/v1/attack", s.handleAttack)
-	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("/v1/predict_batch", s.instrument("predict_batch", s.handlePredictBatch))
+	mux.HandleFunc("/v1/defend", s.instrument("defend", s.handleDefend))
+	mux.HandleFunc("/v1/attack", s.instrument("attack", s.handleAttack))
+	mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -346,16 +355,7 @@ func attackTargetOrUntargeted(t *int) int {
 }
 
 // writeAttackError maps attack/evaluate errors onto HTTP statuses.
-func writeAttackError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrAttacksDisabled):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
-	}
-}
+func writeAttackError(w http.ResponseWriter, err error) { writeServeError(w, err) }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
@@ -419,26 +419,42 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
+// handleHealthz reports liveness for load balancers and front doors:
+// 503 "draining"/"closed" once the server refuses new work, 200
+// "degraded" while an admission lane shed within the last few seconds
+// (keep routing here, but back off), 200 "ok" otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	select {
 	case <-s.done:
-		writeError(w, http.StatusServiceUnavailable, ErrServerClosed)
+		writeErrorCode(w, http.StatusServiceUnavailable, "closed", ErrServerClosed)
+		return
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":             "ok",
-			"workers":            s.opts.Workers,
-			"max_batch":          s.opts.MaxBatch,
-			"default_tm":         s.opts.DefaultTM.String(),
-			"in_shape":           s.inShape,
-			"attack_workers":     s.opts.AttackWorkers,
-			"attack_max_queries": s.opts.AttackBudget.MaxQueries,
-			"attack_timeout_ms":  float64(s.opts.AttackTimeout) / float64(time.Millisecond),
-			"filter":             s.filter.Name(),
-		})
 	}
+	if s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, "draining", ErrDraining)
+		return
+	}
+	status := "ok"
+	if s.interactive.shedding() || s.bulk.shedding() {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":             status,
+		"workers":            s.opts.Workers,
+		"max_batch":          s.opts.MaxBatch,
+		"default_tm":         s.opts.DefaultTM.String(),
+		"in_shape":           s.inShape,
+		"attack_workers":     s.opts.AttackWorkers,
+		"attack_max_queries": s.opts.AttackBudget.MaxQueries,
+		"attack_timeout_ms":  float64(s.opts.AttackTimeout) / float64(time.Millisecond),
+		"filter":             s.filter.Name(),
+		"interactive":        s.interactive.stats(),
+		"bulk":               s.bulk.stats(),
+		"cache":              s.cache.stats(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -480,22 +496,66 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// writePredictError maps Predict errors onto HTTP statuses: shutdown is a
-// 503 the load balancer should retry elsewhere, a cancelled request is the
-// client's own timeout, everything else is a 400-class input problem.
-func writePredictError(w http.ResponseWriter, err error) {
+// writePredictError maps Predict errors onto HTTP statuses.
+func writePredictError(w http.ResponseWriter, err error) { writeServeError(w, err) }
+
+// writeServeError is the unified error taxonomy of the serving surface.
+// Every serving error becomes structured JSON ({"error": …, "code": …})
+// with a status a client can act on:
+//
+//   - 429 Too Many Requests + Retry-After: an admission lane shed the
+//     request (OverloadError) — retry after the hinted backoff.
+//   - 503 Service Unavailable, code "draining"/"closed"/"disabled": the
+//     server refuses new work — route to another replica.
+//   - 504 Gateway Timeout, code "deadline": the server-side per-route
+//     deadline fired before the work finished.
+//   - 503, code "canceled": the client went away mid-request.
+//   - 400 Bad Request, code "bad_request": an input problem.
+func writeServeError(w http.ResponseWriter, err error) {
+	var ov *OverloadError
 	switch {
+	case errors.As(err, &ov):
+		secs := int(ov.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErrorCode(w, http.StatusTooManyRequests, "overloaded", err)
+	case errors.Is(err, ErrDraining):
+		writeErrorCode(w, http.StatusServiceUnavailable, "draining", err)
 	case errors.Is(err, ErrServerClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeErrorCode(w, http.StatusServiceUnavailable, "closed", err)
+	case errors.Is(err, ErrAttacksDisabled):
+		writeErrorCode(w, http.StatusServiceUnavailable, "disabled", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErrorCode(w, http.StatusGatewayTimeout, "deadline", err)
+	case errors.Is(err, context.Canceled):
+		writeErrorCode(w, http.StatusServiceUnavailable, "canceled", err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", err)
+	}
+}
+
+// errorCodeFor maps a bare status to its default machine-readable code.
+func errorCodeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "error"
 	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeErrorCode(w, status, errorCodeFor(status), err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Hardened HTTP front: every listener the repo opens — fademl-serve,
+// fademl-front, the examples — goes through NewHTTPServer so a slow-loris
+// client (drip-feeding headers or body, or never reading the response)
+// occupies a connection for a bounded time instead of forever.
+
+// HTTPTimeouts bounds one HTTP connection's lifecycle phases. The zero
+// value of any field selects the matching DefaultHTTPTimeouts value; a
+// negative field disables that bound explicitly.
+type HTTPTimeouts struct {
+	// ReadHeader bounds request-header arrival (the classic slow-loris
+	// vector).
+	ReadHeader time.Duration
+	// Read bounds the whole request read, headers + body.
+	Read time.Duration
+	// Write bounds from the end of the header read to the end of the
+	// response write — it therefore must exceed the slowest route the
+	// handler serves (an /v1/evaluate sweep, not a /v1/predict).
+	Write time.Duration
+	// Idle bounds keep-alive idleness between requests.
+	Idle time.Duration
+}
+
+// DefaultHTTPTimeouts is the serving default: tight header/read bounds
+// against slow-loris, a write bound generous enough for a full evaluate
+// sweep, and a keep-alive idle cap.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       30 * time.Second,
+		Write:      5 * time.Minute,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// withDefaults resolves zero fields to the defaults and negative fields
+// to disabled (0 on the http.Server).
+func (t HTTPTimeouts) withDefaults() HTTPTimeouts {
+	def := DefaultHTTPTimeouts()
+	resolve := func(v, d time.Duration) time.Duration {
+		switch {
+		case v == 0:
+			return d
+		case v < 0:
+			return 0
+		default:
+			return v
+		}
+	}
+	t.ReadHeader = resolve(t.ReadHeader, def.ReadHeader)
+	t.Read = resolve(t.Read, def.Read)
+	t.Write = resolve(t.Write, def.Write)
+	t.Idle = resolve(t.Idle, def.Idle)
+	return t
+}
+
+// NewHTTPServer builds an http.Server with the hardened connection
+// timeouts applied.
+func NewHTTPServer(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

@@ -20,6 +20,18 @@
 // (seed, image), a served prediction is bit-identical to a direct
 // pipeline.Probs call for the same image — batching is purely a
 // throughput optimization.
+//
+// Survivability layer (admission → cache → deadlines → chaos):
+//
+// In front of the queue sit two bounded admission lanes — interactive
+// (Predict/PredictBatch/Defend) and bulk (Attack/Evaluate) — so a flood
+// of crafting traffic can never starve prediction (admission.go); a
+// content-addressed LRU answers repeat queries bit-identically without
+// worker time (cache.go); per-route deadlines bound how long any request
+// may hold resources; fault-injection hooks exercise the failure paths
+// (chaos.go); and GET /metrics exposes the whole state in Prometheus
+// text format (metrics.go). BeginDrain flips the server into a
+// refuse-new/finish-in-flight drain ahead of Close.
 package serve
 
 import (
@@ -81,6 +93,42 @@ type Options struct {
 	// EvalCases is the default scenario list for Evaluate requests that
 	// carry none (e.g. the paper's five payloads).
 	EvalCases []EvalCase
+
+	// Survivability (admission control, load shedding, per-route
+	// deadlines, content-addressed caching, fault injection).
+
+	// InteractiveLimit caps admitted-but-unfinished interactive requests
+	// (Predict/PredictBatch/Defend — queued and in flight both count).
+	// Excess load is shed with an OverloadError (HTTP 429 + Retry-After)
+	// instead of queuing unboundedly. 0 selects 4 × Workers × MaxBatch;
+	// negative disables the bound.
+	InteractiveLimit int
+	// BulkLimit caps admitted-but-unfinished bulk requests (Attack/
+	// Evaluate), slot waiters included, so crafting backlog is refused
+	// honestly instead of piling up behind AttackWorkers. 0 selects
+	// 4 × AttackWorkers; negative disables the bound.
+	BulkLimit int
+	// PredictDeadline is the server-side SLO applied to each Predict
+	// (and, scaled by the number of spanned micro-batches, PredictBatch):
+	// the request fails with context.DeadlineExceeded (HTTP 504) rather
+	// than holding a worker past the lane's SLO. <= 0 disables;
+	// cmd/fademl-serve defaults it to 500ms.
+	PredictDeadline time.Duration
+	// DefendDeadline is the per-route SLO for Defend (<= 0 disables;
+	// cmd/fademl-serve defaults it to 2s).
+	DefendDeadline time.Duration
+	// EvaluateTimeout caps one whole Evaluate sweep (per-cell crafting is
+	// separately capped by AttackTimeout). <= 0 disables; cmd/fademl-serve
+	// defaults it to 2m.
+	EvaluateTimeout time.Duration
+	// CacheSize bounds the content-addressed prediction/defend cache in
+	// entries. Responses are pure functions of the request content, so a
+	// hit is bit-identical to recomputation and costs no worker time.
+	// 0 selects 4096; negative disables caching.
+	CacheSize int
+	// Chaos injects faults (delayed batches, killed workers, failed
+	// batches) for the survivability harness. nil injects nothing.
+	Chaos *Chaos
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -105,6 +153,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AttackTimeout <= 0 {
 		o.AttackTimeout = 30 * time.Second
+	}
+	if o.InteractiveLimit == 0 {
+		o.InteractiveLimit = 4 * o.Workers * o.MaxBatch
+	}
+	if o.BulkLimit == 0 {
+		o.BulkLimit = 4 * o.AttackWorkers
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
 	}
 	return o
 }
@@ -144,6 +201,13 @@ type Stats struct {
 	Workers   int     `json:"workers"`
 	MaxBatch  int     `json:"max_batch"`
 	MaxWaitMs float64 `json:"max_wait_ms"`
+	// Interactive and Bulk are the admission-lane snapshots.
+	Interactive LaneStats `json:"interactive"`
+	Bulk        LaneStats `json:"bulk"`
+	// Cache is the content-addressed cache snapshot.
+	Cache CacheStats `json:"cache"`
+	// Draining reports BeginDrain-to-Close state.
+	Draining bool `json:"draining"`
 }
 
 // latWindow is the sliding-window size for latency percentiles.
@@ -196,6 +260,15 @@ type Server struct {
 	// in its (buffered) pending.done channel.
 	drained chan struct{}
 
+	// interactive and bulk are the admission lanes; cache the
+	// content-addressed result cache (nil when disabled); metrics the
+	// /metrics instruments; draining the BeginDrain flag.
+	interactive *lane
+	bulk        *lane
+	cache       *contentCache
+	metrics     *serverMetrics
+	draining    atomic.Bool
+
 	closeOnce   sync.Once
 	drainedOnce sync.Once
 	wg          sync.WaitGroup
@@ -228,6 +301,14 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 		batches: make(chan []*pending, opts.Workers),
 		done:    make(chan struct{}),
 		drained: make(chan struct{}),
+		interactive: &lane{
+			name: "interactive", limit: opts.InteractiveLimit, retryAfter: time.Second,
+		},
+		bulk: &lane{
+			name: "bulk", limit: opts.BulkLimit, retryAfter: 10 * time.Second,
+		},
+		cache:   newContentCache(opts.CacheSize),
+		metrics: newServerMetrics(),
 	}
 	if opts.AttackWorkers > 0 {
 		s.attackers = make(chan *attacker, opts.AttackWorkers)
@@ -241,6 +322,12 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 		go func() {
 			defer s.wg.Done()
 			for batch := range s.batches {
+				if s.opts.Chaos.takeKill() {
+					// Injected worker death: the batch migrates back to
+					// the queue, the goroutine is gone for good.
+					s.requeue(batch)
+					return
+				}
 				s.process(wp, batch)
 			}
 		}()
@@ -259,6 +346,7 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 // error). Close blocks until the batcher and all workers exit and is
 // safe to call more than once.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.closeOnce.Do(func() { close(s.done) })
 	s.wg.Wait()
 	s.drainedOnce.Do(func() { close(s.drained) })
@@ -269,6 +357,12 @@ func (s *Server) Close() {
 // bit-identical to a direct pipeline.Probs call for the same image and
 // threat model. Safe for concurrent use from any number of goroutines —
 // concurrency is what fills batches.
+//
+// Predict is the interactive lane: a request beyond InteractiveLimit is
+// shed with an OverloadError instead of queued, PredictDeadline bounds
+// how long it may hold resources, and a content-cache hit (same image
+// bytes, same threat model) is answered immediately — bit-identically —
+// without touching a worker, even while the lane is shedding.
 func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
@@ -276,6 +370,44 @@ func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.Th
 	if err := s.validate(img, tm); err != nil {
 		return Prediction{}, err
 	}
+	if pred, _, ok := s.lookupPrediction(img, tm); ok {
+		return pred, nil
+	}
+	if err := s.refuseNew(); err != nil {
+		return Prediction{}, err
+	}
+	release, err := s.interactive.admit(1)
+	if err != nil {
+		return Prediction{}, err
+	}
+	defer release()
+	ctx, cancel := routeContext(ctx, s.opts.PredictDeadline)
+	defer cancel()
+	return s.predictAdmitted(ctx, img, tm)
+}
+
+// predictInternal is the serving path for the server's own measurement
+// traffic (the Evaluate sweep's TM-I and deployed views): it shares the
+// micro-batching pool and the content cache but skips lane admission,
+// the per-route deadline and the draining refusal — an admitted bulk job
+// is already accounted for in the bulk lane and must be able to finish
+// its measurements while a drain completes.
+func (s *Server) predictInternal(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
+	if tm == 0 {
+		tm = s.opts.DefaultTM
+	}
+	if err := s.validate(img, tm); err != nil {
+		return Prediction{}, err
+	}
+	if pred, _, ok := s.lookupPrediction(img, tm); ok {
+		return pred, nil
+	}
+	return s.predictAdmitted(ctx, img, tm)
+}
+
+// predictAdmitted enqueues one already-admitted request, waits for its
+// reply and fills the content cache on success.
+func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
 	p := &pending{img: img, tm: tm, ctx: ctx, enq: time.Now(), done: make(chan reply, 1)}
 	select {
 	case s.queue <- p:
@@ -287,6 +419,7 @@ func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.Th
 	}
 	select {
 	case r := <-p.done:
+		s.cacheReply(img, tm, r)
 		return r.pred, r.err
 	case <-s.done:
 		// The server is shutting down; the batch holding this request may
@@ -296,6 +429,7 @@ func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.Th
 		<-s.drained
 		select {
 		case r := <-p.done:
+			s.cacheReply(img, tm, r)
 			return r.pred, r.err
 		default:
 			return Prediction{}, ErrServerClosed
@@ -305,10 +439,21 @@ func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.Th
 	}
 }
 
+// cacheReply stores a successful reply under its content address.
+func (s *Server) cacheReply(img *tensor.Tensor, tm pipeline.ThreatModel, r reply) {
+	if r.err == nil && s.cache != nil {
+		s.storePrediction(predCacheKey(img, tm), r.pred)
+	}
+}
+
 // PredictBatch scores a client-supplied batch. The images are enqueued
 // individually so they coalesce with other clients' traffic (a batch
 // larger than MaxBatch simply spans several micro-batches). Results are
 // positional; the first error wins.
+//
+// Admission accounting covers only the images the content cache cannot
+// answer; PredictDeadline, when set, is scaled by the number of
+// micro-batches the residual batch spans.
 func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pipeline.ThreatModel) ([]Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
@@ -318,10 +463,37 @@ func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pip
 			return nil, err
 		}
 	}
-	ps := make([]*pending, len(imgs))
-	now := time.Now()
+	out := make([]Prediction, len(imgs))
+	var missIdx []int
 	for i, img := range imgs {
-		p := &pending{img: img, tm: tm, ctx: ctx, enq: now, done: make(chan reply, 1)}
+		if pred, _, ok := s.lookupPrediction(img, tm); ok {
+			out[i] = pred
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	if err := s.refuseNew(); err != nil {
+		return nil, err
+	}
+	release, err := s.interactive.admit(len(missIdx))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	deadline := s.opts.PredictDeadline
+	if deadline > 0 {
+		deadline *= time.Duration(1 + (len(missIdx)-1)/s.opts.MaxBatch)
+	}
+	ctx, cancel := routeContext(ctx, deadline)
+	defer cancel()
+
+	ps := make([]*pending, len(missIdx))
+	now := time.Now()
+	for i, idx := range missIdx {
+		p := &pending{img: imgs[idx], tm: tm, ctx: ctx, enq: now, done: make(chan reply, 1)}
 		select {
 		case s.queue <- p:
 			s.requests.Add(1)
@@ -334,14 +506,15 @@ func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pip
 		}
 		ps[i] = p
 	}
-	out := make([]Prediction, len(ps))
 	for i, p := range ps {
+		idx := missIdx[i]
 		select {
 		case r := <-p.done:
 			if r.err != nil {
 				return nil, r.err
 			}
-			out[i] = r.pred
+			s.cacheReply(imgs[idx], tm, r)
+			out[idx] = r.pred
 		case <-s.done:
 			<-s.drained
 			select {
@@ -349,7 +522,7 @@ func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pip
 				if r.err != nil {
 					return nil, r.err
 				}
-				out[i] = r.pred
+				out[idx] = r.pred
 			default:
 				return nil, ErrServerClosed
 			}
@@ -399,11 +572,15 @@ func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel) error {
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:  s.requests.Load(),
-		Batches:   s.batchCount.Load(),
-		Workers:   s.opts.Workers,
-		MaxBatch:  s.opts.MaxBatch,
-		MaxWaitMs: float64(s.opts.MaxWait) / float64(time.Millisecond),
+		Requests:    s.requests.Load(),
+		Batches:     s.batchCount.Load(),
+		Workers:     s.opts.Workers,
+		MaxBatch:    s.opts.MaxBatch,
+		MaxWaitMs:   float64(s.opts.MaxWait) / float64(time.Millisecond),
+		Interactive: s.interactive.stats(),
+		Bulk:        s.bulk.stats(),
+		Cache:       s.cache.stats(),
+		Draining:    s.Draining(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatchOccupancy = float64(s.batchedImages.Load()) / float64(st.Batches)
@@ -482,6 +659,14 @@ func (s *Server) process(wp *pipeline.Pipeline, batch []*pending) {
 			}
 		}
 	}()
+	// Fault injection (nil Chaos is free): a stalled batch models a slow
+	// accelerator, an injected panic exercises the recover path above.
+	if d := s.opts.Chaos.batchDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	if s.opts.Chaos.takeFail() {
+		panic("chaos: injected batch failure")
+	}
 	// Shed slots whose client already gave up (canceled context, expired
 	// deadline): under overload, spending a delivery + forward on a reply
 	// nobody reads would starve the requests that are still live.
