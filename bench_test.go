@@ -229,6 +229,21 @@ func BenchmarkVGGForward(b *testing.B) {
 	}
 }
 
+// BenchmarkVGGForward32 measures the same forward on the float32
+// snapshot: fused conv+ReLU / dense+ReLU ops over the SSE GEMM core.
+func BenchmarkVGGForward32(b *testing.B) {
+	env := benchEnvironment(b)
+	n32, err := env.Net.ToFloat32()
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := gtsrb.Canonical(gtsrb.ClassStop, env.Profile.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n32.Probs(img)
+	}
+}
+
 // BenchmarkVGGInputGrad measures one loss + input-gradient evaluation, the
 // unit of work of every gradient-based attack.
 func BenchmarkVGGInputGrad(b *testing.B) {
@@ -303,6 +318,18 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMul32 measures the float32 fast-lane GEMM at the same
+// shape as BenchmarkMatMul — the pair quantifies the PR-7 speedup.
+func BenchmarkMatMul32(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	x := tensor.RandN(rng, 128, 128).Float32()
+	y := tensor.RandN(rng, 128, 128).Float32()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul32(x, y)
+	}
+}
+
 // BenchmarkRenderSign measures synthetic GTSRB sample generation.
 func BenchmarkRenderSign(b *testing.B) {
 	rng := mathx.NewRNG(3)
@@ -369,7 +396,8 @@ func BenchmarkAttackFAdeMLBIM(b *testing.B) {
 // coalesces requests into micro-batches of up to 16; unbatched serves
 // request-at-a-time (MaxBatch 1). Both return bit-identical responses —
 // the delta is pure throughput, reported alongside the observed mean
-// batch occupancy.
+// batch occupancy. batched16_f32 runs the same batched workload on the
+// float32 fast lane.
 func BenchmarkServeThroughput(b *testing.B) {
 	env := benchEnvironment(b)
 	acq := NewAcquisition(1.0, 1.0/255, true, 97)
@@ -378,9 +406,11 @@ func BenchmarkServeThroughput(b *testing.B) {
 	for _, cfg := range []struct {
 		name     string
 		maxBatch int
+		prec     Precision
 	}{
-		{"batched16", 16},
-		{"unbatched", 1},
+		{"batched16", 16, PrecisionFloat64},
+		{"unbatched", 1, PrecisionFloat64},
+		{"batched16_f32", 16, PrecisionFloat32},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			// Cache off (the workload repeats one image) and admission
@@ -392,12 +422,15 @@ func BenchmarkServeThroughput(b *testing.B) {
 				CacheSize: -1, InteractiveLimit: -1,
 			})
 			defer s.Close()
+			if cfg.prec == PrecisionFloat32 && !s.Float32Available() {
+				b.Fatal("float32 lane unavailable")
+			}
 			ctx := context.Background()
 			b.SetParallelism(32)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := s.Predict(ctx, img, TM2); err != nil {
+					if _, err := s.PredictPrec(ctx, img, TM2, cfg.prec); err != nil {
 						b.Error(err)
 						return
 					}

@@ -26,12 +26,66 @@ import (
 // benchResult is one benchmark's measurement in the BENCH_*.json
 // trajectory files (schema documented in PERFORMANCE.md).
 type benchResult struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Precision labels the numeric lane a benchmark exercised
+	// ("float64"/"float32"); empty for precision-agnostic benchmarks.
+	Precision string             `json:"precision,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchPrecision maps precision-lane benchmarks to their label.
+var benchPrecision = map[string]string{
+	"matmul":       "float64",
+	"matmul32":     "float32",
+	"vggforward":   "float64",
+	"vggforward32": "float32",
+	"serve":        "float64",
+	"serve_f32":    "float32",
+}
+
+// f32Variant maps a precision-aware float64 benchmark to its float32
+// counterpart; expandPrecisions uses it to sweep lanes.
+var f32Variant = map[string]string{
+	"matmul":     "matmul32",
+	"vggforward": "vggforward32",
+	"serve":      "serve_f32",
+}
+
+// expandPrecisions rewrites a -bench-select list per the -precisions
+// sweep: each precision-aware entry is emitted once per requested lane
+// (its own name for float64, the f32Variant name for float32), keeping
+// order and deduplicating. An empty sweep is the identity.
+func expandPrecisions(names []string, precs []fademl.Precision) []string {
+	if len(precs) == 0 {
+		return names
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range names {
+		v, aware := f32Variant[n]
+		if !aware {
+			add(n)
+			continue
+		}
+		for _, p := range precs {
+			if p == fademl.PrecisionFloat32 {
+				add(v)
+			} else {
+				add(n)
+			}
+		}
+	}
+	return out
 }
 
 // benchReport is the top-level JSON document.
@@ -48,8 +102,21 @@ type benchReport struct {
 
 // writeBenchJSON runs the selected benchmarks (the figure regenerations
 // and substrate micro-benchmarks PERFORMANCE.md tracks) via
-// testing.Benchmark and writes the results to path.
-func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, workers int) error {
+// testing.Benchmark and writes the results to path. precisions is the
+// -precisions sweep: a comma-separated lane list that expands every
+// precision-aware benchmark in selected across those lanes.
+func writeBenchJSON(path, selected, precisions string, p fademl.Profile, cacheDir string, workers int) error {
+	var precs []fademl.Precision
+	for _, s := range strings.Split(precisions, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		prec, err := fademl.ParsePrecision(s)
+		if err != nil {
+			return err
+		}
+		precs = append(precs, prec)
+	}
 	env, err := fademl.NewEnv(p, cacheDir, os.Stderr)
 	if err != nil {
 		return err
@@ -75,12 +142,38 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 				tensor.MatMul(x, y)
 			}
 		},
+		// matmul32 is the float32 fast-lane GEMM at the same shape as
+		// matmul — the pair is the PR-7 ≥2× speedup gate.
+		"matmul32": func(b *testing.B) {
+			b.ReportAllocs()
+			rng := mathx.NewRNG(2)
+			x := tensor.RandN(rng, 128, 128).Float32()
+			y := tensor.RandN(rng, 128, 128).Float32()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul32(x, y)
+			}
+		},
 		"vggforward": func(b *testing.B) {
 			b.ReportAllocs()
 			img := gtsrb.Canonical(gtsrb.ClassStop, env.Profile.Size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				env.Net.Probs(img)
+			}
+		},
+		// vggforward32 is the same single-image forward on the float32
+		// snapshot (fused conv+ReLU / dense+ReLU, SSE GEMM core).
+		"vggforward32": func(b *testing.B) {
+			b.ReportAllocs()
+			n32, err := env.Net.ToFloat32()
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := gtsrb.Canonical(gtsrb.ClassStop, env.Profile.Size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n32.Probs(img)
 			}
 		},
 		"vgginputgrad": func(b *testing.B) {
@@ -109,16 +202,20 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		// disable the result cache — the workload repeats one image, and a
 		// cache hit would bypass the batching path entirely.
 		"serve": func(b *testing.B) {
-			benchServe(b, env, clean, 16, -1)
+			benchServe(b, env, clean, 16, -1, fademl.PrecisionFloat64)
 		},
 		"serve_unbatched": func(b *testing.B) {
-			benchServe(b, env, clean, 1, -1)
+			benchServe(b, env, clean, 1, -1, fademl.PrecisionFloat64)
 		},
 		// serve_cached measures the same workload with the content-addressed
 		// cache on: after the first miss every request is a hit, so this is
 		// the hit path's ns/op.
 		"serve_cached": func(b *testing.B) {
-			benchServe(b, env, clean, 16, 0)
+			benchServe(b, env, clean, 16, 0, fademl.PrecisionFloat64)
+		},
+		// serve_f32 is the batched serving workload on the float32 lane.
+		"serve_f32": func(b *testing.B) {
+			benchServe(b, env, clean, 16, -1, fademl.PrecisionFloat32)
 		},
 		"fig7": func(b *testing.B) {
 			b.ReportAllocs()
@@ -155,9 +252,25 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		Workers:   workers,
 		Profile:   env.Profile.Name,
 	}
+	var names []string
 	for _, name := range strings.Split(selected, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	for _, name := range expandPrecisions(names, precs) {
+		if name == "precision_drift" {
+			// The drift runner is a scenario, not a b.N loop: it compares
+			// the two lanes on the clean class fixtures and enforces the
+			// ≥99% top-1 agreement gate.
+			fmt.Fprintln(os.Stderr, "benchmarking precision_drift...")
+			r, err := precisionDriftResult(env)
+			if err != nil {
+				return err
+			}
+			report.Benchmarks = append(report.Benchmarks, r)
+			fmt.Fprintf(os.Stderr, "  precision_drift: top-1 agreement %.2f%%, max |Δprob| %.2e\n",
+				r.Metrics["top1_agreement_pct"], r.Metrics["max_abs_dprob"])
 			continue
 		}
 		if name == "overload" {
@@ -187,7 +300,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 		}
 		fn, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (have: matmul, vggforward, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, overload, fig7, fig9, filters)", name)
+			return fmt.Errorf("unknown benchmark %q (have: matmul, matmul32, vggforward, vggforward32, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, serve_f32, overload, precision_drift, fig7, fig9, filters)", name)
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		r := testing.Benchmark(fn)
@@ -197,6 +310,7 @@ func writeBenchJSON(path, selected string, p fademl.Profile, cacheDir string, wo
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Precision:   benchPrecision[name],
 		}
 		if len(r.Extra) > 0 {
 			res.Metrics = make(map[string]float64, len(r.Extra))
@@ -279,8 +393,9 @@ func filterBenchResults() []benchResult {
 // benchServe is the shared body of the serve* runners: 32 concurrent
 // clients per CPU against one Server on the TM-II path — enough standing
 // load to keep flush-on-full the dominant trigger. cacheSize follows the
-// ServeOptions convention (0 default, -1 disabled).
-func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch, cacheSize int) {
+// ServeOptions convention (0 default, -1 disabled); prec selects the
+// numeric lane every client requests.
+func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch, cacheSize int, prec fademl.Precision) {
 	b.ReportAllocs()
 	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
 	pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
@@ -292,12 +407,15 @@ func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch, cac
 		CacheSize: cacheSize, InteractiveLimit: -1,
 	})
 	defer s.Close()
+	if prec == fademl.PrecisionFloat32 && !s.Float32Available() {
+		b.Fatal("float32 lane unavailable")
+	}
 	ctx := context.Background()
 	b.SetParallelism(32)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := s.Predict(ctx, img, fademl.TM2); err != nil {
+			if _, err := s.PredictPrec(ctx, img, fademl.TM2, prec); err != nil {
 				b.Error(err)
 				return
 			}
@@ -310,6 +428,52 @@ func benchServe(b *testing.B, env *fademl.Env, img *fademl.Tensor, maxBatch, cac
 	if cacheSize >= 0 {
 		b.ReportMetric(st.Cache.HitRate, "cache_hit_rate")
 	}
+}
+
+// precisionDriftResult quantifies the float32 lane's numeric drift on
+// the clean class fixtures: every canonical GTSRB sign scored on both
+// lanes, reporting top-1 agreement and the worst per-class probability
+// delta. The 99% top-1 agreement gate is PR 7's acceptance bar for the
+// fast lane; falling below it is an error, not a data point.
+func precisionDriftResult(env *fademl.Env) (benchResult, error) {
+	n32, err := env.Net.ToFloat32()
+	if err != nil {
+		return benchResult{}, err
+	}
+	agree := 0
+	var maxD float64
+	start := time.Now()
+	for class := 0; class < gtsrb.NumClasses; class++ {
+		img := gtsrb.Canonical(class, env.Profile.Size)
+		p64 := env.Net.Probs(img)
+		p32 := n32.Probs(img)
+		if mathx.ArgMax(p64) == mathx.ArgMax(p32) {
+			agree++
+		}
+		for j := range p64 {
+			if d := p64[j] - p32[j]; d > maxD {
+				maxD = d
+			} else if -d > maxD {
+				maxD = -d
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	pct := 100 * float64(agree) / float64(gtsrb.NumClasses)
+	if pct < 99 {
+		return benchResult{}, fmt.Errorf("precision_drift: top-1 agreement %.2f%% is below the 99%% gate (%d/%d classes)",
+			pct, agree, gtsrb.NumClasses)
+	}
+	return benchResult{
+		Name:       "precision_drift",
+		Iterations: gtsrb.NumClasses,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(gtsrb.NumClasses),
+		Precision:  "float32",
+		Metrics: map[string]float64{
+			"top1_agreement_pct": pct,
+			"max_abs_dprob":      maxD,
+		},
+	}, nil
 }
 
 // overloadBenchResult measures serving survivability as a trajectory

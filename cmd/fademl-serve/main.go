@@ -8,7 +8,7 @@
 // Usage:
 //
 //	fademl-serve [-addr :8080] [-profile tiny] [-filter 'lap(np=32)'] [-tm 2]
-//	             [-workers N] [-max-batch 16] [-max-wait 2ms]
+//	             [-precision float64] [-workers N] [-max-batch 16] [-max-wait 2ms]
 //	             [-attack-workers 1] [-attack-max-queries 5000] [-attack-timeout 30s]
 //	             [-predict-deadline 500ms] [-defend-deadline 2s] [-evaluate-timeout 2m]
 //	             [-interactive-limit 0] [-bulk-limit 0] [-result-cache 4096]
@@ -20,7 +20,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
+//	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "precision": "float32", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …]}
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
@@ -71,6 +71,7 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
 	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)', 'chain(median(r=1),lar(r=2))', none")
 	tmSpec := flag.String("tm", "2", "default threat model for requests that name none: 1, 2 or 3")
+	precSpec := flag.String("precision", "float64", "default inference precision lane for requests that name none: float64 (reference) or float32 (fast)")
 	acqSeed := flag.Uint64("acq-seed", 97, "acquisition sensor-noise seed (TM-II capture stage)")
 	workers := flag.Int("workers", runtime.NumCPU(), "inference worker pool size (one network clone each)")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch flush-on-full threshold (1 = no batching)")
@@ -116,6 +117,10 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
+	prec, err := fademl.ParsePrecision(*precSpec)
+	if err != nil {
+		usageError(err)
+	}
 	if *maxBatch < 1 || *workers < 1 {
 		usageError(fmt.Errorf("-max-batch and -workers must be at least 1 (got %d, %d)", *maxBatch, *workers))
 	}
@@ -142,6 +147,7 @@ func main() {
 		MaxBatch:         *maxBatch,
 		MaxWait:          *maxWait,
 		DefaultTM:        tm,
+		Precision:        prec,
 		ClassName:        gtsrb.ClassName,
 		AttackWorkers:    *attackWorkers,
 		AttackBudget:     fademl.Budget{MaxQueries: *attackMaxQueries},
@@ -155,6 +161,12 @@ func main() {
 		BulkLimit:        *bulkLimit,
 		CacheSize:        *resultCache,
 	})
+	// A float32 default lane that cannot be built (a topology ToFloat32
+	// does not support) is a startup error, not a per-request 400.
+	if prec == fademl.PrecisionFloat32 && !srv.Float32Available() {
+		srv.Close()
+		usageError(fmt.Errorf("-precision float32: %s", "float32 lane unavailable for this model"))
+	}
 
 	httpSrv := fademl.NewHTTPServer(*addr, srv.Handler(), httpTimeouts)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -166,8 +178,8 @@ func main() {
 	if filter != nil {
 		filterName = filter.Name()
 	}
-	log.Printf("fademl-serve: profile %s, filter %s, default %v, %d workers, batch ≤%d, linger ≤%v on %s",
-		env.Profile.Name, filterName, tm, *workers, *maxBatch, *maxWait, *addr)
+	log.Printf("fademl-serve: profile %s, filter %s, default %v/%v, %d workers, batch ≤%d, linger ≤%v on %s",
+		env.Profile.Name, filterName, tm, prec, *workers, *maxBatch, *maxWait, *addr)
 
 	select {
 	case err := <-errCh:

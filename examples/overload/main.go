@@ -15,6 +15,10 @@
 //
 //	go run ./examples/overload -replicas 3
 //
+// -precision float32 points every interactive client at the float32
+// fast lane instead of the float64 reference lane; the survivability
+// properties must hold on both.
+//
 // The process exits non-zero if any survivability property fails, so CI
 // can use it as the overload smoke test.
 package main
@@ -52,8 +56,13 @@ func main() {
 	replicas := flag.Int("replicas", 1, "self-hosted replicas (>1 adds the front door and a kill/revive cycle)")
 	clients := flag.Int("clients", 0, "concurrent interactive clients (0 auto: 2× aggregate lane capacity)")
 	duration := flag.Duration("duration", 3*time.Second, "overload phase length")
+	precSpec := flag.String("precision", "float64", "inference lane the interactive clients request: float64 or float32")
 	flag.Parse()
 
+	prec, err := fademl.ParsePrecision(*precSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster, err := newCluster(*replicas)
 	if err != nil {
 		log.Fatal(err)
@@ -72,7 +81,10 @@ func main() {
 	payload := func(i int) []byte {
 		im := gtsrb.Canonical(i%gtsrb.NumClasses, size).Clone()
 		im.ScaleInPlace(1 - float64(i%9973)*1e-7)
-		b, _ := json.Marshal(map[string]any{"pixels": im.Data(), "shape": im.Shape(), "tm": "2"})
+		b, _ := json.Marshal(map[string]any{
+			"pixels": im.Data(), "shape": im.Shape(), "tm": "2",
+			"precision": prec.String(),
+		})
 		return b
 	}
 

@@ -131,6 +131,12 @@ type (
 	Acquisition = pipeline.Acquisition
 	// ThreatModel selects where the adversary enters the pipeline.
 	ThreatModel = pipeline.ThreatModel
+	// Precision selects the numeric lane a prediction runs on: the
+	// float64 reference lane or the float32 serving fast path.
+	Precision = pipeline.Precision
+	// Net32 is a frozen float32 inference snapshot of a Network with
+	// fused conv+ReLU / dense+ReLU kernels (Network.ToFloat32).
+	Net32 = nn.Net32
 	// Comparison is a Section III methodology measurement.
 	Comparison = analysis.Comparison
 	// Run couples a pipeline, an attack and a threat model for Execute.
@@ -193,6 +199,16 @@ const (
 	TM2 = pipeline.TM2
 	// TM3: attacker perturbs acquired data before the filter.
 	TM3 = pipeline.TM3
+)
+
+// Precision lanes for the serving layer's fast path.
+const (
+	// PrecisionFloat64 is the reference lane (default): the lane the
+	// paper metrics, attacks and training run on.
+	PrecisionFloat64 = pipeline.Float64
+	// PrecisionFloat32 is the fast lane: a float32 forward pass over
+	// once-rounded weights, float64 softmax over exactly-widened logits.
+	PrecisionFloat32 = pipeline.Float32
 )
 
 // Untargeted is the Goal.Target sentinel for untargeted evasion.
@@ -350,6 +366,11 @@ func NewAcquisition(gain, noiseStd float64, quantize bool, seed uint64) *Acquisi
 // …) into a ThreatModel, returning an error for anything else — validate
 // CLI flags and request fields with it instead of panicking in Deliver.
 func ParseThreatModel(s string) (ThreatModel, error) { return pipeline.ParseThreatModel(s) }
+
+// ParsePrecision converts a user-supplied string ("float32", "f64",
+// "single", …) into a Precision, with an error for anything else. The
+// empty string selects the float64 reference lane.
+func ParsePrecision(s string) (Precision, error) { return pipeline.ParsePrecision(s) }
 
 // ParseFilter builds a configured filter from a spec string such as
 // "median(r=2)", "gaussian(sigma=1.5)" or a paren-aware chain

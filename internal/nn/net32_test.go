@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+func testNets32(t *testing.T) (*Network, *Net32) {
+	t.Helper()
+	rng := mathx.NewRNG(42)
+	net, err := TinyCNN(3, 16, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n32, err := net.ToFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, n32
+}
+
+// TestNet32AgreesWithFloat64 checks that the fused float32 snapshot tracks
+// the float64 network closely on random inputs: identical top-1 on
+// non-marginal cases and small probability drift everywhere.
+func TestNet32AgreesWithFloat64(t *testing.T) {
+	net, n32 := testNets32(t)
+	rng := mathx.NewRNG(7)
+	agree, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		img := tensor.RandN(rng, 3, 16, 16)
+		p64 := net.Probs(img)
+		p32 := n32.Probs(img)
+		if len(p64) != len(p32) {
+			t.Fatalf("class count mismatch %d vs %d", len(p64), len(p32))
+		}
+		maxD := 0.0
+		for i := range p64 {
+			if d := math.Abs(p64[i] - p32[i]); d > maxD {
+				maxD = d
+			}
+		}
+		if maxD > 1e-3 {
+			t.Fatalf("trial %d: max |Δprob| = %g", trial, maxD)
+		}
+		c64, _ := net.Predict(img)
+		c32, _ := n32.Predict(img)
+		total++
+		if c64 == c32 {
+			agree++
+		}
+	}
+	if agree < total-1 { // allow at most one marginal flip on random noise
+		t.Fatalf("top-1 agreement %d/%d", agree, total)
+	}
+}
+
+// TestNet32BatchMatchesSingle pins the batch-independence contract: each
+// ProbsBatch row must be bit-identical to a batch-of-1 Probs call (all ops
+// process rows independently).
+func TestNet32BatchMatchesSingle(t *testing.T) {
+	_, n32 := testNets32(t)
+	rng := mathx.NewRNG(8)
+	imgs := make([]*tensor.Tensor, 5)
+	for i := range imgs {
+		imgs[i] = tensor.RandN(rng, 3, 16, 16)
+	}
+	rows := n32.ProbsBatch(imgs)
+	for i, img := range imgs {
+		single := n32.Probs(img)
+		for j := range single {
+			if rows[i][j] != single[j] {
+				t.Fatalf("batch row %d differs from single inference at class %d", i, j)
+			}
+		}
+	}
+}
+
+// TestNet32CloneConcurrent runs clones concurrently (meaningful under
+// -race): clones share immutable weights but own scratch.
+func TestNet32CloneConcurrent(t *testing.T) {
+	_, n32 := testNets32(t)
+	rng := mathx.NewRNG(9)
+	img := tensor.RandN(rng, 3, 16, 16)
+	want := n32.Clone().Probs(img)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := n32.Clone()
+			for i := 0; i < 10; i++ {
+				got := c.Probs(img)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("concurrent clone diverged at class %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNet32FusionCoverage asserts the lowering actually fused: TinyCNN has
+// 3 conv+relu pairs, 3 pools, flatten, dense — so the op pipeline must be
+// shorter than the layer stack and contain no stand-alone elt32 ReLU.
+func TestNet32FusionCoverage(t *testing.T) {
+	net, n32 := testNets32(t)
+	if len(n32.ops) >= len(net.Layers()) {
+		t.Fatalf("no fusion: %d ops from %d layers", len(n32.ops), len(net.Layers()))
+	}
+	for _, o := range n32.ops {
+		if e, ok := o.(elt32); ok && e.kind == eltReLU {
+			t.Fatal("stand-alone ReLU survived lowering next to conv/dense")
+		}
+	}
+}
+
+// TestNet32VGGTopology exercises the scaled VGG topology (conv stacks with
+// padding, dropout, xavier head) through the lowering.
+func TestNet32VGGTopology(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	net, err := VGGNet(ScaledVGGConfig(3, 32, 10, 16), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n32, err := net.ToFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.RandN(rng, 3, 32, 32)
+	p64 := net.Probs(img)
+	p32 := n32.Probs(img)
+	for i := range p64 {
+		if math.Abs(p64[i]-p32[i]) > 1e-3 {
+			t.Fatalf("VGG drift at class %d: %g vs %g", i, p64[i], p32[i])
+		}
+	}
+}
+
+// TestNet32BatchNormFolding checks the scale/shift fold against the
+// float64 layer on a BN-bearing stack.
+func TestNet32BatchNormFolding(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	conv := NewConv2D("c1", 1, 4, 3, 1, 1, rng)
+	bn := NewBatchNorm2D("bn1", 4)
+	// Perturb running stats away from the (0,1) init so the fold is
+	// actually exercised.
+	for i := 0; i < 4; i++ {
+		bn.RunMean.Data()[i] = 0.3 * float64(i+1)
+		bn.RunVar.Data()[i] = 0.5 + 0.25*float64(i)
+	}
+	net := MustNetwork("bnnet", []int{1, 8, 8},
+		conv, bn, NewReLU("r1"), NewFlatten("fl"), NewDenseXavier("fc", 4*8*8, 3, rng))
+	n32, err := net.ToFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.RandN(rng, 1, 8, 8)
+	p64 := net.Probs(img)
+	p32 := n32.Probs(img)
+	for i := range p64 {
+		if math.Abs(p64[i]-p32[i]) > 1e-3 {
+			t.Fatalf("BN fold drift at class %d: %g vs %g", i, p64[i], p32[i])
+		}
+	}
+}

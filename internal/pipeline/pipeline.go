@@ -76,6 +76,11 @@ type Pipeline struct {
 	Filter filters.Filter
 	// Net is the trained classifier.
 	Net *nn.Network
+
+	// net32 is the optional float32 inference snapshot of Net, built by
+	// EnableFloat32. It is unexported so the only way to obtain one is the
+	// conversion path that keeps it consistent with Net's weights.
+	net32 *nn.Net32
 }
 
 // New builds a pipeline; filter may be nil for no filtering.

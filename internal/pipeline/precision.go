@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Precision selects the numeric lane a prediction runs on. The float64
+// lane is the system's source of truth — it is what the paper metrics,
+// attacks and training use — while the float32 lane is the serving fast
+// path backed by nn.Net32's fused kernels. The zero value is Float64, so
+// every pre-existing call site keeps its exact behaviour.
+type Precision int
+
+const (
+	// Float64 is the reference lane (default).
+	Float64 Precision = iota
+	// Float32 is the fast lane: one weight rounding at conversion, a
+	// float32 forward pass, float64 softmax over exactly-widened logits.
+	Float32
+)
+
+// String implements fmt.Stringer with the canonical flag spellings.
+func (p Precision) String() string {
+	switch p {
+	case Float32:
+		return "float32"
+	default:
+		return "float64"
+	}
+}
+
+// Valid reports whether p is a defined precision.
+func (p Precision) Valid() bool { return p == Float64 || p == Float32 }
+
+// ParsePrecision converts a user-supplied string — a CLI flag, an HTTP
+// request field — into a Precision. The empty string means "the default
+// lane" (Float64 here; the serving layer substitutes its configured
+// default before calling this).
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "64", "f64", "fp64", "float64", "double":
+		return Float64, nil
+	case "32", "f32", "fp32", "float32", "single":
+		return Float32, nil
+	}
+	return 0, fmt.Errorf("pipeline: unknown precision %q (want float32 or float64)", s)
+}
+
+// EnableFloat32 builds the pipeline's float32 snapshot from the current
+// trained weights. It must be called before Probs32/Net32; converting is
+// one pass over the weights, so callers do it once at startup (serving)
+// rather than per request.
+func (p *Pipeline) EnableFloat32() error {
+	n32, err := p.Net.ToFloat32()
+	if err != nil {
+		return err
+	}
+	p.net32 = n32
+	return nil
+}
+
+// Net32 returns the float32 snapshot, or nil if EnableFloat32 has not
+// been called (or failed).
+func (p *Pipeline) Net32() *nn.Net32 { return p.net32 }
+
+// Probs32 runs the pipeline under a threat model on the float32 lane.
+// Delivery (acquisition + filter) stays in float64 — the lane boundary is
+// the DNN input buffer, mirroring where the paper's threat models place
+// the attacker — and only the network forward runs in float32. Panics if
+// EnableFloat32 was not called.
+func (p *Pipeline) Probs32(x *tensor.Tensor, tm ThreatModel) []float64 {
+	if p.net32 == nil {
+		panic("pipeline: Probs32 before EnableFloat32")
+	}
+	return p.net32.Probs(p.Deliver(x, tm))
+}

@@ -420,7 +420,7 @@ func (s *Server) caseImage(img *tensor.Tensor, source int) (*tensor.Tensor, erro
 			return nil, fmt.Errorf("serve: no canonical image for class %d", source)
 		}
 	}
-	if err := s.validate(img, pipeline.TM1); err != nil {
+	if err := s.validate(img, pipeline.TM1, pipeline.Float64); err != nil {
 		return nil, err
 	}
 	return img, nil

@@ -153,10 +153,13 @@ func hashTensor(h hash.Hash, t *tensor.Tensor) {
 	}
 }
 
-// predCacheKey addresses one (image, threat model) prediction.
-func predCacheKey(img *tensor.Tensor, tm pipeline.ThreatModel) cacheKey {
+// predCacheKey addresses one (image, threat model, precision) prediction.
+// The precision byte is part of the address: the float32 lane's results
+// are not bit-identical to the float64 lane's, so a float32 hit must
+// never answer a float64 request (or vice versa).
+func predCacheKey(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) cacheKey {
 	h := sha256.New()
-	h.Write([]byte{'p', byte(tm)})
+	h.Write([]byte{'p', byte(tm), byte(prec)})
 	hashTensor(h, img)
 	var k cacheKey
 	h.Sum(k[:0])
@@ -188,11 +191,11 @@ func copyPrediction(p Prediction) Prediction {
 
 // lookupPrediction checks the prediction cache; ok means pred is a
 // caller-owned, bit-identical copy of an earlier response.
-func (s *Server) lookupPrediction(img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, cacheKey, bool) {
+func (s *Server) lookupPrediction(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, cacheKey, bool) {
 	if s.cache == nil {
 		return Prediction{}, cacheKey{}, false
 	}
-	k := predCacheKey(img, tm)
+	k := predCacheKey(img, tm, prec)
 	if v, ok := s.cache.get(k); ok {
 		return copyPrediction(v.(Prediction)), k, true
 	}

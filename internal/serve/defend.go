@@ -50,7 +50,7 @@ func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, 
 	if req.Image == nil {
 		return nil, errors.New("serve: nil image")
 	}
-	if err := s.validate(req.Image, pipeline.TM1); err != nil {
+	if err := s.validate(req.Image, pipeline.TM1, pipeline.Float64); err != nil {
 		return nil, err
 	}
 	f := s.filter

@@ -49,7 +49,10 @@ func (p imagePayload) tensor() (*tensor.Tensor, error) {
 // and whether to echo the full probability vector.
 type predictRequest struct {
 	imagePayload
-	TM          string `json:"tm,omitempty"`
+	TM string `json:"tm,omitempty"`
+	// Precision selects the numeric lane ("float32"/"f32"/"32" or
+	// "float64"/"f64"/"64"); empty selects the server default.
+	Precision   string `json:"precision,omitempty"`
 	ReturnProbs bool   `json:"probs,omitempty"`
 }
 
@@ -57,20 +60,22 @@ type predictRequest struct {
 type predictBatchRequest struct {
 	Images      []imagePayload `json:"images"`
 	TM          string         `json:"tm,omitempty"`
+	Precision   string         `json:"precision,omitempty"`
 	ReturnProbs bool           `json:"probs,omitempty"`
 }
 
 // predictResponse is the wire form of one Prediction.
 type predictResponse struct {
-	Class int       `json:"class"`
-	Label string    `json:"label,omitempty"`
-	Prob  float64   `json:"prob"`
-	TM    string    `json:"tm"`
-	Probs []float64 `json:"probs,omitempty"`
+	Class     int       `json:"class"`
+	Label     string    `json:"label,omitempty"`
+	Prob      float64   `json:"prob"`
+	TM        string    `json:"tm"`
+	Precision string    `json:"precision"`
+	Probs     []float64 `json:"probs,omitempty"`
 }
 
 func toResponse(p Prediction, withProbs bool) predictResponse {
-	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String()}
+	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String(), Precision: p.Precision.String()}
 	if withProbs {
 		r.Probs = p.Probs
 	}
@@ -369,12 +374,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	prec, ok := s.parsePrecision(w, req.Precision)
+	if !ok {
+		return
+	}
 	img, err := req.tensor()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pred, err := s.Predict(r.Context(), img, tm)
+	pred, err := s.PredictPrec(r.Context(), img, tm, prec)
 	if err != nil {
 		writePredictError(w, err)
 		return
@@ -398,6 +407,10 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	prec, ok := s.parsePrecision(w, req.Precision)
+	if !ok {
+		return
+	}
 	imgs := make([]*tensor.Tensor, len(req.Images))
 	for i, p := range req.Images {
 		img, err := p.tensor()
@@ -407,7 +420,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		imgs[i] = img
 	}
-	preds, err := s.PredictBatch(r.Context(), imgs, tm)
+	preds, err := s.PredictBatchPrec(r.Context(), imgs, tm, prec)
 	if err != nil {
 		writePredictError(w, err)
 		return
@@ -446,6 +459,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":            s.opts.Workers,
 		"max_batch":          s.opts.MaxBatch,
 		"default_tm":         s.opts.DefaultTM.String(),
+		"precision":          s.opts.Precision.String(),
+		"float32_lane":       s.Float32Available(),
 		"in_shape":           s.inShape,
 		"attack_workers":     s.opts.AttackWorkers,
 		"attack_max_queries": s.opts.AttackBudget.MaxQueries,
@@ -462,6 +477,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// parsePrecision resolves the optional wire precision; empty selects the
+// server default. On failure it writes a 400 and returns ok == false.
+func (s *Server) parsePrecision(w http.ResponseWriter, spec string) (pipeline.Precision, bool) {
+	if spec == "" {
+		return s.opts.Precision, true
+	}
+	prec, err := pipeline.ParsePrecision(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, false
+	}
+	return prec, true
 }
 
 // parseTM resolves the optional wire threat model; empty selects the

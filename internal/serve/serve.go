@@ -46,6 +46,7 @@ import (
 	"repro/internal/attacks"
 	"repro/internal/filters"
 	"repro/internal/mathx"
+	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -71,6 +72,13 @@ type Options struct {
 	// (Predict with tm == 0). Zero selects TM2, the full capture + filter
 	// path every benign input takes through the deployed system.
 	DefaultTM pipeline.ThreatModel
+	// Precision is the numeric lane used when a request does not name one
+	// (Predict, and HTTP requests without a "precision" field). The zero
+	// value is pipeline.Float64, the reference lane; pipeline.Float32
+	// selects the fused float32 fast path. Per-request overrides go
+	// through PredictPrec / the HTTP "precision" field; float32 requests
+	// are refused if the model has no float32 lowering.
+	Precision pipeline.Precision
 	// ClassName, when set, labels predictions (e.g. gtsrb.ClassName).
 	ClassName func(int) string
 
@@ -145,6 +153,9 @@ func (o Options) withDefaults() Options {
 	if o.DefaultTM == 0 {
 		o.DefaultTM = pipeline.TM2
 	}
+	if !o.Precision.Valid() {
+		o.Precision = pipeline.Float64
+	}
 	if o.AttackWorkers == 0 {
 		o.AttackWorkers = 1
 	}
@@ -182,6 +193,8 @@ type Prediction struct {
 	Probs []float64
 	// TM is the threat model the image was delivered under.
 	TM pipeline.ThreatModel
+	// Precision is the numeric lane the forward pass ran on.
+	Precision pipeline.Precision
 }
 
 // Stats is a snapshot of the server's serving counters.
@@ -215,8 +228,9 @@ const latWindow = 2048
 
 // pending is one enqueued request awaiting a worker.
 type pending struct {
-	img *tensor.Tensor
-	tm  pipeline.ThreatModel
+	img  *tensor.Tensor
+	tm   pipeline.ThreatModel
+	prec pipeline.Precision
 	// ctx is the requesting client's context: a worker sheds the slot
 	// without spending a forward on it once the client has given up.
 	ctx  context.Context
@@ -248,6 +262,10 @@ type Server struct {
 	// for the defense endpoints (Defend, the Evaluate filters axis).
 	filter filters.Filter
 	acq    *pipeline.Acquisition
+	// net32 is the shared float32 snapshot workers clone from; f32err
+	// records why the float32 lane is unavailable (nil when it is).
+	net32  *nn.Net32
+	f32err error
 
 	queue   chan *pending
 	batches chan []*pending
@@ -316,8 +334,17 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 			s.attackers <- &attacker{pipe: pipeline.New(p.Net.Clone(), p.Filter, p.Acq)}
 		}
 	}
+	// Build the float32 lane once from the trained weights; workers clone
+	// the snapshot (sharing the converted weights, owning scratch). A
+	// model with no float32 lowering leaves the lane disabled — float32
+	// requests are then refused at validation, float64 serving unaffected.
+	s.net32, s.f32err = p.Net.ToFloat32()
 	for w := 0; w < opts.Workers; w++ {
 		wp := pipeline.New(p.Net.Clone(), p.Filter, p.Acq)
+		var w32 *nn.Net32
+		if s.net32 != nil {
+			w32 = s.net32.Clone()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -328,7 +355,7 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 					s.requeue(batch)
 					return
 				}
-				s.process(wp, batch)
+				s.process(wp, w32, batch)
 			}
 		}()
 	}
@@ -364,13 +391,22 @@ func (s *Server) Close() {
 // bytes, same threat model) is answered immediately — bit-identically —
 // without touching a worker, even while the lane is shedding.
 func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
+	return s.PredictPrec(ctx, img, tm, s.opts.Precision)
+}
+
+// PredictPrec is Predict with an explicit numeric lane: pipeline.Float64
+// is the reference path, pipeline.Float32 the fused fast path (refused
+// with an error if the model has no float32 lowering). Predictions from
+// different lanes are cached under different content addresses, so a
+// float32 hit can never answer a float64 request.
+func (s *Server) PredictPrec(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
 	}
-	if err := s.validate(img, tm); err != nil {
+	if err := s.validate(img, tm, prec); err != nil {
 		return Prediction{}, err
 	}
-	if pred, _, ok := s.lookupPrediction(img, tm); ok {
+	if pred, _, ok := s.lookupPrediction(img, tm, prec); ok {
 		return pred, nil
 	}
 	if err := s.refuseNew(); err != nil {
@@ -383,7 +419,7 @@ func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.Th
 	defer release()
 	ctx, cancel := routeContext(ctx, s.opts.PredictDeadline)
 	defer cancel()
-	return s.predictAdmitted(ctx, img, tm)
+	return s.predictAdmitted(ctx, img, tm, prec)
 }
 
 // predictInternal is the serving path for the server's own measurement
@@ -396,19 +432,23 @@ func (s *Server) predictInternal(ctx context.Context, img *tensor.Tensor, tm pip
 	if tm == 0 {
 		tm = s.opts.DefaultTM
 	}
-	if err := s.validate(img, tm); err != nil {
+	// Measurement traffic always runs on the reference float64 lane: the
+	// Evaluate sweep's numbers must match the paper path regardless of the
+	// serving default.
+	const prec = pipeline.Float64
+	if err := s.validate(img, tm, prec); err != nil {
 		return Prediction{}, err
 	}
-	if pred, _, ok := s.lookupPrediction(img, tm); ok {
+	if pred, _, ok := s.lookupPrediction(img, tm, prec); ok {
 		return pred, nil
 	}
-	return s.predictAdmitted(ctx, img, tm)
+	return s.predictAdmitted(ctx, img, tm, prec)
 }
 
 // predictAdmitted enqueues one already-admitted request, waits for its
 // reply and fills the content cache on success.
-func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
-	p := &pending{img: img, tm: tm, ctx: ctx, enq: time.Now(), done: make(chan reply, 1)}
+func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
+	p := &pending{img: img, tm: tm, prec: prec, ctx: ctx, enq: time.Now(), done: make(chan reply, 1)}
 	select {
 	case s.queue <- p:
 		s.requests.Add(1)
@@ -419,7 +459,7 @@ func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pip
 	}
 	select {
 	case r := <-p.done:
-		s.cacheReply(img, tm, r)
+		s.cacheReply(img, tm, prec, r)
 		return r.pred, r.err
 	case <-s.done:
 		// The server is shutting down; the batch holding this request may
@@ -429,7 +469,7 @@ func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pip
 		<-s.drained
 		select {
 		case r := <-p.done:
-			s.cacheReply(img, tm, r)
+			s.cacheReply(img, tm, prec, r)
 			return r.pred, r.err
 		default:
 			return Prediction{}, ErrServerClosed
@@ -440,9 +480,9 @@ func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pip
 }
 
 // cacheReply stores a successful reply under its content address.
-func (s *Server) cacheReply(img *tensor.Tensor, tm pipeline.ThreatModel, r reply) {
+func (s *Server) cacheReply(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, r reply) {
 	if r.err == nil && s.cache != nil {
-		s.storePrediction(predCacheKey(img, tm), r.pred)
+		s.storePrediction(predCacheKey(img, tm, prec), r.pred)
 	}
 }
 
@@ -455,18 +495,24 @@ func (s *Server) cacheReply(img *tensor.Tensor, tm pipeline.ThreatModel, r reply
 // answer; PredictDeadline, when set, is scaled by the number of
 // micro-batches the residual batch spans.
 func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pipeline.ThreatModel) ([]Prediction, error) {
+	return s.PredictBatchPrec(ctx, imgs, tm, s.opts.Precision)
+}
+
+// PredictBatchPrec is PredictBatch with an explicit numeric lane (see
+// PredictPrec).
+func (s *Server) PredictBatchPrec(ctx context.Context, imgs []*tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) ([]Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
 	}
 	for _, img := range imgs {
-		if err := s.validate(img, tm); err != nil {
+		if err := s.validate(img, tm, prec); err != nil {
 			return nil, err
 		}
 	}
 	out := make([]Prediction, len(imgs))
 	var missIdx []int
 	for i, img := range imgs {
-		if pred, _, ok := s.lookupPrediction(img, tm); ok {
+		if pred, _, ok := s.lookupPrediction(img, tm, prec); ok {
 			out[i] = pred
 			continue
 		}
@@ -493,7 +539,7 @@ func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pip
 	ps := make([]*pending, len(missIdx))
 	now := time.Now()
 	for i, idx := range missIdx {
-		p := &pending{img: imgs[idx], tm: tm, ctx: ctx, enq: now, done: make(chan reply, 1)}
+		p := &pending{img: imgs[idx], tm: tm, prec: prec, ctx: ctx, enq: now, done: make(chan reply, 1)}
 		select {
 		case s.queue <- p:
 			s.requests.Add(1)
@@ -513,7 +559,7 @@ func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pip
 			if r.err != nil {
 				return nil, r.err
 			}
-			s.cacheReply(imgs[idx], tm, r)
+			s.cacheReply(imgs[idx], tm, prec, r)
 			out[idx] = r.pred
 		case <-s.done:
 			<-s.drained
@@ -550,9 +596,15 @@ func (s *Server) abandon(ps []*pending) {
 
 // validate rejects malformed input at the API boundary so shape panics
 // never reach a worker goroutine.
-func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel) error {
+func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) error {
 	if !tm.Valid() {
 		return fmt.Errorf("serve: invalid threat model %d", int(tm))
+	}
+	if !prec.Valid() {
+		return fmt.Errorf("serve: invalid precision %d", int(prec))
+	}
+	if prec == pipeline.Float32 && s.net32 == nil {
+		return fmt.Errorf("serve: float32 lane unavailable: %v", s.f32err)
 	}
 	if img == nil {
 		return errors.New("serve: nil image")
@@ -568,6 +620,13 @@ func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel) error {
 	}
 	return nil
 }
+
+// DefaultPrecision returns the lane used when a request names none.
+func (s *Server) DefaultPrecision() pipeline.Precision { return s.opts.Precision }
+
+// Float32Available reports whether the float32 fast lane is serving
+// (false when the model has no float32 lowering).
+func (s *Server) Float32Available() bool { return s.net32 != nil }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
@@ -650,7 +709,7 @@ func (s *Server) batcher() {
 // one reply per request. A panic (impossible for validated input, but a
 // server must not die with a stuck client) is converted into an error
 // reply for every slot in the batch.
-func (s *Server) process(wp *pipeline.Pipeline, batch []*pending) {
+func (s *Server) process(wp *pipeline.Pipeline, w32 *nn.Net32, batch []*pending) {
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("serve: inference failed: %v", r)
@@ -690,7 +749,41 @@ func (s *Server) process(wp *pipeline.Pipeline, batch []*pending) {
 	for i, p := range batch {
 		imgs[i], tms[i] = p.img, p.tm
 	}
-	rows := wp.Net.ProbsBatch(wp.DeliverGrouped(imgs, tms))
+	delivered := wp.DeliverGrouped(imgs, tms)
+	// Scoring splits by the requested lane. The common case — a batch
+	// with no float32 requests — takes exactly the pre-precision path
+	// (one ProbsBatch over the whole delivered batch, original order), so
+	// float64 responses stay bit-identical to a server without the lane.
+	var idx32 []int
+	for i, p := range batch {
+		if p.prec == pipeline.Float32 {
+			idx32 = append(idx32, i)
+		}
+	}
+	var rows [][]float64
+	if len(idx32) == 0 {
+		rows = wp.Net.ProbsBatch(delivered)
+	} else {
+		rows = make([][]float64, len(batch))
+		var idx64 []int
+		var g64, g32 []*tensor.Tensor
+		for i, p := range batch {
+			if p.prec == pipeline.Float32 {
+				g32 = append(g32, delivered[i])
+			} else {
+				idx64 = append(idx64, i)
+				g64 = append(g64, delivered[i])
+			}
+		}
+		if len(g64) > 0 {
+			for j, r := range wp.Net.ProbsBatch(g64) {
+				rows[idx64[j]] = r
+			}
+		}
+		for j, r := range w32.ProbsBatch(g32) {
+			rows[idx32[j]] = r
+		}
+	}
 	now := time.Now()
 	// Counters update before the replies go out so a client that reads
 	// Stats right after its response sees its own batch accounted for.
@@ -698,7 +791,7 @@ func (s *Server) process(wp *pipeline.Pipeline, batch []*pending) {
 	s.batchedImages.Add(uint64(len(batch)))
 	for i, p := range batch {
 		best := mathx.ArgMax(rows[i])
-		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm}
+		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm, Precision: p.prec}
 		if s.opts.ClassName != nil {
 			pred.Label = s.opts.ClassName(best)
 		}

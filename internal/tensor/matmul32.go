@@ -1,0 +1,355 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Float32 GEMM: the packed, register-blocked core of the inference fast
+// lane. It mirrors the float64 core in matmul.go — same jc→pc→ic cache
+// blocking, same MR-tall/NR-wide panel packing — but with a widened 4×8
+// register tile: eight float32 output columns fit two 128-bit vector
+// registers, so the amd64 microkernel (matmul32_amd64.s) computes the
+// whole tile with packed MULPS/ADDPS at four lanes per instruction. On
+// other architectures the pure-Go microKernel32Go runs the identical
+// per-element operation sequence.
+//
+// Determinism contract (same as the float64 core): for every output
+// element, contributions are added in increasing k order, one IEEE-754
+// float32 multiply and one float32 add per k index. Vector lanes hold
+// *independent* output columns — there is no horizontal reduction and no
+// FMA, so the SSE kernel, the pure-Go kernel, the unpacked small-shape
+// fallback and the multi-core row split all produce bit-identical
+// results for all finite inputs.
+const (
+	// gemm32MR×gemm32NR is the register tile: 4 rows × 8 columns = eight
+	// 4-lane XMM accumulators, leaving registers for the two B vectors
+	// and the broadcast A scalar on amd64.
+	gemm32MR = 4
+	gemm32NR = 8
+	// Cache blocks: float32 halves the byte footprint of the float64
+	// core's blocks, so the same element counts sit even more comfortably
+	// in L1/L2.
+	gemm32KC = 256
+	gemm32MC = 128
+	gemm32NC = 1024
+	// Below this m·n·k the packing overhead outweighs the blocked core.
+	gemm32SmallLimit = 8192
+	// At or above this m·n·k the row-panel multi-core split engages
+	// (when the process-wide pool has more than one worker and no outer
+	// fan-out is already running).
+	gemm32ParallelLimit = 1 << 20
+)
+
+// gemmBufs32 is the packing scratch for one in-flight gemm32 call,
+// pooled like the float64 gemmBufs.
+type gemmBufs32 struct {
+	a, b []float32
+}
+
+var gemm32Pool = sync.Pool{New: func() any { return new(gemmBufs32) }}
+
+func growBuf32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// gemm32 computes dst (+)= opA·opB for a row-major m×n dst, where
+// opA[i][p] = a[i·ars + p·acs] and opB[p][j] = b[p·brs + j·bcs].
+// accum selects += (true) versus overwrite (false). dst must not alias
+// a or b.
+func gemm32(dst []float32, m, n, k int, a []float32, ars, acs int, b []float32, brs, bcs int, accum bool) {
+	if !accum {
+		clear(dst[:m*n])
+	}
+	if m >= 2 && n >= 2 && k >= 4 && m*n*k >= gemm32SmallLimit {
+		if w := gemm32Workers(m, n, k); w > 1 {
+			gemm32Rows(dst, m, n, k, a, ars, acs, b, brs, bcs, w)
+			return
+		}
+		gemmPacked32(dst, m, n, k, a, ars, acs, b, brs, bcs)
+		return
+	}
+	gemmSmall32(dst, m, n, k, a, ars, acs, b, brs, bcs)
+}
+
+// gemm32Workers picks the row-split width for one call: 1 (serial) unless
+// the shape is large enough to amortize the fork, the process-wide pool
+// has spare workers, and no outer fan-out is already running (an
+// experiment-engine worker calling conv forward must not oversubscribe
+// the CPU with workers² goroutines).
+func gemm32Workers(m, n, k int) int {
+	if m < 2*gemm32MR || m*n*k < gemm32ParallelLimit {
+		return 1
+	}
+	if parallel.Active() > 0 {
+		return 1
+	}
+	w := parallel.Workers()
+	if max := m / gemm32MR; w > max {
+		w = max
+	}
+	return w
+}
+
+// gemm32Rows splits dst's rows into `workers` contiguous panels aligned
+// to gemm32MR and runs gemmPacked32 on each panel concurrently. Every
+// output element is computed entirely by one worker with the exact
+// k-order of the serial kernel, so the result is bit-identical to a
+// single gemmPacked32 over the whole matrix regardless of worker count.
+func gemm32Rows(dst []float32, m, n, k int, a []float32, ars, acs int, b []float32, brs, bcs int, workers int) {
+	panels := (m + gemm32MR - 1) / gemm32MR
+	if workers > panels {
+		workers = panels
+	}
+	per := (panels + workers - 1) / workers
+	chunks := (panels + per - 1) / per
+	parallel.ForWorker(chunks, chunks, func(_, ci int) {
+		i0 := ci * per * gemm32MR
+		i1 := min(m, i0+per*gemm32MR)
+		if i0 >= i1 {
+			return
+		}
+		gemmPacked32(dst[i0*n:], i1-i0, n, k, a[i0*ars:], ars, acs, b, brs, bcs)
+	})
+}
+
+// gemmSmall32 is the unpacked fallback for shapes too small to amortize
+// packing: plain per-element accumulation in increasing k order, one
+// rounded multiply and one rounded add per k — the reference operation
+// sequence the packed core reproduces bit for bit.
+func gemmSmall32(dst []float32, m, n, k int, a []float32, ars, acs int, b []float32, brs, bcs int) {
+	for i := 0; i < m; i++ {
+		ai := i * ars
+		drow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := j * bcs
+			s := drow[j]
+			for p := 0; p < k; p++ {
+				s += a[ai+p*acs] * b[bj+p*brs]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// gemmPacked32 is the blocked core: loop nest jc→pc→ic over nc/kc/mc
+// cache blocks, packing B into gemm32NR-wide column panels and A into
+// gemm32MR-tall row panels, then driving the register microkernel.
+func gemmPacked32(dst []float32, m, n, k int, a []float32, ars, acs int, b []float32, brs, bcs int) {
+	bufs := gemm32Pool.Get().(*gemmBufs32)
+	kcMax := min(k, gemm32KC)
+	mcMax := min(m, gemm32MC)
+	ncMax := min(n, gemm32NC)
+	bufs.a = growBuf32(bufs.a, roundUp(mcMax, gemm32MR)*kcMax)
+	bufs.b = growBuf32(bufs.b, kcMax*roundUp(ncMax, gemm32NR))
+	for jc := 0; jc < n; jc += gemm32NC {
+		nc := min(gemm32NC, n-jc)
+		for pc := 0; pc < k; pc += gemm32KC {
+			kc := min(gemm32KC, k-pc)
+			packB32(bufs.b, b, brs, bcs, pc, pc+kc, jc, jc+nc)
+			for ic := 0; ic < m; ic += gemm32MC {
+				mc := min(gemm32MC, m-ic)
+				packA32(bufs.a, a, ars, acs, ic, ic+mc, pc, pc+kc)
+				gemmMacro32(dst, n, ic, jc, mc, nc, kc, bufs.a, bufs.b)
+			}
+		}
+	}
+	gemm32Pool.Put(bufs)
+}
+
+// packA32 lays out rows [i0,i1) × columns [p0,p1) of opA as gemm32MR-tall
+// panels, zero-padding short final panels (the pad lanes feed
+// accumulators that are never stored).
+func packA32(dst, a []float32, rs, cs, i0, i1, p0, p1 int) {
+	idx := 0
+	for i := i0; i < i1; i += gemm32MR {
+		rows := min(gemm32MR, i1-i)
+		if rows == gemm32MR && cs == 1 {
+			r0 := a[i*rs+p0 : i*rs+p1]
+			r1 := a[(i+1)*rs+p0 : (i+1)*rs+p1]
+			r2 := a[(i+2)*rs+p0 : (i+2)*rs+p1]
+			r3 := a[(i+3)*rs+p0 : (i+3)*rs+p1]
+			for p := range r0 {
+				dst[idx] = r0[p]
+				dst[idx+1] = r1[p]
+				dst[idx+2] = r2[p]
+				dst[idx+3] = r3[p]
+				idx += gemm32MR
+			}
+			continue
+		}
+		for p := p0; p < p1; p++ {
+			pc := p * cs
+			for r := 0; r < rows; r++ {
+				dst[idx+r] = a[(i+r)*rs+pc]
+			}
+			for r := rows; r < gemm32MR; r++ {
+				dst[idx+r] = 0
+			}
+			idx += gemm32MR
+		}
+	}
+}
+
+// packB32 lays out rows [p0,p1) × columns [j0,j1) of opB as gemm32NR-wide
+// panels, zero-padding short final panels.
+func packB32(dst, b []float32, rs, cs, p0, p1, j0, j1 int) {
+	idx := 0
+	for j := j0; j < j1; j += gemm32NR {
+		cols := min(gemm32NR, j1-j)
+		if cols == gemm32NR && cs == 1 {
+			for p := p0; p < p1; p++ {
+				copy(dst[idx:idx+gemm32NR], b[p*rs+j:p*rs+j+gemm32NR])
+				idx += gemm32NR
+			}
+			continue
+		}
+		for p := p0; p < p1; p++ {
+			pr := p * rs
+			for c := 0; c < cols; c++ {
+				dst[idx+c] = b[pr+(j+c)*cs]
+			}
+			for c := cols; c < gemm32NR; c++ {
+				dst[idx+c] = 0
+			}
+			idx += gemm32NR
+		}
+	}
+}
+
+// gemmMacro32 sweeps the microkernel over one packed mc×kc × kc×nc block.
+// Edge tiles run through a local buffer so the microkernel only ever sees
+// full gemm32MR×gemm32NR tiles.
+func gemmMacro32(dst []float32, ldd, i0, j0, mc, nc, kc int, apack, bpack []float32) {
+	for jr := 0; jr < nc; jr += gemm32NR {
+		nrV := min(gemm32NR, nc-jr)
+		bp := bpack[(jr/gemm32NR)*kc*gemm32NR:]
+		for ir := 0; ir < mc; ir += gemm32MR {
+			mrV := min(gemm32MR, mc-ir)
+			ap := apack[(ir/gemm32MR)*kc*gemm32MR:]
+			c := dst[(i0+ir)*ldd+j0+jr:]
+			if mrV == gemm32MR && nrV == gemm32NR {
+				microKernel32(c, ldd, ap, bp, kc)
+				continue
+			}
+			var cbuf [gemm32MR * gemm32NR]float32
+			for r := 0; r < mrV; r++ {
+				copy(cbuf[r*gemm32NR:r*gemm32NR+nrV], c[r*ldd:r*ldd+nrV])
+			}
+			microKernel32(cbuf[:], gemm32NR, ap, bp, kc)
+			for r := 0; r < mrV; r++ {
+				copy(c[r*ldd:r*ldd+nrV], cbuf[r*gemm32NR:r*gemm32NR+nrV])
+			}
+		}
+	}
+}
+
+// microKernel32Go is the portable microkernel: a 4×8 tile accumulated in
+// increasing k order, one rounded float32 multiply and add per element
+// per k. The amd64 assembly kernel performs these exact operations on
+// packed lanes (independent output columns per lane, no FMA), so both
+// produce identical bits; the asm-vs-Go equivalence test pins that.
+func microKernel32Go(c []float32, ldc int, ap, bp []float32, kc int) {
+	var acc [gemm32MR * gemm32NR]float32
+	for r := 0; r < gemm32MR; r++ {
+		copy(acc[r*gemm32NR:(r+1)*gemm32NR], c[r*ldc:r*ldc+gemm32NR])
+	}
+	ap = ap[:kc*gemm32MR]
+	bp = bp[:kc*gemm32NR]
+	for p := 0; p < kc; p++ {
+		bv := bp[p*gemm32NR : p*gemm32NR+gemm32NR : p*gemm32NR+gemm32NR]
+		av := ap[p*gemm32MR : p*gemm32MR+gemm32MR : p*gemm32MR+gemm32MR]
+		for r := 0; r < gemm32MR; r++ {
+			a := av[r]
+			row := acc[r*gemm32NR : (r+1)*gemm32NR : (r+1)*gemm32NR]
+			row[0] += a * bv[0]
+			row[1] += a * bv[1]
+			row[2] += a * bv[2]
+			row[3] += a * bv[3]
+			row[4] += a * bv[4]
+			row[5] += a * bv[5]
+			row[6] += a * bv[6]
+			row[7] += a * bv[7]
+		}
+	}
+	for r := 0; r < gemm32MR; r++ {
+		copy(c[r*ldc:r*ldc+gemm32NR], acc[r*gemm32NR:(r+1)*gemm32NR])
+	}
+}
+
+// matmul32Dims checks that both operands are 2-d and returns their stored
+// shapes, mirroring matmulDims.
+func matmul32Dims(op string, a, b *Tensor32) (m, k, k2, n int) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2-d operands, got %v and %v", op, a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[0], b.shape[1]
+}
+
+func checkDst32(op string, dst *Tensor32, m, n int) {
+	if dst.Dims() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+}
+
+// MatMul32 returns the matrix product a(m×k) · b(k×n) as a new m×n tensor.
+func MatMul32(a, b *Tensor32) *Tensor32 {
+	m, k, k2, n := matmul32Dims("MatMul32", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul32 inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New32(m, n)
+	gemm32(out.data, m, n, k, a.data, k, 1, b.data, n, 1, true)
+	return out
+}
+
+// MatMul32Into computes dst = a(m×k) · b(k×n) in place, overwriting dst.
+// dst must be m×n and must not alias a or b — the allocation-free variant
+// for the float32 conv/dense forward hot paths.
+func MatMul32Into(dst, a, b *Tensor32) {
+	m, k, k2, n := matmul32Dims("MatMul32Into", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul32Into inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	checkDst32("MatMul32Into", dst, m, n)
+	gemm32(dst.data, m, n, k, a.data, k, 1, b.data, n, 1, false)
+}
+
+// MatMul32Accum computes dst += a(m×k) · b(k×n) in place. dst must be m×n.
+func MatMul32Accum(dst, a, b *Tensor32) {
+	m, k, k2, n := matmul32Dims("MatMul32Accum", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul32Accum inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	checkDst32("MatMul32Accum", dst, m, n)
+	gemm32(dst.data, m, n, k, a.data, k, 1, b.data, n, 1, true)
+}
+
+// MatMul32TransB returns a · bᵀ where a is m×k and b is n×k; the result
+// is m×n. The operand panels are packed once, so the transposed read
+// never reaches the O(m·n·k) inner loop.
+func MatMul32TransB(a, b *Tensor32) *Tensor32 {
+	m, k, n, k2 := matmul32Dims("MatMul32TransB", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul32TransB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New32(m, n)
+	gemm32(out.data, m, n, k, a.data, k, 1, b.data, 1, k, false)
+	return out
+}
+
+// MatMul32TransBInto computes dst = a · bᵀ in place (a m×k, b n×k,
+// dst m×n), the allocation-free variant of MatMul32TransB.
+func MatMul32TransBInto(dst, a, b *Tensor32) {
+	m, k, n, k2 := matmul32Dims("MatMul32TransBInto", a, b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul32TransBInto inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	checkDst32("MatMul32TransBInto", dst, m, n)
+	gemm32(dst.data, m, n, k, a.data, k, 1, b.data, 1, k, false)
+}

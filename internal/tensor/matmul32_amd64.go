@@ -1,0 +1,29 @@
+//go:build amd64
+
+package tensor
+
+// microKernel32SSE is the hand-vectorized 4×8 float32 tile update in
+// matmul32_amd64.s: eight XMM accumulators, packed MULPS/ADDPS at four
+// lanes per instruction. Lanes hold independent output columns and the
+// kernel uses no FMA, so every element still receives exactly one
+// rounded multiply and one rounded add per k step — bit-identical to
+// microKernel32Go (pinned by TestMicroKernel32AsmMatchesGo).
+//
+//go:noescape
+func microKernel32SSE(c *float32, ldc int, ap, bp *float32, kc int)
+
+// useAsmKernel32 reports whether the assembly microkernel backs
+// microKernel32 on this build (surfaced in benchmarks/docs).
+const useAsmKernel32 = true
+
+// microKernel32 computes c[0:4][0:8] += apᵀ·bp over kc packed steps,
+// where ap is a gemm32MR-tall A panel and bp a gemm32NR-wide B panel.
+func microKernel32(c []float32, ldc int, ap, bp []float32, kc int) {
+	if kc <= 0 {
+		return
+	}
+	_ = c[3*ldc+gemm32NR-1]
+	_ = ap[kc*gemm32MR-1]
+	_ = bp[kc*gemm32NR-1]
+	microKernel32SSE(&c[0], ldc, &ap[0], &bp[0], kc)
+}

@@ -1,0 +1,95 @@
+// SSE 4×8 float32 GEMM microkernel.
+//
+// c[r][j] += sum_p ap[p*4+r] * bp[p*8+j]  for r in 0..3, j in 0..7,
+// accumulated in increasing p order. Register layout:
+//
+//   X0,X1  row 0 accumulators (columns 0-3, 4-7)
+//   X2,X3  row 1
+//   X4,X5  row 2
+//   X6,X7  row 3
+//   X8,X9  the 8 B values for the current k step
+//   X10,X11 broadcast A scalar / product scratch
+//
+// Only SSE1 MOVUPS/MOVSS/SHUFPS/MULPS/ADDPS are used (baseline on every
+// amd64), and no FMA: each lane performs one rounded multiply then one
+// rounded add per k step, exactly like the scalar Go kernel, so results
+// are bit-identical to microKernel32Go.
+
+#include "textflag.h"
+
+// func microKernel32SSE(c *float32, ldc int, ap, bp *float32, kc int)
+TEXT ·microKernel32SSE(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), CX
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), DX
+
+	SHLQ $2, CX              // ldc in bytes
+	LEAQ (CX)(CX*1), R8      // 2*ldc
+	LEAQ (CX)(CX*2), R9      // 3*ldc
+
+	// Load the 4×8 C tile into the accumulators.
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	MOVUPS (DI)(CX*1), X2
+	MOVUPS 16(DI)(CX*1), X3
+	MOVUPS (DI)(R8*1), X4
+	MOVUPS 16(DI)(R8*1), X5
+	MOVUPS (DI)(R9*1), X6
+	MOVUPS 16(DI)(R9*1), X7
+
+	TESTQ DX, DX
+	JZ    store
+
+loop:
+	MOVUPS (BX), X8          // b[0:4]
+	MOVUPS 16(BX), X9        // b[4:8]
+
+	MOVSS  (AX), X10         // a[0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+
+	MOVSS  4(AX), X10        // a[1]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X2
+	ADDPS  X11, X3
+
+	MOVSS  8(AX), X10        // a[2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+
+	MOVSS  12(AX), X10       // a[3]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X6
+	ADDPS  X11, X7
+
+	ADDQ $16, AX             // next packed A column (4 floats)
+	ADDQ $32, BX             // next packed B row (8 floats)
+	DECQ DX
+	JNZ  loop
+
+store:
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, (DI)(CX*1)
+	MOVUPS X3, 16(DI)(CX*1)
+	MOVUPS X4, (DI)(R8*1)
+	MOVUPS X5, 16(DI)(R8*1)
+	MOVUPS X6, (DI)(R9*1)
+	MOVUPS X7, 16(DI)(R9*1)
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package tensor
+
+// useAsmKernel32 reports whether an assembly microkernel backs
+// microKernel32 on this build.
+const useAsmKernel32 = false
+
+// microKernel32 computes c[0:4][0:8] += apᵀ·bp over kc packed steps.
+// Without an assembly kernel for this architecture it runs the portable
+// scalar microkernel, which performs the identical per-element operation
+// sequence.
+func microKernel32(c []float32, ldc int, ap, bp []float32, kc int) {
+	microKernel32Go(c, ldc, ap, bp, kc)
+}

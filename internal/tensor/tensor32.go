@@ -1,0 +1,109 @@
+package tensor
+
+import "fmt"
+
+// Tensor32 is a dense row-major N-dimensional float32 array — the storage
+// type of the inference fast lane. It deliberately mirrors Tensor's shape
+// semantics (row-major, owned shape/stride slices) but carries only the
+// surface the float32 forward path needs: the float64 API stays the
+// system's source of truth for training, attacks and the paper metrics,
+// while Tensor32 exists to feed the widened float32 GEMM.
+type Tensor32 struct {
+	shape  []int
+	stride []int
+	data   []float32
+}
+
+// New32 allocates a zero-filled float32 tensor with the given shape.
+func New32(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	return &Tensor32{
+		shape:  append([]int(nil), shape...),
+		stride: computeStrides(shape),
+		data:   make([]float32, n),
+	}
+}
+
+// FromSlice32 wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it must have exactly as many elements as the
+// shape requires.
+func FromSlice32(data []float32, shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice32 data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	return &Tensor32{
+		shape:  append([]int(nil), shape...),
+		stride: computeStrides(shape),
+		data:   data,
+	}
+}
+
+// Float32 returns a float32 copy of t, rounding every element once
+// (round-to-nearest-even, the IEEE-754 float64→float32 conversion).
+func (t *Tensor) Float32() *Tensor32 {
+	out := New32(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float32(v)
+	}
+	return out
+}
+
+// Float64 returns a float64 copy of t. float32→float64 is exact, so
+// Float32().Float64() loses only the original float64 tail bits.
+func (t *Tensor32) Float64() *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float64(v)
+	}
+	return out
+}
+
+// CopyFrom64 rounds src's elements into t. Shapes must match exactly.
+func (t *Tensor32) CopyFrom64(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom64 size mismatch %v vs %v", t.shape, src.shape))
+	}
+	for i, v := range src.data {
+		t.data[i] = float32(v)
+	}
+}
+
+// Shape returns the tensor's dimensions (callers must not mutate it).
+func (t *Tensor32) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor32) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor32) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor32) Len() int { return len(t.data) }
+
+// Data returns the underlying storage (row-major, aliased — not a copy).
+func (t *Tensor32) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor32) Clone() *Tensor32 {
+	out := New32(t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (t *Tensor32) Zero() { clear(t.data) }
+
+// Reshape returns a tensor sharing t's storage with a new shape. The total
+// element count must be preserved.
+func (t *Tensor32) Reshape(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: Reshape32 %v -> %v changes element count", t.shape, shape))
+	}
+	return &Tensor32{
+		shape:  append([]int(nil), shape...),
+		stride: computeStrides(shape),
+		data:   t.data,
+	}
+}
