@@ -285,6 +285,22 @@ func writeBenchJSON(path, selected, precisions string, p fademl.Profile, cacheDi
 				r.Metrics["overload_ratio"], int(r.Metrics["bulk_shed"]))
 			continue
 		}
+		if name == "serve_swap" {
+			// The hot-swap runner is a scenario, not a b.N loop: standing
+			// clients measure predict p99 while the default model version
+			// is flipped under them; any client-visible failure is an
+			// error, not a data point.
+			fmt.Fprintln(os.Stderr, "benchmarking serve_swap...")
+			r, err := serveSwapBenchResult(env, clean)
+			if err != nil {
+				return err
+			}
+			report.Benchmarks = append(report.Benchmarks, r)
+			fmt.Fprintf(os.Stderr, "  serve_swap: p99 %.2fms steady → %.2fms during %d swaps (%.2fx), 0 failures\n",
+				r.Metrics["p99_steady_ms"], r.Metrics["p99_swap_ms"],
+				int(r.Metrics["swaps"]), r.Metrics["swap_ratio"])
+			continue
+		}
 		if name == "filters" {
 			// The filter micro-benchmarks emit one entry per registered
 			// filter (per-image ns/op + batched speedup) instead of a
@@ -300,7 +316,7 @@ func writeBenchJSON(path, selected, precisions string, p fademl.Profile, cacheDi
 		}
 		fn, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (have: matmul, matmul32, vggforward, vggforward32, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, serve_f32, overload, precision_drift, fig7, fig9, filters)", name)
+			return fmt.Errorf("unknown benchmark %q (have: matmul, matmul32, vggforward, vggforward32, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, serve_f32, serve_swap, overload, precision_drift, fig7, fig9, filters)", name)
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		r := testing.Benchmark(fn)
@@ -472,6 +488,141 @@ func precisionDriftResult(env *fademl.Env) (benchResult, error) {
 		Metrics: map[string]float64{
 			"top1_agreement_pct": pct,
 			"max_abs_dprob":      maxD,
+		},
+	}, nil
+}
+
+// serveSwapBenchResult measures hot-swap survivability as a trajectory
+// point: standing clients hammer the default model while the registry's
+// two versions are activated back and forth (keep=false, so every flip
+// retires and drains the loser). It reports interactive predict p99 in
+// the steady phase vs. the swap phase; the PR-8 acceptance gate is zero
+// client-visible failures and swap p99 ≤ 2× steady-state.
+func serveSwapBenchResult(env *fademl.Env, img *fademl.Tensor) (benchResult, error) {
+	dir, err := os.MkdirTemp("", "fademl-swapbench")
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := fademl.OpenRegistry(dir)
+	if err != nil {
+		return benchResult{}, err
+	}
+	arch := env.Profile.VGGArch()
+	if _, err := reg.Save("bench", env.Net, arch, fademl.RegistrySaveOptions{Note: "steady version"}); err != nil {
+		return benchResult{}, err
+	}
+	// v2 stands in for a retrained model: same topology, different
+	// weights (a fresh init is enough — the runner measures latency, not
+	// accuracy).
+	alt, err := arch.Build()
+	if err != nil {
+		return benchResult{}, err
+	}
+	if _, err := reg.Save("bench", alt, arch, fademl.RegistrySaveOptions{Note: "swap-target version"}); err != nil {
+		return benchResult{}, err
+	}
+	v1, err := reg.Load(fademl.ModelRef{Name: "bench", Version: "v1"})
+	if err != nil {
+		return benchResult{}, err
+	}
+	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	s := fademl.NewServerFromModel(v1, fademl.NewLAP(32), acq, fademl.ServeOptions{
+		Workers: 2, MaxBatch: 8, MaxWait: 500 * time.Microsecond,
+		CacheSize: -1, InteractiveLimit: -1, Registry: reg,
+	})
+	defer s.Close()
+
+	// Phases: 0 warm-up (discarded), 1 steady, 2 swapping, 3 done.
+	var phase atomic.Int32
+	var failed atomic.Uint64
+	const clients = 4
+	type sample struct {
+		phase int32
+		d     time.Duration
+	}
+	perClient := make([][]sample, clients)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ph := phase.Load()
+				if ph >= 3 {
+					return
+				}
+				start := time.Now()
+				if _, err := s.Predict(ctx, img, fademl.TM2); err != nil {
+					failed.Add(1)
+					continue
+				}
+				perClient[c] = append(perClient[c], sample{ph, time.Since(start)})
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond) // warm-up
+	phase.Store(1)
+	time.Sleep(time.Second) // steady window
+	phase.Store(2)
+	const swaps = 6
+	for i := 0; i < swaps; i++ {
+		target := "bench@v2"
+		if i%2 == 1 {
+			target = "bench@v1"
+		}
+		if _, err := s.Activate(target, false); err != nil {
+			phase.Store(3)
+			wg.Wait()
+			return benchResult{}, fmt.Errorf("serve_swap: activate %s: %w", target, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	phase.Store(3)
+	wg.Wait()
+
+	var steady, swapping []time.Duration
+	for _, samples := range perClient {
+		for _, smp := range samples {
+			switch smp.phase {
+			case 1:
+				steady = append(steady, smp.d)
+			case 2:
+				swapping = append(swapping, smp.d)
+			}
+		}
+	}
+	p99 := func(ds []time.Duration) time.Duration {
+		if len(ds) == 0 {
+			return 0
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[(len(ds)-1)*99/100]
+	}
+	steadyP99, swapP99 := p99(steady), p99(swapping)
+	if failed.Load() > 0 {
+		return benchResult{}, fmt.Errorf("serve_swap: %d client-visible failures during the run (the swap contract is zero)", failed.Load())
+	}
+	ratio := 0.0
+	if steadyP99 > 0 {
+		ratio = float64(swapP99) / float64(steadyP99)
+	}
+	return benchResult{
+		Name:       "serve_swap",
+		Iterations: len(steady) + len(swapping),
+		NsPerOp:    float64(swapP99.Nanoseconds()),
+		Metrics: map[string]float64{
+			"p99_steady_ms":    float64(steadyP99.Nanoseconds()) / 1e6,
+			"p99_swap_ms":      float64(swapP99.Nanoseconds()) / 1e6,
+			"swap_ratio":       ratio,
+			"swaps":            swaps,
+			"requests_steady":  float64(len(steady)),
+			"requests_swap":    float64(len(swapping)),
+			"failed_requests":  float64(failed.Load()),
+			"final_swap_count": float64(s.Stats().Swaps),
 		},
 	}, nil
 }

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	fademl-serve [-addr :8080] [-profile tiny] [-filter 'lap(np=32)'] [-tm 2]
+//	             [-registry DIR] [-model name@version]
 //	             [-precision float64] [-workers N] [-max-batch 16] [-max-wait 2ms]
 //	             [-attack-workers 1] [-attack-max-queries 5000] [-attack-timeout 30s]
 //	             [-predict-deadline 500ms] [-defend-deadline 2s] [-evaluate-timeout 2m]
@@ -25,7 +26,9 @@
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
 //	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [...]}
-//	GET  /v1/healthz        liveness (503 draining, "degraded" while shedding)
+//	GET  /v1/models         model table (active version, loaded versions, registry catalog)
+//	POST /v1/models         {"action": "activate", "model": "name@version"} — hot-swap under live traffic
+//	GET  /v1/healthz        liveness (503 draining, "degraded" while shedding) + model identity
 //	GET  /v1/stats          requests, batches, lanes, cache, latency
 //	GET  /metrics           Prometheus text exposition
 //
@@ -39,6 +42,15 @@
 // process drains gracefully on SIGINT/SIGTERM: healthz flips to 503 so
 // front doors stop routing here, new requests are refused, in-flight
 // requests complete, then the batching service shuts down.
+//
+// Model registry: with -registry the server serves versioned models from
+// the registry store instead of an anonymous profile-trained network.
+// -model selects the version ("name@version", or a bare name for its
+// latest); when the name has no versions yet, the legacy -profile path
+// becomes a bootstrap — the profile's model is trained (or loaded from
+// the weight cache) and registered as v1 before serving. Sibling
+// versions can then be loaded and hot-swapped under live traffic via
+// POST /v1/models without shedding or failing a single request.
 //
 // -front mode turns the binary into the multi-replica front door
 // instead: a consistent-hash router over the listed backends with
@@ -69,6 +81,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	profileName := flag.String("profile", "tiny", "experiment profile: tiny, default or paper")
 	cacheDir := flag.String("cache", "testdata/cache", "weight cache directory")
+	registryDir := flag.String("registry", "", "model registry root; serve versioned models from this store (empty = legacy profile mode)")
+	modelSpec := flag.String("model", "", "registry model to serve: 'name@version' or a bare name for its latest (default: vgg-<profile>)")
 	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)', 'chain(median(r=1),lar(r=2))', none")
 	tmSpec := flag.String("tm", "2", "default threat model for requests that name none: 1, 2 or 3")
 	precSpec := flag.String("precision", "float64", "default inference precision lane for requests that name none: float64 (reference) or float32 (fast)")
@@ -129,20 +143,15 @@ func main() {
 		usageError(err)
 	}
 
-	env, err := fademl.NewEnv(profile, *cacheDir, os.Stdout)
-	if err != nil {
-		log.Fatal(err)
-	}
 	// The acquisition stage models the camera every benign input passes
 	// under TM-II; requests for TM-1/TM-3 views simply bypass it.
 	acq := fademl.NewAcquisition(1.0, 1.0/255, true, *acqSeed)
-	pipe := fademl.NewPipeline(env.Net, filter, acq)
 
 	evalCases := make([]fademl.EvalCase, len(fademl.PaperScenarios))
 	for i, sc := range fademl.PaperScenarios {
 		evalCases[i] = fademl.EvalCase{Source: sc.Source, Target: sc.Target}
 	}
-	srv := fademl.NewServer(pipe, fademl.ServeOptions{
+	opts := fademl.ServeOptions{
 		Workers:          *workers,
 		MaxBatch:         *maxBatch,
 		MaxWait:          *maxWait,
@@ -160,7 +169,60 @@ func main() {
 		InteractiveLimit: *interactiveLimit,
 		BulkLimit:        *bulkLimit,
 		CacheSize:        *resultCache,
-	})
+	}
+
+	var srv *fademl.Server
+	var modelLabel string
+	if *registryDir != "" {
+		reg, err := fademl.OpenRegistry(*registryDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Registry = reg
+		spec := *modelSpec
+		if spec == "" {
+			spec = "vgg-" + profile.Name
+		}
+		ref, rerr := reg.Resolve(spec)
+		if rerr != nil {
+			// Bootstrap: a bare name with no versions yet is seeded from
+			// the legacy profile path — train (or load the weight cache)
+			// and register the result as the name's first version. A
+			// pinned version that is absent stays a hard error.
+			pref, perr := fademl.ParseModelRef(spec)
+			if perr != nil {
+				usageError(perr)
+			}
+			if pref.Version != "" {
+				log.Fatal(rerr)
+			}
+			log.Printf("fademl-serve: model %q has no versions in %s; bootstrapping from profile %s",
+				pref.Name, *registryDir, profile.Name)
+			env, err := fademl.NewEnv(profile, *cacheDir, os.Stdout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			note := fmt.Sprintf("fademl-serve bootstrap, profile %s, clean top-1 %.2f%%", profile.Name, 100*env.CleanTop1)
+			m, err := reg.Save(pref.Name, env.Net, profile.VGGArch(), fademl.RegistrySaveOptions{Note: note})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ref = m.Ref()
+		}
+		model, err := reg.Load(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = fademl.NewServerFromModel(model, filter, acq, opts)
+		modelLabel = "model " + ref.String()
+	} else {
+		env, err := fademl.NewEnv(profile, *cacheDir, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = fademl.NewServer(fademl.NewPipeline(env.Net, filter, acq), opts)
+		modelLabel = "profile " + env.Profile.Name
+	}
 	// A float32 default lane that cannot be built (a topology ToFloat32
 	// does not support) is a startup error, not a per-request 400.
 	if prec == fademl.PrecisionFloat32 && !srv.Float32Available() {
@@ -178,8 +240,8 @@ func main() {
 	if filter != nil {
 		filterName = filter.Name()
 	}
-	log.Printf("fademl-serve: profile %s, filter %s, default %v/%v, %d workers, batch ≤%d, linger ≤%v on %s",
-		env.Profile.Name, filterName, tm, prec, *workers, *maxBatch, *maxWait, *addr)
+	log.Printf("fademl-serve: %s, filter %s, default %v/%v, %d workers, batch ≤%d, linger ≤%v on %s",
+		modelLabel, filterName, tm, prec, *workers, *maxBatch, *maxWait, *addr)
 
 	select {
 	case err := <-errCh:

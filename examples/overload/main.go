@@ -19,6 +19,13 @@
 // fast lane instead of the float64 reference lane; the survivability
 // properties must hold on both.
 //
+// -swap makes the replicas registry-backed (two versions of one model)
+// and hot-swaps the default version back and forth mid-overload, in the
+// same run as the kill-replica/kill-worker chaos. The PR-6 survivability
+// contract must hold through the swaps — zero outright failures, bounded
+// interactive p99, honest shedding — and every successful prediction
+// must echo a legitimate model version.
+//
 // The process exits non-zero if any survivability property fails, so CI
 // can use it as the overload smoke test.
 package main
@@ -57,13 +64,14 @@ func main() {
 	clients := flag.Int("clients", 0, "concurrent interactive clients (0 auto: 2× aggregate lane capacity)")
 	duration := flag.Duration("duration", 3*time.Second, "overload phase length")
 	precSpec := flag.String("precision", "float64", "inference lane the interactive clients request: float64 or float32")
+	swap := flag.Bool("swap", false, "hot-swap the default model version mid-overload (registry-backed replicas, two versions)")
 	flag.Parse()
 
 	prec, err := fademl.ParsePrecision(*precSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := newCluster(*replicas)
+	cluster, err := newCluster(*replicas, *swap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +99,7 @@ func main() {
 	// Phase 0: prove a cache hit end to end (same bytes twice).
 	warm := payload(0)
 	for i := 0; i < 2; i++ {
-		if code, _, err := post(cluster.base, warm); err != nil || code != http.StatusOK {
+		if code, _, _, err := post(cluster.base, warm); err != nil || code != http.StatusOK {
 			log.Fatalf("warm-up predict: code %d err %v", code, err)
 		}
 	}
@@ -101,7 +109,7 @@ func main() {
 	var baseline []time.Duration
 	for i := 1; i <= 40; i++ {
 		start := time.Now()
-		code, _, err := post(cluster.base, payload(i))
+		code, _, _, err := post(cluster.base, payload(i))
 		if err != nil || code != http.StatusOK {
 			log.Fatalf("baseline predict %d: code %d err %v", i, code, err)
 		}
@@ -119,9 +127,16 @@ func main() {
 		ok429, okPred, failed atomic.Uint64
 		missingRetryAfter     atomic.Uint64
 		bulkShed, bulkOK      atomic.Uint64
+		badModel              atomic.Uint64
 		latMu                 sync.Mutex
 		latencies             []time.Duration
+		modelMu               sync.Mutex
+		seenModels            = map[string]bool{}
 	)
+	validModel := map[string]bool{}
+	for _, m := range cluster.swapModels {
+		validModel[m] = true
+	}
 	stopAt := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -130,7 +145,7 @@ func main() {
 			defer wg.Done()
 			for i := 0; time.Now().Before(stopAt); i++ {
 				start := time.Now()
-				code, hdr, err := post(cluster.base, payload(1000+c*100000+i))
+				code, hdr, model, err := post(cluster.base, payload(1000+c*100000+i))
 				switch {
 				case err != nil:
 					failed.Add(1)
@@ -139,6 +154,15 @@ func main() {
 					latMu.Lock()
 					latencies = append(latencies, time.Since(start))
 					latMu.Unlock()
+					if *swap {
+						if !validModel[model] {
+							badModel.Add(1)
+						} else {
+							modelMu.Lock()
+							seenModels[model] = true
+							modelMu.Unlock()
+						}
+					}
 				case code == http.StatusTooManyRequests:
 					ok429.Add(1)
 					if hdr.Get("Retry-After") == "" {
@@ -175,6 +199,37 @@ func main() {
 		}(c)
 	}
 
+	// -swap: flip the default model version on every replica throughout
+	// the overload phase — keep=false, so each flip retires and drains
+	// the outgoing version and the next flip reloads it from the
+	// registry. This runs concurrently with the kill chaos below.
+	var swapErrs, swapsDone atomic.Uint64
+	if *swap {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			interval := *duration / 8
+			if interval < 50*time.Millisecond {
+				interval = 50 * time.Millisecond
+			}
+			for i := 0; ; i++ {
+				time.Sleep(interval)
+				if !time.Now().Before(stopAt) {
+					return
+				}
+				target := cluster.swapModels[(i+1)%len(cluster.swapModels)]
+				for _, srv := range cluster.servers {
+					if _, err := srv.Activate(target, false); err != nil {
+						swapErrs.Add(1)
+					} else {
+						swapsDone.Add(1)
+					}
+				}
+				fmt.Printf("  swap: default -> %s\n", target)
+			}
+		}()
+	}
+
 	// Fault injection at one third of the phase; recovery at two thirds.
 	time.AfterFunc(*duration/3, cluster.injectFault)
 	time.AfterFunc(2**duration/3, cluster.recoverFault)
@@ -201,11 +256,20 @@ func main() {
 	} {
 		fmt.Printf("  %s %g\n", name, metricValue(metrics, name))
 	}
+	if *swap {
+		fmt.Printf("  fademl_model_swaps_total %g\n", metricValue(metrics, "fademl_model_swaps_total"))
+	}
 
 	// Survivability verdict.
 	bound := 5 * baseP99
 	if floor := 500 * time.Millisecond; bound < floor {
 		bound = floor
+	}
+	// Hot-swaps with keep=false drain the retired version's queue before
+	// releasing it, so admitted requests caught behind a drain pay extra
+	// tail latency. The swap contract is p99 ≤ 2× the steady-state bound.
+	if *swap {
+		bound *= 2
 	}
 	fail := false
 	check := func(cond bool, format string, args ...any) {
@@ -224,6 +288,16 @@ func main() {
 	check(strings.Contains(metrics, "fademl_cache_hits_total"), "/metrics missing cache counters")
 	check(metricValue(metrics, `fademl_lane_shed_total{lane="interactive"}`) > 0, "interactive shed counter is zero on /metrics")
 	check(metricValue(metrics, "fademl_cache_hits_total") > 0, "cache hit counter is zero on /metrics despite a warm repeat")
+	if *swap {
+		check(swapErrs.Load() == 0, "%d hot-swap activations failed under load", swapErrs.Load())
+		check(swapsDone.Load() > 0, "swap phase performed no activations")
+		check(badModel.Load() == 0, "%d responses echoed an unknown model version", badModel.Load())
+		modelMu.Lock()
+		nSeen := len(seenModels)
+		modelMu.Unlock()
+		check(nSeen >= 2, "hot-swaps never surfaced both versions to clients (saw %d)", nSeen)
+		check(metricValue(metrics, "fademl_model_swaps_total") > 0, "model swap counter is zero on /metrics")
+	}
 	cluster.verdict(check)
 
 	if fail {
@@ -235,15 +309,16 @@ func main() {
 // cluster is the self-hosted deployment under test: one replica, or N
 // replicas behind a front door with a killable member.
 type cluster struct {
-	base     string
-	backends []string // replica base URLs (lane/cache metrics live here)
-	size     int      // model input side length; payloads must match
-	servers  []*fademl.Server
-	https    []*http.Server
-	chaos    []*fademl.ServeChaos
-	front    *fademl.Front
-	killable *killSwitch
-	close    []func()
+	base       string
+	backends   []string // replica base URLs (lane/cache metrics live here)
+	size       int      // model input side length; payloads must match
+	servers    []*fademl.Server
+	https      []*http.Server
+	chaos      []*fademl.ServeChaos
+	front      *fademl.Front
+	killable   *killSwitch
+	swapModels []string // -swap: the two registry versions replicas flip between
+	close      []func()
 }
 
 // killSwitch wraps a replica's handler; down means hijack-and-close
@@ -268,26 +343,66 @@ func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	k.h.ServeHTTP(w, r)
 }
 
-func newCluster(n int) (*cluster, error) {
+func newCluster(n int, swap bool) (*cluster, error) {
 	env, err := fademl.NewEnv(fademl.ProfileTiny(), "testdata/cache", os.Stdout)
 	if err != nil {
 		return nil, err
 	}
 	c := &cluster{size: env.Profile.Size}
+
+	// -swap: publish the trained network as signnet@v1 and a fresh
+	// same-architecture init as signnet@v2 into a throwaway registry.
+	// Replicas then serve by model identity and hot-swap between the two
+	// versions while the kill chaos runs.
+	var reg *fademl.Registry
+	var active *fademl.RegistryModel
+	if swap {
+		dir, err := os.MkdirTemp("", "overload-registry")
+		if err != nil {
+			return nil, err
+		}
+		c.close = append(c.close, func() { os.RemoveAll(dir) })
+		if reg, err = fademl.OpenRegistry(dir); err != nil {
+			return nil, err
+		}
+		arch := env.Profile.VGGArch()
+		if _, err := reg.Save("signnet", env.Net, arch, fademl.RegistrySaveOptions{Note: "overload harness, trained"}); err != nil {
+			return nil, err
+		}
+		alt, err := arch.Build()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := reg.Save("signnet", alt, arch, fademl.RegistrySaveOptions{Note: "overload harness, fresh init"}); err != nil {
+			return nil, err
+		}
+		if active, err = reg.Load(fademl.ModelRef{Name: "signnet", Version: "v1"}); err != nil {
+			return nil, err
+		}
+		c.swapModels = []string{"signnet@v1", "signnet@v2"}
+	}
+
 	backends := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		chaos := &fademl.ServeChaos{}
 		chaos.SetBatchDelay(batchStall)
 		acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
-		pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
-		srv := fademl.NewServer(pipe, fademl.ServeOptions{
+		opts := fademl.ServeOptions{
 			Workers: 2, MaxBatch: 8, MaxWait: time.Millisecond,
 			ClassName: gtsrb.ClassName, AttackWorkers: 1,
 			InteractiveLimit: interactiveLimit, BulkLimit: bulkLimit,
 			PredictDeadline: 5 * time.Second,
 			Render:          gtsrb.Canonical,
 			Chaos:           chaos,
-		})
+			Registry:        reg,
+		}
+		var srv *fademl.Server
+		if swap {
+			srv = fademl.NewServerFromModel(active, fademl.NewLAP(32), acq, opts)
+		} else {
+			pipe := fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq)
+			srv = fademl.NewServer(pipe, opts)
+		}
 		var handler http.Handler = srv.Handler()
 		if n > 1 && i == 0 {
 			c.killable = &killSwitch{h: handler}
@@ -383,17 +498,26 @@ func (c *cluster) shutdown() {
 	for _, srv := range c.servers {
 		srv.Close()
 	}
+	for _, f := range c.close {
+		f()
+	}
 }
 
-// post sends one predict request; returns status code and headers.
-func post(base string, body []byte) (int, http.Header, error) {
+// post sends one predict request; returns status code, headers and the
+// model identity the response claims to have been served by (empty for
+// non-200 responses and pre-registry servers).
+func post(base string, body []byte) (int, http.Header, string, error) {
 	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
+	var echo struct {
+		Model string `json:"model"`
+	}
+	json.NewDecoder(resp.Body).Decode(&echo)
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, resp.Header, nil
+	return resp.StatusCode, resp.Header, echo.Model, nil
 }
 
 func fetch(url string) string {

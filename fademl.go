@@ -76,6 +76,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -181,6 +182,30 @@ type (
 	// HTTPTimeouts bounds the lifecycle phases of served HTTP
 	// connections (slow-loris hardening).
 	HTTPTimeouts = serve.HTTPTimeouts
+	// Registry is the versioned on-disk model store: immutable
+	// name@version entries, each a manifest (architecture spec + weight
+	// SHA-256 + lineage) beside its weight blob, with hash-verified loads.
+	Registry = registry.Registry
+	// RegistryModel is one loaded registry entry: its manifest plus the
+	// ready float64 network and float32 serving snapshot.
+	RegistryModel = registry.Model
+	// RegistrySaveOptions annotates a Registry.Save call.
+	RegistrySaveOptions = registry.SaveOptions
+	// ModelManifest records one stored version: name, version,
+	// architecture, weight hash, parent version and provenance note.
+	ModelManifest = registry.Manifest
+	// ModelRef names one registry version (Name + Version; empty Version
+	// means "latest").
+	ModelRef = registry.Ref
+	// ArchSpec declaratively describes a buildable network architecture
+	// (family "vgg" or "tinycnn" plus geometry), so a manifest alone can
+	// reconstruct the network its weights belong to.
+	ArchSpec = registry.ArchSpec
+	// ModelID is the identity a served pipeline carries: name, version
+	// and weight hash (pipeline layer; zero value = anonymous model).
+	ModelID = pipeline.ModelID
+	// ModelStatus is one serving-table entry's snapshot (/v1/models).
+	ModelStatus = serve.ModelStatus
 	// Front is the multi-replica front door: a consistent-hash router
 	// with health-driven ejection and bounded retries.
 	Front = front.Front
@@ -400,6 +425,32 @@ var (
 	ErrServeOverloaded = serve.ErrOverloaded
 	ErrServeDraining   = serve.ErrDraining
 )
+
+// Model registry.
+//
+// The registry breaks the one-global-network assumption: models live in
+// a versioned store, pipelines carry their identity, and the server
+// serves a table of versions with atomic hot-swap of the default. See
+// Example (registry) for the end-to-end flow.
+
+// OpenRegistry opens (creating it if needed) a model registry rooted at
+// dir. Entries are immutable once written: Save mints monotonically
+// increasing versions (v1, v2, …) and dedupes identical weights;
+// Load verifies the weight blob's SHA-256 against the manifest before
+// trusting it, and caches the built networks per version.
+func OpenRegistry(root string) (*Registry, error) { return registry.Open(root) }
+
+// ParseModelRef parses "name" or "name@version" into a ModelRef.
+func ParseModelRef(spec string) (ModelRef, error) { return registry.ParseRef(spec) }
+
+// NewServerFromModel starts a server over a registry-loaded model: the
+// served pipeline carries the model's name@version identity, and when
+// opts.Registry points at the same store, sibling versions can be
+// hot-swapped in under live traffic via srv.Activate (or POST
+// /v1/models) without shedding or failing a single request.
+func NewServerFromModel(m *RegistryModel, filter Filter, acq *Acquisition, opts ServeOptions) *Server {
+	return serve.NewFromModel(m, filter, acq, opts)
+}
 
 // NewFront starts the multi-replica front door: a consistent-hash
 // router over N fademl-serve backends with health-check-driven ejection

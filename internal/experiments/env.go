@@ -11,6 +11,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/registry"
 	"repro/internal/train"
 )
 
@@ -100,11 +101,21 @@ func NewEnv(p Profile, cacheDir string, log io.Writer) (*Env, error) {
 	var cachePath string
 	if cacheDir != "" {
 		cachePath = filepath.Join(cacheDir, "vgg-"+p.CacheKey()+".weights")
-		if err := net.LoadWeightsFile(cachePath); err == nil {
+		// Hash-verified load: a missing file is a cache miss (train below);
+		// a present file that fails verification — corrupt, truncated, or
+		// missing its sidecar manifest — is a hard error, never silently
+		// retrained over or silently trusted.
+		hash, lerr := registry.LoadFileVerified(cachePath, net)
+		switch {
+		case lerr == nil:
 			cached = true
 			if log != nil {
-				fmt.Fprintf(log, "loaded cached weights: %s\n", cachePath)
+				fmt.Fprintf(log, "loaded cached weights: %s (sha256 %.12s…)\n", cachePath, hash)
 			}
+		case os.IsNotExist(lerr):
+			// Cache miss.
+		default:
+			return nil, fmt.Errorf("experiments: weight cache: %w (delete %s to retrain)", lerr, cachePath)
 		}
 	}
 	if !cached {
@@ -124,7 +135,8 @@ func NewEnv(p Profile, cacheDir string, log io.Writer) (*Env, error) {
 		}
 		if cachePath != "" {
 			if err := os.MkdirAll(cacheDir, 0o755); err == nil {
-				if err := net.SaveWeightsFile(cachePath); err != nil && log != nil {
+				note := "experiments weight cache, profile " + p.Name
+				if _, err := registry.SaveFileWithManifest(cachePath, net, registry.VGGSpec(cfg), note); err != nil && log != nil {
 					fmt.Fprintf(log, "warning: weight cache write failed: %v\n", err)
 				}
 			}

@@ -10,6 +10,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/gtsrb"
+	"repro/internal/nn"
+	"repro/internal/registry"
 )
 
 // Profile sizes an experimental run. The paper's full setup (VGGNet with
@@ -42,6 +46,14 @@ type Profile struct {
 	// attacked in the Fig. 6/7/9 accuracy curves (gradient passes per
 	// image; the expensive part). 0 means EvalSamples.
 	AttackEvalSamples int
+}
+
+// VGGArch is the registry architecture spec of the profile's VGGNet —
+// what NewEnv builds before loading weights into it. Registering an
+// env's trained model records this spec in the manifest, so any later
+// load can reconstruct the exact topology from the manifest alone.
+func (p Profile) VGGArch() registry.ArchSpec {
+	return registry.VGGSpec(nn.ScaledVGGConfig(3, p.Size, gtsrb.NumClasses, p.VGGScale))
 }
 
 // ParseProfile resolves a user-supplied profile name — the -profile CLI

@@ -2,7 +2,9 @@ package nn
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"math"
@@ -142,6 +144,20 @@ func (n *Network) LoadWeights(r io.Reader) error {
 		loaded[name] = true
 	}
 	return nil
+}
+
+// WeightHash returns the lowercase-hex SHA-256 of the serialized weight
+// stream — exactly the bytes SaveWeights would emit — so a live network,
+// a weight file on disk, and a registry manifest can all be compared by
+// one content address. Two networks with bit-identical parameters (and
+// batch-norm running statistics) hash equal regardless of how they were
+// built.
+func (n *Network) WeightHash() (string, error) {
+	h := sha256.New()
+	if err := n.SaveWeights(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // SaveWeightsFile writes the network weights to path atomically (temp file

@@ -66,6 +66,45 @@ func (tm ThreatModel) Valid() bool {
 	return tm == TM1 || tm == TM2 || tm == TM3
 }
 
+// ModelID is the versioned identity of the network a pipeline runs:
+// which registry entry (name@version) the weights came from and the
+// SHA-256 of the serialized weight stream. The zero value is an
+// anonymous model — a network built in memory that never passed through
+// the registry. Serving layers use the identity to route per-request
+// model selection, key result caches per version, and echo which model
+// answered.
+type ModelID struct {
+	// Name and Version identify the registry entry ("name@version").
+	Name    string
+	Version string
+	// WeightHash is the lowercase-hex SHA-256 of the serialized weights
+	// (nn.Network.WeightHash), the integrity anchor behind the label.
+	WeightHash string
+}
+
+// IsZero reports whether the identity is the anonymous model.
+func (m ModelID) IsZero() bool { return m.Name == "" && m.Version == "" }
+
+// String renders the canonical "name@version" form ("" for anonymous).
+func (m ModelID) String() string {
+	if m.IsZero() {
+		return ""
+	}
+	if m.Version == "" {
+		return m.Name
+	}
+	return m.Name + "@" + m.Version
+}
+
+// HashPrefix returns the first 12 hex digits of the weight hash — the
+// short form health probes and logs echo.
+func (m ModelID) HashPrefix() string {
+	if len(m.WeightHash) < 12 {
+		return m.WeightHash
+	}
+	return m.WeightHash[:12]
+}
+
 // Pipeline is the deployed inference system: acquisition, pre-processing
 // noise filter, and the DNN behind the input buffer.
 type Pipeline struct {
@@ -76,6 +115,9 @@ type Pipeline struct {
 	Filter filters.Filter
 	// Net is the trained classifier.
 	Net *nn.Network
+	// Model is the versioned identity of Net (zero for networks that
+	// never passed through the model registry).
+	Model ModelID
 
 	// net32 is the optional float32 inference snapshot of Net, built by
 	// EnableFloat32. It is unexported so the only way to obtain one is the
@@ -92,6 +134,15 @@ func New(net *nn.Network, filter filters.Filter, acq *Acquisition) *Pipeline {
 		filter = filters.Identity{}
 	}
 	return &Pipeline{Acq: acq, Filter: filter, Net: net}
+}
+
+// NewModel is New for a registry-loaded network: the pipeline carries the
+// versioned identity of the weights it runs, so every layer above it can
+// report which name@version answered.
+func NewModel(id ModelID, net *nn.Network, filter filters.Filter, acq *Acquisition) *Pipeline {
+	p := New(net, filter, acq)
+	p.Model = id
+	return p
 }
 
 // Deliver returns the tensor that reaches the DNN when the attacker-

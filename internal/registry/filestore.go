@@ -1,0 +1,91 @@
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// Sidecar manifests bring registry-grade integrity to standalone weight
+// files — the experiment cache and `fademl-train -out` checkpoints —
+// without pulling them into the versioned store: <path> holds the
+// SaveWeights blob and <path>.manifest.json a Manifest with empty
+// name/version. LoadFileVerified refuses to load bytes that don't hash
+// to the manifest's record, so a corrupt or truncated file is a clear
+// error instead of silently-trusted garbage weights.
+
+// ManifestSuffix is appended to a weight file's path to name its sidecar.
+const ManifestSuffix = ".manifest.json"
+
+// SaveFileWithManifest writes the network's weights to path and a
+// sidecar manifest beside it, returning the weight hash. Both writes are
+// atomic; the manifest is written last so a crash cannot leave a
+// manifest describing absent weights.
+func SaveFileWithManifest(path string, net *nn.Network, arch ArchSpec, note string) (string, error) {
+	hash, err := net.WeightHash()
+	if err != nil {
+		return "", fmt.Errorf("registry: hashing weights: %w", err)
+	}
+	if err := net.SaveWeightsFile(path); err != nil {
+		return "", err
+	}
+	man := Manifest{
+		Arch:          arch,
+		WeightsSHA256: hash,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Note:          note,
+	}
+	if err := writeJSONAtomic(path+ManifestSuffix, man); err != nil {
+		return "", fmt.Errorf("registry: writing sidecar manifest: %w", err)
+	}
+	return hash, nil
+}
+
+// LoadFileVerified loads the weight file at path into net after checking
+// its bytes against the sidecar manifest's SHA-256, and returns the
+// verified hash. A missing weight file surfaces as an os.IsNotExist
+// error (a cache miss callers may handle); a present weight file with a
+// missing, unreadable, or mismatching manifest is always an error — an
+// unverifiable blob must not be trusted.
+func LoadFileVerified(path string, net *nn.Network) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	manRaw, err := os.ReadFile(path + ManifestSuffix)
+	if err != nil {
+		return "", fmt.Errorf("registry: weight file %s has no readable sidecar manifest (refusing unverified load): %w", path, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manRaw, &man); err != nil {
+		return "", fmt.Errorf("registry: parsing sidecar manifest for %s: %w", path, err)
+	}
+	sum := sha256.Sum256(raw)
+	if got := hex.EncodeToString(sum[:]); got != man.WeightsSHA256 {
+		return "", fmt.Errorf("registry: weight file %s is corrupt or truncated: sha256 %s, manifest records %s",
+			path, got, man.WeightsSHA256)
+	}
+	if err := net.LoadWeights(bytes.NewReader(raw)); err != nil {
+		return "", fmt.Errorf("registry: loading %s: %w", path, err)
+	}
+	return man.WeightsSHA256, nil
+}
+
+// ReadSidecar returns the sidecar manifest of a weight file, if any.
+func ReadSidecar(path string) (Manifest, error) {
+	raw, err := os.ReadFile(path + ManifestSuffix)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return Manifest{}, fmt.Errorf("registry: parsing sidecar manifest for %s: %w", path, err)
+	}
+	return man, nil
+}

@@ -1,0 +1,327 @@
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// Store layout under the registry root:
+//
+//	<root>/<name>/<version>/manifest.json
+//	<root>/<name>/<version>/weights.bin
+//
+// Versions are v1, v2, … in creation order; both files are written
+// atomically (temp + rename) so a crashed save never leaves a
+// half-registered version with a valid manifest.
+
+const (
+	manifestFile = "manifest.json"
+	weightsFile  = "weights.bin"
+)
+
+// Model is a materialized version: the manifest plus the loaded network
+// and its float32 inference snapshot. Instances are cached per version
+// inside the Registry — callers share the weight storage and must clone
+// (nn.Network.Clone) before mutating.
+type Model struct {
+	Manifest Manifest
+	// Net holds the hash-verified weights.
+	Net *nn.Network
+	// Net32 is the float32 snapshot (nil when the architecture has no
+	// float32 lowering; F32Err then says why).
+	Net32  *nn.Net32
+	F32Err error
+}
+
+// Ref returns the resolved reference of the model.
+func (m *Model) Ref() Ref { return Ref{Name: m.Manifest.Name, Version: m.Manifest.Version} }
+
+// Registry is a directory-backed versioned model store. All methods are
+// safe for concurrent use.
+type Registry struct {
+	root string
+
+	mu    sync.Mutex
+	cache map[string]*Model // key: "name@version"
+}
+
+// Open binds a registry to a root directory, creating it if needed.
+func Open(root string) (*Registry, error) {
+	if root == "" {
+		return nil, fmt.Errorf("registry: empty root path")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating root: %w", err)
+	}
+	return &Registry{root: root, cache: make(map[string]*Model)}, nil
+}
+
+// Root returns the store's root directory.
+func (r *Registry) Root() string { return r.root }
+
+func (r *Registry) versionDir(ref Ref) string {
+	return filepath.Join(r.root, ref.Name, ref.Version)
+}
+
+// SaveOptions carries the optional metadata of a Save.
+type SaveOptions struct {
+	// Note is recorded verbatim in the manifest.
+	Note string
+}
+
+// Save registers the network's current weights as a new version of name
+// and returns the materialized model. If some existing version of name
+// already holds bit-identical weights under the same architecture, that
+// version is returned instead of minting a duplicate — re-registering an
+// unchanged checkpoint (a cache-warm serve bootstrap, a re-run training
+// job) is idempotent. The new version's Parent is the previous latest.
+func (r *Registry) Save(name string, net *nn.Network, arch ArchSpec, opts SaveOptions) (*Model, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, fmt.Errorf("registry: nil network")
+	}
+	hash, err := net.WeightHash()
+	if err != nil {
+		return nil, fmt.Errorf("registry: hashing weights: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions, err := r.versionsLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	parent := ""
+	next := 1
+	for _, v := range versions {
+		man, err := r.readManifest(Ref{Name: name, Version: v})
+		if err != nil {
+			return nil, err
+		}
+		if man.WeightsSHA256 == hash && man.Arch.equal(arch) {
+			return r.loadLocked(Ref{Name: name, Version: v})
+		}
+		parent = Ref{Name: name, Version: v}.String()
+		if n := versionNumber(v); n >= next {
+			next = n + 1
+		}
+	}
+	ref := Ref{Name: name, Version: "v" + strconv.Itoa(next)}
+	dir := r.versionDir(ref)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating %s: %w", ref, err)
+	}
+	if err := net.SaveWeightsFile(filepath.Join(dir, weightsFile)); err != nil {
+		return nil, fmt.Errorf("registry: writing weights for %s: %w", ref, err)
+	}
+	man := Manifest{
+		Name:          ref.Name,
+		Version:       ref.Version,
+		Arch:          arch,
+		WeightsSHA256: hash,
+		Parent:        parent,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Note:          opts.Note,
+	}
+	if err := writeJSONAtomic(filepath.Join(dir, manifestFile), man); err != nil {
+		return nil, fmt.Errorf("registry: writing manifest for %s: %w", ref, err)
+	}
+	// Materialize from disk rather than adopting the caller's network:
+	// the round-trip proves the stored bytes load back, and the cached
+	// model stays untouched if the caller keeps training net.
+	return r.loadLocked(ref)
+}
+
+// Load materializes a model version, verifying the weight bytes against
+// the manifest hash and the architecture shape-by-shape. The reference
+// must be fully resolved (use Resolve for "latest" semantics). Repeated
+// loads of the same version return the one cached instance.
+func (r *Registry) Load(ref Ref) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loadLocked(ref)
+}
+
+func (r *Registry) loadLocked(ref Ref) (*Model, error) {
+	if ref.Version == "" {
+		return nil, fmt.Errorf("registry: unresolved reference %q (no version)", ref.Name)
+	}
+	key := ref.String()
+	if m, ok := r.cache[key]; ok {
+		return m, nil
+	}
+	man, err := r.readManifest(ref)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(r.versionDir(ref), weightsFile))
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading weights for %s: %w", ref, err)
+	}
+	sum := sha256.Sum256(raw)
+	if got := hex.EncodeToString(sum[:]); got != man.WeightsSHA256 {
+		return nil, fmt.Errorf("registry: weights for %s are corrupt or truncated: sha256 %s, manifest records %s",
+			ref, got, man.WeightsSHA256)
+	}
+	net, err := man.Arch.Build()
+	if err != nil {
+		return nil, fmt.Errorf("registry: rebuilding %s: %w", ref, err)
+	}
+	if err := net.LoadWeights(bytes.NewReader(raw)); err != nil {
+		return nil, fmt.Errorf("registry: loading weights for %s: %w", ref, err)
+	}
+	m := &Model{Manifest: man, Net: net}
+	m.Net32, m.F32Err = net.ToFloat32()
+	r.cache[key] = m
+	return m, nil
+}
+
+// Resolve turns a "name" or "name@version" spec into a concrete Ref,
+// picking the highest version when none is given.
+func (r *Registry) Resolve(spec string) (Ref, error) {
+	ref, err := ParseRef(spec)
+	if err != nil {
+		return Ref{}, err
+	}
+	if ref.Version != "" {
+		return ref, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions, err := r.versionsLocked(ref.Name)
+	if err != nil {
+		return Ref{}, err
+	}
+	if len(versions) == 0 {
+		return Ref{}, fmt.Errorf("registry: no versions of model %q", ref.Name)
+	}
+	ref.Version = versions[len(versions)-1]
+	return ref, nil
+}
+
+// List returns the manifests of every stored version, sorted by name
+// then version order.
+func (r *Registry) List() ([]Manifest, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := os.ReadDir(r.root)
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading root: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Manifest
+	for _, name := range names {
+		versions, err := r.versionsLocked(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			man, err := r.readManifest(Ref{Name: name, Version: v})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, man)
+		}
+	}
+	return out, nil
+}
+
+// Versions lists a model's versions in creation order (empty slice when
+// the name is unknown).
+func (r *Registry) Versions(name string) ([]string, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.versionsLocked(name)
+}
+
+// versionsLocked lists the version directories of name that hold a
+// manifest, sorted numerically.
+func (r *Registry) versionsLocked(name string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(r.root, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("registry: reading versions of %q: %w", name, err)
+	}
+	var versions []string
+	for _, e := range entries {
+		if !e.IsDir() || versionNumber(e.Name()) == 0 {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(r.root, name, e.Name(), manifestFile)); err != nil {
+			continue // half-written version: no manifest, not listable
+		}
+		versions = append(versions, e.Name())
+	}
+	sort.Slice(versions, func(i, j int) bool {
+		return versionNumber(versions[i]) < versionNumber(versions[j])
+	})
+	return versions, nil
+}
+
+// versionNumber parses "v<n>" (n ≥ 1); 0 means not a version directory.
+func versionNumber(v string) int {
+	if !strings.HasPrefix(v, "v") {
+		return 0
+	}
+	n, err := strconv.Atoi(v[1:])
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+func (r *Registry) readManifest(ref Ref) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(r.versionDir(ref), manifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("registry: reading manifest for %s: %w", ref, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return Manifest{}, fmt.Errorf("registry: parsing manifest for %s: %w", ref, err)
+	}
+	if man.Name != ref.Name || man.Version != ref.Version {
+		return Manifest{}, fmt.Errorf("registry: manifest for %s names %s@%s", ref, man.Name, man.Version)
+	}
+	return man, nil
+}
+
+// writeJSONAtomic marshals v and writes it via temp + rename.
+func writeJSONAtomic(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

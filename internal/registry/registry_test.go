@@ -1,0 +1,271 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+func testNet(t *testing.T, seed uint64) *nn.Network {
+	t.Helper()
+	net, err := nn.TinyCNN(3, 16, 7, mathx.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("TinyCNN: %v", err)
+	}
+	return net
+}
+
+func testArch() ArchSpec { return TinyCNNSpec(3, 16, 7) }
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	net := testNet(t, 3)
+	m, err := reg.Save("tiny", net, testArch(), SaveOptions{Note: "unit"})
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got := m.Ref().String(); got != "tiny@v1" {
+		t.Fatalf("first version = %s, want tiny@v1", got)
+	}
+	wantHash, err := net.WeightHash()
+	if err != nil {
+		t.Fatalf("WeightHash: %v", err)
+	}
+	if m.Manifest.WeightsSHA256 != wantHash {
+		t.Fatalf("manifest hash %s, live network %s", m.Manifest.WeightsSHA256, wantHash)
+	}
+	loaded, err := reg.Load(Ref{Name: "tiny", Version: "v1"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded != m {
+		t.Fatalf("Load returned a new instance; want the cached materialization")
+	}
+	gotHash, err := loaded.Net.WeightHash()
+	if err != nil {
+		t.Fatalf("WeightHash(loaded): %v", err)
+	}
+	if gotHash != wantHash {
+		t.Fatalf("loaded weights hash %s, want %s", gotHash, wantHash)
+	}
+	if loaded.F32Err != nil {
+		t.Fatalf("float32 snapshot unavailable: %v", loaded.F32Err)
+	}
+}
+
+func TestVersionsIncrementAndResolve(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	m1, err := reg.Save("tiny", testNet(t, 3), testArch(), SaveOptions{})
+	if err != nil {
+		t.Fatalf("Save v1: %v", err)
+	}
+	m2, err := reg.Save("tiny", testNet(t, 4), testArch(), SaveOptions{})
+	if err != nil {
+		t.Fatalf("Save v2: %v", err)
+	}
+	if m2.Manifest.Version != "v2" {
+		t.Fatalf("second save minted %s, want v2", m2.Manifest.Version)
+	}
+	if m2.Manifest.Parent != "tiny@v1" {
+		t.Fatalf("v2 parent = %q, want tiny@v1", m2.Manifest.Parent)
+	}
+	ref, err := reg.Resolve("tiny")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if ref.Version != "v2" {
+		t.Fatalf("Resolve(tiny) = %s, want tiny@v2", ref)
+	}
+	ref, err = reg.Resolve("tiny@v1")
+	if err != nil {
+		t.Fatalf("Resolve pinned: %v", err)
+	}
+	if ref != m1.Ref() {
+		t.Fatalf("Resolve(tiny@v1) = %s", ref)
+	}
+	if _, err := reg.Resolve("absent"); err == nil {
+		t.Fatal("Resolve(absent) succeeded")
+	}
+	versions, err := reg.Versions("tiny")
+	if err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+	if len(versions) != 2 || versions[0] != "v1" || versions[1] != "v2" {
+		t.Fatalf("Versions = %v", versions)
+	}
+}
+
+func TestSaveDedupesIdenticalWeights(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	net := testNet(t, 3)
+	m1, err := reg.Save("tiny", net, testArch(), SaveOptions{})
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m2, err := reg.Save("tiny", net, testArch(), SaveOptions{})
+	if err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	if m2.Manifest.Version != m1.Manifest.Version {
+		t.Fatalf("identical weights minted %s after %s", m2.Manifest.Version, m1.Manifest.Version)
+	}
+}
+
+func TestLoadRejectsCorruptAndTruncated(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := reg.Save("tiny", testNet(t, 3), testArch(), SaveOptions{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(reg.Root(), "tiny", "v1", "weights.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read weights: %v", err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0xff
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatalf("write corrupt weights: %v", err)
+	}
+	reg2, _ := Open(reg.Root()) // fresh cache so the load hits disk
+	if _, err := reg2.Load(Ref{Name: "tiny", Version: "v1"}); err == nil ||
+		!strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("corrupt load error = %v, want corrupt-or-truncated", err)
+	}
+
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatalf("write truncated weights: %v", err)
+	}
+	reg3, _ := Open(reg.Root())
+	if _, err := reg3.Load(Ref{Name: "tiny", Version: "v1"}); err == nil ||
+		!strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("truncated load error = %v, want corrupt-or-truncated", err)
+	}
+}
+
+func TestListAcrossNames(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := reg.Save("beta", testNet(t, 5), testArch(), SaveOptions{}); err != nil {
+		t.Fatalf("Save beta: %v", err)
+	}
+	if _, err := reg.Save("alpha", testNet(t, 6), testArch(), SaveOptions{}); err != nil {
+		t.Fatalf("Save alpha: %v", err)
+	}
+	if _, err := reg.Save("alpha", testNet(t, 7), testArch(), SaveOptions{}); err != nil {
+		t.Fatalf("Save alpha v2: %v", err)
+	}
+	manifests, err := reg.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	var got []string
+	for _, m := range manifests {
+		got = append(got, m.Name+"@"+m.Version)
+	}
+	want := []string{"alpha@v1", "alpha@v2", "beta@v1"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Ref
+		wantErr bool
+	}{
+		{"tiny", Ref{Name: "tiny"}, false},
+		{" tiny@v3 ", Ref{Name: "tiny", Version: "v3"}, false},
+		{"", Ref{}, true},
+		{"tiny@", Ref{}, true},
+		{"a/b@v1", Ref{}, true},
+		{"a@b@c", Ref{Name: "a", Version: "b@c"}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRef(c.in)
+		if c.wantErr != (err != nil) {
+			t.Errorf("ParseRef(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseRef(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSidecarRoundTripAndVerification(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weights.bin")
+	net := testNet(t, 9)
+	hash, err := SaveFileWithManifest(path, net, testArch(), "unit")
+	if err != nil {
+		t.Fatalf("SaveFileWithManifest: %v", err)
+	}
+	wantHash, _ := net.WeightHash()
+	if hash != wantHash {
+		t.Fatalf("sidecar hash %s, live network %s", hash, wantHash)
+	}
+
+	into := testNet(t, 10)
+	got, err := LoadFileVerified(path, into)
+	if err != nil {
+		t.Fatalf("LoadFileVerified: %v", err)
+	}
+	if got != wantHash {
+		t.Fatalf("verified hash %s, want %s", got, wantHash)
+	}
+	intoHash, _ := into.WeightHash()
+	if intoHash != wantHash {
+		t.Fatalf("loaded network hash %s, want %s", intoHash, wantHash)
+	}
+
+	// Missing weight file → os.IsNotExist (cache-miss contract).
+	if _, err := LoadFileVerified(filepath.Join(dir, "absent.bin"), into); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want IsNotExist", err)
+	}
+
+	// Missing sidecar → refuse, not silently trust.
+	bare := filepath.Join(dir, "bare.bin")
+	if err := net.SaveWeightsFile(bare); err != nil {
+		t.Fatalf("SaveWeightsFile: %v", err)
+	}
+	if _, err := LoadFileVerified(bare, into); err == nil ||
+		!strings.Contains(err.Error(), "no readable sidecar manifest") {
+		t.Fatalf("bare blob error = %v, want refusal", err)
+	}
+
+	// Corrupt weights behind a valid sidecar → clear error.
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("corrupting weights: %v", err)
+	}
+	if _, err := LoadFileVerified(path, into); err == nil ||
+		!strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("corrupt file error = %v, want corrupt-or-truncated", err)
+	}
+}

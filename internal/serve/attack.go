@@ -29,8 +29,12 @@ const maxEvalCells = 256
 var ErrAttacksDisabled = errors.New("serve: attack endpoints disabled")
 
 // attacker is one crafting slot: a private weight-sharing pipeline clone
-// an attack optimizes against without touching the prediction pool.
+// an attack optimizes against without touching the prediction pools. The
+// clone is rebuilt lazily when the slot is acquired for a different
+// model version than it last served (slots are held exclusively, so the
+// rebuild races nothing).
 type attacker struct {
+	key  string
 	pipe *pipeline.Pipeline
 }
 
@@ -50,6 +54,9 @@ type AttackRequest struct {
 	// FilterAware wraps the attack in FAdeML so it models the deployed
 	// pre-processing (and acquisition under TM2).
 	FilterAware bool
+	// Model selects the attacked model version ("" = active default; see
+	// Server.PredictModel for the reference syntax).
+	Model string
 }
 
 // Attack crafts one adversarial example against the deployed pipeline
@@ -69,6 +76,11 @@ func (s *Server) Attack(ctx context.Context, req AttackRequest) (*core.Outcome, 
 		return nil, err
 	}
 	defer releaseLane()
+	m, err := s.resolveModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release()
 	tm, err := s.attackTM(req.TM)
 	if err != nil {
 		return nil, err
@@ -77,11 +89,11 @@ func (s *Server) Attack(ctx context.Context, req AttackRequest) (*core.Outcome, 
 	if err != nil {
 		return nil, err
 	}
-	img, err := s.caseImage(req.Image, req.Source)
+	img, err := s.caseImage(m, req.Image, req.Source)
 	if err != nil {
 		return nil, err
 	}
-	a, release, err := s.acquireAttacker(ctx)
+	a, release, err := s.acquireAttacker(ctx, m)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +137,10 @@ type EvaluateRequest struct {
 	Cases []EvalCase
 	// FilterAware crafts filter-aware (FAdeML) instead of filter-blind.
 	FilterAware bool
+	// Model selects the evaluated model version ("" = active default); it
+	// is pinned for the whole sweep, so a hot-swap mid-sweep cannot mix
+	// versions inside one result grid.
+	Model string
 }
 
 // EvalCell is one measured grid cell.
@@ -188,6 +204,11 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 		return nil, err
 	}
 	defer releaseLane()
+	m, err := s.resolveModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release()
 	ctx, cancelRoute := routeContext(ctx, s.opts.EvaluateTimeout)
 	defer cancelRoute()
 	if len(req.Specs) == 0 {
@@ -256,7 +277,7 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 					if !req.FilterAware {
 						pre = crafted[craftKey{spec, ci}]
 					}
-					cell, cc, err := s.evaluateCell(ctx, spec, tm, flt, ec, req.FilterAware, pre)
+					cell, cc, err := s.evaluateCell(ctx, m, spec, tm, flt, ec, req.FilterAware, pre)
 					if err != nil {
 						return nil, fmt.Errorf("serve: evaluate %s under %v on %d→%d: %w",
 							spec, tm, ec.Source, ec.Target, err)
@@ -298,9 +319,9 @@ type craftedCell struct {
 // pre-processing for this cell; nil keeps the deployment. The crafting
 // bundle is returned alongside the cell so Evaluate can share it across
 // the tm × filter axes.
-func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, pre *craftedCell) (*EvalCell, *craftedCell, error) {
+func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, pre *craftedCell) (*EvalCell, *craftedCell, error) {
 	if pre == nil {
-		cc, err := s.craftCell(ctx, spec, tm, flt, ec, aware)
+		cc, err := s.craftCell(ctx, m, spec, tm, flt, ec, aware)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -314,10 +335,10 @@ func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.Thre
 	// bulk-lane slot, so its predictions must not consume interactive
 	// admission (or be refused mid-sweep by a drain).
 	if flt == nil {
-		dep, err = s.predictInternal(ctx, out.Adversarial, tm)
+		dep, err = s.predictInternal(ctx, m, out.Adversarial, tm)
 	} else {
 		filterName = flt.Name()
-		dep, err = s.predictInternal(ctx, pipeline.DeliverThrough(out.Adversarial, flt, s.acq, tm), pipeline.TM1)
+		dep, err = s.predictInternal(ctx, m, pipeline.DeliverThrough(out.Adversarial, flt, s.acq, tm), pipeline.TM1)
 		dep.TM = tm
 	}
 	if err != nil {
@@ -345,16 +366,16 @@ func (s *Server) evaluateCell(ctx context.Context, spec string, tm pipeline.Thre
 
 // craftCell runs one crafting job on an attacker slot and measures the
 // result's TM-I view through the prediction pool.
-func (s *Server) craftCell(ctx context.Context, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool) (*craftedCell, error) {
+func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool) (*craftedCell, error) {
 	atk, err := attacks.Parse(spec)
 	if err != nil {
 		return nil, err
 	}
-	img, err := s.caseImage(ec.Image, ec.Source)
+	img, err := s.caseImage(m, ec.Image, ec.Source)
 	if err != nil {
 		return nil, err
 	}
-	a, release, err := s.acquireAttacker(ctx)
+	a, release, err := s.acquireAttacker(ctx, m)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +405,7 @@ func (s *Server) craftCell(ctx context.Context, spec string, tm pipeline.ThreatM
 	// uses the pool: with a filter override, delivery runs on this
 	// goroutine and Net(DeliverThrough(x, ...)) is exactly the TM-I
 	// view of the delivered tensor.
-	tm1, err := s.predictInternal(ctx, out.Adversarial, pipeline.TM1)
+	tm1, err := s.predictInternal(ctx, m, out.Adversarial, pipeline.TM1)
 	if err != nil {
 		return nil, err
 	}
@@ -409,31 +430,38 @@ func (s *Server) attackTM(tm pipeline.ThreatModel) (pipeline.ThreatModel, error)
 }
 
 // caseImage resolves a case's clean image: an explicit image (validated
-// against the model input shape) or the rendered canonical source sign.
-func (s *Server) caseImage(img *tensor.Tensor, source int) (*tensor.Tensor, error) {
+// against the selected model's input shape) or the rendered canonical
+// source sign.
+func (s *Server) caseImage(m *servedModel, img *tensor.Tensor, source int) (*tensor.Tensor, error) {
 	if img == nil {
 		if s.opts.Render == nil {
 			return nil, errors.New("serve: no image supplied and no canonical renderer configured")
 		}
-		img = s.opts.Render(source, s.inShape[1])
+		img = s.opts.Render(source, m.inShape[1])
 		if img == nil {
 			return nil, fmt.Errorf("serve: no canonical image for class %d", source)
 		}
 	}
-	if err := s.validate(img, pipeline.TM1, pipeline.Float64); err != nil {
+	if err := s.validate(m, img, pipeline.TM1, pipeline.Float64); err != nil {
 		return nil, err
 	}
 	return img, nil
 }
 
 // acquireAttacker checks one crafting slot out of the pool, blocking
-// until a slot frees, the caller gives up, or the server closes.
-func (s *Server) acquireAttacker(ctx context.Context) (*attacker, func(), error) {
+// until a slot frees, the caller gives up, or the server closes. The
+// slot's pipeline clone is rebuilt for m when the slot last served a
+// different model version.
+func (s *Server) acquireAttacker(ctx context.Context, m *servedModel) (*attacker, func(), error) {
 	if s.attackers == nil {
 		return nil, nil, ErrAttacksDisabled
 	}
 	select {
 	case a := <-s.attackers:
+		if a.key != m.key {
+			a.pipe = pipeline.NewModel(m.id, m.proto.Net.Clone(), s.filter, s.acq)
+			a.key = m.key
+		}
 		return a, func() { s.attackers <- a }, nil
 	case <-ctx.Done():
 		return nil, nil, ctx.Err()

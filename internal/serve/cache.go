@@ -19,13 +19,16 @@ import (
 // same canonical sign under the same threat model, the same crafted
 // example measured across a filter grid — so the serving layer keys
 // prediction and defend results by the content of the request: a SHA-256
-// over the image bytes, the threat model, and (for Defend) the resolved
-// filter spec. Because a served prediction is a pure, deterministic
-// function of that key (acquisition noise is a pure function of
-// (seed, image), filters are deterministic, and the model is frozen), a
-// cache hit is bit-identical to a recomputed response. Hits bypass lane
-// admission entirely: they cost no worker time, so they are answered
-// even while the lane is shedding.
+// over the image bytes, the threat model, the precision lane, the model
+// identity (name@version plus its weight hash), and (for Defend) the
+// resolved filter spec. Because a served prediction is a pure,
+// deterministic function of that key (acquisition noise is a pure
+// function of (seed, image), filters are deterministic, and each model
+// version is immutable), a cache hit is bit-identical to a recomputed
+// response on that exact version — and a hot-swap can never serve a
+// stale-version hit, because the old and new versions occupy different
+// addresses. Hits bypass lane admission entirely: they cost no worker
+// time, so they are answered even while the lane is shedding.
 //
 // The cache is a mutex-guarded LRU bounded in entries
 // (Options.CacheSize); hit/miss counters feed Stats and /metrics.
@@ -153,27 +156,46 @@ func hashTensor(h hash.Hash, t *tensor.Tensor) {
 	}
 }
 
-// predCacheKey addresses one (image, threat model, precision) prediction.
-// The precision byte is part of the address: the float32 lane's results
-// are not bit-identical to the float64 lane's, so a float32 hit must
-// never answer a float64 request (or vice versa).
-func predCacheKey(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) cacheKey {
+// hashModelID feeds the model identity — the name@version label and the
+// weight hash behind it — into a content address. Both parts matter: the
+// label distinguishes versions, the weight hash protects against a
+// relabeled store (two stores mounting different weights under the same
+// name@version address differently).
+func hashModelID(h hash.Hash, id pipeline.ModelID) {
+	h.Write([]byte(id.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(id.WeightHash))
+	h.Write([]byte{0})
+}
+
+// predCacheKey addresses one (model, image, threat model, precision)
+// prediction. The precision byte is part of the address: the float32
+// lane's results are not bit-identical to the float64 lane's, so a
+// float32 hit must never answer a float64 request (or vice versa). The
+// model identity is part of the address for the same reason across the
+// version axis: a v1 hit must never answer a v2 request.
+func predCacheKey(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) cacheKey {
 	h := sha256.New()
 	h.Write([]byte{'p', byte(tm), byte(prec)})
+	hashModelID(h, m.id)
 	hashTensor(h, img)
 	var k cacheKey
 	h.Sum(k[:0])
 	return k
 }
 
-// defendCacheKey addresses one (image, filter spec, predict?) Defend call.
-func defendCacheKey(img *tensor.Tensor, filterName string, predict bool) cacheKey {
+// defendCacheKey addresses one (model, image, filter spec, predict?)
+// Defend call. The filtered image itself is model-independent, but the
+// optional prediction is not, so the model identity is always part of
+// the address (one uniform key layout beats a conditional one).
+func defendCacheKey(m *servedModel, img *tensor.Tensor, filterName string, predict bool) cacheKey {
 	h := sha256.New()
 	p := byte(0)
 	if predict {
 		p = 1
 	}
 	h.Write([]byte{'d', p})
+	hashModelID(h, m.id)
 	h.Write([]byte(filterName))
 	h.Write([]byte{0})
 	hashTensor(h, img)
@@ -190,12 +212,13 @@ func copyPrediction(p Prediction) Prediction {
 }
 
 // lookupPrediction checks the prediction cache; ok means pred is a
-// caller-owned, bit-identical copy of an earlier response.
-func (s *Server) lookupPrediction(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, cacheKey, bool) {
+// caller-owned, bit-identical copy of an earlier response from the same
+// model version.
+func (s *Server) lookupPrediction(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, cacheKey, bool) {
 	if s.cache == nil {
 		return Prediction{}, cacheKey{}, false
 	}
-	k := predCacheKey(img, tm, prec)
+	k := predCacheKey(m, img, tm, prec)
 	if v, ok := s.cache.get(k); ok {
 		return copyPrediction(v.(Prediction)), k, true
 	}

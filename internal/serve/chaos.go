@@ -82,20 +82,3 @@ func (c *Chaos) takeFail() bool {
 		}
 	}
 }
-
-// requeue hands a dying worker's batch back to the request queue so its
-// requests migrate to a surviving worker instead of being lost. Only the
-// batcher may send on s.batches (it closes the channel on shutdown), so
-// the slots re-enter through s.queue, which is never closed. If the
-// server is shutting down the waiters' own s.done selects answer them.
-func (s *Server) requeue(batch []*pending) {
-	go func() {
-		for _, p := range batch {
-			select {
-			case s.queue <- p:
-			case <-s.done:
-				return
-			}
-		}
-	}()
-}

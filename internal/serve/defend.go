@@ -24,8 +24,11 @@ type DefendRequest struct {
 	// filter; "none" is the explicit no-op.
 	Spec string
 	// Predict also scores the filtered image through the micro-batching
-	// prediction pool (the deployed model's view of the defended input).
+	// prediction pool (the selected model's view of the defended input).
 	Predict bool
+	// Model selects the scoring model ("" = active default; see
+	// Server.PredictModel for the reference syntax).
+	Model string
 }
 
 // DefendResult is the outcome of one Defend call.
@@ -50,7 +53,12 @@ func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, 
 	if req.Image == nil {
 		return nil, errors.New("serve: nil image")
 	}
-	if err := s.validate(req.Image, pipeline.TM1, pipeline.Float64); err != nil {
+	m, err := s.resolveModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release()
+	if err := s.validate(m, req.Image, pipeline.TM1, pipeline.Float64); err != nil {
 		return nil, err
 	}
 	f := s.filter
@@ -66,7 +74,7 @@ func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, 
 	}
 	var key cacheKey
 	if s.cache != nil {
-		key = defendCacheKey(req.Image, f.Name(), req.Predict)
+		key = defendCacheKey(m, req.Image, f.Name(), req.Predict)
 		if v, ok := s.cache.get(key); ok {
 			return v.(cachedDefend).result(), nil
 		}
@@ -85,7 +93,7 @@ func (s *Server) Defend(ctx context.Context, req DefendRequest) (*DefendResult, 
 	if req.Predict {
 		// The slot held above already accounts for this request;
 		// predictInternal skips a second admission pass.
-		pred, err := s.predictInternal(ctx, res.Filtered, pipeline.TM1)
+		pred, err := s.predictInternal(ctx, m, res.Filtered, pipeline.TM1)
 		if err != nil {
 			return nil, err
 		}

@@ -52,7 +52,10 @@ type predictRequest struct {
 	TM string `json:"tm,omitempty"`
 	// Precision selects the numeric lane ("float32"/"f32"/"32" or
 	// "float64"/"f64"/"64"); empty selects the server default.
-	Precision   string `json:"precision,omitempty"`
+	Precision string `json:"precision,omitempty"`
+	// Model pins a loaded model version ("name@version", or a bare name
+	// for its highest loaded version); empty selects the active default.
+	Model       string `json:"model,omitempty"`
 	ReturnProbs bool   `json:"probs,omitempty"`
 }
 
@@ -61,6 +64,7 @@ type predictBatchRequest struct {
 	Images      []imagePayload `json:"images"`
 	TM          string         `json:"tm,omitempty"`
 	Precision   string         `json:"precision,omitempty"`
+	Model       string         `json:"model,omitempty"`
 	ReturnProbs bool           `json:"probs,omitempty"`
 }
 
@@ -71,11 +75,12 @@ type predictResponse struct {
 	Prob      float64   `json:"prob"`
 	TM        string    `json:"tm"`
 	Precision string    `json:"precision"`
+	Model     string    `json:"model,omitempty"`
 	Probs     []float64 `json:"probs,omitempty"`
 }
 
 func toResponse(p Prediction, withProbs bool) predictResponse {
-	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String(), Precision: p.Precision.String()}
+	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String(), Precision: p.Precision.String(), Model: p.Model}
 	if withProbs {
 		r.Probs = p.Probs
 	}
@@ -89,9 +94,15 @@ func toResponse(p Prediction, withProbs bool) predictResponse {
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
 //	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [{"source":14,"target":1}]}
-//	GET  /v1/healthz        liveness + degraded/draining + configuration echo
+//	GET  /v1/models         model table: active version, loaded versions, registry catalog
+//	POST /v1/models         {"action": "load"|"activate"|"unload", "model": "name@version", "keep": true}
+//	GET  /v1/healthz        liveness + degraded/draining + model identity + configuration echo
 //	GET  /v1/stats          serving counters (Stats)
-//	GET  /metrics           Prometheus text exposition (lanes, cache, latency)
+//	GET  /metrics           Prometheus text exposition (lanes, cache, models, latency)
+//
+// Inference routes accept an optional "model" field pinning a loaded
+// version ("name@version", or a bare name for its highest loaded
+// version); the reply echoes the version that answered.
 //
 // Every /v1 route is instrumented: per-route latency histograms and
 // status-class counters feed /metrics. Error responses are structured
@@ -105,6 +116,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/defend", s.instrument("defend", s.handleDefend))
 	mux.HandleFunc("/v1/attack", s.instrument("attack", s.handleAttack))
 	mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
 	mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -118,6 +130,8 @@ type defendHTTPRequest struct {
 	Filter string `json:"filter,omitempty"`
 	// Predict also classifies the filtered image.
 	Predict bool `json:"predict,omitempty"`
+	// Model selects the scoring model ("" = active default).
+	Model string `json:"model,omitempty"`
 	// ReturnPixels echoes the filtered image in the response (default
 	// true; set "return_pixels": false to save bandwidth when only
 	// predicting).
@@ -147,7 +161,7 @@ func (s *Server) handleDefend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.Defend(r.Context(), DefendRequest{Image: img, Spec: req.Filter, Predict: req.Predict})
+	out, err := s.Defend(r.Context(), DefendRequest{Image: img, Spec: req.Filter, Predict: req.Predict, Model: req.Model})
 	if err != nil {
 		writePredictError(w, err)
 		return
@@ -175,6 +189,8 @@ type attackHTTPRequest struct {
 	Target *int   `json:"target"`
 	TM     string `json:"tm,omitempty"`
 	Aware  bool   `json:"aware,omitempty"`
+	// Model selects the attacked model ("" = active default).
+	Model string `json:"model,omitempty"`
 	// ReturnAdv echoes the crafted adversarial image in the response.
 	ReturnAdv bool `json:"adv,omitempty"`
 }
@@ -234,6 +250,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		Target:      target,
 		TM:          tm,
 		FilterAware: req.Aware,
+		Model:       req.Model,
 	})
 	if err != nil {
 		writeAttackError(w, err)
@@ -286,6 +303,8 @@ type evalHTTPRequest struct {
 	Filters []string       `json:"filters,omitempty"`
 	Cases   []evalHTTPCase `json:"cases,omitempty"`
 	Aware   bool           `json:"aware,omitempty"`
+	// Model pins the evaluated model for the whole sweep.
+	Model string `json:"model,omitempty"`
 }
 
 // evalHTTPCell adds the wire threat-model label to an EvalCell.
@@ -335,6 +354,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		Filters:     req.Filters,
 		Cases:       cases,
 		FilterAware: req.Aware,
+		Model:       req.Model,
 	})
 	if err != nil {
 		writeAttackError(w, err)
@@ -383,7 +403,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pred, err := s.PredictPrec(r.Context(), img, tm, prec)
+	pred, err := s.PredictModel(r.Context(), req.Model, img, tm, prec)
 	if err != nil {
 		writePredictError(w, err)
 		return
@@ -420,7 +440,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		imgs[i] = img
 	}
-	preds, err := s.PredictBatchPrec(r.Context(), imgs, tm, prec)
+	preds, err := s.PredictBatchModel(r.Context(), req.Model, imgs, tm, prec)
 	if err != nil {
 		writePredictError(w, err)
 		return
@@ -454,14 +474,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.interactive.shedding() || s.bulk.shedding() {
 		status = "degraded"
 	}
+	active := s.active.Load()
+	s.modelMu.Lock()
+	loaded := len(s.models)
+	s.modelMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":             status,
+		"status": status,
+		"model": map[string]any{
+			"name":        active.id.Name,
+			"version":     active.id.Version,
+			"model":       active.key,
+			"weight_hash": active.id.HashPrefix(),
+		},
+		"models_loaded":      loaded,
+		"swaps":              s.swaps.Load(),
 		"workers":            s.opts.Workers,
 		"max_batch":          s.opts.MaxBatch,
 		"default_tm":         s.opts.DefaultTM.String(),
 		"precision":          s.opts.Precision.String(),
 		"float32_lane":       s.Float32Available(),
-		"in_shape":           s.inShape,
+		"in_shape":           active.inShape,
 		"attack_workers":     s.opts.AttackWorkers,
 		"attack_max_queries": s.opts.AttackBudget.MaxQueries,
 		"attack_timeout_ms":  float64(s.opts.AttackTimeout) / float64(time.Millisecond),
@@ -470,6 +502,79 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"bulk":               s.bulk.stats(),
 		"cache":              s.cache.stats(),
 	})
+}
+
+// modelsActionRequest is the POST /v1/models body: the model-table admin
+// surface. "load" warms a registry version into the table, "activate"
+// hot-swaps the default (retiring the old version unless "keep" is
+// true), "unload" retires a non-active version.
+type modelsActionRequest struct {
+	Action string `json:"action"`
+	Model  string `json:"model"`
+	// Keep leaves the previous default loaded after an activate (for
+	// per-request A/B selection) instead of retiring it.
+	Keep bool `json:"keep,omitempty"`
+}
+
+// handleModels is the /v1/models route. GET lists the active version,
+// every loaded version, and (when a registry is configured) the
+// registry's catalog; POST executes a load/activate/unload action.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		resp := map[string]any{
+			"active": s.ActiveModel().String(),
+			"swaps":  s.swaps.Load(),
+			"models": s.Models(),
+		}
+		if s.opts.Registry != nil {
+			catalog, err := s.opts.Registry.List()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			refs := make([]string, len(catalog))
+			for i, man := range catalog {
+				refs[i] = man.Name + "@" + man.Version
+			}
+			resp["registry"] = refs
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		var req modelsActionRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		var id pipeline.ModelID
+		var err error
+		switch req.Action {
+		case "load":
+			id, err = s.LoadModel(req.Model)
+		case "activate":
+			id, err = s.Activate(req.Model, req.Keep)
+		case "unload":
+			err = s.UnloadModel(req.Model)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown action %q (use load, activate or unload)", req.Action))
+			return
+		}
+		if err != nil {
+			writeServeError(w, err)
+			return
+		}
+		echo := id.String()
+		if echo == "" {
+			echo = req.Model
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"action": req.Action,
+			"model":  echo,
+			"active": s.ActiveModel().String(),
+		})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -3,12 +3,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/filters"
 	"repro/internal/gtsrb"
 	"repro/internal/pipeline"
 )
@@ -213,6 +215,145 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	}
 	if st.MaxBatch != 8 || st.Workers != 2 {
 		t.Fatalf("stats config echo = %+v", st)
+	}
+}
+
+// TestHTTPModelsAdmin drives the whole versioned-model admin surface
+// over the wire: healthz model identity, the /v1/models catalog, loading
+// a sibling version, pinning it per-request, an HTTP hot-swap of the
+// default, unload rules, and the model gauges on /metrics.
+func TestHTTPModelsAdmin(t *testing.T) {
+	reg, v1 := testStore(t)
+	s := NewFromModel(v1, filters.NewLAP(8), pipeline.DefaultAcquisition(11),
+		Options{Workers: 2, MaxBatch: 4, MaxWait: time.Millisecond, Registry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	img := testImages(1)[0]
+	predict := func(model string) (int, predictResponse) {
+		body := map[string]any{"pixels": img.Data(), "shape": img.Shape()}
+		if model != "" {
+			body["model"] = model
+		}
+		resp, raw := postJSON(t, ts.URL+"/v1/predict", body)
+		var pr predictResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &pr); err != nil {
+				t.Fatalf("predict response %q: %v", raw, err)
+			}
+		}
+		return resp.StatusCode, pr
+	}
+
+	// healthz reports the identity of the model answering by default.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Model struct {
+			Name       string `json:"name"`
+			Version    string `json:"version"`
+			Model      string `json:"model"`
+			WeightHash string `json:"weight_hash"`
+		} `json:"model"`
+		ModelsLoaded int `json:"models_loaded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Model.Model != "m@v1" || health.Model.Name != "m" || health.Model.WeightHash == "" {
+		t.Fatalf("healthz model identity = %+v", health.Model)
+	}
+	if health.ModelsLoaded != 1 {
+		t.Fatalf("models_loaded = %d, want 1", health.ModelsLoaded)
+	}
+
+	// GET /v1/models: the active version plus the registry catalog.
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Active   string        `json:"active"`
+		Models   []ModelStatus `json:"models"`
+		Registry []string      `json:"registry"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Active != "m@v1" || len(list.Models) != 1 {
+		t.Fatalf("GET /v1/models = %+v", list)
+	}
+	if len(list.Registry) != 2 {
+		t.Fatalf("registry catalog = %v, want both versions", list.Registry)
+	}
+
+	// Load the sibling version and pin it per-request: the response must
+	// label the version that answered.
+	resp2, raw := postJSON(t, ts.URL+"/v1/models", map[string]any{"action": "load", "model": "m@v2"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d %s", resp2.StatusCode, raw)
+	}
+	var action struct {
+		Action, Model, Active string
+	}
+	if err := json.Unmarshal(raw, &action); err != nil {
+		t.Fatal(err)
+	}
+	if action.Model != "m@v2" || action.Active != "m@v1" {
+		t.Fatalf("load response = %+v (load must not change the default)", action)
+	}
+	if code, pr := predict("m@v2"); code != http.StatusOK || pr.Model != "m@v2" {
+		t.Fatalf("pinned predict = %d, model %q", code, pr.Model)
+	}
+	if code, pr := predict(""); code != http.StatusOK || pr.Model != "m@v1" {
+		t.Fatalf("default predict before swap = %d, model %q", code, pr.Model)
+	}
+
+	// Hot-swap the default over HTTP, keeping v1 loaded for pinning.
+	resp2, raw = postJSON(t, ts.URL+"/v1/models", map[string]any{"action": "activate", "model": "m@v2", "keep": true})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("activate: %d %s", resp2.StatusCode, raw)
+	}
+	if code, pr := predict(""); code != http.StatusOK || pr.Model != "m@v2" {
+		t.Fatalf("default predict after swap = %d, model %q", code, pr.Model)
+	}
+	if code, pr := predict("m@v1"); code != http.StatusOK || pr.Model != "m@v1" {
+		t.Fatalf("kept version predict = %d, model %q", code, pr.Model)
+	}
+
+	// Unload rules: the active version refuses, the kept one retires.
+	if resp2, raw = postJSON(t, ts.URL+"/v1/models", map[string]any{"action": "unload", "model": "m@v2"}); resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unloading the active model = %d %s, want 400", resp2.StatusCode, raw)
+	}
+	if resp2, raw = postJSON(t, ts.URL+"/v1/models", map[string]any{"action": "unload", "model": "m@v1"}); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("unload kept: %d %s", resp2.StatusCode, raw)
+	}
+	if code, _ := predict("m@v1"); code != http.StatusBadRequest {
+		t.Fatalf("predict on unloaded version = %d, want 400", code)
+	}
+	if resp2, raw = postJSON(t, ts.URL+"/v1/models", map[string]any{"action": "reboot", "model": "m"}); resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action = %d %s, want 400", resp2.StatusCode, raw)
+	}
+
+	// The swap and the per-model gauges are visible on /metrics.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(b)
+	for _, want := range []string{
+		`fademl_model_active{model="m@v2"} 1`,
+		"fademl_model_swaps_total 1",
+		`fademl_model_requests_total{model="m@v2"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -66,7 +67,7 @@ func (m *routeMetrics) observe(d time.Duration, status int) {
 
 // metricRoutes is the fixed set of instrumented routes.
 var metricRoutes = []string{
-	"predict", "predict_batch", "defend", "attack", "evaluate", "healthz", "stats",
+	"predict", "predict_batch", "defend", "attack", "evaluate", "models", "healthz", "stats",
 }
 
 // serverMetrics holds the per-route instruments.
@@ -154,6 +155,26 @@ func (s *Server) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "fademl_lane_admitted_total{lane=%q} %d\n", l.name, st.Admitted)
 		fmt.Fprintf(w, "fademl_lane_shed_total{lane=%q} %d\n", l.name, st.Shed)
 	}
+
+	writeGaugeHeader(w, "fademl_model_active", "1 for the model version currently answering default-model requests.")
+	if m := s.active.Load(); m != nil {
+		fmt.Fprintf(w, "fademl_model_active{model=%q} 1\n", m.key)
+	}
+	writeGaugeHeader(w, "fademl_models_loaded", "Model versions resident in the serving table.")
+	s.modelMu.Lock()
+	loadedModels := make([]*servedModel, 0, len(s.models))
+	for _, m := range s.models {
+		loadedModels = append(loadedModels, m)
+	}
+	s.modelMu.Unlock()
+	sort.Slice(loadedModels, func(i, j int) bool { return loadedModels[i].key < loadedModels[j].key })
+	fmt.Fprintf(w, "fademl_models_loaded %d\n", len(loadedModels))
+	writeCounterHeader(w, "fademl_model_requests_total", "Prediction requests answered per model version.")
+	for _, m := range loadedModels {
+		fmt.Fprintf(w, "fademl_model_requests_total{model=%q} %d\n", m.key, m.requests.Load())
+	}
+	writeCounterHeader(w, "fademl_model_swaps_total", "Hot-swaps of the default model since start.")
+	fmt.Fprintf(w, "fademl_model_swaps_total %d\n", s.swaps.Load())
 
 	cs := s.cache.stats()
 	writeCounterHeader(w, "fademl_cache_hits_total", "Content-addressed cache hits.")

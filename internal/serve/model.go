@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/filters"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/registry"
+	"repro/internal/tensor"
+)
+
+// Model table and versioned hot-swap.
+//
+// The server no longer assumes one global network: it serves a table of
+// models, each a servedModel — a versioned identity, a prototype
+// pipeline, and a private micro-batching pool (queue → batcher → warmed
+// worker clones). Requests select a model by "name@version" (or bare
+// name → highest loaded version); the default is an atomic pointer into
+// the table, so swapping versions under live traffic is one pointer
+// store:
+//
+//	Activate(new):  load → build pool → warm every clone → store pointer
+//	                → retire old (remove from table, wait for in-flight
+//	                requests, shut its pool down)
+//
+// In-flight requests pin their model with an acquire/release refcount,
+// so the retired version keeps answering everything it admitted — the
+// swap sheds nothing and fails nothing. Admission lanes, the content
+// cache (whose keys carry the model identity), and the HTTP surface
+// stay server-global.
+
+// servedModel is one loaded model version: identity, prototype pipeline,
+// float32 snapshot, and the private worker pool serving it.
+type servedModel struct {
+	id pipeline.ModelID
+	// key is id.String(), the table key and the wire echo.
+	key string
+	// proto carries the network plus the deployment's filter and
+	// acquisition; workers and attacker slots clone proto.Net.
+	proto *pipeline.Pipeline
+	// net32/f32err are the model's float32 lane (see Server.net32 docs in
+	// earlier revisions; the lane is now per model).
+	net32  *nn.Net32
+	f32err error
+	// inShape is the model's CHW input shape (models in one table may
+	// differ in geometry; validation is per model).
+	inShape []int
+	pool    *pool
+
+	loadedAt time.Time
+	requests atomic.Uint64
+
+	// inflight counts requests currently pinned to this model; retired
+	// flips when the model leaves the table. A retiring model drains:
+	// once retired is set and inflight reaches zero, idle closes and the
+	// pool can be shut down with nothing left to answer.
+	inflight atomic.Int64
+	retired  atomic.Bool
+	idle     chan struct{}
+	idleOnce sync.Once
+}
+
+// acquire pins the model for one request. It fails only when the model
+// lost a race with retirement — the caller re-resolves.
+func (m *servedModel) acquire() bool {
+	m.inflight.Add(1)
+	if m.retired.Load() {
+		m.release()
+		return false
+	}
+	return true
+}
+
+// release unpins the model and completes a drain when it was the last
+// in-flight request of a retired version.
+func (m *servedModel) release() {
+	if m.inflight.Add(-1) == 0 && m.retired.Load() {
+		m.idleOnce.Do(func() { close(m.idle) })
+	}
+}
+
+// pool is one model's micro-batching engine: the coalescing queue, the
+// batcher, and the worker clones. Its goroutines register on the
+// server's WaitGroup (Close waits for every pool) and on their own
+// (retire waits for just this pool).
+type pool struct {
+	srv *Server
+	m   *servedModel
+
+	queue   chan *pending
+	batches chan []*pending
+	// stop aborts the batcher when the model retires. It is closed only
+	// after the model's in-flight count drained to zero, so no request
+	// can be waiting on this pool when it shuts down.
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// batcher coalesces queued requests into micro-batches: flush when
+// MaxBatch requests have gathered (flush-on-full) or MaxWait after the
+// first request of the batch arrived (flush-on-linger), whichever is
+// first. It is the sole sender on pl.batches and closes it on shutdown.
+func (pl *pool) batcher() {
+	s := pl.srv
+	defer close(pl.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *pending
+		select {
+		case first = <-pl.queue:
+		case <-pl.stop:
+			return
+		case <-s.done:
+			return
+		}
+		batch := append(make([]*pending, 0, s.opts.MaxBatch), first)
+		timer.Reset(s.opts.MaxWait)
+	fill:
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case p := <-pl.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			case <-s.done:
+				// Shutdown: the gathered requests are answered by the
+				// waiters' own s.done select; nothing to dispatch.
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		select {
+		case pl.batches <- batch:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// requeue hands a dying worker's batch back to this pool's queue so its
+// requests migrate to a surviving worker instead of being lost. Only the
+// batcher may send on pl.batches (it closes the channel on shutdown), so
+// the slots re-enter through pl.queue, which is never closed. Every
+// request in the batch holds an acquire on the model, so pl.stop cannot
+// close underneath the handoff; on server shutdown the waiters' own
+// s.done selects answer them.
+func (pl *pool) requeue(batch []*pending) {
+	go func() {
+		for _, p := range batch {
+			select {
+			case pl.queue <- p:
+			case <-pl.srv.done:
+				return
+			}
+		}
+	}()
+}
+
+// newServedModel builds one table entry: prototype pipeline, per-worker
+// clones — each warmed with one forward pass so the first post-swap
+// batch pays no allocation — and the running pool goroutines.
+func (s *Server) newServedModel(id pipeline.ModelID, net *nn.Network, net32 *nn.Net32, f32err error) *servedModel {
+	m := &servedModel{
+		id:       id,
+		key:      id.String(),
+		proto:    pipeline.NewModel(id, net, s.filter, s.acq),
+		net32:    net32,
+		f32err:   f32err,
+		inShape:  net.InputShape(),
+		loadedAt: time.Now(),
+		idle:     make(chan struct{}),
+	}
+	pl := &pool{
+		srv:     s,
+		m:       m,
+		queue:   make(chan *pending, 4*s.opts.MaxBatch),
+		batches: make(chan []*pending, s.opts.Workers),
+		stop:    make(chan struct{}),
+	}
+	m.pool = pl
+	type workerState struct {
+		wp  *pipeline.Pipeline
+		w32 *nn.Net32
+	}
+	warm := tensor.New(m.inShape...)
+	workers := make([]workerState, s.opts.Workers)
+	for w := range workers {
+		wp := pipeline.NewModel(id, net.Clone(), s.filter, s.acq)
+		var w32 *nn.Net32
+		if net32 != nil {
+			w32 = net32.Clone()
+		}
+		// One throwaway forward per clone (both lanes) allocates every
+		// scratch buffer before the pool takes live traffic.
+		wp.Net.ProbsBatch([]*tensor.Tensor{warm})
+		if w32 != nil {
+			w32.ProbsBatch([]*tensor.Tensor{warm})
+		}
+		workers[w] = workerState{wp: wp, w32: w32}
+	}
+	for _, ws := range workers {
+		ws := ws
+		s.wg.Add(1)
+		pl.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer pl.wg.Done()
+			for batch := range pl.batches {
+				if s.opts.Chaos.takeKill() {
+					// Injected worker death: the batch migrates back to
+					// the queue, the goroutine is gone for good.
+					pl.requeue(batch)
+					return
+				}
+				s.process(m, ws.wp, ws.w32, batch)
+			}
+		}()
+	}
+	s.wg.Add(1)
+	pl.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer pl.wg.Done()
+		pl.batcher()
+	}()
+	return m
+}
+
+// retire drains and shuts down a model that has already left the table:
+// wait for every request that acquired it, then stop its pool. New
+// requests cannot reach it (resolveModel no longer finds it; acquire
+// bounces), so the wait is bounded by the in-flight work.
+func (s *Server) retire(m *servedModel) {
+	m.retired.Store(true)
+	if m.inflight.Load() == 0 {
+		m.idleOnce.Do(func() { close(m.idle) })
+	}
+	<-m.idle
+	close(m.pool.stop)
+	m.pool.wg.Wait()
+}
+
+// removeModel deletes m from the table (the precondition of retire).
+func (s *Server) removeModel(m *servedModel) {
+	s.modelMu.Lock()
+	if s.models[m.key] == m {
+		delete(s.models, m.key)
+	}
+	s.modelMu.Unlock()
+}
+
+// resolveModel pins the model a request runs on: "" is the active
+// default, "name@version" an exact loaded entry, a bare name the highest
+// loaded version of that name. Per-request selection never loads from
+// the registry — load via /v1/models (or LoadModel) first. The returned
+// model is acquired; the caller must release it.
+func (s *Server) resolveModel(spec string) (*servedModel, error) {
+	for {
+		m, err := s.pickModel(spec)
+		if err != nil {
+			return nil, err
+		}
+		if m.acquire() {
+			return m, nil
+		}
+		// Lost a race with a retirement between pick and pin; the table
+		// (or the active pointer) has already moved on — re-resolve.
+	}
+}
+
+func (s *Server) pickModel(spec string) (*servedModel, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		if m := s.active.Load(); m != nil {
+			return m, nil
+		}
+		return nil, errors.New("serve: no active model")
+	}
+	if m := s.lookupLoaded(spec); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("serve: model %q is not loaded (load it via /v1/models first)", spec)
+}
+
+// lookupLoaded finds a table entry by exact "name@version" key or, for a
+// bare name, the highest loaded version. nil when absent.
+func (s *Server) lookupLoaded(spec string) *servedModel {
+	s.modelMu.Lock()
+	defer s.modelMu.Unlock()
+	if m, ok := s.models[spec]; ok {
+		return m
+	}
+	if strings.Contains(spec, "@") {
+		return nil
+	}
+	var best *servedModel
+	for _, m := range s.models {
+		if m.id.Name != spec {
+			continue
+		}
+		if best == nil || versionOrdinal(m.id.Version) > versionOrdinal(best.id.Version) {
+			best = m
+		}
+	}
+	return best
+}
+
+// versionOrdinal orders "v<n>" version labels; unparseable labels sort
+// first.
+func versionOrdinal(v string) int {
+	if !strings.HasPrefix(v, "v") {
+		return -1
+	}
+	n, err := strconv.Atoi(v[1:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// modelIDOf converts a registry manifest into the pipeline identity.
+func modelIDOf(man registry.Manifest) pipeline.ModelID {
+	return pipeline.ModelID{Name: man.Name, Version: man.Version, WeightHash: man.WeightsSHA256}
+}
+
+// ensureLoaded returns the served model for spec, loading and warming it
+// from Options.Registry when it is not already in the table. A bare name
+// resolves to the registry's latest version when a registry is
+// configured (falling back to the highest loaded version for names the
+// registry does not know). Callers must hold s.swapMu — loads are
+// serialized with swaps so the table never races a concurrent build.
+func (s *Server) ensureLoaded(spec string) (*servedModel, error) {
+	ref, err := registry.ParseRef(spec)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Version == "" && s.opts.Registry != nil {
+		if resolved, rerr := s.opts.Registry.Resolve(spec); rerr == nil {
+			ref = resolved
+		}
+	}
+	if m := s.lookupLoaded(ref.String()); m != nil {
+		return m, nil
+	}
+	if s.opts.Registry == nil {
+		return nil, fmt.Errorf("serve: model %q is not loaded and no registry is configured (Options.Registry)", spec)
+	}
+	if ref.Version == "" {
+		return nil, fmt.Errorf("serve: model %q is neither loaded nor in the registry", spec)
+	}
+	rm, err := s.opts.Registry.Load(ref)
+	if err != nil {
+		return nil, err
+	}
+	m := s.newServedModel(modelIDOf(rm.Manifest), rm.Net, rm.Net32, rm.F32Err)
+	s.modelMu.Lock()
+	s.models[m.key] = m
+	s.modelMu.Unlock()
+	return m, nil
+}
+
+// LoadModel loads (and warms) a registry model into the table without
+// activating it, returning the resolved identity. Already-loaded specs
+// are idempotent.
+func (s *Server) LoadModel(spec string) (pipeline.ModelID, error) {
+	if err := s.refuseNew(); err != nil {
+		return pipeline.ModelID{}, err
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	m, err := s.ensureLoaded(spec)
+	if err != nil {
+		return pipeline.ModelID{}, err
+	}
+	return m.id, nil
+}
+
+// Activate makes spec the default model — the one answering requests
+// that name no model — loading and warming it first if needed. The
+// switch itself is one atomic pointer store: requests admitted before it
+// finish on the old version, requests after it run on the new one, and
+// nothing is shed or failed in between. The previous default is then
+// retired (removed from the table, drained, its pool shut down) unless
+// keep is true, which leaves it loaded for per-request selection.
+func (s *Server) Activate(spec string, keep bool) (pipeline.ModelID, error) {
+	if err := s.refuseNew(); err != nil {
+		return pipeline.ModelID{}, err
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	m, err := s.ensureLoaded(spec)
+	if err != nil {
+		return pipeline.ModelID{}, err
+	}
+	old := s.active.Swap(m)
+	if old == m {
+		return m.id, nil
+	}
+	s.swaps.Add(1)
+	if old != nil && !keep {
+		s.removeModel(old)
+		s.retire(old)
+	}
+	return m.id, nil
+}
+
+// UnloadModel retires a non-active model from the table, freeing its
+// worker clones. The active model cannot be unloaded — activate another
+// version first.
+func (s *Server) UnloadModel(spec string) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	m := s.lookupLoaded(strings.TrimSpace(spec))
+	if m == nil {
+		return fmt.Errorf("serve: model %q is not loaded", spec)
+	}
+	if s.active.Load() == m {
+		return fmt.Errorf("serve: model %s is active; activate another version before unloading", m.key)
+	}
+	s.removeModel(m)
+	s.retire(m)
+	return nil
+}
+
+// ActiveModel returns the identity of the current default model.
+func (s *Server) ActiveModel() pipeline.ModelID { return s.active.Load().id }
+
+// ModelStatus is one table entry's snapshot (the /v1/models listing).
+type ModelStatus struct {
+	Model      string `json:"model"`
+	Name       string `json:"name"`
+	Version    string `json:"version"`
+	WeightHash string `json:"weight_hash"`
+	Active     bool   `json:"active"`
+	Requests   uint64 `json:"requests"`
+	LoadedAt   string `json:"loaded_at"`
+}
+
+// Models snapshots the loaded table, active entry first, then by key.
+func (s *Server) Models() []ModelStatus {
+	activeKey := ""
+	if m := s.active.Load(); m != nil {
+		activeKey = m.key
+	}
+	s.modelMu.Lock()
+	loaded := make([]*servedModel, 0, len(s.models))
+	for _, m := range s.models {
+		loaded = append(loaded, m)
+	}
+	s.modelMu.Unlock()
+	sort.Slice(loaded, func(i, j int) bool {
+		if (loaded[i].key == activeKey) != (loaded[j].key == activeKey) {
+			return loaded[i].key == activeKey
+		}
+		return loaded[i].key < loaded[j].key
+	})
+	out := make([]ModelStatus, len(loaded))
+	for i, m := range loaded {
+		out[i] = ModelStatus{
+			Model:      m.key,
+			Name:       m.id.Name,
+			Version:    m.id.Version,
+			WeightHash: m.id.WeightHash,
+			Active:     m.key == activeKey,
+			Requests:   m.requests.Load(),
+			LoadedAt:   m.loadedAt.UTC().Format(time.RFC3339),
+		}
+	}
+	return out
+}
+
+// NewFromModel builds and starts a server over a registry-loaded model:
+// the served pipeline carries the model's name@version identity, the
+// float32 snapshot is reused from the registry's per-version cache, and
+// hot-swapping to sibling versions works out of the box when
+// opts.Registry points at the same store.
+func NewFromModel(m *registry.Model, filter filters.Filter, acq *pipeline.Acquisition, opts Options) *Server {
+	if m == nil {
+		panic("serve: nil registry model")
+	}
+	return newServer(modelIDOf(m.Manifest), m.Net, m.Net32, m.F32Err, filter, acq, opts)
+}

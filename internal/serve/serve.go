@@ -2,36 +2,45 @@
 // concurrent prediction service with dynamic micro-batching in front of
 // the paper's Fig. 2 pipeline.
 //
-// Architecture (queue → micro-batch → clone pool):
+// Architecture (model table of queue → micro-batch → clone pools):
 //
-//	clients ──► coalescing queue ──► batcher ──► worker pool
-//	             (chan *pending)     (flush on     (one weight-sharing
-//	                                  full or       Network.Clone per
-//	                                  linger)       worker, one batched
-//	                                                forward per batch)
+//	clients ──► model table ──► coalescing queue ──► batcher ──► worker pool
+//	             (per-request     (chan *pending,     (flush on    (one weight-
+//	              name@version     one per model)      full or      sharing clone
+//	              selection;                           linger)      per worker,
+//	              atomic default)                                   one batched
+//	                                                                forward per
+//	                                                                batch)
 //
-// Single-image requests from concurrent clients are coalesced: the batcher
-// drains the queue into a batch of up to MaxBatch requests, waiting at
-// most MaxWait after the first request before flushing, and hands the
-// batch to a worker that delivers every image under its threat model
-// (pipeline.Deliver) and scores the whole batch through one
-// nn.Network.ProbsBatch forward. Because batched rows are bit-identical to
-// single-image calls and TM-II acquisition is a pure function of
-// (seed, image), a served prediction is bit-identical to a direct
-// pipeline.Probs call for the same image — batching is purely a
+// Single-image requests from concurrent clients are coalesced: each
+// model's batcher drains its queue into a batch of up to MaxBatch
+// requests, waiting at most MaxWait after the first request before
+// flushing, and hands the batch to a worker that delivers every image
+// under its threat model (pipeline.Deliver) and scores the whole batch
+// through one nn.Network.ProbsBatch forward. Because batched rows are
+// bit-identical to single-image calls and TM-II acquisition is a pure
+// function of (seed, image), a served prediction is bit-identical to a
+// direct pipeline.Probs call for the same image — batching is purely a
 // throughput optimization.
+//
+// Models are versioned (internal/registry): a request may pin
+// "name@version", and the default model hot-swaps atomically under live
+// traffic — new worker clones are built and warmed before the switch,
+// the old version drains its in-flight requests and retires, and
+// nothing is shed or failed during the swap (model.go).
 //
 // Survivability layer (admission → cache → deadlines → chaos):
 //
-// In front of the queue sit two bounded admission lanes — interactive
+// In front of the queues sit two bounded admission lanes — interactive
 // (Predict/PredictBatch/Defend) and bulk (Attack/Evaluate) — so a flood
 // of crafting traffic can never starve prediction (admission.go); a
-// content-addressed LRU answers repeat queries bit-identically without
-// worker time (cache.go); per-route deadlines bound how long any request
-// may hold resources; fault-injection hooks exercise the failure paths
-// (chaos.go); and GET /metrics exposes the whole state in Prometheus
-// text format (metrics.go). BeginDrain flips the server into a
-// refuse-new/finish-in-flight drain ahead of Close.
+// content-addressed LRU whose keys carry the model identity answers
+// repeat queries bit-identically without worker time (cache.go);
+// per-route deadlines bound how long any request may hold resources;
+// fault-injection hooks exercise the failure paths (chaos.go); and GET
+// /metrics exposes the whole state in Prometheus text format
+// (metrics.go). BeginDrain flips the server into a refuse-new/finish-
+// in-flight drain ahead of Close.
 package serve
 
 import (
@@ -48,6 +57,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
+	"repro/internal/registry"
 	"repro/internal/tensor"
 )
 
@@ -56,7 +66,7 @@ var ErrServerClosed = errors.New("serve: server closed")
 
 // Options configures a Server. The zero value selects sensible defaults.
 type Options struct {
-	// Workers is the clone-pool size (goroutines running batched
+	// Workers is the per-model clone-pool size (goroutines running batched
 	// inference, each on its own weight-sharing Network.Clone).
 	// <= 0 selects runtime.NumCPU().
 	Workers int
@@ -77,10 +87,16 @@ type Options struct {
 	// value is pipeline.Float64, the reference lane; pipeline.Float32
 	// selects the fused float32 fast path. Per-request overrides go
 	// through PredictPrec / the HTTP "precision" field; float32 requests
-	// are refused if the model has no float32 lowering.
+	// are refused if the selected model has no float32 lowering.
 	Precision pipeline.Precision
 	// ClassName, when set, labels predictions (e.g. gtsrb.ClassName).
 	ClassName func(int) string
+	// Registry, when set, backs the model-management surface: LoadModel/
+	// Activate (and POST /v1/models) resolve "name@version" references
+	// against it and hot-swap the loaded result under live traffic. Nil
+	// limits model selection to versions already in the table (the one the
+	// server was constructed over).
+	Registry *registry.Registry
 
 	// Robustness endpoints (Attack/Evaluate, /v1/attack, /v1/evaluate).
 
@@ -130,9 +146,11 @@ type Options struct {
 	// defaults it to 2m.
 	EvaluateTimeout time.Duration
 	// CacheSize bounds the content-addressed prediction/defend cache in
-	// entries. Responses are pure functions of the request content, so a
-	// hit is bit-identical to recomputation and costs no worker time.
-	// 0 selects 4096; negative disables caching.
+	// entries. Responses are pure functions of the request content — the
+	// model identity (name@version + weight hash) is part of every key,
+	// so a hit is bit-identical to recomputation on that exact version and
+	// a hot-swap can never serve a stale-version result. 0 selects 4096;
+	// negative disables caching.
 	CacheSize int
 	// Chaos injects faults (delayed batches, killed workers, failed
 	// batches) for the survivability harness. nil injects nothing.
@@ -180,8 +198,8 @@ func (o Options) withDefaults() Options {
 // Budget re-exports the attack work cap for Options literals.
 type Budget = attacks.Budget
 
-// Prediction is the per-request result: the deployed pipeline's view of
-// one image under one threat model.
+// Prediction is the per-request result: one model's view of one image
+// under one threat model.
 type Prediction struct {
 	// Class is the argmax class index.
 	Class int
@@ -195,6 +213,9 @@ type Prediction struct {
 	TM pipeline.ThreatModel
 	// Precision is the numeric lane the forward pass ran on.
 	Precision pipeline.Precision
+	// Model is the "name@version" that answered — under a hot-swap,
+	// clients see exactly which version served each response.
+	Model string
 }
 
 // Stats is a snapshot of the server's serving counters.
@@ -214,6 +235,11 @@ type Stats struct {
 	Workers   int     `json:"workers"`
 	MaxBatch  int     `json:"max_batch"`
 	MaxWaitMs float64 `json:"max_wait_ms"`
+	// Model is the active default "name@version"; Swaps counts completed
+	// hot-swaps; ModelsLoaded the table size.
+	Model        string `json:"model"`
+	Swaps        uint64 `json:"swaps"`
+	ModelsLoaded int    `json:"models_loaded"`
 	// Interactive and Bulk are the admission-lane snapshots.
 	Interactive LaneStats `json:"interactive"`
 	Bulk        LaneStats `json:"bulk"`
@@ -252,28 +278,33 @@ func (p *pending) answer(r reply) {
 	}
 }
 
-// Server is a concurrent micro-batching inference service over one
-// deployed pipeline. Construct with New, serve via Predict/PredictBatch
-// (or the HTTP Handler), stop with Close.
+// Server is a concurrent micro-batching inference service over a table
+// of versioned models. Construct with New (one pipeline) or NewFromModel
+// (a registry entry), serve via Predict/PredictBatch (or the HTTP
+// Handler), manage versions with LoadModel/Activate/UnloadModel, stop
+// with Close.
 type Server struct {
-	opts    Options
-	inShape []int
-	// filter and acq echo the deployed pipeline's pre-processing stages
-	// for the defense endpoints (Defend, the Evaluate filters axis).
+	opts Options
+	// filter and acq are the deployment's pre-processing stages, shared
+	// by every model in the table (models differ in weights and topology;
+	// the deployed defense is a property of the deployment).
 	filter filters.Filter
 	acq    *pipeline.Acquisition
-	// net32 is the shared float32 snapshot workers clone from; f32err
-	// records why the float32 lane is unavailable (nil when it is).
-	net32  *nn.Net32
-	f32err error
 
-	queue   chan *pending
-	batches chan []*pending
+	// models is the table of loaded versions keyed by "name@version";
+	// active is the default model (atomic so the predict hot path never
+	// takes a lock); swapMu serializes load/activate/unload.
+	modelMu sync.Mutex
+	models  map[string]*servedModel
+	active  atomic.Pointer[servedModel]
+	swapMu  sync.Mutex
+	swaps   atomic.Uint64
+
 	// attackers holds the idle crafting slots for the robustness
 	// endpoints (nil when disabled).
 	attackers chan *attacker
 	done      chan struct{}
-	// drained closes once the batcher and every worker have exited —
+	// drained closes once every pool's batcher and workers have exited —
 	// after that, every reply that will ever be sent is already sitting
 	// in its (buffered) pending.done channel.
 	drained chan struct{}
@@ -301,22 +332,45 @@ type Server struct {
 	latCount int
 }
 
-// New builds and starts a server over the deployed pipeline p. Each worker
-// runs on its own weight-sharing clone of p.Net, so the caller's pipeline
-// remains free for direct use. Panics on a nil pipeline (matching
-// pipeline.New); bad option values are replaced by defaults.
+// New builds and starts a server over the deployed pipeline p. Each
+// worker runs on its own weight-sharing clone of p.Net, so the caller's
+// pipeline remains free for direct use. The pipeline's model identity
+// (pipeline.NewModel) becomes the table entry; an anonymous pipeline is
+// registered as "<network name>@v0" with its weight hash computed on the
+// spot. Panics on a nil pipeline (matching pipeline.New); bad option
+// values are replaced by defaults.
 func New(p *pipeline.Pipeline, opts Options) *Server {
 	if p == nil {
 		panic("serve: nil pipeline")
 	}
+	id := p.Model
+	if id.IsZero() {
+		id = pipeline.ModelID{Name: p.Net.Name(), Version: "v0"}
+	}
+	if id.WeightHash == "" {
+		if h, err := p.Net.WeightHash(); err == nil {
+			id.WeightHash = h
+		}
+	}
+	// Build the float32 lane once from the trained weights; workers clone
+	// the snapshot (sharing the converted weights, owning scratch). A
+	// model with no float32 lowering leaves the lane disabled — float32
+	// requests are then refused at validation, float64 serving unaffected.
+	net32, f32err := p.Net.ToFloat32()
+	return newServer(id, p.Net, net32, f32err, p.Filter, p.Acq, opts)
+}
+
+// newServer is the shared constructor behind New and NewFromModel.
+func newServer(id pipeline.ModelID, net *nn.Network, net32 *nn.Net32, f32err error, filter filters.Filter, acq *pipeline.Acquisition, opts Options) *Server {
+	if filter == nil {
+		filter = filters.Identity{}
+	}
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:    opts,
-		inShape: p.Net.InputShape(),
-		filter:  p.Filter,
-		acq:     p.Acq,
-		queue:   make(chan *pending, 4*opts.MaxBatch),
-		batches: make(chan []*pending, opts.Workers),
+		filter:  filter,
+		acq:     acq,
+		models:  make(map[string]*servedModel),
 		done:    make(chan struct{}),
 		drained: make(chan struct{}),
 		interactive: &lane{
@@ -331,47 +385,20 @@ func New(p *pipeline.Pipeline, opts Options) *Server {
 	if opts.AttackWorkers > 0 {
 		s.attackers = make(chan *attacker, opts.AttackWorkers)
 		for i := 0; i < opts.AttackWorkers; i++ {
-			s.attackers <- &attacker{pipe: pipeline.New(p.Net.Clone(), p.Filter, p.Acq)}
+			s.attackers <- &attacker{}
 		}
 	}
-	// Build the float32 lane once from the trained weights; workers clone
-	// the snapshot (sharing the converted weights, owning scratch). A
-	// model with no float32 lowering leaves the lane disabled — float32
-	// requests are then refused at validation, float64 serving unaffected.
-	s.net32, s.f32err = p.Net.ToFloat32()
-	for w := 0; w < opts.Workers; w++ {
-		wp := pipeline.New(p.Net.Clone(), p.Filter, p.Acq)
-		var w32 *nn.Net32
-		if s.net32 != nil {
-			w32 = s.net32.Clone()
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for batch := range s.batches {
-				if s.opts.Chaos.takeKill() {
-					// Injected worker death: the batch migrates back to
-					// the queue, the goroutine is gone for good.
-					s.requeue(batch)
-					return
-				}
-				s.process(wp, w32, batch)
-			}
-		}()
-	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.batcher()
-	}()
+	m := s.newServedModel(id, net, net32, f32err)
+	s.models[m.key] = m
+	s.active.Store(m)
 	return s
 }
 
 // Close stops the server: queued requests and later Predict calls fail
 // with ErrServerClosed; batches already handed to workers complete and
 // reply normally (their waiting clients get their predictions, not an
-// error). Close blocks until the batcher and all workers exit and is
-// safe to call more than once.
+// error). Close blocks until every model's batcher and workers exit and
+// is safe to call more than once.
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.closeOnce.Do(func() { close(s.done) })
@@ -380,18 +407,19 @@ func (s *Server) Close() {
 }
 
 // Predict scores one CHW image under tm (0 selects Options.DefaultTM)
-// through the micro-batching path. The returned Prediction is
-// bit-identical to a direct pipeline.Probs call for the same image and
-// threat model. Safe for concurrent use from any number of goroutines —
-// concurrency is what fills batches.
+// on the active model through the micro-batching path. The returned
+// Prediction is bit-identical to a direct pipeline.Probs call for the
+// same image and threat model. Safe for concurrent use from any number
+// of goroutines — concurrency is what fills batches.
 //
 // Predict is the interactive lane: a request beyond InteractiveLimit is
 // shed with an OverloadError instead of queued, PredictDeadline bounds
 // how long it may hold resources, and a content-cache hit (same image
-// bytes, same threat model) is answered immediately — bit-identically —
-// without touching a worker, even while the lane is shedding.
+// bytes, same threat model, same model version) is answered immediately
+// — bit-identically — without touching a worker, even while the lane is
+// shedding.
 func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
-	return s.PredictPrec(ctx, img, tm, s.opts.Precision)
+	return s.PredictModel(ctx, "", img, tm, s.opts.Precision)
 }
 
 // PredictPrec is Predict with an explicit numeric lane: pipeline.Float64
@@ -400,13 +428,27 @@ func (s *Server) Predict(ctx context.Context, img *tensor.Tensor, tm pipeline.Th
 // different lanes are cached under different content addresses, so a
 // float32 hit can never answer a float64 request.
 func (s *Server) PredictPrec(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
+	return s.PredictModel(ctx, "", img, tm, prec)
+}
+
+// PredictModel is PredictPrec with explicit model selection: "" runs the
+// active default, "name@version" pins an exact loaded version, a bare
+// name the highest loaded version of that name. The selected model is
+// pinned for the whole request, so it keeps answering even if a
+// hot-swap retires it mid-flight.
+func (s *Server) PredictModel(ctx context.Context, model string, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
 	}
-	if err := s.validate(img, tm, prec); err != nil {
+	m, err := s.resolveModel(model)
+	if err != nil {
 		return Prediction{}, err
 	}
-	if pred, _, ok := s.lookupPrediction(img, tm, prec); ok {
+	defer m.release()
+	if err := s.validate(m, img, tm, prec); err != nil {
+		return Prediction{}, err
+	}
+	if pred, _, ok := s.lookupPrediction(m, img, tm, prec); ok {
 		return pred, nil
 	}
 	if err := s.refuseNew(); err != nil {
@@ -419,16 +461,17 @@ func (s *Server) PredictPrec(ctx context.Context, img *tensor.Tensor, tm pipelin
 	defer release()
 	ctx, cancel := routeContext(ctx, s.opts.PredictDeadline)
 	defer cancel()
-	return s.predictAdmitted(ctx, img, tm, prec)
+	return s.predictAdmitted(ctx, m, img, tm, prec)
 }
 
 // predictInternal is the serving path for the server's own measurement
 // traffic (the Evaluate sweep's TM-I and deployed views): it shares the
-// micro-batching pool and the content cache but skips lane admission,
-// the per-route deadline and the draining refusal — an admitted bulk job
-// is already accounted for in the bulk lane and must be able to finish
-// its measurements while a drain completes.
-func (s *Server) predictInternal(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
+// selected model's micro-batching pool and the content cache but skips
+// lane admission, the per-route deadline and the draining refusal — an
+// admitted bulk job is already accounted for in the bulk lane and must
+// be able to finish its measurements while a drain completes. The caller
+// holds the model acquisition for the whole sweep.
+func (s *Server) predictInternal(ctx context.Context, m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel) (Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
 	}
@@ -436,22 +479,23 @@ func (s *Server) predictInternal(ctx context.Context, img *tensor.Tensor, tm pip
 	// Evaluate sweep's numbers must match the paper path regardless of the
 	// serving default.
 	const prec = pipeline.Float64
-	if err := s.validate(img, tm, prec); err != nil {
+	if err := s.validate(m, img, tm, prec); err != nil {
 		return Prediction{}, err
 	}
-	if pred, _, ok := s.lookupPrediction(img, tm, prec); ok {
+	if pred, _, ok := s.lookupPrediction(m, img, tm, prec); ok {
 		return pred, nil
 	}
-	return s.predictAdmitted(ctx, img, tm, prec)
+	return s.predictAdmitted(ctx, m, img, tm, prec)
 }
 
-// predictAdmitted enqueues one already-admitted request, waits for its
-// reply and fills the content cache on success.
-func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
+// predictAdmitted enqueues one already-admitted request on the model's
+// pool, waits for its reply and fills the content cache on success.
+func (s *Server) predictAdmitted(ctx context.Context, m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
 	p := &pending{img: img, tm: tm, prec: prec, ctx: ctx, enq: time.Now(), done: make(chan reply, 1)}
 	select {
-	case s.queue <- p:
+	case m.pool.queue <- p:
 		s.requests.Add(1)
+		m.requests.Add(1)
 	case <-s.done:
 		return Prediction{}, ErrServerClosed
 	case <-ctx.Done():
@@ -459,17 +503,17 @@ func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pip
 	}
 	select {
 	case r := <-p.done:
-		s.cacheReply(img, tm, prec, r)
+		s.cacheReply(m, img, tm, prec, r)
 		return r.pred, r.err
 	case <-s.done:
 		// The server is shutting down; the batch holding this request may
-		// still be in flight on a worker. Wait for the pool to drain (a
+		// still be in flight on a worker. Wait for the pools to drain (a
 		// bounded wait — workers finish their current batch and exit),
 		// then take the reply if one was produced.
 		<-s.drained
 		select {
 		case r := <-p.done:
-			s.cacheReply(img, tm, prec, r)
+			s.cacheReply(m, img, tm, prec, r)
 			return r.pred, r.err
 		default:
 			return Prediction{}, ErrServerClosed
@@ -480,39 +524,50 @@ func (s *Server) predictAdmitted(ctx context.Context, img *tensor.Tensor, tm pip
 }
 
 // cacheReply stores a successful reply under its content address.
-func (s *Server) cacheReply(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, r reply) {
+func (s *Server) cacheReply(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, r reply) {
 	if r.err == nil && s.cache != nil {
-		s.storePrediction(predCacheKey(img, tm, prec), r.pred)
+		s.storePrediction(predCacheKey(m, img, tm, prec), r.pred)
 	}
 }
 
-// PredictBatch scores a client-supplied batch. The images are enqueued
-// individually so they coalesce with other clients' traffic (a batch
-// larger than MaxBatch simply spans several micro-batches). Results are
-// positional; the first error wins.
+// PredictBatch scores a client-supplied batch on the active model. The
+// images are enqueued individually so they coalesce with other clients'
+// traffic (a batch larger than MaxBatch simply spans several
+// micro-batches). Results are positional; the first error wins.
 //
 // Admission accounting covers only the images the content cache cannot
 // answer; PredictDeadline, when set, is scaled by the number of
 // micro-batches the residual batch spans.
 func (s *Server) PredictBatch(ctx context.Context, imgs []*tensor.Tensor, tm pipeline.ThreatModel) ([]Prediction, error) {
-	return s.PredictBatchPrec(ctx, imgs, tm, s.opts.Precision)
+	return s.PredictBatchModel(ctx, "", imgs, tm, s.opts.Precision)
 }
 
 // PredictBatchPrec is PredictBatch with an explicit numeric lane (see
 // PredictPrec).
 func (s *Server) PredictBatchPrec(ctx context.Context, imgs []*tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) ([]Prediction, error) {
+	return s.PredictBatchModel(ctx, "", imgs, tm, prec)
+}
+
+// PredictBatchModel is PredictBatch with explicit model selection (see
+// PredictModel); the whole batch runs on one pinned model version.
+func (s *Server) PredictBatchModel(ctx context.Context, model string, imgs []*tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) ([]Prediction, error) {
 	if tm == 0 {
 		tm = s.opts.DefaultTM
 	}
+	m, err := s.resolveModel(model)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release()
 	for _, img := range imgs {
-		if err := s.validate(img, tm, prec); err != nil {
+		if err := s.validate(m, img, tm, prec); err != nil {
 			return nil, err
 		}
 	}
 	out := make([]Prediction, len(imgs))
 	var missIdx []int
 	for i, img := range imgs {
-		if pred, _, ok := s.lookupPrediction(img, tm, prec); ok {
+		if pred, _, ok := s.lookupPrediction(m, img, tm, prec); ok {
 			out[i] = pred
 			continue
 		}
@@ -541,8 +596,9 @@ func (s *Server) PredictBatchPrec(ctx context.Context, imgs []*tensor.Tensor, tm
 	for i, idx := range missIdx {
 		p := &pending{img: imgs[idx], tm: tm, prec: prec, ctx: ctx, enq: now, done: make(chan reply, 1)}
 		select {
-		case s.queue <- p:
+		case m.pool.queue <- p:
 			s.requests.Add(1)
+			m.requests.Add(1)
 		case <-s.done:
 			s.abandon(ps[:i])
 			return nil, ErrServerClosed
@@ -559,7 +615,7 @@ func (s *Server) PredictBatchPrec(ctx context.Context, imgs []*tensor.Tensor, tm
 			if r.err != nil {
 				return nil, r.err
 			}
-			s.cacheReply(imgs[idx], tm, prec, r)
+			s.cacheReply(m, imgs[idx], tm, prec, r)
 			out[idx] = r.pred
 		case <-s.done:
 			<-s.drained
@@ -595,27 +651,28 @@ func (s *Server) abandon(ps []*pending) {
 }
 
 // validate rejects malformed input at the API boundary so shape panics
-// never reach a worker goroutine.
-func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) error {
+// never reach a worker goroutine. Shape and float32 availability are
+// properties of the selected model.
+func (s *Server) validate(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) error {
 	if !tm.Valid() {
 		return fmt.Errorf("serve: invalid threat model %d", int(tm))
 	}
 	if !prec.Valid() {
 		return fmt.Errorf("serve: invalid precision %d", int(prec))
 	}
-	if prec == pipeline.Float32 && s.net32 == nil {
-		return fmt.Errorf("serve: float32 lane unavailable: %v", s.f32err)
+	if prec == pipeline.Float32 && m.net32 == nil {
+		return fmt.Errorf("serve: float32 lane unavailable on model %s: %v", m.key, m.f32err)
 	}
 	if img == nil {
 		return errors.New("serve: nil image")
 	}
 	got := img.Shape()
-	if len(got) != len(s.inShape) {
-		return fmt.Errorf("serve: image shape %v, want %v", got, s.inShape)
+	if len(got) != len(m.inShape) {
+		return fmt.Errorf("serve: image shape %v, model %s wants %v", got, m.key, m.inShape)
 	}
 	for i := range got {
-		if got[i] != s.inShape[i] {
-			return fmt.Errorf("serve: image shape %v, want %v", got, s.inShape)
+		if got[i] != m.inShape[i] {
+			return fmt.Errorf("serve: image shape %v, model %s wants %v", got, m.key, m.inShape)
 		}
 	}
 	return nil
@@ -624,22 +681,28 @@ func (s *Server) validate(img *tensor.Tensor, tm pipeline.ThreatModel, prec pipe
 // DefaultPrecision returns the lane used when a request names none.
 func (s *Server) DefaultPrecision() pipeline.Precision { return s.opts.Precision }
 
-// Float32Available reports whether the float32 fast lane is serving
-// (false when the model has no float32 lowering).
-func (s *Server) Float32Available() bool { return s.net32 != nil }
+// Float32Available reports whether the float32 fast lane is serving on
+// the active model (false when it has no float32 lowering).
+func (s *Server) Float32Available() bool { return s.active.Load().net32 != nil }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
+	s.modelMu.Lock()
+	loaded := len(s.models)
+	s.modelMu.Unlock()
 	st := Stats{
-		Requests:    s.requests.Load(),
-		Batches:     s.batchCount.Load(),
-		Workers:     s.opts.Workers,
-		MaxBatch:    s.opts.MaxBatch,
-		MaxWaitMs:   float64(s.opts.MaxWait) / float64(time.Millisecond),
-		Interactive: s.interactive.stats(),
-		Bulk:        s.bulk.stats(),
-		Cache:       s.cache.stats(),
-		Draining:    s.Draining(),
+		Requests:     s.requests.Load(),
+		Batches:      s.batchCount.Load(),
+		Workers:      s.opts.Workers,
+		MaxBatch:     s.opts.MaxBatch,
+		MaxWaitMs:    float64(s.opts.MaxWait) / float64(time.Millisecond),
+		Model:        s.active.Load().key,
+		Swaps:        s.swaps.Load(),
+		ModelsLoaded: loaded,
+		Interactive:  s.interactive.stats(),
+		Bulk:         s.bulk.stats(),
+		Cache:        s.cache.stats(),
+		Draining:     s.Draining(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatchOccupancy = float64(s.batchedImages.Load()) / float64(st.Batches)
@@ -658,58 +721,12 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// batcher coalesces queued requests into micro-batches: flush when
-// MaxBatch requests have gathered (flush-on-full) or MaxWait after the
-// first request of the batch arrived (flush-on-linger), whichever is
-// first. It is the sole sender on s.batches and closes it on shutdown.
-func (s *Server) batcher() {
-	defer close(s.batches)
-	timer := time.NewTimer(0)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	for {
-		var first *pending
-		select {
-		case first = <-s.queue:
-		case <-s.done:
-			return
-		}
-		batch := append(make([]*pending, 0, s.opts.MaxBatch), first)
-		timer.Reset(s.opts.MaxWait)
-	fill:
-		for len(batch) < s.opts.MaxBatch {
-			select {
-			case p := <-s.queue:
-				batch = append(batch, p)
-			case <-timer.C:
-				break fill
-			case <-s.done:
-				// Shutdown: the gathered requests are answered by the
-				// waiters' own s.done select; nothing to dispatch.
-				return
-			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		select {
-		case s.batches <- batch:
-		case <-s.done:
-			return
-		}
-	}
-}
-
 // process scores one micro-batch on a worker's private pipeline: deliver
 // every image under its own threat model, one batched network forward,
 // one reply per request. A panic (impossible for validated input, but a
 // server must not die with a stuck client) is converted into an error
 // reply for every slot in the batch.
-func (s *Server) process(wp *pipeline.Pipeline, w32 *nn.Net32, batch []*pending) {
+func (s *Server) process(m *servedModel, wp *pipeline.Pipeline, w32 *nn.Net32, batch []*pending) {
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("serve: inference failed: %v", r)
@@ -791,7 +808,7 @@ func (s *Server) process(wp *pipeline.Pipeline, w32 *nn.Net32, batch []*pending)
 	s.batchedImages.Add(uint64(len(batch)))
 	for i, p := range batch {
 		best := mathx.ArgMax(rows[i])
-		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm, Precision: p.prec}
+		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm, Precision: p.prec, Model: m.key}
 		if s.opts.ClassName != nil {
 			pred.Label = s.opts.ClassName(best)
 		}
