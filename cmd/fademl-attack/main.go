@@ -179,7 +179,13 @@ func listAttacks() {
 			}
 		}
 	}
+	fmt.Println("\ndetector specs (fademl-serve -detect, /v1/detect, /v1/evaluate \"detector\"):")
+	fmt.Printf("  %s   (bare 'detect' = this default)\n", fademl.DefaultDetector().Name())
+	fmt.Println("      squeezers  parenthesized filter-spec list; discrepancy = max over squeezers")
+	fmt.Println("      metric     l1 (probability-vector distance, default) or top1 (class disagreement)")
+	fmt.Println("      thr        flag cutoff: score > thr marks the input adversarial (default 1)")
 	fmt.Println("\nexamples: -attack 'pgd(eps=0.03,steps=40)' -filter 'chain(median(r=1),lap(np=32))'")
+	fmt.Println("          fademl-serve -detect 'detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)'")
 }
 
 func usageError(err error) {

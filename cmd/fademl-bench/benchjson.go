@@ -301,6 +301,21 @@ func writeBenchJSON(path, selected, precisions string, p fademl.Profile, cacheDi
 				int(r.Metrics["swaps"]), r.Metrics["swap_ratio"])
 			continue
 		}
+		if name == "detect" {
+			// The detection runner is a scenario, not a b.N loop: it gates
+			// the detector's FGSM ROC AUC and the detect-then-correct route's
+			// latency overhead against a plain server.
+			fmt.Fprintln(os.Stderr, "benchmarking detect...")
+			r, err := detectBenchResult(env, clean)
+			if err != nil {
+				return err
+			}
+			report.Benchmarks = append(report.Benchmarks, r)
+			fmt.Fprintf(os.Stderr, "  detect: p50 %.2fms plain → %.2fms detecting (%.2fx), BIM AUC %.3f, rate %.0f%% @ thr %.3f\n",
+				r.Metrics["plain_p50_ms"], r.Metrics["detect_p50_ms"], r.Metrics["detect_ratio"],
+				r.Metrics["auc"], 100*r.Metrics["detection_rate"], r.Metrics["threshold"])
+			continue
+		}
 		if name == "filters" {
 			// The filter micro-benchmarks emit one entry per registered
 			// filter (per-image ns/op + batched speedup) instead of a
@@ -316,7 +331,7 @@ func writeBenchJSON(path, selected, precisions string, p fademl.Profile, cacheDi
 		}
 		fn, ok := runners[name]
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (have: matmul, matmul32, vggforward, vggforward32, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, serve_f32, serve_swap, overload, precision_drift, fig7, fig9, filters)", name)
+			return fmt.Errorf("unknown benchmark %q (have: matmul, matmul32, vggforward, vggforward32, vgginputgrad, onepixel, serve, serve_unbatched, serve_cached, serve_f32, serve_swap, overload, precision_drift, detect, fig7, fig9, filters)", name)
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		r := testing.Benchmark(fn)
@@ -623,6 +638,141 @@ func serveSwapBenchResult(env *fademl.Env, img *fademl.Tensor) (benchResult, err
 			"requests_swap":    float64(len(swapping)),
 			"failed_requests":  float64(failed.Load()),
 			"final_swap_count": float64(s.Stats().Swaps),
+		},
+	}, nil
+}
+
+// detectBenchResult measures detection-as-a-service as a trajectory
+// point. Quality follows the feature-squeezing evaluation convention —
+// clean negatives are the correctly-classified canonical signs,
+// positives the successful (prediction-changing) BIM examples against
+// them — and the detection-tuned jpeg+tv ensemble, calibrated to a 5%
+// clean FPR, must separate them at ROC AUC ≥ 0.90. Latency: end-to-end
+// predict p50 of one client against a plain server vs. the same
+// deployment with the detect-then-correct route on — the PR-9 gate is
+// detect-path p50 ≤ 2× plain. Falling below either gate is an error,
+// not a data point.
+func detectBenchResult(env *fademl.Env, img *fademl.Tensor) (benchResult, error) {
+	var clean []*fademl.Tensor
+	var classes []int
+	for c := 0; c < gtsrb.NumClasses; c++ {
+		sign := gtsrb.Canonical(c, env.Profile.Size)
+		if mathx.ArgMax(env.Net.Probs(sign)) == c {
+			clean = append(clean, sign)
+			classes = append(classes, c)
+		}
+	}
+	det, err := fademl.ParseDetector("detect(squeezers=(jpeg(q=30),tv(lambda=0.1,iters=10)))")
+	if err != nil {
+		return benchResult{}, err
+	}
+	thr, err := det.Calibrate(env.Net, clean, 0.05)
+	if err != nil {
+		return benchResult{}, err
+	}
+
+	// Discriminative power: untargeted BIM (a paper attack) against every
+	// correctly-classified class; only examples that actually move the
+	// prediction count as positives, scored on the unfiltered TM-I view
+	// the detector guards.
+	atk, err := fademl.ParseAttack("bim(eps=0.1,steps=10)")
+	if err != nil {
+		return benchResult{}, err
+	}
+	cls := fademl.WrapNetwork(env.Net)
+	ctx := context.Background()
+	var adv []*fademl.Tensor
+	for i, c := range clean {
+		out, err := atk.Generate(ctx, cls, c, fademl.Goal{Source: classes[i], Target: fademl.Untargeted})
+		if err != nil {
+			return benchResult{}, err
+		}
+		if mathx.ArgMax(env.Net.Probs(out.Adversarial)) != classes[i] {
+			adv = append(adv, out.Adversarial)
+		}
+	}
+	if len(adv) == 0 {
+		return benchResult{}, errors.New("detect: BIM produced no successful examples to score")
+	}
+	scoreAll := func(imgs []*fademl.Tensor) []float64 {
+		scores := det.ScoreBatch(env.Net, imgs)
+		out := make([]float64, len(scores))
+		for i, s := range scores {
+			out[i] = s.Score
+		}
+		return out
+	}
+	cleanScores, advScores := scoreAll(clean), scoreAll(adv)
+	auc := fademl.DetectionAUC(cleanScores, advScores)
+	if auc < 0.9 {
+		return benchResult{}, fmt.Errorf("detect: BIM ROC AUC %.3f is below the 0.90 gate", auc)
+	}
+	detected, cleanFlagged := 0, 0
+	for _, s := range advScores {
+		if s > thr {
+			detected++
+		}
+	}
+	for _, s := range cleanScores {
+		if s > thr {
+			cleanFlagged++
+		}
+	}
+
+	// Latency: the same deployment twice — detector off, then on — one
+	// serial client on the full TM-II path, cache disabled so every
+	// request pays its route.
+	acq := fademl.NewAcquisition(1.0, 1.0/255, true, 97)
+	server := func(d *fademl.Detector) *fademl.Server {
+		return fademl.NewServer(fademl.NewPipeline(env.Net, fademl.NewLAP(32), acq), fademl.ServeOptions{
+			Workers: 2, MaxBatch: 8, MaxWait: 2 * time.Millisecond,
+			CacheSize: -1, Detector: d,
+		})
+	}
+	p50 := func(s *fademl.Server) (time.Duration, error) {
+		defer s.Close()
+		const samples = 60
+		for i := 0; i < 5; i++ { // warm-up
+			if _, err := s.Predict(ctx, img, fademl.TM2); err != nil {
+				return 0, err
+			}
+		}
+		ds := make([]time.Duration, samples)
+		for i := range ds {
+			start := time.Now()
+			if _, err := s.Predict(ctx, img, fademl.TM2); err != nil {
+				return 0, err
+			}
+			ds[i] = time.Since(start)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2], nil
+	}
+	plainP50, err := p50(server(nil))
+	if err != nil {
+		return benchResult{}, err
+	}
+	detectP50, err := p50(server(det))
+	if err != nil {
+		return benchResult{}, err
+	}
+	ratio := float64(detectP50) / float64(plainP50)
+	if ratio > 2 {
+		return benchResult{}, fmt.Errorf("detect: detect-path p50 %.2fms is %.2fx plain %.2fms (gate: ≤2x)",
+			float64(detectP50.Nanoseconds())/1e6, ratio, float64(plainP50.Nanoseconds())/1e6)
+	}
+	return benchResult{
+		Name:       "detect",
+		Iterations: len(clean),
+		NsPerOp:    float64(detectP50.Nanoseconds()),
+		Metrics: map[string]float64{
+			"plain_p50_ms":   float64(plainP50.Nanoseconds()) / 1e6,
+			"detect_p50_ms":  float64(detectP50.Nanoseconds()) / 1e6,
+			"detect_ratio":   ratio,
+			"auc":            auc,
+			"detection_rate": float64(detected) / float64(len(adv)),
+			"clean_fpr":      float64(cleanFlagged) / float64(len(clean)),
+			"threshold":      thr,
 		},
 	}, nil
 }

@@ -9,6 +9,8 @@
 //
 //	fademl-serve [-addr :8080] [-profile tiny] [-filter 'lap(np=32)'] [-tm 2]
 //	             [-registry DIR] [-model name@version]
+//	             [-detect 'detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)']
+//	             [-detect-fpr 0.05] [-correct 'chain(median(r=2),bitdepth(bits=4))']
 //	             [-precision float64] [-workers N] [-max-batch 16] [-max-wait 2ms]
 //	             [-attack-workers 1] [-attack-max-queries 5000] [-attack-timeout 30s]
 //	             [-predict-deadline 500ms] [-defend-deadline 2s] [-evaluate-timeout 2m]
@@ -24,8 +26,9 @@
 //	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "precision": "float32", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …]}
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
+//	POST /v1/detect         {"pixels": […], "shape": [3,S,S], "detector": "detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)"}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
-//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [...]}
+//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "detector": "detect", "cases": [...]}
 //	GET  /v1/models         model table (active version, loaded versions, registry catalog)
 //	POST /v1/models         {"action": "activate", "model": "name@version"} — hot-swap under live traffic
 //	GET  /v1/healthz        liveness (503 draining, "degraded" while shedding) + model identity
@@ -42,6 +45,20 @@
 // process drains gracefully on SIGINT/SIGTERM: healthz flips to 503 so
 // front doors stop routing here, new requests are refused, in-flight
 // requests complete, then the batching service shuts down.
+//
+// Detection: -detect enables the detect-then-correct serving mode with a
+// feature-squeezing discrepancy detector spec (bare "detect" selects the
+// default bitdepth(bits=4)+median(r=1) ensemble; see FILTERS.md for the
+// squeezer cookbook). Every external prediction is scored against the
+// ensemble: clean-pass traffic is answered bit-identically to a
+// non-detecting server, flagged inputs are re-routed through the heavier
+// correction chain (-correct, default: the chain of the detector's own
+// squeezers) and marked in the response's "detection" object. At startup
+// the threshold is calibrated so the clean false-positive rate over the
+// canonical class set hits -detect-fpr (negative keeps the spec's raw
+// threshold). /v1/detect scores on demand — with or without -detect —
+// and /v1/evaluate grows a detection axis (rate at the calibrated
+// threshold, clean FPR, ROC AUC per attack series).
 //
 // Model registry: with -registry the server serves versioned models from
 // the registry store instead of an anonymous profile-trained network.
@@ -85,6 +102,9 @@ func main() {
 	modelSpec := flag.String("model", "", "registry model to serve: 'name@version' or a bare name for its latest (default: vgg-<profile>)")
 	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)', 'chain(median(r=1),lar(r=2))', none")
 	tmSpec := flag.String("tm", "2", "default threat model for requests that name none: 1, 2 or 3")
+	detectSpec := flag.String("detect", "", "detect-then-correct mode: discrepancy detector spec, e.g. 'detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)' or bare 'detect' (empty disables)")
+	detectFPR := flag.Float64("detect-fpr", 0.05, "calibrate the detector threshold to this clean false-positive rate over the canonical class set at startup (negative keeps the spec's threshold)")
+	correctSpec := flag.String("correct", "", "correction filter spec for flagged inputs (default: the chain of the detector's squeezers)")
 	precSpec := flag.String("precision", "float64", "default inference precision lane for requests that name none: float64 (reference) or float32 (fast)")
 	acqSeed := flag.Uint64("acq-seed", 97, "acquisition sensor-noise seed (TM-II capture stage)")
 	workers := flag.Int("workers", runtime.NumCPU(), "inference worker pool size (one network clone each)")
@@ -138,6 +158,20 @@ func main() {
 	if *maxBatch < 1 || *workers < 1 {
 		usageError(fmt.Errorf("-max-batch and -workers must be at least 1 (got %d, %d)", *maxBatch, *workers))
 	}
+	detector, err := fademl.ParseDetector(*detectSpec)
+	if err != nil {
+		usageError(err)
+	}
+	correction, err := fademl.ParseFilter(*correctSpec)
+	if err != nil {
+		usageError(err)
+	}
+	if correction != nil && detector == nil {
+		usageError(fmt.Errorf("-correct %q needs -detect (the correction chain only runs on flagged inputs)", *correctSpec))
+	}
+	if *detectFPR >= 1 {
+		usageError(fmt.Errorf("-detect-fpr %v out of range [0, 1) (negative keeps the spec's threshold)", *detectFPR))
+	}
 	profile, err := fademl.ParseProfile(*profileName)
 	if err != nil {
 		usageError(err)
@@ -169,6 +203,8 @@ func main() {
 		InteractiveLimit: *interactiveLimit,
 		BulkLimit:        *bulkLimit,
 		CacheSize:        *resultCache,
+		Detector:         detector,
+		Correction:       correction,
 	}
 
 	var srv *fademl.Server
@@ -229,6 +265,22 @@ func main() {
 		srv.Close()
 		usageError(fmt.Errorf("-precision float32: %s", "float32 lane unavailable for this model"))
 	}
+	// Calibrate the detector before the listener opens: the threshold and
+	// the cache-key spec must be settled before any external traffic.
+	if detector != nil && *detectFPR >= 0 {
+		size := srv.InputShape()[1]
+		clean := make([]*fademl.Tensor, fademl.NumClasses)
+		for c := range clean {
+			clean[c] = gtsrb.Canonical(c, size)
+		}
+		thr, err := srv.CalibrateDetector(context.Background(), clean, *detectFPR)
+		if err != nil {
+			srv.Close()
+			log.Fatal(err)
+		}
+		log.Printf("fademl-serve: detector %s calibrated to clean FPR %.3f over %d canonical signs (threshold %.4f)",
+			srv.DetectorSpec(), *detectFPR, len(clean), thr)
+	}
 
 	httpSrv := fademl.NewHTTPServer(*addr, srv.Handler(), httpTimeouts)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -240,8 +292,12 @@ func main() {
 	if filter != nil {
 		filterName = filter.Name()
 	}
-	log.Printf("fademl-serve: %s, filter %s, default %v/%v, %d workers, batch ≤%d, linger ≤%v on %s",
-		modelLabel, filterName, tm, prec, *workers, *maxBatch, *maxWait, *addr)
+	detectorName := "off"
+	if detector != nil {
+		detectorName = srv.DetectorSpec()
+	}
+	log.Printf("fademl-serve: %s, filter %s, detector %s, default %v/%v, %d workers, batch ≤%d, linger ≤%v on %s",
+		modelLabel, filterName, detectorName, tm, prec, *workers, *maxBatch, *maxWait, *addr)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,72 @@
+package fademl_test
+
+import (
+	"context"
+	"fmt"
+
+	fademl "repro"
+)
+
+// Example (detect) walks detection-as-a-service end to end: build the
+// feature-squeezing discrepancy ensemble from a spec, serve with the
+// detect-then-correct route enabled, calibrate the flag threshold to a
+// target clean false-positive rate, and score traffic — inline on every
+// prediction and on demand with the per-squeezer breakdown.
+func Example_detect() {
+	// Detector specs use the attack/filter grammar and round-trip; bare
+	// "detect" selects the default bit-depth + median ensemble.
+	det, err := fademl.ParseDetector("detect")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(det.Name())
+
+	arch := fademl.ArchSpec{Family: "tinycnn", InChannels: 3, InSize: 16, Classes: fademl.NumClasses}
+	net, err := arch.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	srv := fademl.NewServer(fademl.NewPipeline(net, fademl.NewLAP(8), nil), fademl.ServeOptions{
+		Detector: det,
+	})
+	defer srv.Close()
+
+	// Calibrate before taking traffic: a clean FPR of 0 sets the
+	// threshold at the highest clean score, so no calibration image can
+	// be flagged (the flag rule is strictly score > threshold).
+	clean := make([]*fademl.Tensor, 8)
+	for c := range clean {
+		clean[c] = fademl.CanonicalSign(c, 16)
+	}
+	if _, err := srv.CalibrateDetector(context.Background(), clean, 0); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// With ServeOptions.Detector set, every external prediction carries a
+	// verdict; unflagged traffic is answered bit-identically to a
+	// non-detecting server, flagged inputs are re-routed through the
+	// correction chain and marked Corrected.
+	pred, err := srv.Predict(context.Background(), clean[0], fademl.TM1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clean flagged: %v, corrected: %v\n", pred.Detection.Flagged, pred.Detection.Corrected)
+
+	// Detect scores on demand — verdict plus per-squeezer breakdown —
+	// without rewriting the prediction.
+	res, err := srv.Detect(context.Background(), fademl.ServeDetectRequest{Image: clean[1]})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("squeezers scored: %d, flagged: %v\n", len(res.Verdict.PerSqueezer), res.Verdict.Flagged)
+
+	// Output:
+	// detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=1)
+	// clean flagged: false, corrected: false
+	// squeezers scored: 2, flagged: false
+}

@@ -30,7 +30,11 @@
 //   - experiment runners regenerating Figs. 5/6/7/9 (internal/experiments);
 //   - an online inference service with dynamic micro-batching, plus
 //     robustness- and defense-as-a-service endpoints (internal/serve,
-//     cmd/fademl-serve).
+//     cmd/fademl-serve);
+//   - a feature-squeezing discrepancy detector — an ensemble of cheap
+//     squeezers whose prediction disagreement scores adversarial inputs —
+//     served on demand (/v1/detect) or inline as a detect-then-correct
+//     routing mode (internal/detect, ServeOptions.Detector).
 //
 // This package re-exports the surface a downstream user needs so examples
 // and tools read naturally. Attacks AND filters are declarative spec
@@ -69,6 +73,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/attacks"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/filters"
 	"repro/internal/front"
@@ -172,6 +177,27 @@ type (
 	ServeDefendRequest = serve.DefendRequest
 	// ServeDefendResult is the outcome of a server-side filtering job.
 	ServeDefendResult = serve.DefendResult
+	// Detector is the feature-squeezing discrepancy ensemble: an input is
+	// flagged when the model's prediction moves too much under any of the
+	// detector's squeezers.
+	Detector = detect.Detector
+	// DetectScore is one detector verdict: aggregated score, flag and
+	// per-squeezer breakdown.
+	DetectScore = detect.Score
+	// SqueezerScore is one squeezer's contribution to a DetectScore.
+	SqueezerScore = detect.SqueezerScore
+	// DetectMetric selects the detector's aggregation metric (L1 distance
+	// or top-1 disagreement).
+	DetectMetric = detect.Metric
+	// ROCPoint is one detector operating point (threshold, FPR, TPR).
+	ROCPoint = detect.ROCPoint
+	// ServeDetectRequest describes one on-demand /v1/detect job.
+	ServeDetectRequest = serve.DetectRequest
+	// ServeDetectResult is the outcome of a server-side detection job.
+	ServeDetectResult = serve.DetectResult
+	// ServeDetection is the detector verdict attached to a served
+	// Prediction on the detect-then-correct route.
+	ServeDetection = serve.Detection
 	// ServeChaos injects controlled faults into a Server: delayed
 	// batches, killed workers, failed batches.
 	ServeChaos = serve.Chaos
@@ -407,6 +433,30 @@ func ParsePrecision(s string) (Precision, error) { return pipeline.ParsePrecisio
 // Unknown params and out-of-range values are usage-style errors, never
 // panics. See FILTERS.md for the full grammar and parameter tables.
 func ParseFilter(spec string) (Filter, error) { return filters.Parse(spec) }
+
+// Detection.
+
+// ParseDetector builds a configured discrepancy detector from a spec
+// string such as "detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)"
+// — bare "detect" selects the default ensemble; "none" and "" disable
+// detection and return (nil, nil). Squeezer entries use the ParseFilter
+// grammar. Malformed specs are usage-style errors, never panics. For
+// every detector, ParseDetector(d.Name()) round-trips.
+func ParseDetector(spec string) (*Detector, error) { return detect.Parse(spec) }
+
+// DefaultDetector is the paper-guided default ensemble: bit-depth
+// squeezing to 4 bits plus a radius-1 median filter, L1 metric,
+// threshold 1.0 (recalibrate with Detector.Calibrate or
+// Server.CalibrateDetector for a target clean false-positive rate).
+func DefaultDetector() *Detector { return detect.Default() }
+
+// DetectionROC sweeps the detector threshold over clean and adversarial
+// score samples and returns the operating curve from (0,0) to (1,1).
+func DetectionROC(clean, adv []float64) []ROCPoint { return detect.ROC(clean, adv) }
+
+// DetectionAUC is the threshold-free area under the detection ROC —
+// the rank statistic P(adversarial score > clean score). 0.5 is chance.
+func DetectionAUC(clean, adv []float64) float64 { return detect.AUC(clean, adv) }
 
 // Serving.
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attacks"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/filters"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
@@ -141,6 +142,13 @@ type EvaluateRequest struct {
 	// is pinned for the whole sweep, so a hot-swap mid-sweep cannot mix
 	// versions inside one result grid.
 	Model string
+	// Detector adds the detection axis: every crafted example's TM-I
+	// view is scored against this detector spec (bare "detect" for the
+	// default ensemble) and each series reports detection rate at the
+	// calibrated threshold plus threshold-free ROC AUC over
+	// clean-vs-adversarial scores. Empty inherits the server's configured
+	// detector; "none" disables detection for this sweep.
+	Detector string
 }
 
 // EvalCell is one measured grid cell.
@@ -167,6 +175,19 @@ type EvalCell struct {
 	// Truncated and Queries echo the crafting run's budget accounting.
 	Truncated bool `json:"truncated"`
 	Queries   int  `json:"queries"`
+	// Detection carries the detector verdict on the example's TM-I view
+	// when the sweep ran with a detection axis; nil otherwise.
+	Detection *CellDetection `json:"detection,omitempty"`
+}
+
+// CellDetection is the detection-axis verdict of one grid cell: the
+// crafted example's TM-I view scored against the sweep's detector.
+type CellDetection struct {
+	// Score is the detector's aggregated discrepancy for the adversarial
+	// example.
+	Score float64 `json:"score"`
+	// Detected reports Score > the detector's calibrated threshold.
+	Detected bool `json:"detected"`
 }
 
 // EvalSummary aggregates one attack × threat model × filter series.
@@ -179,6 +200,30 @@ type EvalSummary struct {
 	// Truncated counts budget-cut crafting runs in the series.
 	Truncated int `json:"truncated"`
 	Cells     int `json:"cells"`
+	// Detection aggregates the series' detection axis when the sweep ran
+	// with a detector; nil otherwise.
+	Detection *SummaryDetection `json:"detection,omitempty"`
+}
+
+// SummaryDetection aggregates the detection axis of one evaluation
+// series: how often the detector catches this attack's examples at its
+// calibrated threshold, and how separable adversarial scores are from
+// clean scores independent of any threshold.
+type SummaryDetection struct {
+	// Detector is the canonical Name() of the detector that scored the
+	// series.
+	Detector string `json:"detector"`
+	// Threshold is the flag cutoff in force during the sweep.
+	Threshold float64 `json:"threshold"`
+	// Rate is detected cells / cells — the detection rate at Threshold.
+	Rate float64 `json:"rate"`
+	// CleanFPR is the fraction of the sweep's clean case images the
+	// detector flags at Threshold (shared across every series of the
+	// sweep — the case set does not vary per series).
+	CleanFPR float64 `json:"clean_fpr"`
+	// AUC is the threshold-free area under the ROC over the series'
+	// adversarial scores versus the sweep's clean scores.
+	AUC float64 `json:"auc"`
 }
 
 // EvaluateResult is the sweep outcome.
@@ -253,6 +298,40 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 	if cells := len(req.Specs) * len(tms) * len(flts) * len(cases); cells > maxEvalCells {
 		return nil, fmt.Errorf("serve: evaluate grid of %d cells exceeds the %d-cell cap", cells, maxEvalCells)
 	}
+	// The detection axis: an explicit spec overrides the deployed
+	// detector; "none" parses to nil and turns the axis off.
+	det := s.opts.Detector
+	if req.Detector != "" {
+		d, err := detect.Parse(req.Detector)
+		if err != nil {
+			return nil, err
+		}
+		det = d
+	}
+	// Clean scores anchor the axis: scored once per case (the case set is
+	// series-invariant) they give the sweep's operating clean-FPR and the
+	// negative class of every per-series ROC.
+	var cleanScores []float64
+	cleanFPR := 0.0
+	if det != nil {
+		cleanScores = make([]float64, len(cases))
+		flagged := 0
+		for i, ec := range cases {
+			img, err := s.caseImage(m, ec.Image, ec.Source)
+			if err != nil {
+				return nil, err
+			}
+			sc, _, err := s.detectOn(ctx, m, det, img)
+			if err != nil {
+				return nil, fmt.Errorf("serve: evaluate clean detection on case %d→%d: %w", ec.Source, ec.Target, err)
+			}
+			cleanScores[i] = sc.Score
+			if sc.Score > det.Threshold {
+				flagged++
+			}
+		}
+		cleanFPR = float64(flagged) / float64(len(cases))
+	}
 
 	res := &EvaluateResult{}
 	// A filter-blind crafted example depends only on (spec, case) — the
@@ -269,6 +348,8 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 		for _, tm := range tms {
 			for _, flt := range flts {
 				summary := EvalSummary{TM: tm}
+				var advScores []float64
+				detected := 0
 				for ci, ec := range cases {
 					if err := ctx.Err(); err != nil {
 						return nil, err
@@ -277,7 +358,7 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 					if !req.FilterAware {
 						pre = crafted[craftKey{spec, ci}]
 					}
-					cell, cc, err := s.evaluateCell(ctx, m, spec, tm, flt, ec, req.FilterAware, pre)
+					cell, cc, err := s.evaluateCell(ctx, m, spec, tm, flt, ec, req.FilterAware, det, pre)
 					if err != nil {
 						return nil, fmt.Errorf("serve: evaluate %s under %v on %d→%d: %w",
 							spec, tm, ec.Source, ec.Target, err)
@@ -294,9 +375,24 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 					if cell.Truncated {
 						summary.Truncated++
 					}
+					if cell.Detection != nil {
+						advScores = append(advScores, cell.Detection.Score)
+						if cell.Detection.Detected {
+							detected++
+						}
+					}
 					res.Cells = append(res.Cells, *cell)
 				}
 				summary.FoolingRate /= float64(summary.Cells)
+				if det != nil {
+					summary.Detection = &SummaryDetection{
+						Detector:  det.Name(),
+						Threshold: det.Threshold,
+						Rate:      float64(detected) / float64(summary.Cells),
+						CleanFPR:  cleanFPR,
+						AUC:       detect.AUC(cleanScores, advScores),
+					}
+				}
 				res.Summaries = append(res.Summaries, summary)
 			}
 		}
@@ -312,6 +408,10 @@ type craftedCell struct {
 	name string
 	out  *attacks.Result
 	tm1  Prediction
+	// det is the detector's verdict on the example's TM-I view; nil when
+	// the sweep ran without a detection axis. Like tm1, the score depends
+	// only on the crafted example, so it is shared across tm × filter.
+	det *detect.Score
 }
 
 // evaluateCell crafts (unless pre carries a reusable filter-blind
@@ -319,9 +419,9 @@ type craftedCell struct {
 // pre-processing for this cell; nil keeps the deployment. The crafting
 // bundle is returned alongside the cell so Evaluate can share it across
 // the tm × filter axes.
-func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, pre *craftedCell) (*EvalCell, *craftedCell, error) {
+func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, det *detect.Detector, pre *craftedCell) (*EvalCell, *craftedCell, error) {
 	if pre == nil {
-		cc, err := s.craftCell(ctx, m, spec, tm, flt, ec, aware)
+		cc, err := s.craftCell(ctx, m, spec, tm, flt, ec, aware, det)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -348,7 +448,7 @@ func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, 
 	if ec.Target != attacks.Untargeted {
 		fooled = dep.Class == ec.Target
 	}
-	return &EvalCell{
+	cell := &EvalCell{
 		Attack:       pre.name,
 		TM:           tm,
 		Filter:       filterName,
@@ -361,12 +461,20 @@ func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, 
 		Fooled:       fooled,
 		Truncated:    out.Truncated,
 		Queries:      out.Queries,
-	}, pre, nil
+	}
+	if det != nil && pre.det != nil {
+		cell.Detection = &CellDetection{
+			Score:    pre.det.Score,
+			Detected: pre.det.Score > det.Threshold,
+		}
+	}
+	return cell, pre, nil
 }
 
 // craftCell runs one crafting job on an attacker slot and measures the
-// result's TM-I view through the prediction pool.
-func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool) (*craftedCell, error) {
+// result's TM-I view through the prediction pool. With a detector, the
+// same TM-I view is also scored for the sweep's detection axis.
+func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, det *detect.Detector) (*craftedCell, error) {
 	atk, err := attacks.Parse(spec)
 	if err != nil {
 		return nil, err
@@ -409,7 +517,15 @@ func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm 
 	if err != nil {
 		return nil, err
 	}
-	return &craftedCell{name: atk.Name(), out: out, tm1: tm1}, nil
+	cc := &craftedCell{name: atk.Name(), out: out, tm1: tm1}
+	if det != nil {
+		sc, _, err := s.detectOn(ctx, m, det, out.Adversarial)
+		if err != nil {
+			return nil, err
+		}
+		cc.det = &sc
+	}
+	return cc, nil
 }
 
 // attackTM resolves a requested threat model for attack execution: only

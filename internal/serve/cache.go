@@ -168,16 +168,36 @@ func hashModelID(h hash.Hash, id pipeline.ModelID) {
 	h.Write([]byte{0})
 }
 
-// predCacheKey addresses one (model, image, threat model, precision)
-// prediction. The precision byte is part of the address: the float32
-// lane's results are not bit-identical to the float64 lane's, so a
-// float32 hit must never answer a float64 request (or vice versa). The
-// model identity is part of the address for the same reason across the
-// version axis: a v1 hit must never answer a v2 request.
-func predCacheKey(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) cacheKey {
+// predCacheKey addresses one (model, image, threat model, precision,
+// detector spec) prediction. The precision byte is part of the address:
+// the float32 lane's results are not bit-identical to the float64
+// lane's, so a float32 hit must never answer a float64 request (or vice
+// versa). The model identity is part of the address for the same reason
+// across the version axis: a v1 hit must never answer a v2 request. And
+// the detector spec ("" when detection is off, or for the server's own
+// measurement traffic) keys the routing mode: a detect-then-correct
+// answer — possibly rewritten by the correction chain — must never be
+// replayed to a plain request, nor a plain answer to a detected one.
+func predCacheKey(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, detSpec string) cacheKey {
 	h := sha256.New()
 	h.Write([]byte{'p', byte(tm), byte(prec)})
 	hashModelID(h, m.id)
+	h.Write([]byte(detSpec))
+	h.Write([]byte{0})
+	hashTensor(h, img)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// detectCacheKey addresses one (model, image, detector spec, threat
+// model) Detect call ('v' for verdict; 'd' is Defend's kind byte).
+func detectCacheKey(m *servedModel, img *tensor.Tensor, detName string, tm pipeline.ThreatModel) cacheKey {
+	h := sha256.New()
+	h.Write([]byte{'v', byte(tm)})
+	hashModelID(h, m.id)
+	h.Write([]byte(detName))
+	h.Write([]byte{0})
 	hashTensor(h, img)
 	var k cacheKey
 	h.Sum(k[:0])
@@ -205,20 +225,24 @@ func defendCacheKey(m *servedModel, img *tensor.Tensor, filterName string, predi
 }
 
 // copyPrediction returns a caller-owned copy of a Prediction so neither
-// side can mutate the other's probability vector.
+// side can mutate the other's probability vector (or detector verdict).
 func copyPrediction(p Prediction) Prediction {
 	p.Probs = append([]float64(nil), p.Probs...)
+	if p.Detection != nil {
+		d := *p.Detection
+		p.Detection = &d
+	}
 	return p
 }
 
 // lookupPrediction checks the prediction cache; ok means pred is a
 // caller-owned, bit-identical copy of an earlier response from the same
-// model version.
-func (s *Server) lookupPrediction(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, cacheKey, bool) {
+// model version under the same detect-routing mode.
+func (s *Server) lookupPrediction(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, detSpec string) (Prediction, cacheKey, bool) {
 	if s.cache == nil {
 		return Prediction{}, cacheKey{}, false
 	}
-	k := predCacheKey(m, img, tm, prec)
+	k := predCacheKey(m, img, tm, prec, detSpec)
 	if v, ok := s.cache.get(k); ok {
 		return copyPrediction(v.(Prediction)), k, true
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/attacks"
+	"repro/internal/detect"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -77,10 +78,13 @@ type predictResponse struct {
 	Precision string    `json:"precision"`
 	Model     string    `json:"model,omitempty"`
 	Probs     []float64 `json:"probs,omitempty"`
+	// Detection carries the detect-then-correct verdict when the server
+	// runs with a detector configured.
+	Detection *Detection `json:"detection,omitempty"`
 }
 
 func toResponse(p Prediction, withProbs bool) predictResponse {
-	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String(), Precision: p.Precision.String(), Model: p.Model}
+	r := predictResponse{Class: p.Class, Label: p.Label, Prob: p.Prob, TM: p.TM.String(), Precision: p.Precision.String(), Model: p.Model, Detection: p.Detection}
 	if withProbs {
 		r.Probs = p.Probs
 	}
@@ -92,8 +96,9 @@ func toResponse(p Prediction, withProbs bool) predictResponse {
 //	POST /v1/predict        {"pixels": […], "shape": [3,S,S], "tm": "2", "probs": true}
 //	POST /v1/predict_batch  {"images": [{"pixels": …, "shape": …}, …], "tm": "3"}
 //	POST /v1/defend         {"pixels": […], "shape": [3,S,S], "filter": "chain(median(r=1),histeq(bins=64))", "predict": true}
+//	POST /v1/detect         {"pixels": […], "shape": [3,S,S], "detector": "detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)"}
 //	POST /v1/attack         {"attack": "pgd(eps=0.03,steps=40)", "source": 14, "target": 1, "tm": "3", "aware": true}
-//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "cases": [{"source":14,"target":1}]}
+//	POST /v1/evaluate       {"attacks": ["fgsm", "bim(eps=0.1)"], "tms": ["3"], "filters": ["none", "lap(np=32)"], "detector": "detect", "cases": [{"source":14,"target":1}]}
 //	GET  /v1/models         model table: active version, loaded versions, registry catalog
 //	POST /v1/models         {"action": "load"|"activate"|"unload", "model": "name@version", "keep": true}
 //	GET  /v1/healthz        liveness + degraded/draining + model identity + configuration echo
@@ -114,6 +119,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
 	mux.HandleFunc("/v1/predict_batch", s.instrument("predict_batch", s.handlePredictBatch))
 	mux.HandleFunc("/v1/defend", s.instrument("defend", s.handleDefend))
+	mux.HandleFunc("/v1/detect", s.instrument("detect", s.handleDetect))
 	mux.HandleFunc("/v1/attack", s.instrument("attack", s.handleAttack))
 	mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
@@ -177,6 +183,77 @@ func (s *Server) handleDefend(w http.ResponseWriter, r *http.Request) {
 		resp.Prob = &out.Prediction.Prob
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// detectHTTPRequest is the /v1/detect body: one image, an optional
+// detector spec (empty selects the server's configured detector) and an
+// optional threat model (empty selects TM-I, the DNN input-buffer view
+// the detector guards).
+type detectHTTPRequest struct {
+	imagePayload
+	Detector string `json:"detector,omitempty"`
+	TM       string `json:"tm,omitempty"`
+	// Model selects the probing model ("" = active default).
+	Model string `json:"model,omitempty"`
+}
+
+// detectHTTPResponse is the /v1/detect reply: the verdict, the
+// per-squeezer breakdown, and the model's classification of the raw
+// view.
+type detectHTTPResponse struct {
+	Detector     string                 `json:"detector"`
+	TM           string                 `json:"tm"`
+	Score        float64                `json:"score"`
+	Threshold    float64                `json:"threshold"`
+	Flagged      bool                   `json:"flagged"`
+	MaxL1        float64                `json:"max_l1"`
+	Top1Disagree int                    `json:"top1_disagree"`
+	Squeezers    []detect.SqueezerScore `json:"squeezers"`
+	Class        int                    `json:"class"`
+	Label        string                 `json:"label,omitempty"`
+	Prob         float64                `json:"prob"`
+	Model        string                 `json:"model,omitempty"`
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req detectHTTPRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	tm := pipeline.TM1
+	if req.TM != "" {
+		var ok bool
+		if tm, ok = s.parseTM(w, req.TM); !ok {
+			return
+		}
+	}
+	img, err := req.tensor()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.Detect(r.Context(), DetectRequest{Image: img, Spec: req.Detector, TM: tm, Model: req.Model})
+	if err != nil {
+		writePredictError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detectHTTPResponse{
+		Detector:     out.Detector,
+		TM:           out.TM.String(),
+		Score:        out.Verdict.Score,
+		Threshold:    out.Threshold,
+		Flagged:      out.Verdict.Flagged,
+		MaxL1:        out.Verdict.MaxL1,
+		Top1Disagree: out.Verdict.Top1Disagree,
+		Squeezers:    out.Verdict.PerSqueezer,
+		Class:        out.Prediction.Class,
+		Label:        out.Prediction.Label,
+		Prob:         out.Prediction.Prob,
+		Model:        out.Prediction.Model,
+	})
 }
 
 // attackHTTPRequest is the /v1/attack body. Pixels/Shape are optional:
@@ -305,6 +382,10 @@ type evalHTTPRequest struct {
 	Aware   bool           `json:"aware,omitempty"`
 	// Model pins the evaluated model for the whole sweep.
 	Model string `json:"model,omitempty"`
+	// Detector adds the detection axis: a detector spec (bare "detect"
+	// selects the default ensemble), "none" to disable for this sweep,
+	// empty to inherit the server's configured detector.
+	Detector string `json:"detector,omitempty"`
 }
 
 // evalHTTPCell adds the wire threat-model label to an EvalCell.
@@ -355,6 +436,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		Cases:       cases,
 		FilterAware: req.Aware,
 		Model:       req.Model,
+		Detector:    req.Detector,
 	})
 	if err != nil {
 		writeAttackError(w, err)
@@ -498,6 +580,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"attack_max_queries": s.opts.AttackBudget.MaxQueries,
 		"attack_timeout_ms":  float64(s.opts.AttackTimeout) / float64(time.Millisecond),
 		"filter":             s.filter.Name(),
+		"detector":           s.detSpec,
 		"interactive":        s.interactive.stats(),
 		"bulk":               s.bulk.stats(),
 		"cache":              s.cache.stats(),

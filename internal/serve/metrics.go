@@ -67,12 +67,43 @@ func (m *routeMetrics) observe(d time.Duration, status int) {
 
 // metricRoutes is the fixed set of instrumented routes.
 var metricRoutes = []string{
-	"predict", "predict_batch", "defend", "attack", "evaluate", "models", "healthz", "stats",
+	"predict", "predict_batch", "defend", "detect", "attack", "evaluate", "models", "healthz", "stats",
 }
 
-// serverMetrics holds the per-route instruments.
+// scoreBuckets are the detector-score histogram bucket upper bounds
+// (the L1 discrepancy metric lives in [0, 2]; top1 in [0, 1]).
+var scoreBuckets = [...]float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 2,
+}
+
+// scoreHistogram is a fixed-bucket histogram over detector scores. The
+// sum is accumulated in millionths so the hot path stays a lock-free
+// integer atomic.
+type scoreHistogram struct {
+	count     atomic.Uint64
+	sumMicros atomic.Int64
+	bucket    [len(scoreBuckets) + 1]atomic.Uint64
+}
+
+func (h *scoreHistogram) observe(v float64) {
+	i := 0
+	for i < len(scoreBuckets) && v > scoreBuckets[i] {
+		i++
+	}
+	h.bucket[i].Add(1)
+	h.count.Add(1)
+	h.sumMicros.Add(int64(v * 1e6))
+}
+
+// serverMetrics holds the per-route instruments plus the detector
+// verdict counters and score histogram.
 type serverMetrics struct {
 	routes []*routeMetrics
+
+	detectClean     atomic.Uint64
+	detectFlagged   atomic.Uint64
+	detectCorrected atomic.Uint64
+	detectScore     scoreHistogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -81,6 +112,20 @@ func newServerMetrics() *serverMetrics {
 		m.routes[i] = &routeMetrics{name: name}
 	}
 	return m
+}
+
+// recordDetection counts one detector verdict (from the
+// detect-then-correct route or a /v1/detect call).
+func (m *serverMetrics) recordDetection(score float64, flagged, corrected bool) {
+	if flagged {
+		m.detectFlagged.Add(1)
+	} else {
+		m.detectClean.Add(1)
+	}
+	if corrected {
+		m.detectCorrected.Add(1)
+	}
+	m.detectScore.observe(score)
 }
 
 // route returns the instrument for a route name (the set is tiny and
@@ -185,6 +230,25 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "fademl_cache_entries %d\n", cs.Entries)
 	writeGaugeHeader(w, "fademl_cache_capacity", "Entry bound of the content-addressed cache (0 = disabled).")
 	fmt.Fprintf(w, "fademl_cache_capacity %d\n", cs.Capacity)
+
+	writeCounterHeader(w, "fademl_detector_verdicts_total", "Detector verdicts by outcome (detect-then-correct route + /v1/detect).")
+	fmt.Fprintf(w, "fademl_detector_verdicts_total{verdict=\"clean\"} %d\n", s.metrics.detectClean.Load())
+	fmt.Fprintf(w, "fademl_detector_verdicts_total{verdict=\"flagged\"} %d\n", s.metrics.detectFlagged.Load())
+	writeCounterHeader(w, "fademl_detector_corrected_total", "Flagged inputs re-scored through the correction chain.")
+	fmt.Fprintf(w, "fademl_detector_corrected_total %d\n", s.metrics.detectCorrected.Load())
+	fmt.Fprintf(w, "# HELP fademl_detector_score Detector discrepancy scores.\n")
+	fmt.Fprintf(w, "# TYPE fademl_detector_score histogram\n")
+	if h := &s.metrics.detectScore; h.count.Load() > 0 {
+		cum := uint64(0)
+		for i, le := range scoreBuckets {
+			cum += h.bucket[i].Load()
+			fmt.Fprintf(w, "fademl_detector_score_bucket{le=%q} %d\n", formatFloat(le), cum)
+		}
+		cum += h.bucket[len(scoreBuckets)].Load()
+		fmt.Fprintf(w, "fademl_detector_score_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "fademl_detector_score_sum %g\n", float64(h.sumMicros.Load())/1e6)
+		fmt.Fprintf(w, "fademl_detector_score_count %d\n", cum)
+	}
 
 	writeCounterHeader(w, "fademl_http_requests_total", "HTTP responses by route and status class.")
 	for _, m := range s.metrics.routes {

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/attacks"
+	"repro/internal/detect"
 	"repro/internal/filters"
 	"repro/internal/mathx"
 	"repro/internal/nn"
@@ -117,6 +118,25 @@ type Options struct {
 	// EvalCases is the default scenario list for Evaluate requests that
 	// carry none (e.g. the paper's five payloads).
 	EvalCases []EvalCase
+
+	// Detection (feature-squeezing discrepancy detector; /v1/detect and
+	// the detect-then-correct serving mode).
+
+	// Detector, when set, turns on detection-as-a-service: every external
+	// prediction is scored against it and carries a verdict, flagged
+	// inputs are re-routed through Correction before scoring
+	// (detect-then-correct) while clean-pass traffic keeps the existing
+	// fast lane bit-identically, and /v1/detect answers without an
+	// explicit per-request spec. Server-internal measurement traffic (the
+	// Evaluate sweep's views) is never detect-routed, so the paper
+	// metrics are unaffected. Nil disables detection.
+	Detector *detect.Detector
+	// Correction is the heavier correction chain flagged inputs are
+	// routed through: the flagged input's delivered tensor is filtered by
+	// Correction and re-scored, and that corrected prediction is what the
+	// client receives. Nil selects a chain of the detector's own
+	// squeezers. Ignored without a Detector.
+	Correction filters.Filter
 
 	// Survivability (admission control, load shedding, per-route
 	// deadlines, content-addressed caching, fault injection).
@@ -192,6 +212,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = 4096
 	}
+	if o.Detector != nil && o.Correction == nil {
+		o.Correction = filters.Chain(append([]filters.Filter(nil), o.Detector.Squeezers...))
+	}
 	return o
 }
 
@@ -216,6 +239,11 @@ type Prediction struct {
 	// Model is the "name@version" that answered — under a hot-swap,
 	// clients see exactly which version served each response.
 	Model string
+	// Detection is the detector's verdict when the server runs in
+	// detect-then-correct mode (Options.Detector); nil otherwise. When
+	// Corrected is set, Class/Prob/Probs describe the corrected
+	// (re-filtered) forward, not the raw one.
+	Detection *Detection
 }
 
 // Stats is a snapshot of the server's serving counters.
@@ -262,6 +290,12 @@ type pending struct {
 	ctx  context.Context
 	enq  time.Time
 	done chan reply
+	// detect marks external traffic subject to the detect-then-correct
+	// route; the server's own measurement traffic leaves it false so the
+	// Evaluate sweep's numbers never change under detection. verdict is
+	// filled by the worker for detected slots.
+	detect  bool
+	verdict *Detection
 }
 
 type reply struct {
@@ -308,6 +342,14 @@ type Server struct {
 	// after that, every reply that will ever be sent is already sitting
 	// in its (buffered) pending.done channel.
 	drained chan struct{}
+
+	// detSpec is the canonical spec of the configured detector ("" when
+	// detection is off); it is part of every external prediction's cache
+	// key so toggling detect-then-correct can never replay a cached
+	// answer from the wrong routing mode. Guarded by detMu only around
+	// CalibrateDetector (a pre-traffic operation); the hot path reads it
+	// without locking.
+	detSpec string
 
 	// interactive and bulk are the admission lanes; cache the
 	// content-addressed result cache (nil when disabled); metrics the
@@ -382,6 +424,9 @@ func newServer(id pipeline.ModelID, net *nn.Network, net32 *nn.Net32, f32err err
 		cache:   newContentCache(opts.CacheSize),
 		metrics: newServerMetrics(),
 	}
+	if opts.Detector != nil {
+		s.detSpec = opts.Detector.Name()
+	}
 	if opts.AttackWorkers > 0 {
 		s.attackers = make(chan *attacker, opts.AttackWorkers)
 		for i := 0; i < opts.AttackWorkers; i++ {
@@ -448,7 +493,7 @@ func (s *Server) PredictModel(ctx context.Context, model string, img *tensor.Ten
 	if err := s.validate(m, img, tm, prec); err != nil {
 		return Prediction{}, err
 	}
-	if pred, _, ok := s.lookupPrediction(m, img, tm, prec); ok {
+	if pred, _, ok := s.lookupPrediction(m, img, tm, prec, s.detSpec); ok {
 		return pred, nil
 	}
 	if err := s.refuseNew(); err != nil {
@@ -461,7 +506,7 @@ func (s *Server) PredictModel(ctx context.Context, model string, img *tensor.Ten
 	defer release()
 	ctx, cancel := routeContext(ctx, s.opts.PredictDeadline)
 	defer cancel()
-	return s.predictAdmitted(ctx, m, img, tm, prec)
+	return s.predictAdmitted(ctx, m, img, tm, prec, s.detSpec)
 }
 
 // predictInternal is the serving path for the server's own measurement
@@ -482,16 +527,22 @@ func (s *Server) predictInternal(ctx context.Context, m *servedModel, img *tenso
 	if err := s.validate(m, img, tm, prec); err != nil {
 		return Prediction{}, err
 	}
-	if pred, _, ok := s.lookupPrediction(m, img, tm, prec); ok {
+	// Measurement traffic is cached and enqueued under the empty detector
+	// spec (pending.detect stays false): detection never alters what the
+	// sweep measures, and a detect-routed answer can never be replayed
+	// into it.
+	if pred, _, ok := s.lookupPrediction(m, img, tm, prec, ""); ok {
 		return pred, nil
 	}
-	return s.predictAdmitted(ctx, m, img, tm, prec)
+	return s.predictAdmitted(ctx, m, img, tm, prec, "")
 }
 
 // predictAdmitted enqueues one already-admitted request on the model's
 // pool, waits for its reply and fills the content cache on success.
-func (s *Server) predictAdmitted(ctx context.Context, m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision) (Prediction, error) {
-	p := &pending{img: img, tm: tm, prec: prec, ctx: ctx, enq: time.Now(), done: make(chan reply, 1)}
+// detSpec is the detector spec the reply is cached under; non-empty
+// marks the slot for the detect-then-correct route.
+func (s *Server) predictAdmitted(ctx context.Context, m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, detSpec string) (Prediction, error) {
+	p := &pending{img: img, tm: tm, prec: prec, ctx: ctx, enq: time.Now(), done: make(chan reply, 1), detect: detSpec != ""}
 	select {
 	case m.pool.queue <- p:
 		s.requests.Add(1)
@@ -503,7 +554,7 @@ func (s *Server) predictAdmitted(ctx context.Context, m *servedModel, img *tenso
 	}
 	select {
 	case r := <-p.done:
-		s.cacheReply(m, img, tm, prec, r)
+		s.cacheReply(m, img, tm, prec, detSpec, r)
 		return r.pred, r.err
 	case <-s.done:
 		// The server is shutting down; the batch holding this request may
@@ -513,7 +564,7 @@ func (s *Server) predictAdmitted(ctx context.Context, m *servedModel, img *tenso
 		<-s.drained
 		select {
 		case r := <-p.done:
-			s.cacheReply(m, img, tm, prec, r)
+			s.cacheReply(m, img, tm, prec, detSpec, r)
 			return r.pred, r.err
 		default:
 			return Prediction{}, ErrServerClosed
@@ -524,9 +575,9 @@ func (s *Server) predictAdmitted(ctx context.Context, m *servedModel, img *tenso
 }
 
 // cacheReply stores a successful reply under its content address.
-func (s *Server) cacheReply(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, r reply) {
+func (s *Server) cacheReply(m *servedModel, img *tensor.Tensor, tm pipeline.ThreatModel, prec pipeline.Precision, detSpec string, r reply) {
 	if r.err == nil && s.cache != nil {
-		s.storePrediction(predCacheKey(m, img, tm, prec), r.pred)
+		s.storePrediction(predCacheKey(m, img, tm, prec, detSpec), r.pred)
 	}
 }
 
@@ -567,7 +618,7 @@ func (s *Server) PredictBatchModel(ctx context.Context, model string, imgs []*te
 	out := make([]Prediction, len(imgs))
 	var missIdx []int
 	for i, img := range imgs {
-		if pred, _, ok := s.lookupPrediction(m, img, tm, prec); ok {
+		if pred, _, ok := s.lookupPrediction(m, img, tm, prec, s.detSpec); ok {
 			out[i] = pred
 			continue
 		}
@@ -594,7 +645,7 @@ func (s *Server) PredictBatchModel(ctx context.Context, model string, imgs []*te
 	ps := make([]*pending, len(missIdx))
 	now := time.Now()
 	for i, idx := range missIdx {
-		p := &pending{img: imgs[idx], tm: tm, prec: prec, ctx: ctx, enq: now, done: make(chan reply, 1)}
+		p := &pending{img: imgs[idx], tm: tm, prec: prec, ctx: ctx, enq: now, done: make(chan reply, 1), detect: s.detSpec != ""}
 		select {
 		case m.pool.queue <- p:
 			s.requests.Add(1)
@@ -615,7 +666,7 @@ func (s *Server) PredictBatchModel(ctx context.Context, model string, imgs []*te
 			if r.err != nil {
 				return nil, r.err
 			}
-			s.cacheReply(m, imgs[idx], tm, prec, r)
+			s.cacheReply(m, imgs[idx], tm, prec, s.detSpec, r)
 			out[idx] = r.pred
 		case <-s.done:
 			<-s.drained
@@ -801,6 +852,14 @@ func (s *Server) process(m *servedModel, wp *pipeline.Pipeline, w32 *nn.Net32, b
 			rows[idx32[j]] = r
 		}
 	}
+	// Detect-then-correct runs after the raw rows are in hand: the raw
+	// row doubles as Probs(x), so the detector costs one grouped squeezed
+	// forward per lane, a clean-pass slot keeps its already-computed raw
+	// row bit-identically, and only flagged slots pay the correction
+	// forward that replaces theirs.
+	if det := s.opts.Detector; det != nil {
+		s.detectBatch(det, wp, w32, batch, delivered, rows)
+	}
 	now := time.Now()
 	// Counters update before the replies go out so a client that reads
 	// Stats right after its response sees its own batch accounted for.
@@ -808,7 +867,7 @@ func (s *Server) process(m *servedModel, wp *pipeline.Pipeline, w32 *nn.Net32, b
 	s.batchedImages.Add(uint64(len(batch)))
 	for i, p := range batch {
 		best := mathx.ArgMax(rows[i])
-		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm, Precision: p.prec, Model: m.key}
+		pred := Prediction{Class: best, Prob: rows[i][best], Probs: rows[i], TM: p.tm, Precision: p.prec, Model: m.key, Detection: p.verdict}
 		if s.opts.ClassName != nil {
 			pred.Label = s.opts.ClassName(best)
 		}
