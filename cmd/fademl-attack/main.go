@@ -14,6 +14,7 @@
 //
 //	fademl-attack [-profile default] [-scenario 1..5]
 //	              [-attack 'bim(eps=0.1,steps=40)'] [-aware] [-tm 2|3]
+//	              [-adaptive blind|bpda|'eot(draws=8)']
 //	              [-filter 'lap(np=32)'|'chain(...)'|none] [-max-queries N] [-max-iters N]
 //	              [-timeout 30s] [-progress] [-out DIR]
 package main
@@ -40,6 +41,7 @@ func main() {
 	attackSpec := flag.String("attack", "bim", "attack spec, e.g. bim or 'pgd(eps=0.03,steps=40)' (see -list)")
 	filterSpec := flag.String("filter", "lap(np=32)", "deployed pre-processing filter spec, e.g. 'lap(np=32)', 'chain(median(r=1),lar(r=2))', none")
 	aware := flag.Bool("aware", true, "run the attack filter-aware (FAdeML)")
+	adaptive := flag.String("adaptive", "", "crafting mode overriding -aware: blind, bpda, or 'eot(draws=N)' (for randomized filters)")
 	tmFlag := flag.String("tm", "3", "threat model for filtered delivery: 2 or 3 (also accepts tm2, TM-III, ...)")
 	maxQueries := flag.Int("max-queries", 0, "attack budget: classifier evaluations (0 = unlimited)")
 	maxIters := flag.Int("max-iters", 0, "attack budget: optimizer iterations (0 = unlimited)")
@@ -81,6 +83,12 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
+	var mode fademl.AdaptiveMode
+	if *adaptive != "" {
+		if mode, err = fademl.ParseAdaptive(*adaptive); err != nil {
+			usageError(err)
+		}
+	}
 	p, err := fademl.ParseProfile(*profileName)
 	if err != nil {
 		usageError(err)
@@ -104,7 +112,8 @@ func main() {
 		budget.Deadline = time.Now().Add(*timeout)
 	}
 	run := fademl.Run{
-		Pipeline: pipe, Attack: atk, FilterAware: *aware, TM: tm, Budget: budget,
+		Pipeline: pipe, Attack: atk, FilterAware: *aware, Adaptive: mode, Seed: 1,
+		TM: tm, Budget: budget,
 	}
 	if *progress {
 		run.Observer = func(pr fademl.Progress) {

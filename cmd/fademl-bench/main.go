@@ -35,7 +35,7 @@ func main() {
 	filterList := flag.String("filters", "", "comma-separated filter specs replacing the LAP/LAR grid in Figs. 7/9, e.g. 'median(r=2),chain(lap(np=8),bitdepth(bits=5))'")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (1 = serial; results are identical either way)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark trajectory (wall/bytes/allocs for the figure and substrate benchmarks) as JSON to this file and exit; see PERFORMANCE.md for the schema")
-	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,serve,serve_unbatched,serve_cached,serve_swap,overload,precision_drift,detect,fig7,fig9,filters", "comma-separated benchmark subset for -bench-json")
+	benchSelect := flag.String("bench-select", "matmul,vggforward,vgginputgrad,onepixel,serve,serve_unbatched,serve_cached,serve_swap,overload,precision_drift,detect,adaptive_gap,fig7,fig9,filters", "comma-separated benchmark subset for -bench-json")
 	benchPrecisions := flag.String("precisions", "", "comma-separated precision lanes sweeping the precision-aware -bench-json benchmarks, e.g. 'float64,float32' records matmul+matmul32, vggforward+vggforward32, serve+serve_f32")
 	flag.Parse()
 	parallel.SetWorkers(*workers)

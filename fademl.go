@@ -131,6 +131,12 @@ type (
 	ConfigurableFilter = filters.Configurable
 	// Classifier is the attacker's differentiable model interface.
 	Classifier = attacks.Classifier
+	// AdaptiveMode selects how an attacker models the deployed
+	// pre-processing chain: blind, bpda, or eot(draws=N).
+	AdaptiveMode = attacks.AdaptiveMode
+	// StochasticFilter is a randomized filter whose output is a pure
+	// function of (Seed(), input); WithSeed derives fresh draws.
+	StochasticFilter = filters.Stochastic
 	// Pipeline is the deployed inference system of the paper's Fig. 2.
 	Pipeline = pipeline.Pipeline
 	// Acquisition simulates the data-capture stage of Threat Model II.
@@ -323,6 +329,29 @@ func NewTVDenoise(lambda float64, iters int) Filter { return filters.NewTVDenois
 // NewNLM builds the non-local means denoising defense with an exact VJP.
 func NewNLM(h float64, patch, window int) Filter { return filters.NewNLM(h, patch, window) }
 
+// NewRandJPEG builds the SHIELD-style randomized JPEG defense: each 8×8
+// block is compressed at a quality drawn uniformly from [qmin, qmax].
+func NewRandJPEG(qmin, qmax int, seed uint64) Filter { return filters.NewRandJPEG(qmin, qmax, seed) }
+
+// NewRandResize builds the random resize-and-pad defense with scale
+// bounds lo..hi (fractions of the input size in (0, 1]).
+func NewRandResize(lo, hi float64, seed uint64) Filter { return filters.NewRandResize(lo, hi, seed) }
+
+// NewRandFlip builds the random horizontal-flip defense with flip
+// probability p.
+func NewRandFlip(p float64, seed uint64) Filter { return filters.NewRandFlip(p, seed) }
+
+// NewRandNoise builds the additive-Gaussian randomization defense.
+func NewRandNoise(sigma float64, seed uint64) Filter { return filters.NewRandNoise(sigma, seed) }
+
+// ReseedFilter returns f with every stochastic stage re-seeded from
+// seed (deterministic filters are returned unchanged).
+func ReseedFilter(f Filter, seed uint64) Filter { return filters.Reseed(f, seed) }
+
+// IsStochasticFilter reports whether f (or any stage of a chain)
+// carries seeded randomness.
+func IsStochasticFilter(f Filter) bool { return filters.IsStochastic(f) }
+
 // FilterChain composes filters left to right.
 func FilterChain(fs ...Filter) Filter { return filters.Chain(fs) }
 
@@ -354,6 +383,15 @@ func ParseAttack(spec string) (Attack, error) { return attacks.Parse(spec) }
 // SplitAttackSpecs splits a comma-separated list of attack specs at top
 // level, so parameter lists inside parentheses survive intact.
 func SplitAttackSpecs(list string) []string { return attacks.SplitSpecs(list) }
+
+// ParseAdaptive builds an adaptive crafting mode from a spec string:
+// "blind", "bpda", or "eot(draws=N)". For every accepted spec,
+// ParseAdaptive(m.Name()) round-trips.
+func ParseAdaptive(spec string) (AdaptiveMode, error) { return attacks.ParseAdaptive(spec) }
+
+// AdaptiveModeNames returns the accepted adaptive-mode kinds in
+// weakest-to-strongest order.
+func AdaptiveModeNames() []string { return attacks.AdaptiveModes() }
 
 // WithBudget attaches an attack work budget to a context: any Generate
 // or Execute under it truncates at iteration granularity once the budget

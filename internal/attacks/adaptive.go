@@ -1,0 +1,137 @@
+package attacks
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/filters"
+)
+
+// Adaptive crafting modes: how much of the deployed pre-processing
+// pipeline the attacker folds into the model it differentiates through.
+// A *blind* attacker ignores the pipeline entirely (the classical
+// attacker FAdeML defends against); a *BPDA* attacker pushes its forward
+// pass through the deployed chain and its backward pass through each
+// stage's declared VJP (exact where the stage is differentiable,
+// straight-through identity where it is not); an *EOT* attacker
+// additionally averages gradients over fresh draws of every stochastic
+// stage, which is the honest way to attack a randomized defense
+// (Athalye et al., ICML 2018) — a single-draw BPDA attacker overfits to
+// one realization the deployed seed will never reproduce.
+
+// Adaptive mode kinds.
+const (
+	AdaptiveBlind = "blind"
+	AdaptiveEOT   = "eot"
+	AdaptiveBPDA  = "bpda"
+)
+
+// defaultEOTDraws is the draw count when an "eot" spec omits draws=.
+const defaultEOTDraws = 8
+
+// AdaptiveMode selects how an attack's differentiable view of the victim
+// is built from the bare classifier and the deployed pre-processing
+// chain. The zero value is not valid; build one with ParseAdaptive or
+// the Adaptive* kind constants.
+type AdaptiveMode struct {
+	// Kind is AdaptiveBlind, AdaptiveEOT or AdaptiveBPDA.
+	Kind string
+	// Draws is the number of stochastic-stage samples averaged per
+	// gradient query; meaningful only when Kind is AdaptiveEOT.
+	Draws int
+}
+
+// ParseAdaptive builds an adaptive mode from a spec string:
+//
+//	"blind"          → attack the bare classifier
+//	"bpda"           → attack through the deployed chain via declared VJPs
+//	"eot"            → BPDA + gradient averaging over 8 randomness draws
+//	"eot(draws=32)"  → BPDA + averaging over 32 draws
+//
+// ParseAdaptive(m.Name()) round-trips for every accepted spec.
+func ParseAdaptive(spec string) (AdaptiveMode, error) {
+	name, args, err := splitSpec(spec)
+	if err != nil {
+		return AdaptiveMode{}, fmt.Errorf("attacks: adaptive mode %q: malformed spec", spec)
+	}
+	switch name {
+	case AdaptiveBlind, AdaptiveBPDA:
+		if args != "" {
+			return AdaptiveMode{}, fmt.Errorf("attacks: adaptive mode %q accepts no parameters", name)
+		}
+		return AdaptiveMode{Kind: name}, nil
+	case AdaptiveEOT:
+		m := AdaptiveMode{Kind: AdaptiveEOT, Draws: defaultEOTDraws}
+		if args == "" {
+			return m, nil
+		}
+		for _, kv := range splitTopLevel(args) {
+			key, value, found := strings.Cut(kv, "=")
+			key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+			if !found || key != "draws" {
+				return AdaptiveMode{}, fmt.Errorf("attacks: adaptive mode %q: want draws=N, got %q", spec, strings.TrimSpace(kv))
+			}
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return AdaptiveMode{}, fmt.Errorf("attacks: adaptive mode %q: draws: want an integer, got %q", spec, value)
+			}
+			if n <= 0 {
+				return AdaptiveMode{}, fmt.Errorf("attacks: adaptive mode %q: draws must be positive, got %d", spec, n)
+			}
+			m.Draws = n
+		}
+		return m, nil
+	default:
+		return AdaptiveMode{}, fmt.Errorf("attacks: unknown adaptive mode %q (have %v)", name, AdaptiveModes())
+	}
+}
+
+// AdaptiveModes returns the accepted adaptive-mode kinds in
+// weakest-to-strongest order.
+func AdaptiveModes() []string {
+	return []string{AdaptiveBlind, AdaptiveEOT, AdaptiveBPDA}
+}
+
+// Name returns the canonical spec; ParseAdaptive(m.Name()) reconstructs m.
+func (m AdaptiveMode) Name() string {
+	if m.Kind == AdaptiveEOT {
+		return fmt.Sprintf("eot(draws=%d)", m.Draws)
+	}
+	return m.Kind
+}
+
+// Classifier builds the attacker's differentiable view of a system that
+// deploys pre in front of inner.
+//
+//   - blind ignores pre: the attacker sees the bare classifier.
+//   - bpda folds the deployed chain in as-is (its declared seeds), so
+//     gradients flow through each stage's declared VJP.
+//   - eot averages over Draws re-seedings of every stochastic stage,
+//     derived from seed via filters.DrawSeed, while deterministic stages
+//     are shared across draws.
+//
+// A nil or identity pre makes every mode equivalent to blind.
+func (m AdaptiveMode) Classifier(inner Classifier, pre filters.Filter, seed uint64) Classifier {
+	if pre == nil {
+		return inner
+	}
+	switch m.Kind {
+	case AdaptiveEOT:
+		return NewEOT(FilterDraws(inner, pre, seed), m.Draws)
+	case AdaptiveBPDA:
+		return FilteredClassifier{Inner: inner, Pre: pre}
+	default:
+		return inner
+	}
+}
+
+// FilterDraws builds the EOT draw factory over a deployed chain: draw k
+// is the FilteredClassifier whose stochastic stages are re-seeded with
+// filters.DrawSeed(seed, k). Deterministic chains yield identical draws,
+// so EOT over them degenerates (correctly, if wastefully) to BPDA.
+func FilterDraws(inner Classifier, pre filters.Filter, seed uint64) func(draw int) Classifier {
+	return func(draw int) Classifier {
+		return FilteredClassifier{Inner: inner, Pre: filters.Reseed(pre, filters.DrawSeed(seed, draw))}
+	}
+}

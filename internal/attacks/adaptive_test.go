@@ -1,0 +1,190 @@
+package attacks
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/tensor"
+)
+
+// TestParseAdaptiveTable pins the adaptive-mode grammar: the accepted
+// specs, their canonical names, and the malformed specs every serving
+// and CLI boundary must reject as usage errors.
+func TestParseAdaptiveTable(t *testing.T) {
+	good := []struct {
+		spec, name string
+		kind       string
+		draws      int
+	}{
+		{"blind", "blind", AdaptiveBlind, 0},
+		{"bpda", "bpda", AdaptiveBPDA, 0},
+		{"eot", "eot(draws=8)", AdaptiveEOT, 8},
+		{"eot(draws=8)", "eot(draws=8)", AdaptiveEOT, 8},
+		{"eot(draws=32)", "eot(draws=32)", AdaptiveEOT, 32},
+		{"eot(draws=1)", "eot(draws=1)", AdaptiveEOT, 1},
+	}
+	for _, c := range good {
+		m, err := ParseAdaptive(c.spec)
+		if err != nil {
+			t.Errorf("ParseAdaptive(%q): %v", c.spec, err)
+			continue
+		}
+		if m.Kind != c.kind || m.Draws != c.draws {
+			t.Errorf("ParseAdaptive(%q) = %+v, want kind=%s draws=%d", c.spec, m, c.kind, c.draws)
+		}
+		if m.Name() != c.name {
+			t.Errorf("ParseAdaptive(%q).Name() = %q, want %q", c.spec, m.Name(), c.name)
+		}
+		again, err := ParseAdaptive(m.Name())
+		if err != nil || again != m {
+			t.Errorf("ParseAdaptive round-trip broken for %q: %+v, %v", c.spec, again, err)
+		}
+	}
+	bad := []string{
+		"eot(draws=0)",
+		"eot(draws=-4)",
+		"eot(draws=3.5)",
+		"eot(draws=abc)",
+		"eot(samples=8)",
+		"blind(x=1)",
+		"bpda(draws=8)",
+		"momentum",
+		"",
+		"eot(draws=8",
+	}
+	for _, spec := range bad {
+		if _, err := ParseAdaptive(spec); err == nil {
+			t.Errorf("ParseAdaptive(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+// TestAdaptiveClassifierDispatch pins which view each mode builds: blind
+// ignores the deployed chain, bpda wraps it once, eot wraps an EOT
+// average with the requested draw count — and a nil chain collapses
+// every mode to blind.
+func TestAdaptiveClassifierDispatch(t *testing.T) {
+	inner := testClassifier(t)
+	pre := filters.NewRandNoise(0.05, 1)
+
+	if got := (AdaptiveMode{Kind: AdaptiveBlind}).Classifier(inner, pre, 1); got != inner {
+		t.Error("blind mode did not return the bare classifier")
+	}
+	if got := (AdaptiveMode{Kind: AdaptiveEOT, Draws: 8}).Classifier(inner, nil, 1); got != inner {
+		t.Error("nil chain did not collapse eot to blind")
+	}
+	bpda := (AdaptiveMode{Kind: AdaptiveBPDA}).Classifier(inner, pre, 1)
+	if fc, ok := bpda.(FilteredClassifier); !ok || fc.Pre != filters.Filter(pre) {
+		t.Errorf("bpda mode built %T, want FilteredClassifier over the deployed chain", bpda)
+	}
+	eot := (AdaptiveMode{Kind: AdaptiveEOT, Draws: 5}).Classifier(inner, pre, 1)
+	e, ok := eot.(*EOT)
+	if !ok {
+		t.Fatalf("eot mode built %T, want *EOT", eot)
+	}
+	if e.Draws != 5 {
+		t.Errorf("EOT draws = %d, want 5", e.Draws)
+	}
+}
+
+// TestEOTDrawsDecorrelated: the EOT draw factory must hand the attack
+// genuinely different re-seedings (otherwise averaging is a no-op), and
+// the same (seed, draw) pair must rebuild the identical view.
+func TestEOTDrawsDecorrelated(t *testing.T) {
+	inner := testClassifier(t)
+	pre := filters.NewRandNoise(0.1, 1)
+	img := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	draws := FilterDraws(inner, pre, 7)
+
+	l0 := draws(0).Logits(img)
+	l1 := draws(1).Logits(img)
+	same := true
+	for i := range l0 {
+		if l0[i] != l1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("draw 0 and draw 1 produced identical logits — randomness not re-seeded")
+	}
+	again := FilterDraws(inner, pre, 7)(0).Logits(img)
+	for i := range l0 {
+		if again[i] != l0[i] {
+			t.Fatal("rebuilding draw 0 from the same seed changed the logits")
+		}
+	}
+}
+
+// TestEOTQueryInvariant pins the Result query-accounting contract: one
+// EOT call is one query, regardless of how many transformation draws it
+// averages internally. A BIM run therefore spends identical query counts
+// at draws=1 and draws=4.
+func TestEOTQueryInvariant(t *testing.T) {
+	inner := testClassifier(t)
+	pre := filters.NewRandNoise(0.05, 1)
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	goal := Goal{Source: fixtureLabel[gtsrb.ClassStop], Target: 1}
+	mkAttack := func() Attack { return &BIM{Epsilon: 0.1, Alpha: 0.01, Steps: 8, EarlyStop: false} }
+
+	queries := make([]int, 0, 2)
+	for _, draws := range []int{1, 4} {
+		cls := (AdaptiveMode{Kind: AdaptiveEOT, Draws: draws}).Classifier(inner, pre, 1)
+		res, err := mkAttack().Generate(context.Background(), cls, clean, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatalf("draws=%d: unbudgeted run reported Truncated", draws)
+		}
+		queries = append(queries, res.Queries)
+	}
+	if queries[0] != queries[1] {
+		t.Fatalf("EOT draw count leaked into query accounting: draws=1 spent %d, draws=4 spent %d",
+			queries[0], queries[1])
+	}
+}
+
+// TestAdaptiveCraftingHonoursBudget runs BPDA and EOT crafting under an
+// iteration budget and a cancelled context: both must stop early and
+// return a well-formed best-so-far result flagged Truncated, exactly as
+// un-wrapped attacks do.
+func TestAdaptiveCraftingHonoursBudget(t *testing.T) {
+	inner := testClassifier(t)
+	pre := filters.NewRandNoise(0.05, 1)
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	goal := Goal{Source: fixtureLabel[gtsrb.ClassStop], Target: 1}
+	modes := []AdaptiveMode{
+		{Kind: AdaptiveBPDA},
+		{Kind: AdaptiveEOT, Draws: 3},
+	}
+	for _, mode := range modes {
+		t.Run(mode.Name(), func(t *testing.T) {
+			cls := mode.Classifier(inner, pre, 1)
+			atk := &BIM{Epsilon: 0.1, Alpha: 0.01, Steps: 20, EarlyStop: false}
+
+			res, err := atk.Generate(WithBudget(context.Background(), Budget{MaxIters: 2}), cls, clean, goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Truncated || res.Iterations > 2 {
+				t.Fatalf("MaxIters=2: truncated=%v iterations=%d", res.Truncated, res.Iterations)
+			}
+			if !tensor.EqualWithin(tensor.Add(clean, res.Noise), res.Adversarial, 1e-9) {
+				t.Fatal("budgeted adaptive result broke the Noise invariant")
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			res, err = atk.Generate(ctx, cls, clean, goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Truncated || res.Iterations != 0 {
+				t.Fatalf("pre-cancelled: truncated=%v iterations=%d", res.Truncated, res.Iterations)
+			}
+		})
+	}
+}

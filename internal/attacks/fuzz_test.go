@@ -1,0 +1,70 @@
+package attacks
+
+import "testing"
+
+// FuzzParse throws arbitrary spec strings at the attack parser: it must
+// never panic, and every accepted spec must round-trip through its
+// canonical name. Run longer with:
+//
+//	go test ./internal/attacks -fuzz FuzzParse -fuzztime 30s
+func FuzzParse(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+		if atk, err := New(name); err == nil {
+			f.Add(atk.Name())
+		}
+	}
+	f.Add("bim(eps=0.12,alpha=0.02,steps=20)")
+	f.Add("pgd(eps=0.03,steps=40)")
+	f.Add("bim(eps=-1)")
+	f.Add("bim(eps=")
+	f.Add("nosuchattack")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		atk, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if atk == nil {
+			t.Fatalf("Parse(%q) returned nil attack without error", spec)
+		}
+		name := atk.Name()
+		again, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but canonical name %q does not re-parse: %v", spec, name, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("Parse(%q): name round-trip unstable: %q -> %q", spec, name, again.Name())
+		}
+	})
+}
+
+// FuzzParseAdaptive covers the adaptive-mode grammar the serving and CLI
+// boundaries expose: never panic, accepted modes round-trip.
+func FuzzParseAdaptive(f *testing.F) {
+	for _, kind := range AdaptiveModes() {
+		f.Add(kind)
+	}
+	f.Add("eot(draws=8)")
+	f.Add("eot(draws=0)")
+	f.Add("eot(draws=-3)")
+	f.Add("blind(x=1)")
+	f.Add("EOT(DRAWS=4)")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		mode, err := ParseAdaptive(spec)
+		if err != nil {
+			return
+		}
+		name := mode.Name()
+		again, err := ParseAdaptive(name)
+		if err != nil {
+			t.Fatalf("ParseAdaptive(%q) accepted, but canonical name %q does not re-parse: %v", spec, name, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("ParseAdaptive(%q): name round-trip unstable: %q -> %q", spec, name, again.Name())
+		}
+	})
+}

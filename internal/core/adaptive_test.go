@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/filters"
+	"repro/internal/gtsrb"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// TestRunValidationAdaptive extends the Run validation table to the
+// adaptive axis: known kinds pass, eot needs a positive draw count, and
+// unknown kinds are rejected before any crafting.
+func TestRunValidationAdaptive(t *testing.T) {
+	net := coreNet(t)
+	p := pipeline.New(net, filters.NewLAP(4), nil)
+	atk := attacks.NewBIM()
+	cases := []struct {
+		mode attacks.AdaptiveMode
+		ok   bool
+	}{
+		{attacks.AdaptiveMode{}, true}, // zero value = legacy FilterAware
+		{attacks.AdaptiveMode{Kind: attacks.AdaptiveBlind}, true},
+		{attacks.AdaptiveMode{Kind: attacks.AdaptiveBPDA}, true},
+		{attacks.AdaptiveMode{Kind: attacks.AdaptiveEOT, Draws: 4}, true},
+		{attacks.AdaptiveMode{Kind: attacks.AdaptiveEOT}, false},
+		{attacks.AdaptiveMode{Kind: attacks.AdaptiveEOT, Draws: -1}, false},
+		{attacks.AdaptiveMode{Kind: "warp"}, false},
+	}
+	for i, c := range cases {
+		err := (Run{Pipeline: p, Attack: atk, TM: pipeline.TM3, Adaptive: c.mode}).Validate()
+		if c.ok && err != nil {
+			t.Errorf("case %d (%+v) rejected: %v", i, c.mode, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("case %d (%+v) accepted", i, c.mode)
+		}
+	}
+}
+
+// TestExecuteAdaptiveModes runs one scenario under every explicit
+// crafting mode against a randomized deployed filter and pins the
+// attacker-model labels: blind crafts against the bare net, bpda reuses
+// the FAdeML composition, eot reports its draw count — and the whole
+// run stays a pure function of (Run, image): repeating the EOT execution
+// reproduces the identical adversarial example.
+func TestExecuteAdaptiveModes(t *testing.T) {
+	net := coreNet(t)
+	p := pipeline.New(net, filters.NewRandNoise(0.05, 7), nil)
+	clean := gtsrb.Canonical(gtsrb.ClassStop, 16)
+	mkRun := func(mode attacks.AdaptiveMode) Run {
+		return Run{
+			Pipeline: p,
+			Attack:   &attacks.BIM{Epsilon: 0.12, Alpha: 0.012, Steps: 15, EarlyStop: false},
+			Adaptive: mode,
+			Seed:     1,
+			TM:       pipeline.TM3,
+		}
+	}
+
+	blind, err := Execute(context.Background(), mkRun(attacks.AdaptiveMode{Kind: attacks.AdaptiveBlind}), clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(blind.Comparison.AttackName, "FAdeML") || strings.Contains(blind.Comparison.AttackName, "EOT") {
+		t.Errorf("blind attacker model %q folds the pipeline in", blind.Comparison.AttackName)
+	}
+
+	bpda, err := Execute(context.Background(), mkRun(attacks.AdaptiveMode{Kind: attacks.AdaptiveBPDA}), clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bpda.Comparison.AttackName, "FAdeML") {
+		t.Errorf("bpda attacker model %q lacks the FAdeML composition", bpda.Comparison.AttackName)
+	}
+
+	eotRun := mkRun(attacks.AdaptiveMode{Kind: attacks.AdaptiveEOT, Draws: 3})
+	eot, err := Execute(context.Background(), eotRun, clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eot.Comparison.AttackName, "EOT") || !strings.Contains(eot.Comparison.AttackName, "draws=3") {
+		t.Errorf("eot attacker model %q lacks the EOT[...draws=3] tag", eot.Comparison.AttackName)
+	}
+	again, err := Execute(context.Background(), eotRun, clean, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualWithin(eot.AttackerResult.Adversarial, again.AttackerResult.Adversarial, 0) {
+		t.Error("repeating an EOT run changed the adversarial example — randomness leaked past the seed")
+	}
+}

@@ -34,6 +34,17 @@ type Run struct {
 	// the pipeline's pre-processing; false is the Section III classical
 	// attacker that sees only the bare network.
 	FilterAware bool
+	// Adaptive, when its Kind is non-empty, overrides FilterAware with an
+	// explicit crafting mode: blind (bare network), bpda (through the
+	// deployed chain via declared VJPs — what FilterAware selects), or
+	// eot(draws=N) (BPDA plus gradient averaging over fresh draws of every
+	// stochastic stage). The zero value keeps the legacy FilterAware
+	// behaviour.
+	Adaptive attacks.AdaptiveMode
+	// Seed is the base of the adaptive EOT draw stream (only read when
+	// Adaptive.Kind is "eot"); distinct seeds sample independent
+	// randomness draws.
+	Seed uint64
 	// TM is the threat model governing where the adversarial image enters
 	// the pipeline (TM2 or TM3 for filtered delivery).
 	TM pipeline.ThreatModel
@@ -55,6 +66,15 @@ func (r Run) Validate() error {
 	}
 	if r.TM != pipeline.TM2 && r.TM != pipeline.TM3 {
 		return fmt.Errorf("core: run threat model must be TM2 or TM3, got %v", r.TM)
+	}
+	switch r.Adaptive.Kind {
+	case "", attacks.AdaptiveBlind, attacks.AdaptiveBPDA:
+	case attacks.AdaptiveEOT:
+		if r.Adaptive.Draws <= 0 {
+			return fmt.Errorf("core: adaptive EOT needs positive draws, got %d", r.Adaptive.Draws)
+		}
+	default:
+		return fmt.Errorf("core: unknown adaptive mode %q (have %v)", r.Adaptive.Kind, attacks.AdaptiveModes())
 	}
 	return nil
 }
@@ -88,14 +108,24 @@ func Execute(ctx context.Context, run Run, clean *tensor.Tensor, source, target 
 		ctx = attacks.WithObserver(ctx, run.Observer)
 	}
 	base := attacks.NetClassifier{Net: run.Pipeline.Net}
+	var cls attacks.Classifier = base
 	var atk attacks.Attack = run.Attack
 	attackName := run.Attack.Name()
-	if run.FilterAware {
+	switch {
+	case run.Adaptive.Kind == attacks.AdaptiveEOT:
+		// EOT crafting: the base attack differentiates through an
+		// expectation over re-seeded draws of the deployed chain's
+		// stochastic stages.
+		model := run.Pipeline.AttackerModel(run.TM)
+		cls = run.Adaptive.Classifier(base, model, run.Seed)
+		attackName = fmt.Sprintf("EOT[%s|%s|draws=%d]", run.Attack.Name(), model.Name(), run.Adaptive.Draws)
+	case run.Adaptive.Kind == attacks.AdaptiveBPDA,
+		run.Adaptive.Kind == "" && run.FilterAware:
 		fademl := attacks.NewFAdeML(run.Attack, run.Pipeline.AttackerModel(run.TM))
 		atk = fademl
 		attackName = fademl.Name()
 	}
-	res, err := atk.Generate(ctx, base, clean, attacks.Goal{Source: source, Target: target})
+	res, err := atk.Generate(ctx, cls, clean, attacks.Goal{Source: source, Target: target})
 	if err != nil {
 		return nil, fmt.Errorf("core: attack %s: %w", attackName, err)
 	}

@@ -1,0 +1,40 @@
+package detect
+
+import "testing"
+
+// FuzzParse throws arbitrary spec strings at the detector parser: it
+// must never panic, and every accepted non-nil detector must round-trip
+// through its canonical name. Run longer with:
+//
+//	go test ./internal/detect -fuzz FuzzParse -fuzztime 30s
+func FuzzParse(f *testing.F) {
+	f.Add("detect")
+	f.Add("detect()")
+	f.Add(Default().Name())
+	f.Add("detect(squeezers=(bitdepth(bits=4),median(r=1)),thr=0.6)")
+	f.Add("detect(squeezers=(randnoise(sigma=0.05,seed=1)),metric=top1,thr=0.5)")
+	f.Add("detect(squeezers=())")
+	f.Add("detect(metric=l2)")
+	f.Add("detect(thr=abc)")
+	f.Add("notdetect(thr=1)")
+	f.Add("none")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := Parse(spec)
+		if err != nil || d == nil {
+			return // rejections and disabled detection ("", none) are fine
+		}
+		name := d.Name()
+		again, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but canonical name %q does not re-parse: %v", spec, name, err)
+		}
+		if again == nil {
+			t.Fatalf("Parse(%q): canonical name %q re-parsed to nil", spec, name)
+		}
+		if again.Name() != name {
+			t.Fatalf("Parse(%q): name round-trip unstable: %q -> %q", spec, name, again.Name())
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package filters
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary spec strings at the filter parser. The
+// contract under fuzz: Parse never panics, and every accepted spec
+// round-trips through the canonical name — Parse(f.Name()) succeeds and
+// reproduces the same name. Run longer with:
+//
+//	go test ./internal/filters -fuzz FuzzParse -fuzztime 30s
+func FuzzParse(f *testing.F) {
+	// Seed corpus: every registry filter, bare and with its canonical
+	// default-parameter name, plus chains, legacy forms and near-misses.
+	for _, name := range Names() {
+		f.Add(name)
+		if flt, err := New(name); err == nil {
+			f.Add(flt.Name())
+		}
+	}
+	f.Add("chain(median(r=1),lap(np=8))")
+	f.Add("chain(randnoise(sigma=0.03,seed=9),median(r=1),randflip(p=0.9,seed=4))")
+	f.Add("randjpeg(qmin=20,qmax=80,seed=1)")
+	f.Add("randresize(lo=0.7,hi=0.95,seed=1)")
+	f.Add("LAP:32")
+	f.Add("MEDIAN:1")
+	f.Add("none")
+	f.Add("")
+	f.Add("median(r=0)")
+	f.Add("randjpeg(qmin=80,qmax=20)")
+	f.Add("chain()")
+	f.Add("median(r=1")
+	f.Add("(((((")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		flt, err := Parse(spec)
+		if err != nil || flt == nil {
+			return // rejected specs and nil (none) are fine; only panics fail
+		}
+		name := flt.Name()
+		again, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but canonical name %q does not re-parse: %v", spec, name, err)
+		}
+		if again == nil {
+			t.Fatalf("Parse(%q): canonical name %q re-parsed to nil", spec, name)
+		}
+		if again.Name() != name {
+			t.Fatalf("Parse(%q): name round-trip unstable: %q -> %q", spec, name, again.Name())
+		}
+		// Canonical names never rely on the legacy KIND:PARAM grammar.
+		if strings.ContainsRune(name, ':') {
+			t.Fatalf("Parse(%q): canonical name %q uses legacy syntax", spec, name)
+		}
+	})
+}

@@ -62,10 +62,14 @@ var jpegLuminanceTable = [64]float64{
 // quantTable scales the luminance table by the quality factor, following
 // the IJG convention (q<50 scales up, q>50 scales down, entries floored
 // into [1, 255]).
-func (j *JPEG) quantTable() [64]float64 {
-	scale := 200 - 2*float64(j.Quality)
-	if j.Quality < 50 {
-		scale = 5000 / float64(j.Quality)
+func (j *JPEG) quantTable() [64]float64 { return jpegQuantTableFor(j.Quality) }
+
+// jpegQuantTableFor is the quality→table mapping shared by JPEG and the
+// per-block randomized RandJPEG.
+func jpegQuantTableFor(quality int) [64]float64 {
+	scale := 200 - 2*float64(quality)
+	if quality < 50 {
+		scale = 5000 / float64(quality)
 	}
 	var q [64]float64
 	for i, t := range jpegLuminanceTable {
@@ -115,51 +119,56 @@ func (j *JPEG) Apply(img *tensor.Tensor) *tensor.Tensor {
 		base := ch * h * w
 		for by := 0; by < h; by += 8 {
 			for bx := 0; bx < w; bx += 8 {
-				// Gather the (replicate-padded) 8×8 block, shifted to
-				// JPEG's centered [-128, 127] range.
-				for y := 0; y < 8; y++ {
-					sy := clampInt(by+y, 0, h-1)
-					for x := 0; x < 8; x++ {
-						sx := clampInt(bx+x, 0, w-1)
-						block[y*8+x] = id[base+sy*w+sx]*255 - 128
-					}
-				}
-				// Forward DCT-II, quantize, dequantize.
-				for u := 0; u < 8; u++ {
-					for v := 0; v < 8; v++ {
-						acc := 0.0
-						for y := 0; y < 8; y++ {
-							for x := 0; x < 8; x++ {
-								acc += block[y*8+x] * dctCos[y][u] * dctCos[x][v]
-							}
-						}
-						f := 0.25 * dctC(u) * dctC(v) * acc
-						coef[u*8+v] = math.Floor(f/qt[u*8+v]+0.5) * qt[u*8+v]
-					}
-				}
-				// Inverse DCT, shift back, clamp, scatter the valid region.
-				for y := 0; y < 8 && by+y < h; y++ {
-					for x := 0; x < 8 && bx+x < w; x++ {
-						acc := 0.0
-						for u := 0; u < 8; u++ {
-							for v := 0; v < 8; v++ {
-								acc += dctC(u) * dctC(v) * coef[u*8+v] * dctCos[y][u] * dctCos[x][v]
-							}
-						}
-						p := (0.25*acc + 128) / 255
-						if p < 0 {
-							p = 0
-						}
-						if p > 1 {
-							p = 1
-						}
-						od[base+(by+y)*w+bx+x] = p
-					}
-				}
+				jpegCodeBlock(id, od, base, h, w, by, bx, &qt, &block, &coef)
 			}
 		}
 	}
 	return out
+}
+
+// jpegCodeBlock runs one 8×8 block through the JPEG round trip: gather
+// the (replicate-padded) block shifted to the centered [-128, 127]
+// range, forward DCT-II, quantize/dequantize against qt, inverse DCT,
+// shift back, clamp to [0, 1] and scatter the valid region into od.
+// block and coef are caller-owned scratch.
+func jpegCodeBlock(id, od []float64, base, h, w, by, bx int, qt, block, coef *[64]float64) {
+	for y := 0; y < 8; y++ {
+		sy := clampInt(by+y, 0, h-1)
+		for x := 0; x < 8; x++ {
+			sx := clampInt(bx+x, 0, w-1)
+			block[y*8+x] = id[base+sy*w+sx]*255 - 128
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			acc := 0.0
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					acc += block[y*8+x] * dctCos[y][u] * dctCos[x][v]
+				}
+			}
+			f := 0.25 * dctC(u) * dctC(v) * acc
+			coef[u*8+v] = math.Floor(f/qt[u*8+v]+0.5) * qt[u*8+v]
+		}
+	}
+	for y := 0; y < 8 && by+y < h; y++ {
+		for x := 0; x < 8 && bx+x < w; x++ {
+			acc := 0.0
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					acc += dctC(u) * dctC(v) * coef[u*8+v] * dctCos[y][u] * dctCos[x][v]
+				}
+			}
+			p := (0.25*acc + 128) / 255
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			od[base+(by+y)*w+bx+x] = p
+		}
+	}
 }
 
 // ApplyBatch implements Filter with one task per image over the

@@ -31,6 +31,12 @@ var library = map[string]Constructor{
 	"bitdepth": func() Filter { return NewBitDepth(5) },
 	"tv":       func() Filter { return NewTVDenoise(0.15, 15) },
 	"nlm":      func() Filter { return NewNLM(0.1, 1, 3) },
+	// Randomized defenses (Defense API v3) — every draw is a pure
+	// function of (seed, image); see stochastic.go.
+	"randjpeg":   func() Filter { return NewRandJPEG(20, 80, 1) },
+	"randresize": func() Filter { return NewRandResize(0.8, 1, 1) },
+	"randflip":   func() Filter { return NewRandFlip(0.5, 1) },
+	"randnoise":  func() Filter { return NewRandNoise(0.05, 1) },
 }
 
 // New builds a default-configured filter by library name.

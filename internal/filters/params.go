@@ -107,6 +107,26 @@ func intParam(name, doc string, field *int, check func(int) error, rebuild func(
 	}
 }
 
+// uintParam binds a uint64 field (randomized-defense seeds), with the
+// same validation/rebuild contract as intParam.
+func uintParam(name, doc string, field *uint64, rebuild func()) Param {
+	return Param{
+		Name: name, Doc: doc,
+		Get: func() string { return strconv.FormatUint(*field, 10) },
+		Set: func(v string) error {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("want a non-negative integer, got %q", v)
+			}
+			*field = n
+			if rebuild != nil {
+				rebuild()
+			}
+			return nil
+		},
+	}
+}
+
 // floatParam binds a float64 field, with the same validation/rebuild
 // contract as intParam.
 func floatParam(name, doc string, field *float64, check func(float64) error, rebuild func()) Param {
@@ -157,6 +177,16 @@ func floatPositive() func(float64) error {
 	return func(v float64) error {
 		if !(v > 0) {
 			return fmt.Errorf("must be positive, got %v", formatFloat(v))
+		}
+		return nil
+	}
+}
+
+// floatInRange validates lo <= v <= hi (NaN always fails).
+func floatInRange(lo, hi float64) func(float64) error {
+	return func(v float64) error {
+		if !(v >= lo && v <= hi) {
+			return fmt.Errorf("must be in [%v, %v], got %v", formatFloat(lo), formatFloat(hi), formatFloat(v))
 		}
 		return nil
 	}

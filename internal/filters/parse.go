@@ -64,7 +64,25 @@ func Parse(spec string) (Filter, error) {
 			return nil, fmt.Errorf("filters: spec %q: %w", spec, err)
 		}
 	}
+	// Cross-parameter constraints (randjpeg's qmin ≤ qmax) can only be
+	// checked once every knob is assigned — per-param Set validation
+	// cannot see them, so configured filters get a final Validate pass
+	// at the same usage-error boundary.
+	if v, ok := f.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("filters: spec %q: %w", spec, err)
+		}
+	}
 	return f, nil
+}
+
+// Validator is the optional cross-parameter validation hook: filters
+// whose parameters constrain each other (randjpeg's qmin ≤ qmax)
+// implement it, and Parse rejects a configured instance whose combined
+// knobs are inconsistent — as a usage error at the spec boundary, never
+// a panic mid-run.
+type Validator interface {
+	Validate() error
 }
 
 // parseChain builds a Chain from the comma-separated stage list of a

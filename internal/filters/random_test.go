@@ -1,0 +1,394 @@
+package filters
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// The randomized-defense determinism suite pins the Stochastic contract:
+// a randomized filter's output is a pure function of (seed, image) —
+// bit-identical across repeated calls, goroutines, worker counts and the
+// batched path — while distinct seeds give genuinely different draws.
+
+var updateGoldenRandom = flag.Bool("update-golden-random", false,
+	"rewrite testdata/golden_random.json from the current implementations")
+
+// randomizedSpecs are the canonical specs of every randomized filter
+// plus a chain mixing stochastic and deterministic stages.
+var randomizedSpecs = []string{
+	"randjpeg(qmin=20,qmax=80,seed=1)",
+	"randresize(lo=0.7,hi=0.95,seed=1)",
+	"randflip(p=0.5,seed=1)",
+	"randnoise(sigma=0.05,seed=1)",
+	"chain(randnoise(sigma=0.03,seed=9),median(r=1),randflip(p=0.9,seed=4))",
+}
+
+func stochasticImages(t *testing.T) []*tensor.Tensor {
+	t.Helper()
+	rng := mathx.NewRNG(77)
+	imgs := make([]*tensor.Tensor, 6)
+	for i := range imgs {
+		imgs[i] = tensor.RandU(rng, 0, 1, 3, 12, 12)
+	}
+	return imgs
+}
+
+// TestRandomizedRepeatDeterminism: the same instance applied to the same
+// image any number of times yields bit-identical output.
+func TestRandomizedRepeatDeterminism(t *testing.T) {
+	imgs := stochasticImages(t)
+	for _, spec := range randomizedSpecs {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		for i, img := range imgs {
+			want := f.Apply(img)
+			for rep := 0; rep < 3; rep++ {
+				if !tensor.EqualWithin(f.Apply(img), want, 0) {
+					t.Fatalf("%s: repeat %d on image %d diverged from the first application", spec, rep, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomizedConcurrentDeterminism hammers one shared instance from
+// many goroutines (run under -race) and requires every result to be
+// bit-identical to the serial reference — the purity property that keeps
+// batched serving deterministic.
+func TestRandomizedConcurrentDeterminism(t *testing.T) {
+	imgs := stochasticImages(t)
+	for _, spec := range randomizedSpecs {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		want := make([]*tensor.Tensor, len(imgs))
+		for i, img := range imgs {
+			want[i] = f.Apply(img)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i, img := range imgs {
+					if !tensor.EqualWithin(f.Apply(img), want[i], 0) {
+						errs <- spec
+						return
+					}
+					_ = g
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for bad := range errs {
+			t.Fatalf("%s: concurrent application diverged from the serial reference", bad)
+		}
+	}
+}
+
+// TestRandomizedBatchDeterminism: ApplyBatch must equal per-image Apply
+// bit-for-bit at several pool widths (the parallel fan-out must not
+// perturb any filter's draw streams).
+func TestRandomizedBatchDeterminism(t *testing.T) {
+	imgs := stochasticImages(t)
+	for _, workers := range []int{1, 2, 8} {
+		old := parallel.Workers()
+		parallel.SetWorkers(workers)
+		for _, spec := range randomizedSpecs {
+			f, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			got := f.ApplyBatch(imgs)
+			for i, img := range imgs {
+				if !tensor.EqualWithin(got[i], f.Apply(img), 0) {
+					t.Errorf("%s (workers=%d): ApplyBatch[%d] != Apply", spec, workers, i)
+				}
+			}
+		}
+		parallel.SetWorkers(old)
+	}
+}
+
+// TestRandomizedSeedsDiffer: distinct seeds must produce genuinely
+// different draws (otherwise EOT averaging would be a no-op), and
+// WithSeed must never mutate the receiver.
+func TestRandomizedSeedsDiffer(t *testing.T) {
+	img := stochasticImages(t)[0]
+	for _, spec := range randomizedSpecs[:4] {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		st, ok := f.(Stochastic)
+		if !ok {
+			t.Fatalf("%s: registry filter does not implement Stochastic", spec)
+		}
+		if !IsStochastic(f) {
+			t.Fatalf("%s: IsStochastic = false", spec)
+		}
+		baseName := f.Name()
+		baseOut := f.Apply(img)
+		differs := false
+		for seed := uint64(2); seed < 12; seed++ {
+			if !tensor.EqualWithin(st.WithSeed(seed).Apply(img), baseOut, 0) {
+				differs = true
+				break
+			}
+		}
+		if !differs {
+			t.Errorf("%s: ten distinct seeds all reproduced the base draw", spec)
+		}
+		if f.Name() != baseName {
+			t.Errorf("%s: WithSeed mutated the receiver (name now %s)", spec, f.Name())
+		}
+		if !tensor.EqualWithin(f.Apply(img), baseOut, 0) {
+			t.Errorf("%s: WithSeed mutated the receiver's draws", spec)
+		}
+	}
+}
+
+// TestReseedChain: Reseed must re-seed every stochastic stage of a chain
+// (changing its output), leave deterministic filters untouched, and
+// never modify its input.
+func TestReseedChain(t *testing.T) {
+	img := stochasticImages(t)[0]
+	chain, err := Parse("chain(randnoise(sigma=0.05,seed=1),median(r=1))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chain.Apply(img)
+	reseeded := Reseed(chain, 12345)
+	if tensor.EqualWithin(reseeded.Apply(img), base, 0) {
+		t.Error("Reseed(chain) reproduced the original draw")
+	}
+	if !tensor.EqualWithin(chain.Apply(img), base, 0) {
+		t.Error("Reseed mutated the original chain")
+	}
+	// Reseed with the same seed is deterministic.
+	if !tensor.EqualWithin(Reseed(chain, 12345).Apply(img), reseeded.Apply(img), 0) {
+		t.Error("Reseed is not a pure function of (filter, seed)")
+	}
+	// A deterministic filter passes through unchanged (same instance).
+	med := NewMedian(1)
+	if Reseed(med, 99) != Filter(med) {
+		t.Error("Reseed rebuilt a deterministic filter")
+	}
+	if IsStochastic(med) {
+		t.Error("IsStochastic(median) = true")
+	}
+}
+
+// TestDrawSeedDecorrelates: consecutive draw indices and distinct bases
+// must map to distinct seeds.
+func TestDrawSeedDecorrelates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for draw := 0; draw < 64; draw++ {
+			s := DrawSeed(base, draw)
+			if seen[s] {
+				t.Fatalf("DrawSeed collision at base=%d draw=%d", base, draw)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRandResizeAdjoint verifies the exact-VJP claim for randresize with
+// the adjoint identity <A d, u> = <d, Aᵀ u>: for the linear map A the
+// forward draw realizes, the VJP must be its exact transpose. (Finite
+// differences would be invalid here — perturbing the input flips the
+// draw — so the identity is checked against the fixed realized draw.)
+func TestRandResizeAdjoint(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	r := NewRandResize(0.6, 0.9, 3)
+	for trial := 0; trial < 4; trial++ {
+		x := tensor.RandU(rng, 0, 1, 2, 9, 11)
+		u := tensor.RandN(rng, 2, 9, 11)
+		d := tensor.RandN(rng, 2, 9, 11)
+		// <A d, u> with A fixed at x's draw: resize d through x's draw.
+		c, h, w := 2, 9, 11
+		dr := r.draw(x, h, w)
+		ad := applyResizeDraw(d, c, h, w, dr)
+		lhs := dot(ad.Data(), u.Data())
+		rhs := dot(d.Data(), r.VJP(x, u).Data())
+		if diff := lhs - rhs; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: adjoint identity violated: <Ad,u>=%g, <d,Aᵀu>=%g", trial, lhs, rhs)
+		}
+	}
+}
+
+// applyResizeDraw runs the forward resize-and-pad for a fixed draw
+// (mirroring RandResize.Apply without re-drawing).
+func applyResizeDraw(img *tensor.Tensor, c, h, w int, d resizeDraw) *tensor.Tensor {
+	out := tensor.New(c, h, w)
+	if d.sh == h && d.sw == w {
+		copy(out.Data(), img.Data())
+		return out
+	}
+	rows := lerpTaps(h, d.sh)
+	cols := lerpTaps(w, d.sw)
+	id, od := img.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < d.sh; y++ {
+			ry := rows[y]
+			orow := base + (d.dy+y)*w + d.dx
+			for x := 0; x < d.sw; x++ {
+				cx := cols[x]
+				od[orow+x] = ry.w0*(cx.w0*id[base+ry.i0*w+cx.i0]+cx.w1*id[base+ry.i0*w+cx.i1]) +
+					ry.w1*(cx.w0*id[base+ry.i1*w+cx.i0]+cx.w1*id[base+ry.i1*w+cx.i1])
+			}
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// TestRandFlipAdjoint: the flip VJP must mirror the upstream gradient
+// exactly when (and only when) the forward pass mirrored the input.
+func TestRandFlipAdjoint(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	f := NewRandFlip(0.5, 2)
+	flipped, kept := 0, 0
+	for trial := 0; trial < 12; trial++ {
+		x := tensor.RandU(rng, 0, 1, 3, 7, 8)
+		u := tensor.RandN(rng, 3, 7, 8)
+		got := f.VJP(x, u)
+		if f.flips(x) {
+			flipped++
+			if !tensor.EqualWithin(got, flipH(u), 0) {
+				t.Fatal("flipped forward: VJP did not mirror upstream")
+			}
+		} else {
+			kept++
+			if !tensor.EqualWithin(got, u, 0) {
+				t.Fatal("unflipped forward: VJP altered upstream")
+			}
+		}
+	}
+	if flipped == 0 || kept == 0 {
+		t.Fatalf("p=0.5 over 12 trials hit only one branch (flipped=%d kept=%d); choose a different test seed", flipped, kept)
+	}
+}
+
+// TestRandomizedSpecErrors is the malformed-spec table: cross-parameter
+// violations and out-of-range values must surface as Parse errors, never
+// as panics or silent clamps.
+func TestRandomizedSpecErrors(t *testing.T) {
+	bad := []string{
+		"randjpeg(qmin=80,qmax=20)",
+		"randjpeg(qmin=0,qmax=50)",
+		"randjpeg(qmax=101)",
+		"randjpeg(seed=-1)",
+		"randjpeg(seed=1.5)",
+		"randresize(lo=0.9,hi=0.5)",
+		"randresize(lo=0)",
+		"randresize(hi=1.5)",
+		"randflip(p=1.5)",
+		"randflip(p=-0.1)",
+		"randnoise(sigma=0)",
+		"randnoise(sigma=-1)",
+		"randnoise(sigma=abc)",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+	// The corresponding valid boundary specs must still parse and
+	// round-trip through the canonical name.
+	good := []string{
+		"randjpeg(qmin=1,qmax=1,seed=0)",
+		"randresize(lo=0.5,hi=0.5,seed=3)",
+		"randflip(p=0,seed=2)",
+		"randflip(p=1,seed=2)",
+	}
+	for _, spec := range good {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if _, err := Parse(f.Name()); err != nil {
+			t.Errorf("Parse(%q).Name()=%q does not re-parse: %v", spec, f.Name(), err)
+		}
+	}
+}
+
+// TestGoldenRandom pins the randomized filters' exact bits: the draw
+// streams (block qualities, scales, offsets, flip decisions, noise) are
+// part of the determinism contract, so any change to the hashing, RNG or
+// traversal order is a breaking change this fixture catches. Regenerate
+// deliberately with -update-golden-random.
+func TestGoldenRandom(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	img := tensor.RandU(rng, 0, 1, 3, 16, 16)
+	up := tensor.RandN(rng, 3, 16, 16)
+	const path = "testdata/golden_random.json"
+	if *updateGoldenRandom {
+		g := goldenFilterFile{Shape: img.Shape(), Input: img.Data(), Upstream: up.Data()}
+		for _, spec := range randomizedSpecs {
+			f, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			g.Cases = append(g.Cases, goldenFilterCase{
+				Spec:   spec,
+				Output: f.Apply(img).Data(),
+				VJP:    f.VJP(img, up).Data(),
+			})
+		}
+		data, err := json.MarshalIndent(g, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", path, len(g.Cases))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (generate with -update-golden-random): %v", err)
+	}
+	var g goldenFilterFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("golden fixture corrupt: %v", err)
+	}
+	in := tensor.FromSlice(g.Input, g.Shape...)
+	upstream := tensor.FromSlice(g.Upstream, g.Shape...)
+	for _, c := range g.Cases {
+		f, err := Parse(c.Spec)
+		if err != nil {
+			t.Errorf("golden spec %q no longer parses: %v", c.Spec, err)
+			continue
+		}
+		if got := f.Apply(in).Data(); !bitIdentical(got, c.Output) {
+			t.Errorf("%s: Apply diverged from the golden draw stream", c.Spec)
+		}
+		if got := f.VJP(in, upstream).Data(); !bitIdentical(got, c.VJP) {
+			t.Errorf("%s: VJP diverged from the golden fixture", c.Spec)
+		}
+	}
+}

@@ -6,7 +6,6 @@ package pipeline
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/filters"
 	"repro/internal/mathx"
@@ -97,29 +96,24 @@ func (a *Acquisition) ApplyBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
 }
 
 // noiseSeed hashes the base seed, the image shape and every pixel's bit
-// pattern into the seed of this capture's private noise stream. Identical
-// (seed, image) pairs always map to the same stream; images that differ
-// in a single bit decorrelate completely. The mix is one multiply-xor
-// round per 64-bit word plus a SplitMix64 finalizer — this runs once per
-// served TM-II request, so it is word-wise rather than byte-wise.
+// pattern into the seed of this capture's private noise stream — the
+// shared filters.ImageSeed construction (identical constants, so the
+// stream is bit-for-bit what this package computed before the randomized
+// filter family factored the hash out).
 func (a *Acquisition) noiseSeed(img *tensor.Tensor) uint64 {
-	h := a.seed ^ 0x9e3779b97f4a7c15
-	mix := func(v uint64) {
-		h ^= v
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
-	}
-	for _, dim := range img.Shape() {
-		mix(uint64(dim))
-	}
-	for _, v := range img.Data() {
-		mix(math.Float64bits(v))
-	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	return h ^ (h >> 31)
+	return filters.ImageSeed(a.seed, img)
+}
+
+// Seed implements filters.Stochastic.
+func (a *Acquisition) Seed() uint64 { return a.seed }
+
+// WithSeed implements filters.Stochastic: an identically configured
+// capture whose sensor-noise stream starts from seed. The receiver is
+// never modified, so the deployed instance keeps its declared seed.
+func (a *Acquisition) WithSeed(seed uint64) filters.Filter {
+	c := *a
+	c.seed = seed
+	return &c
 }
 
 // VJP implements filters.Filter. Gain is differentiated exactly;

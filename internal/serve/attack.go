@@ -55,6 +55,10 @@ type AttackRequest struct {
 	// FilterAware wraps the attack in FAdeML so it models the deployed
 	// pre-processing (and acquisition under TM2).
 	FilterAware bool
+	// Adaptive, when non-empty, overrides FilterAware with an explicit
+	// crafting mode spec: "blind", "bpda", or "eot(draws=N)" (see
+	// attacks.ParseAdaptive).
+	Adaptive string
 	// Model selects the attacked model version ("" = active default; see
 	// Server.PredictModel for the reference syntax).
 	Model string
@@ -90,6 +94,12 @@ func (s *Server) Attack(ctx context.Context, req AttackRequest) (*core.Outcome, 
 	if err != nil {
 		return nil, err
 	}
+	var mode attacks.AdaptiveMode
+	if req.Adaptive != "" {
+		if mode, err = attacks.ParseAdaptive(req.Adaptive); err != nil {
+			return nil, err
+		}
+	}
 	img, err := s.caseImage(m, req.Image, req.Source)
 	if err != nil {
 		return nil, err
@@ -105,6 +115,8 @@ func (s *Server) Attack(ctx context.Context, req AttackRequest) (*core.Outcome, 
 		Pipeline:    a.pipe,
 		Attack:      atk,
 		FilterAware: req.FilterAware,
+		Adaptive:    mode,
+		Seed:        evalEOTSeed,
 		TM:          tm,
 		Budget:      s.opts.AttackBudget,
 	}, img, req.Source, req.Target)
@@ -138,6 +150,16 @@ type EvaluateRequest struct {
 	Cases []EvalCase
 	// FilterAware crafts filter-aware (FAdeML) instead of filter-blind.
 	FilterAware bool
+	// Adaptive, when non-empty, replaces the single FilterAware crafting
+	// mode with an explicit axis of crafting modes — "blind", "bpda",
+	// "eot(draws=N)" — so one sweep measures the same attack × tm ×
+	// filter × case grid under several attacker strengths. Sweeps whose
+	// axis includes "blind" plus at least one adaptive mode also report
+	// per-series fooling-rate gaps (EvaluateResult.Gaps), the honest
+	// robustness number for a randomized defense. Blind crafting is
+	// shared across the tm × filter axes as before; bpda and eot craft
+	// per cell (their optimization folds the cell's chain in).
+	Adaptive []string
 	// Model selects the evaluated model version ("" = active default); it
 	// is pinned for the whole sweep, so a hot-swap mid-sweep cannot mix
 	// versions inside one result grid.
@@ -160,6 +182,9 @@ type EvalCell struct {
 	// Filter is the canonical Name() of the pre-processing the cell was
 	// measured through (the deployed filter unless overridden).
 	Filter string `json:"filter"`
+	// Adaptive is the crafting mode the cell's example was produced under
+	// ("blind", "bpda", "eot(draws=N)").
+	Adaptive string `json:"adaptive"`
 	// Source and Target are the case classes.
 	Source int `json:"source"`
 	Target int `json:"target"`
@@ -190,11 +215,14 @@ type CellDetection struct {
 	Detected bool `json:"detected"`
 }
 
-// EvalSummary aggregates one attack × threat model × filter series.
+// EvalSummary aggregates one attack × adaptive mode × threat model ×
+// filter series.
 type EvalSummary struct {
 	Attack string               `json:"attack"`
 	TM     pipeline.ThreatModel `json:"-"`
 	Filter string               `json:"filter"`
+	// Adaptive is the series' crafting mode.
+	Adaptive string `json:"adaptive"`
 	// FoolingRate is fooled cells / cells.
 	FoolingRate float64 `json:"fooling_rate"`
 	// Truncated counts budget-cut crafting runs in the series.
@@ -226,10 +254,32 @@ type SummaryDetection struct {
 	AUC float64 `json:"auc"`
 }
 
+// EvalGap compares one adaptive series against its blind baseline: the
+// fooling-rate increase an attacker gains by modelling the deployed
+// chain honestly instead of ignoring it. A randomized defense whose
+// blind fooling rate looks low but whose EOT gap is large is not robust
+// — it was only obfuscating its gradients.
+type EvalGap struct {
+	Attack string               `json:"attack"`
+	TM     pipeline.ThreatModel `json:"-"`
+	Filter string               `json:"filter"`
+	// Adaptive is the stronger mode being compared against blind.
+	Adaptive string `json:"adaptive"`
+	// BlindRate and AdaptiveRate are the two series' fooling rates.
+	BlindRate    float64 `json:"blind_rate"`
+	AdaptiveRate float64 `json:"adaptive_rate"`
+	// Gap is AdaptiveRate − BlindRate.
+	Gap float64 `json:"gap"`
+}
+
 // EvaluateResult is the sweep outcome.
 type EvaluateResult struct {
 	Cells     []EvalCell
 	Summaries []EvalSummary
+	// Gaps holds the blind-vs-adaptive fooling-rate comparisons when the
+	// request's Adaptive axis contained "blind" plus at least one other
+	// mode; nil otherwise.
+	Gaps []EvalGap
 }
 
 // Evaluate runs the fooling-rate sweep. Crafting happens on the attack
@@ -295,7 +345,24 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 			flts[i] = f
 		}
 	}
-	if cells := len(req.Specs) * len(tms) * len(flts) * len(cases); cells > maxEvalCells {
+	// The adaptive axis: explicit crafting modes, or the single legacy
+	// mode FilterAware selects (blind, or bpda — FAdeML through the
+	// deployed chain — which is what FilterAware always meant).
+	modes := []attacks.AdaptiveMode{{Kind: attacks.AdaptiveBlind}}
+	if req.FilterAware {
+		modes[0].Kind = attacks.AdaptiveBPDA
+	}
+	if len(req.Adaptive) > 0 {
+		modes = make([]attacks.AdaptiveMode, len(req.Adaptive))
+		for i, spec := range req.Adaptive {
+			mode, err := attacks.ParseAdaptive(spec)
+			if err != nil {
+				return nil, err
+			}
+			modes[i] = mode
+		}
+	}
+	if cells := len(req.Specs) * len(modes) * len(tms) * len(flts) * len(cases); cells > maxEvalCells {
 		return nil, fmt.Errorf("serve: evaluate grid of %d cells exceeds the %d-cell cap", cells, maxEvalCells)
 	}
 	// The detection axis: an explicit spec overrides the deployed
@@ -337,64 +404,101 @@ func (s *Server) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 	// A filter-blind crafted example depends only on (spec, case) — the
 	// measured filter and delivery model never enter the optimization —
 	// so one crafting run is shared across the tm × filter axes instead
-	// of re-spending the attack budget per series. Filter-aware crafting
-	// folds AttackerModel(tm) into the attack and is per-cell.
+	// of re-spending the attack budget per series. Adaptive crafting
+	// (bpda, eot) folds the cell's chain into the attack and is per-cell.
 	type craftKey struct {
 		spec    string
 		caseIdx int
 	}
 	crafted := map[craftKey]*craftedCell{}
 	for _, spec := range req.Specs {
-		for _, tm := range tms {
-			for _, flt := range flts {
-				summary := EvalSummary{TM: tm}
-				var advScores []float64
-				detected := 0
-				for ci, ec := range cases {
-					if err := ctx.Err(); err != nil {
-						return nil, err
+		for _, mode := range modes {
+			for _, tm := range tms {
+				for _, flt := range flts {
+					summary := EvalSummary{TM: tm, Adaptive: mode.Name()}
+					var advScores []float64
+					detected := 0
+					for ci, ec := range cases {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						blind := mode.Kind == attacks.AdaptiveBlind
+						var pre *craftedCell
+						if blind {
+							pre = crafted[craftKey{spec, ci}]
+						}
+						cell, cc, err := s.evaluateCell(ctx, m, spec, tm, flt, ec, mode, det, pre)
+						if err != nil {
+							return nil, fmt.Errorf("serve: evaluate %s (%s) under %v on %d→%d: %w",
+								spec, mode.Name(), tm, ec.Source, ec.Target, err)
+						}
+						if blind {
+							crafted[craftKey{spec, ci}] = cc
+						}
+						summary.Attack = cell.Attack
+						summary.Filter = cell.Filter
+						summary.Cells++
+						if cell.Fooled {
+							summary.FoolingRate++
+						}
+						if cell.Truncated {
+							summary.Truncated++
+						}
+						if cell.Detection != nil {
+							advScores = append(advScores, cell.Detection.Score)
+							if cell.Detection.Detected {
+								detected++
+							}
+						}
+						res.Cells = append(res.Cells, *cell)
 					}
-					var pre *craftedCell
-					if !req.FilterAware {
-						pre = crafted[craftKey{spec, ci}]
-					}
-					cell, cc, err := s.evaluateCell(ctx, m, spec, tm, flt, ec, req.FilterAware, det, pre)
-					if err != nil {
-						return nil, fmt.Errorf("serve: evaluate %s under %v on %d→%d: %w",
-							spec, tm, ec.Source, ec.Target, err)
-					}
-					if !req.FilterAware {
-						crafted[craftKey{spec, ci}] = cc
-					}
-					summary.Attack = cell.Attack
-					summary.Filter = cell.Filter
-					summary.Cells++
-					if cell.Fooled {
-						summary.FoolingRate++
-					}
-					if cell.Truncated {
-						summary.Truncated++
-					}
-					if cell.Detection != nil {
-						advScores = append(advScores, cell.Detection.Score)
-						if cell.Detection.Detected {
-							detected++
+					summary.FoolingRate /= float64(summary.Cells)
+					if det != nil {
+						summary.Detection = &SummaryDetection{
+							Detector:  det.Name(),
+							Threshold: det.Threshold,
+							Rate:      float64(detected) / float64(summary.Cells),
+							CleanFPR:  cleanFPR,
+							AUC:       detect.AUC(cleanScores, advScores),
 						}
 					}
-					res.Cells = append(res.Cells, *cell)
+					res.Summaries = append(res.Summaries, summary)
 				}
-				summary.FoolingRate /= float64(summary.Cells)
-				if det != nil {
-					summary.Detection = &SummaryDetection{
-						Detector:  det.Name(),
-						Threshold: det.Threshold,
-						Rate:      float64(detected) / float64(summary.Cells),
-						CleanFPR:  cleanFPR,
-						AUC:       detect.AUC(cleanScores, advScores),
-					}
-				}
-				res.Summaries = append(res.Summaries, summary)
 			}
+		}
+	}
+	// The honest-robustness report: when the request swept an explicit
+	// adaptive axis containing blind plus stronger modes, compare each
+	// stronger series against its blind baseline.
+	if len(req.Adaptive) > 0 {
+		type gapKey struct {
+			attack string
+			tm     pipeline.ThreatModel
+			filter string
+		}
+		blindRate := map[gapKey]float64{}
+		for _, sm := range res.Summaries {
+			if sm.Adaptive == attacks.AdaptiveBlind {
+				blindRate[gapKey{sm.Attack, sm.TM, sm.Filter}] = sm.FoolingRate
+			}
+		}
+		for _, sm := range res.Summaries {
+			if sm.Adaptive == attacks.AdaptiveBlind {
+				continue
+			}
+			b, ok := blindRate[gapKey{sm.Attack, sm.TM, sm.Filter}]
+			if !ok {
+				continue
+			}
+			res.Gaps = append(res.Gaps, EvalGap{
+				Attack:       sm.Attack,
+				TM:           sm.TM,
+				Filter:       sm.Filter,
+				Adaptive:     sm.Adaptive,
+				BlindRate:    b,
+				AdaptiveRate: sm.FoolingRate,
+				Gap:          sm.FoolingRate - b,
+			})
 		}
 	}
 	return res, nil
@@ -419,9 +523,9 @@ type craftedCell struct {
 // pre-processing for this cell; nil keeps the deployment. The crafting
 // bundle is returned alongside the cell so Evaluate can share it across
 // the tm × filter axes.
-func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, det *detect.Detector, pre *craftedCell) (*EvalCell, *craftedCell, error) {
+func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, mode attacks.AdaptiveMode, det *detect.Detector, pre *craftedCell) (*EvalCell, *craftedCell, error) {
 	if pre == nil {
-		cc, err := s.craftCell(ctx, m, spec, tm, flt, ec, aware, det)
+		cc, err := s.craftCell(ctx, m, spec, tm, flt, ec, mode, det)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -452,6 +556,7 @@ func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, 
 		Attack:       pre.name,
 		TM:           tm,
 		Filter:       filterName,
+		Adaptive:     mode.Name(),
 		Source:       ec.Source,
 		Target:       ec.Target,
 		TM1Pred:      pre.tm1.Class,
@@ -471,10 +576,16 @@ func (s *Server) evaluateCell(ctx context.Context, m *servedModel, spec string, 
 	return cell, pre, nil
 }
 
+// evalEOTSeed is the base seed of server-side adaptive EOT draw streams:
+// fixed, so repeated sweeps are reproducible (the per-draw seeds come
+// from filters.DrawSeed and the per-image streams from
+// filters.ImageSeed, so a fixed base loses no diversity).
+const evalEOTSeed uint64 = 1
+
 // craftCell runs one crafting job on an attacker slot and measures the
 // result's TM-I view through the prediction pool. With a detector, the
 // same TM-I view is also scored for the sweep's detection axis.
-func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, aware bool, det *detect.Detector) (*craftedCell, error) {
+func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm pipeline.ThreatModel, flt filters.Filter, ec EvalCase, mode attacks.AdaptiveMode, det *detect.Detector) (*craftedCell, error) {
 	atk, err := attacks.Parse(spec)
 	if err != nil {
 		return nil, err
@@ -496,11 +607,14 @@ func (s *Server) craftCell(ctx context.Context, m *servedModel, spec string, tm 
 	craftCtx, cancel := s.attackContext(ctx)
 	craftCtx = attacks.WithBudget(craftCtx, s.opts.AttackBudget)
 	gen := atk
-	if aware {
+	var cls attacks.Classifier = attacks.NetClassifier{Net: pipe.Net}
+	switch mode.Kind {
+	case attacks.AdaptiveBPDA:
 		gen = attacks.NewFAdeML(atk, pipe.AttackerModel(tm))
+	case attacks.AdaptiveEOT:
+		cls = mode.Classifier(cls, pipe.AttackerModel(tm), evalEOTSeed)
 	}
 	goal := attacks.Goal{Source: ec.Source, Target: ec.Target}
-	cls := attacks.NetClassifier{Net: pipe.Net}
 	out, err := gen.Generate(craftCtx, cls, img, goal)
 	cancel()
 	release()

@@ -266,6 +266,9 @@ type attackHTTPRequest struct {
 	Target *int   `json:"target"`
 	TM     string `json:"tm,omitempty"`
 	Aware  bool   `json:"aware,omitempty"`
+	// Adaptive overrides Aware with an explicit crafting mode spec
+	// ("blind", "bpda", "eot(draws=N)").
+	Adaptive string `json:"adaptive,omitempty"`
 	// Model selects the attacked model ("" = active default).
 	Model string `json:"model,omitempty"`
 	// ReturnAdv echoes the crafted adversarial image in the response.
@@ -327,6 +330,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		Target:      target,
 		TM:          tm,
 		FilterAware: req.Aware,
+		Adaptive:    req.Adaptive,
 		Model:       req.Model,
 	})
 	if err != nil {
@@ -380,6 +384,10 @@ type evalHTTPRequest struct {
 	Filters []string       `json:"filters,omitempty"`
 	Cases   []evalHTTPCase `json:"cases,omitempty"`
 	Aware   bool           `json:"aware,omitempty"`
+	// Adaptive sweeps explicit crafting modes ("blind", "bpda",
+	// "eot(draws=N)") instead of the single mode Aware selects; a sweep
+	// containing "blind" plus stronger modes also returns "gaps".
+	Adaptive []string `json:"adaptive,omitempty"`
 	// Model pins the evaluated model for the whole sweep.
 	Model string `json:"model,omitempty"`
 	// Detector adds the detection axis: a detector spec (bare "detect"
@@ -397,6 +405,12 @@ type evalHTTPCell struct {
 // evalHTTPSummary adds the wire threat-model label to an EvalSummary.
 type evalHTTPSummary struct {
 	EvalSummary
+	TM string `json:"tm"`
+}
+
+// evalHTTPGap adds the wire threat-model label to an EvalGap.
+type evalHTTPGap struct {
+	EvalGap
 	TM string `json:"tm"`
 }
 
@@ -435,6 +449,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		Filters:     req.Filters,
 		Cases:       cases,
 		FilterAware: req.Aware,
+		Adaptive:    req.Adaptive,
 		Model:       req.Model,
 		Detector:    req.Detector,
 	})
@@ -450,7 +465,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	for i, sm := range out.Summaries {
 		summaries[i] = evalHTTPSummary{EvalSummary: sm, TM: sm.TM.String()}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"cells": cells, "summaries": summaries})
+	resp := map[string]any{"cells": cells, "summaries": summaries}
+	if len(out.Gaps) > 0 {
+		gaps := make([]evalHTTPGap, len(out.Gaps))
+		for i, g := range out.Gaps {
+			gaps[i] = evalHTTPGap{EvalGap: g, TM: g.TM.String()}
+		}
+		resp["gaps"] = gaps
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // attackTargetOrUntargeted maps an omitted wire target to Untargeted.
